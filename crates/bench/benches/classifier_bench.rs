@@ -1,0 +1,51 @@
+//! Per-classifier single-message prediction latency — the number that
+//! decides whether a technique survives Darwin's >1M messages/hour.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datagen::{generate_corpus, CorpusConfig};
+use hetsyslog_core::eval::{prepare_split, EvalConfig};
+use hetsyslog_ml::paper_suite;
+
+fn bench_predict_latency(c: &mut Criterion) {
+    let corpus = datagen::corpus::as_pairs(&generate_corpus(&CorpusConfig {
+        scale: 0.01,
+        seed: 42,
+        min_per_class: 12,
+    }));
+    let split = prepare_split(&corpus, &EvalConfig::default());
+    let probe = split.test.features[0].clone();
+
+    let mut g = c.benchmark_group("predict_one");
+    g.throughput(Throughput::Elements(1));
+    for mut model in paper_suite(42) {
+        model.fit(&split.train);
+        let name = model.name().replace(' ', "_").to_lowercase();
+        g.bench_function(name, |b| b.iter(|| model.predict(&probe)));
+    }
+    g.finish();
+}
+
+fn bench_train_cheap_models(c: &mut Criterion) {
+    // Training microbench restricted to the sub-second models; the full
+    // Figure 3 timing lives in the fig3_traditional binary.
+    let corpus = datagen::corpus::as_pairs(&generate_corpus(&CorpusConfig {
+        scale: 0.005,
+        seed: 42,
+        min_per_class: 12,
+    }));
+    let split = prepare_split(&corpus, &EvalConfig::default());
+    let mut g = c.benchmark_group("fit");
+    g.sample_size(10);
+    for name in ["kNN", "Nearest Centroid", "Complement Naive Bayes", "Log-loss SGD"] {
+        let mut model = paper_suite(42)
+            .into_iter()
+            .find(|m| m.name() == name)
+            .expect("model in suite");
+        let id = name.replace(' ', "_").to_lowercase();
+        g.bench_function(id, |b| b.iter(|| model.fit(&split.train)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_predict_latency, bench_train_cheap_models);
+criterion_main!(benches);

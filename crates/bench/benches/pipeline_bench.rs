@@ -1,0 +1,107 @@
+//! Ingest-path microbenches: frame parsing, store insertion, indexed
+//! queries, and the multi-threaded pipeline end to end.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use datagen::{StreamConfig, StreamGenerator};
+use logpipeline::{IngestPipeline, LogRecord, LogStore, Query};
+use std::sync::Arc;
+
+fn frames(n: usize) -> Vec<String> {
+    StreamGenerator::new(StreamConfig {
+        seed: 42,
+        ..StreamConfig::default()
+    })
+    .take(n)
+    .map(|t| t.to_frame())
+    .collect()
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let fs = frames(1000);
+    let mut g = c.benchmark_group("syslog_parse");
+    g.throughput(Throughput::Elements(fs.len() as u64));
+    g.bench_function("rfc3164_1k_frames", |b| {
+        b.iter(|| {
+            fs.iter()
+                .filter(|f| syslog_model::parse(f).is_ok())
+                .count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_store_insert(c: &mut Criterion) {
+    let fs = frames(1000);
+    let records: Vec<LogRecord> = fs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            LogRecord::from_message(i as u64, &syslog_model::parse(f).unwrap(), 0)
+        })
+        .collect();
+    let mut g = c.benchmark_group("log_store");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("insert_1k", |b| {
+        b.iter_batched(
+            LogStore::new,
+            |store| {
+                for r in &records {
+                    store.insert(r.clone());
+                }
+                store.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let store = Arc::new(LogStore::with_shard_seconds(600));
+    let pipeline = IngestPipeline::new(store.clone(), 4);
+    pipeline.run(frames(20_000));
+    let mut g = c.benchmark_group("query");
+    g.bench_function("term_20k_docs", |b| {
+        b.iter(|| {
+            Query::range(0, i64::MAX / 2)
+                .term("throttled")
+                .count(&store)
+        })
+    });
+    g.bench_function("two_terms_20k_docs", |b| {
+        b.iter(|| {
+            Query::range(0, i64::MAX / 2)
+                .term("temperature")
+                .term("threshold")
+                .count(&store)
+        })
+    });
+    g.finish();
+}
+
+fn bench_pipeline_end_to_end(c: &mut Criterion) {
+    let fs = frames(10_000);
+    let mut g = c.benchmark_group("ingest_pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(fs.len() as u64));
+    g.bench_function("parse_index_10k_frames_4_workers", |b| {
+        b.iter_batched(
+            || fs.clone(),
+            |fs| {
+                let store = Arc::new(LogStore::with_shard_seconds(600));
+                IngestPipeline::new(store, 4).run(fs).ingested
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_store_insert,
+    bench_query,
+    bench_pipeline_end_to_end
+);
+criterion_main!(benches);

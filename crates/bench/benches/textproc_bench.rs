@@ -1,0 +1,122 @@
+//! Microbenches for the NLP substrate: tokenization, lemmatization, and
+//! TF-IDF fitting/transforming on realistic syslog text.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use datagen::{generate_corpus, CorpusConfig};
+use hetsyslog_core::{FeatureConfig, FeaturePipeline};
+use textproc::{preprocess, tokenize, HashingVectorizer, Lemmatizer, TfidfConfig, TfidfVectorizer};
+
+fn messages(n: usize) -> Vec<String> {
+    generate_corpus(&CorpusConfig {
+        scale: 0.01,
+        seed: 42,
+        min_per_class: 12,
+    })
+    .into_iter()
+    .take(n)
+    .map(|m| m.text)
+    .collect()
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let msgs = messages(1000);
+    let total_bytes: usize = msgs.iter().map(String::len).sum();
+    let mut g = c.benchmark_group("tokenize");
+    g.throughput(Throughput::Bytes(total_bytes as u64));
+    g.bench_function("1k_messages", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for m in &msgs {
+                count += tokenize(m).len();
+            }
+            count
+        })
+    });
+    g.finish();
+}
+
+fn bench_lemmatize(c: &mut Criterion) {
+    let msgs = messages(1000);
+    let lem = Lemmatizer::new();
+    let tokens: Vec<Vec<String>> = msgs.iter().map(|m| tokenize(m)).collect();
+    let n_tokens: usize = tokens.iter().map(Vec::len).sum();
+    let mut g = c.benchmark_group("lemmatize");
+    g.throughput(Throughput::Elements(n_tokens as u64));
+    g.bench_function("1k_messages", |b| {
+        b.iter(|| {
+            let mut out = 0usize;
+            for doc in &tokens {
+                out += lem.lemmatize_all(doc).len();
+            }
+            out
+        })
+    });
+    g.finish();
+}
+
+fn bench_preprocess_full(c: &mut Criterion) {
+    let msgs = messages(1000);
+    let mut g = c.benchmark_group("preprocess_full");
+    g.throughput(Throughput::Elements(msgs.len() as u64));
+    g.bench_function("tokenize_stopword_lemma", |b| {
+        b.iter(|| msgs.iter().map(|m| preprocess(m).len()).sum::<usize>())
+    });
+    g.finish();
+}
+
+fn bench_tfidf(c: &mut Criterion) {
+    let msgs = messages(2000);
+    let docs: Vec<Vec<String>> = msgs.iter().map(|m| preprocess(m)).collect();
+    let mut g = c.benchmark_group("tfidf");
+    g.throughput(Throughput::Elements(docs.len() as u64));
+    g.bench_function("fit_2k_docs", |b| {
+        b.iter_batched(
+            || TfidfVectorizer::new(TfidfConfig::default()),
+            |mut v| {
+                v.fit(&docs);
+                v.n_features()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut fitted = TfidfVectorizer::new(TfidfConfig::default());
+    fitted.fit(&docs);
+    g.bench_function("transform_one", |b| {
+        b.iter(|| fitted.transform(&docs[7]))
+    });
+    g.finish();
+}
+
+fn bench_feature_pipeline(c: &mut Criterion) {
+    let msgs = messages(1000);
+    let refs: Vec<&str> = msgs.iter().map(String::as_str).collect();
+    let mut pipeline = FeaturePipeline::new(FeatureConfig::default());
+    pipeline.fit(&refs);
+    let mut g = c.benchmark_group("feature_pipeline");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("end_to_end_transform_one", |b| {
+        b.iter(|| pipeline.transform("CPU 3 temperature above threshold cpu clock throttled"))
+    });
+    g.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let msgs = messages(1000);
+    let docs: Vec<Vec<String>> = msgs.iter().map(|m| preprocess(m)).collect();
+    let v = HashingVectorizer::default();
+    let mut g = c.benchmark_group("hashing_vectorizer");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("transform_one", |b| b.iter(|| v.transform(&docs[7])));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tokenize,
+    bench_lemmatize,
+    bench_preprocess_full,
+    bench_tfidf,
+    bench_feature_pipeline,
+    bench_hashing
+);
+criterion_main!(benches);

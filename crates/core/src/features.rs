@@ -1,0 +1,269 @@
+//! The preprocessing pipeline of §4.3: tokenize → lemmatize → TF-IDF.
+
+use crate::taxonomy::Category;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use textproc::tfidf::{category_top_tokens, CategoryTokens};
+use textproc::{Lemmatizer, SparseVec, TfidfConfig, TfidfVectorizer, Tokenizer};
+
+/// Pipeline options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Apply the WordNet-style lemmatizer (§4.3.2). The ablation bench
+    /// toggles this.
+    pub lemmatize: bool,
+    /// Drop English stopwords before vectorizing.
+    pub remove_stopwords: bool,
+    /// Word n-gram order: 1 = unigrams only (the paper's setup), 2 adds
+    /// bigrams, etc. (Cavnar-Trenkle-style feature augmentation.)
+    pub word_ngrams: usize,
+    /// TF-IDF vectorizer options.
+    pub tfidf: TfidfConfig,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            lemmatize: true,
+            remove_stopwords: true,
+            word_ngrams: 1,
+            tfidf: TfidfConfig {
+                min_df: 2,
+                ..TfidfConfig::default()
+            },
+        }
+    }
+}
+
+/// A fitted tokenize → lemmatize → TF-IDF pipeline.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FeaturePipeline {
+    config: FeatureConfig,
+    tokenizer: Tokenizer,
+    lemmatizer: Lemmatizer,
+    vectorizer: TfidfVectorizer,
+}
+
+impl FeaturePipeline {
+    /// Create an unfitted pipeline.
+    pub fn new(config: FeatureConfig) -> FeaturePipeline {
+        let tfidf = config.tfidf.clone();
+        FeaturePipeline {
+            config,
+            tokenizer: Tokenizer::default(),
+            lemmatizer: Lemmatizer::new(),
+            vectorizer: TfidfVectorizer::new(tfidf),
+        }
+    }
+
+    /// Tokenize (and optionally lemmatize / de-stopword) one message.
+    pub fn preprocess(&self, text: &str) -> Vec<String> {
+        let mut tokens = self.tokenizer.tokenize(text);
+        if self.config.remove_stopwords {
+            tokens.retain(|t| !textproc::stopwords::is_stopword(t));
+        }
+        if self.config.lemmatize {
+            for t in &mut tokens {
+                *t = self.lemmatizer.lemmatize(t);
+            }
+        }
+        if self.config.word_ngrams > 1 {
+            tokens = textproc::ngram::word_ngram_range(&tokens, self.config.word_ngrams);
+        }
+        tokens
+    }
+
+    /// Fit the TF-IDF stage on a corpus of raw messages.
+    pub fn fit(&mut self, messages: &[impl AsRef<str> + Sync]) {
+        let docs: Vec<Vec<String>> = messages
+            .par_iter()
+            .map(|m| self.preprocess(m.as_ref()))
+            .collect();
+        self.vectorizer.fit(&docs);
+    }
+
+    /// Transform one raw message into a TF-IDF vector.
+    pub fn transform(&self, text: &str) -> SparseVec {
+        self.vectorizer.transform(&self.preprocess(text))
+    }
+
+    /// Transform many messages in parallel.
+    pub fn transform_batch(&self, messages: &[impl AsRef<str> + Sync]) -> Vec<SparseVec> {
+        messages
+            .par_iter()
+            .map(|m| self.transform(m.as_ref()))
+            .collect()
+    }
+
+    /// Fit and transform in one pass.
+    pub fn fit_transform(&mut self, messages: &[impl AsRef<str> + Sync]) -> Vec<SparseVec> {
+        self.fit(messages);
+        self.transform_batch(messages)
+    }
+
+    /// Number of features after fitting.
+    pub fn n_features(&self) -> usize {
+        self.vectorizer.n_features()
+    }
+
+    /// The fitted vectorizer (for inspecting vocabulary / idf weights).
+    pub fn vectorizer(&self) -> &TfidfVectorizer {
+        &self.vectorizer
+    }
+
+    /// The tokens of `text` that scored highest in its TF-IDF vector —
+    /// the per-decision explanation payload.
+    pub fn top_contributing_tokens(&self, text: &str, k: usize) -> Vec<(String, f64)> {
+        let v = self.transform(text);
+        let mut scored: Vec<(String, f64)> = v
+            .iter()
+            .filter_map(|(id, w)| {
+                self.vectorizer
+                    .vocabulary()
+                    .token(id)
+                    .map(|t| (t.to_string(), w))
+            })
+            .collect();
+        scored.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    /// The Table 1 analysis: per-category top TF-IDF tokens over a labeled
+    /// corpus, with each category treated as one document.
+    pub fn table1(
+        &self,
+        corpus: &[(String, Category)],
+        top_k: usize,
+    ) -> Vec<CategoryTokens> {
+        let grouped: Vec<(String, Vec<Vec<String>>)> = Category::ALL
+            .iter()
+            .map(|&cat| {
+                let docs: Vec<Vec<String>> = corpus
+                    .par_iter()
+                    .filter(|(_, c)| *c == cat)
+                    .map(|(m, _)| self.preprocess(m))
+                    .collect();
+                (cat.label().to_string(), docs)
+            })
+            .collect();
+        category_top_tokens(&grouped, top_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_corpus() -> Vec<(String, Category)> {
+        let thermal = [
+            "CPU 3 temperature above threshold cpu clock throttled",
+            "Processor thermal sensor reports 95C throttling engaged",
+            "CPU temperature critical sensor throttled processor",
+        ];
+        let usb = [
+            "usb 1-1 new high-speed USB device number 5 using xhci_hcd",
+            "usb hub 2-0:1.0 device disconnected",
+            "new USB device found on hub port 3",
+        ];
+        let mut corpus = Vec::new();
+        for m in thermal {
+            corpus.push((m.to_string(), Category::ThermalIssue));
+        }
+        for m in usb {
+            corpus.push((m.to_string(), Category::UsbDevice));
+        }
+        corpus
+    }
+
+    #[test]
+    fn lemmatization_folds_variants_into_one_feature() {
+        let mut with = FeaturePipeline::new(FeatureConfig {
+            tfidf: TfidfConfig { min_df: 1, ..TfidfConfig::default() },
+            ..FeatureConfig::default()
+        });
+        let msgs = ["system failed", "system failure imminent", "system failing"];
+        with.fit(&msgs);
+        // "failed"/"failing" lemmatize to "fail"; "failure" stays its own
+        // lemma, so the vocabulary has fail + failure + system + imminent.
+        assert!(with.vectorizer().vocabulary().get("fail").is_some());
+        assert!(with.vectorizer().vocabulary().get("failed").is_none());
+    }
+
+    #[test]
+    fn transform_maps_variants_to_same_vector() {
+        let mut p = FeaturePipeline::new(FeatureConfig {
+            tfidf: TfidfConfig { min_df: 1, ..TfidfConfig::default() },
+            ..FeatureConfig::default()
+        });
+        p.fit(&["cpu throttled hot", "disk quiet"]);
+        let a = p.transform("cpu throttled");
+        let b = p.transform("cpu throttling");
+        assert_eq!(a, b, "lemmatized forms must produce identical vectors");
+    }
+
+    #[test]
+    fn table1_separates_category_vocabulary() {
+        let corpus = sample_corpus();
+        let mut p = FeaturePipeline::new(FeatureConfig {
+            tfidf: TfidfConfig { min_df: 1, ..TfidfConfig::default() },
+            ..FeatureConfig::default()
+        });
+        let msgs: Vec<&String> = corpus.iter().map(|(m, _)| m).collect();
+        p.fit(&msgs.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        let t1 = p.table1(&corpus, 5);
+        assert_eq!(t1.len(), 8);
+        let thermal = &t1[Category::ThermalIssue.index()];
+        let tokens: Vec<&str> = thermal.tokens.iter().map(|(t, _)| t.as_str()).collect();
+        assert!(
+            tokens.contains(&"temperature") || tokens.contains(&"throttle") || tokens.contains(&"cpu"),
+            "thermal top tokens were {tokens:?}"
+        );
+        let usb = &t1[Category::UsbDevice.index()];
+        let tokens: Vec<&str> = usb.tokens.iter().map(|(t, _)| t.as_str()).collect();
+        assert!(tokens.contains(&"usb") || tokens.contains(&"device") || tokens.contains(&"hub"));
+        // Categories with no corpus messages have empty token lists.
+        assert!(t1[Category::SlurmIssue.index()].tokens.is_empty());
+    }
+
+    #[test]
+    fn top_contributing_tokens_ranked() {
+        let mut p = FeaturePipeline::new(FeatureConfig {
+            tfidf: TfidfConfig { min_df: 1, ..TfidfConfig::default() },
+            ..FeatureConfig::default()
+        });
+        p.fit(&["cpu hot throttle", "cpu cold", "cpu warm", "fan fine"]);
+        let top = p.top_contributing_tokens("cpu throttle", 2);
+        assert_eq!(top.len(), 2);
+        // "throttle" is rarer than "cpu", so it must rank first.
+        assert_eq!(top[0].0, "throttle");
+        assert!(top[0].1 >= top[1].1);
+    }
+
+    #[test]
+    fn word_ngrams_augment_features() {
+        let p = FeaturePipeline::new(FeatureConfig {
+            word_ngrams: 2,
+            ..FeatureConfig::default()
+        });
+        let toks = p.preprocess("cpu temperature high");
+        assert!(toks.contains(&"cpu_temperature".to_string()));
+        assert!(toks.contains(&"temperature_high".to_string()));
+        assert!(toks.contains(&"cpu".to_string()), "unigrams kept");
+    }
+
+    #[test]
+    fn stopword_removal_configurable() {
+        let keep = FeaturePipeline::new(FeatureConfig {
+            remove_stopwords: false,
+            ..FeatureConfig::default()
+        });
+        let drop = FeaturePipeline::new(FeatureConfig::default());
+        assert!(keep.preprocess("the cpu is hot").contains(&"the".to_string()));
+        assert!(!drop.preprocess("the cpu is hot").contains(&"the".to_string()));
+    }
+}

@@ -1,0 +1,37 @@
+//! Real-time heterogeneous syslog classification — the paper's primary
+//! contribution, assembled from the workspace substrates.
+//!
+//! The pieces, in the order a message flows through them:
+//!
+//! 1. [`taxonomy`] — the eight actionable issue categories of §4.1.
+//! 2. [`filter`] — the "Unimportant" pre-filter (edit-distance blacklist at
+//!    a tight threshold) that the paper's conclusion recommends running
+//!    before classification.
+//! 3. [`features`] — tokenize → lemmatize → TF-IDF (§4.3), producing both
+//!    feature vectors and the per-category explanatory token lists of
+//!    Table 1.
+//! 4. [`classify`] — the [`classify::TextClassifier`] interface over raw
+//!    message text, with adapters for the traditional ML models and the
+//!    edit-distance bucketing baseline.
+//! 5. [`explain`] — per-decision explanations (top contributing tokens).
+//! 6. [`service`] — the monitoring front end: category counters, alert
+//!    hooks for actionable categories.
+//! 7. [`eval`] — the evaluation harness that produces the paper's
+//!    Figure 2/Figure 3 artifacts.
+
+pub mod classify;
+pub mod eval;
+pub mod explain;
+pub mod features;
+pub mod filter;
+pub mod persist;
+pub mod service;
+pub mod taxonomy;
+
+pub use classify::{BucketBaseline, Prediction, TextClassifier, TraditionalPipeline};
+pub use explain::Explanation;
+pub use features::{FeatureConfig, FeaturePipeline};
+pub use filter::NoiseFilter;
+pub use persist::{SavedModel, SavedPipeline};
+pub use service::{Alert, MonitorService, MonitorStats};
+pub use taxonomy::Category;

@@ -1,0 +1,327 @@
+//! The monitoring front end: continuous classification with category
+//! counters and alert hooks.
+//!
+//! §3 describes the operational loop on Darwin: issue categories "could be
+//! set to trigger a notification email when a new message within that
+//! category has been identified". [`MonitorService`] reproduces that loop
+//! over any [`TextClassifier`]: classify, count, pre-filter noise, and
+//! invoke an alert sink for actionable categories.
+
+use crate::classify::{Prediction, TextClassifier};
+use crate::filter::NoiseFilter;
+use crate::taxonomy::Category;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// An alert emitted for an actionable classification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// The triggering category.
+    pub category: Category,
+    /// The raw message.
+    pub message: String,
+    /// Suggested operator action.
+    pub action: String,
+}
+
+/// Where alerts go (an email gateway in production; a channel or a vector
+/// in tests).
+pub trait AlertSink: Send + Sync {
+    /// Deliver one alert.
+    fn send(&self, alert: Alert);
+}
+
+/// An [`AlertSink`] that collects alerts into a vector (for tests and
+/// examples).
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    alerts: Mutex<Vec<Alert>>,
+}
+
+impl CollectingSink {
+    /// New empty sink.
+    pub fn new() -> CollectingSink {
+        CollectingSink::default()
+    }
+
+    /// Drain collected alerts.
+    pub fn take(&self) -> Vec<Alert> {
+        std::mem::take(&mut self.alerts.lock())
+    }
+
+    /// Number of alerts currently held.
+    pub fn len(&self) -> usize {
+        self.alerts.lock().len()
+    }
+
+    /// True when no alerts are held.
+    pub fn is_empty(&self) -> bool {
+        self.alerts.lock().is_empty()
+    }
+}
+
+impl AlertSink for CollectingSink {
+    fn send(&self, alert: Alert) {
+        self.alerts.lock().push(alert);
+    }
+}
+
+/// Running counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorStats {
+    /// Messages seen (including filtered).
+    pub total: u64,
+    /// Messages dropped by the noise pre-filter.
+    pub prefiltered: u64,
+    /// Classifications per category, indexed by [`Category::index`].
+    pub per_category: [u64; 8],
+    /// Alerts emitted.
+    pub alerts: u64,
+}
+
+impl MonitorStats {
+    /// Count for one category.
+    pub fn count(&self, c: Category) -> u64 {
+        self.per_category[c.index()]
+    }
+}
+
+/// The continuous classification service.
+pub struct MonitorService {
+    classifier: Arc<dyn TextClassifier>,
+    prefilter: Option<NoiseFilter>,
+    sink: Option<Arc<dyn AlertSink>>,
+    stats: Mutex<MonitorStats>,
+    /// Max alerts per category per throttle window (`None` = unthrottled).
+    throttle: Option<u64>,
+    /// Messages per throttle window.
+    throttle_window: u64,
+    /// Alerts sent per category within the current window.
+    window_state: Mutex<([u64; 8], u64)>,
+}
+
+impl MonitorService {
+    /// Build a service around a classifier.
+    pub fn new(classifier: Arc<dyn TextClassifier>) -> MonitorService {
+        MonitorService {
+            classifier,
+            prefilter: None,
+            sink: None,
+            stats: Mutex::new(MonitorStats::default()),
+            throttle: None,
+            throttle_window: 10_000,
+            window_state: Mutex::new(([0; 8], 0)),
+        }
+    }
+
+    /// Cap alert volume: at most `max_per_category` alerts per category per
+    /// window of `window_messages` alert-eligible (actionable) messages. A
+    /// thermal runaway produces thousands of identical classifications
+    /// (§4.5.1 bursts); the notification email should not.
+    pub fn with_alert_throttle(
+        mut self,
+        max_per_category: u64,
+        window_messages: u64,
+    ) -> MonitorService {
+        self.throttle = Some(max_per_category);
+        self.throttle_window = window_messages.max(1);
+        self
+    }
+
+    /// Attach the Unimportant pre-filter.
+    pub fn with_prefilter(mut self, filter: NoiseFilter) -> MonitorService {
+        self.prefilter = Some(filter);
+        self
+    }
+
+    /// Attach an alert sink for actionable categories.
+    pub fn with_alert_sink(mut self, sink: Arc<dyn AlertSink>) -> MonitorService {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Process one message; returns the prediction unless the pre-filter
+    /// dropped the message.
+    pub fn ingest(&self, message: &str) -> Option<Prediction> {
+        {
+            let mut stats = self.stats.lock();
+            stats.total += 1;
+            if let Some(f) = &self.prefilter {
+                if f.is_noise(message) {
+                    stats.prefiltered += 1;
+                    return None;
+                }
+            }
+        }
+        let prediction = self.classifier.classify(message);
+        let mut stats = self.stats.lock();
+        stats.per_category[prediction.category.index()] += 1;
+        if prediction.category.is_actionable() {
+            if let Some(sink) = &self.sink {
+                if self.alert_permitted(prediction.category) {
+                    stats.alerts += 1;
+                    sink.send(Alert {
+                        category: prediction.category,
+                        message: message.to_string(),
+                        action: prediction.category.suggested_action().to_string(),
+                    });
+                }
+            }
+        }
+        Some(prediction)
+    }
+
+    /// Process a batch of messages.
+    pub fn ingest_batch(&self, messages: &[&str]) -> Vec<Option<Prediction>> {
+        messages.iter().map(|m| self.ingest(m)).collect()
+    }
+
+    /// Check and update the per-category alert budget.
+    fn alert_permitted(&self, category: Category) -> bool {
+        let Some(max) = self.throttle else { return true };
+        let mut state = self.window_state.lock();
+        let (counts, seen) = &mut *state;
+        *seen += 1;
+        if *seen > self.throttle_window {
+            *counts = [0; 8];
+            *seen = 1;
+        }
+        let slot = &mut counts[category.index()];
+        if *slot < max {
+            *slot += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats.lock().clone()
+    }
+
+    /// The classifier in use.
+    pub fn classifier_name(&self) -> String {
+        self.classifier.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stub classifier: thermal if the text mentions heat, else
+    /// unimportant.
+    struct Stub;
+
+    impl TextClassifier for Stub {
+        fn name(&self) -> String {
+            "stub".to_string()
+        }
+
+        fn classify(&self, message: &str) -> Prediction {
+            if message.contains("hot") {
+                Prediction::bare(Category::ThermalIssue)
+            } else {
+                Prediction::bare(Category::Unimportant)
+            }
+        }
+    }
+
+    #[test]
+    fn counts_and_alerts() {
+        let sink = Arc::new(CollectingSink::new());
+        let svc = MonitorService::new(Arc::new(Stub)).with_alert_sink(sink.clone());
+        svc.ingest("cpu is hot");
+        svc.ingest("nothing going on");
+        svc.ingest("gpu also hot");
+        let stats = svc.stats();
+        assert_eq!(stats.total, 3);
+        assert_eq!(stats.count(Category::ThermalIssue), 2);
+        assert_eq!(stats.count(Category::Unimportant), 1);
+        assert_eq!(stats.alerts, 2);
+        let alerts = sink.take();
+        assert_eq!(alerts.len(), 2);
+        assert_eq!(alerts[0].category, Category::ThermalIssue);
+        assert!(!alerts[0].action.is_empty());
+    }
+
+    #[test]
+    fn prefilter_short_circuits_classification() {
+        let mut filter = NoiseFilter::empty(2);
+        filter.add_pattern("known noise line");
+        let svc = MonitorService::new(Arc::new(Stub)).with_prefilter(filter);
+        assert!(svc.ingest("known noise line").is_none());
+        assert!(svc.ingest("cpu is hot").is_some());
+        let stats = svc.stats();
+        assert_eq!(stats.total, 2);
+        assert_eq!(stats.prefiltered, 1);
+        assert_eq!(stats.count(Category::ThermalIssue), 1);
+    }
+
+    #[test]
+    fn unimportant_never_alerts() {
+        let sink = Arc::new(CollectingSink::new());
+        let svc = MonitorService::new(Arc::new(Stub)).with_alert_sink(sink.clone());
+        svc.ingest("nothing going on");
+        assert!(sink.is_empty());
+        assert_eq!(svc.stats().alerts, 0);
+    }
+
+    #[test]
+    fn batch_ingest() {
+        let svc = MonitorService::new(Arc::new(Stub));
+        let out = svc.ingest_batch(&["hot", "cold", "hot again"]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(svc.stats().total, 3);
+    }
+
+    #[test]
+    fn alert_throttle_caps_per_category_volume() {
+        let sink = Arc::new(CollectingSink::new());
+        let svc = MonitorService::new(Arc::new(Stub))
+            .with_alert_sink(sink.clone())
+            .with_alert_throttle(3, 100);
+        // A thermal runaway: 50 identical actionable messages.
+        for i in 0..50 {
+            svc.ingest(&format!("cpu {i} hot"));
+        }
+        assert_eq!(sink.len(), 3, "throttle must cap the email storm");
+        assert_eq!(svc.stats().alerts, 3);
+        // Classification counters are NOT throttled.
+        assert_eq!(svc.stats().count(Category::ThermalIssue), 50);
+    }
+
+    #[test]
+    fn alert_throttle_window_resets() {
+        let sink = Arc::new(CollectingSink::new());
+        let svc = MonitorService::new(Arc::new(Stub))
+            .with_alert_sink(sink.clone())
+            .with_alert_throttle(1, 10);
+        for i in 0..25 {
+            svc.ingest(&format!("cpu {i} hot"));
+        }
+        // Windows of 10 actionable messages → one alert each.
+        assert_eq!(sink.len(), 3);
+    }
+
+    #[test]
+    fn service_is_share_safe_across_threads() {
+        let svc = Arc::new(MonitorService::new(Arc::new(Stub)));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let svc = svc.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    svc.ingest(&format!("msg {t} {i} hot"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(svc.stats().total, 200);
+        assert_eq!(svc.stats().count(Category::ThermalIssue), 200);
+    }
+}

@@ -1,0 +1,240 @@
+//! The issue taxonomy of §4.1.
+//!
+//! The paper deliberately classifies at a *generalized, actionable* level:
+//! "Memory Issues" rather than "segmentation fault", because a syslog line
+//! is the first step of an investigation, not a diagnosis. These are the
+//! eight categories the Darwin dataset was labeled with (Table 2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the eight syslog issue categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    /// Hardware problems not covered by a more specific category.
+    HardwareIssue,
+    /// Messages useful for intrusion detection / security review.
+    IntrusionDetection,
+    /// Memory errors, allocation failures, DIMM events.
+    MemoryIssue,
+    /// SSH connection lifecycle events.
+    SshConnection,
+    /// Slurm workload-manager issues.
+    SlurmIssue,
+    /// Thermal events: temperatures, throttling, fans.
+    ThermalIssue,
+    /// USB device attach/detach and errors.
+    UsbDevice,
+    /// Noise the administrators chose to ignore.
+    Unimportant,
+}
+
+impl Category {
+    /// All categories in the paper's Table 2 order.
+    pub const ALL: [Category; 8] = [
+        Category::HardwareIssue,
+        Category::IntrusionDetection,
+        Category::MemoryIssue,
+        Category::SshConnection,
+        Category::SlurmIssue,
+        Category::ThermalIssue,
+        Category::UsbDevice,
+        Category::Unimportant,
+    ];
+
+    /// The label exactly as the paper prints it.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::HardwareIssue => "Hardware Issue",
+            Category::IntrusionDetection => "Intrusion Detection",
+            Category::MemoryIssue => "Memory Issue",
+            Category::SshConnection => "SSH-Connection",
+            Category::SlurmIssue => "Slurm Issues",
+            Category::ThermalIssue => "Thermal Issue",
+            Category::UsbDevice => "USB-Device",
+            Category::Unimportant => "Unimportant",
+        }
+    }
+
+    /// Dense index (stable, matches [`Category::ALL`] order).
+    pub fn index(self) -> usize {
+        Category::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("category present in ALL")
+    }
+
+    /// Category from a dense index.
+    pub fn from_index(index: usize) -> Option<Category> {
+        Category::ALL.get(index).copied()
+    }
+
+    /// Parse a label leniently: case-insensitive, ignores punctuation
+    /// differences, and accepts common aliases and singular/plural
+    /// variations (LLM output parsing needs this — the models rarely echo
+    /// the label byte-for-byte).
+    pub fn parse_label(text: &str) -> Option<Category> {
+        let norm: String = text
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match norm.as_str() {
+            "hardwareissue" | "hardwareissues" | "hardware" | "hardwarefailure"
+            | "hardwareproblem" => Some(Category::HardwareIssue),
+            "intrusiondetection" | "security" | "securityevent" | "intrusion" => {
+                Some(Category::IntrusionDetection)
+            }
+            "memoryissue" | "memoryissues" | "memory" | "memoryerror" => {
+                Some(Category::MemoryIssue)
+            }
+            "sshconnection" | "ssh" | "sshconnections" => Some(Category::SshConnection),
+            "slurmissues" | "slurmissue" | "slurm" => Some(Category::SlurmIssue),
+            "thermalissue" | "thermalissues" | "thermal" => Some(Category::ThermalIssue),
+            "usbdevice" | "usb" | "usbdevices" => Some(Category::UsbDevice),
+            "unimportant" | "unimportantnoise" | "noise" => Some(Category::Unimportant),
+            _ => None,
+        }
+    }
+
+    /// One-line description used in documentation and LLM prompts.
+    pub fn description(self) -> &'static str {
+        match self {
+            Category::HardwareIssue => {
+                "a hardware fault not covered by another category (PSU, fan, PCIe, clock)"
+            }
+            Category::IntrusionDetection => {
+                "activity relevant to security review: sessions, privilege use, auth events"
+            }
+            Category::MemoryIssue => "memory errors, failed allocations, DIMM or HBM events",
+            Category::SshConnection => "SSH connection opens, closes, failures and preauth events",
+            Category::SlurmIssue => "Slurm daemon errors, node registration and job problems",
+            Category::ThermalIssue => "temperatures above threshold, CPU throttling, fan response",
+            Category::UsbDevice => "USB device attach, detach, enumeration and errors",
+            Category::Unimportant => "routine noise the administrators chose to ignore",
+        }
+    }
+
+    /// Suggested operator action (the "actionable steps" of §4.1).
+    pub fn suggested_action(self) -> &'static str {
+        match self {
+            Category::HardwareIssue => "schedule hardware diagnostics on the node",
+            Category::IntrusionDetection => "correlate with access-control logs for review",
+            Category::MemoryIssue => "run memory diagnostics or replace the suspect module",
+            Category::SshConnection => "review access patterns when unexpected",
+            Category::SlurmIssue => "check slurmd/slurmctld state and node registration",
+            Category::ThermalIssue => "verify rack cooling and CPU load distribution",
+            Category::UsbDevice => "confirm the attach/detach event was authorized",
+            Category::Unimportant => "no action",
+        }
+    }
+
+    /// Whether an email/alert should be triggered for this category.
+    pub fn is_actionable(self) -> bool {
+        !matches!(self, Category::Unimportant)
+    }
+
+    /// Unique-message counts from the paper's Table 2 (the class balance
+    /// the synthetic corpus reproduces).
+    pub fn paper_count(self) -> usize {
+        match self {
+            Category::HardwareIssue => 3_582,
+            Category::IntrusionDetection => 6_599,
+            Category::MemoryIssue => 12_449,
+            Category::SshConnection => 3_615,
+            Category::SlurmIssue => 46,
+            Category::ThermalIssue => 59_411,
+            Category::UsbDevice => 4_139,
+            Category::Unimportant => 106_552,
+        }
+    }
+
+    /// All labels, in [`Category::ALL`] order (handy for `Dataset`).
+    pub fn all_labels() -> Vec<String> {
+        Category::ALL.iter().map(|c| c.label().to_string()).collect()
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Category {
+    type Err = String;
+
+    /// Lenient parsing via [`Category::parse_label`].
+    fn from_str(s: &str) -> Result<Category, String> {
+        Category::parse_label(s).ok_or_else(|| format!("unknown category {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_categories_with_unique_labels() {
+        assert_eq!(Category::ALL.len(), 8);
+        let mut labels: Vec<_> = Category::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, &c) in Category::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(Category::from_index(i), Some(c));
+        }
+        assert_eq!(Category::from_index(8), None);
+    }
+
+    #[test]
+    fn labels_parse_back() {
+        for &c in &Category::ALL {
+            assert_eq!(Category::parse_label(c.label()), Some(c), "label {}", c.label());
+        }
+    }
+
+    #[test]
+    fn lenient_parsing() {
+        assert_eq!(Category::parse_label("thermal"), Some(Category::ThermalIssue));
+        assert_eq!(Category::parse_label("Thermal Issue."), Some(Category::ThermalIssue));
+        assert_eq!(Category::parse_label("SSH Connection"), Some(Category::SshConnection));
+        assert_eq!(Category::parse_label("security"), Some(Category::IntrusionDetection));
+        assert_eq!(Category::parse_label("Unimportant Noise"), Some(Category::Unimportant));
+        assert_eq!(Category::parse_label("power grid failure"), None);
+        assert_eq!(Category::parse_label(""), None);
+    }
+
+    #[test]
+    fn table2_totals() {
+        let total: usize = Category::ALL.iter().map(|c| c.paper_count()).sum();
+        // ~196k unique messages (§4.4.1).
+        assert_eq!(total, 196_393);
+    }
+
+    #[test]
+    fn only_unimportant_is_unactionable() {
+        for &c in &Category::ALL {
+            assert_eq!(c.is_actionable(), c != Category::Unimportant);
+        }
+    }
+
+    #[test]
+    fn from_str_trait() {
+        assert_eq!("thermal".parse::<Category>(), Ok(Category::ThermalIssue));
+        assert_eq!("USB-Device".parse::<Category>(), Ok(Category::UsbDevice));
+        assert!("quantum flux".parse::<Category>().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&Category::SlurmIssue).unwrap();
+        let back: Category = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Category::SlurmIssue);
+    }
+}

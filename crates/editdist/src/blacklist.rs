@@ -1,0 +1,122 @@
+//! The "Unimportant" pre-filter recommended by the paper's conclusion.
+//!
+//! §5.1 observes that the "Unimportant" category is the one the classifiers
+//! most often confuse, and the conclusion proposes filtering known-ignorable
+//! messages *before* classification using the minimum-edit-distance
+//! technique at a *lower* threshold (tight matching, so the filter stays
+//! precise and the general classifier sees everything genuinely new).
+
+use crate::bucketing::{BucketStore, BucketingConfig};
+use serde::{Deserialize, Serialize};
+
+/// An edit-distance blacklist of administrator-ignorable messages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Blacklist {
+    store: BucketStore,
+}
+
+impl Blacklist {
+    /// Build an empty blacklist with the given (tight) threshold.
+    ///
+    /// The paper suggests "a lower value for the categorization threshold"
+    /// than the general-purpose 7; 3 is the default here.
+    pub fn new(threshold: usize) -> Blacklist {
+        Blacklist {
+            store: BucketStore::new(BucketingConfig {
+                threshold,
+                ..BucketingConfig::default()
+            }),
+        }
+    }
+
+    /// Build from a set of known-unimportant messages.
+    pub fn from_messages<S: AsRef<str>>(threshold: usize, messages: &[S]) -> Blacklist {
+        let mut bl = Blacklist::new(threshold);
+        for m in messages {
+            bl.add(m.as_ref());
+        }
+        bl
+    }
+
+    /// Register a message pattern as ignorable.
+    pub fn add(&mut self, message: &str) {
+        self.store.assign(message);
+    }
+
+    /// True when `message` matches a blacklisted pattern within threshold.
+    pub fn is_blacklisted(&self, message: &str) -> bool {
+        self.store.find(message).is_some()
+    }
+
+    /// Number of distinct blacklisted patterns.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when no patterns are registered.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Partition messages into (kept, filtered) — the pre-filter step
+    /// upstream of the general classifier.
+    pub fn partition<'a>(&self, messages: &[&'a str]) -> (Vec<&'a str>, Vec<&'a str>) {
+        let mut kept = Vec::with_capacity(messages.len());
+        let mut filtered = Vec::new();
+        for &m in messages {
+            if self.is_blacklisted(m) {
+                filtered.push(m);
+            } else {
+                kept.push(m);
+            }
+        }
+        (kept, filtered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters_near_duplicates_only() {
+        let bl = Blacklist::from_messages(
+            3,
+            &["systemd: Started Session 1 of user root", "rsyslogd was HUPed"],
+        );
+        assert!(bl.is_blacklisted("systemd: Started Session 9 of user root"));
+        assert!(!bl.is_blacklisted("kernel: CPU temperature above threshold"));
+        assert_eq!(bl.len(), 2);
+    }
+
+    #[test]
+    fn tight_threshold_rejects_loose_matches() {
+        let bl = Blacklist::from_messages(2, &["Started Session 1 of user root"]);
+        // 8 edits away — unimportant-ish but not a known pattern.
+        assert!(!bl.is_blacklisted("Started Session 1 of user somebodyelse"));
+    }
+
+    #[test]
+    fn partition_splits_stream() {
+        let bl = Blacklist::from_messages(2, &["noise pattern alpha"]);
+        let msgs = ["noise pattern alpha", "noise pattern alph4", "real thermal problem"];
+        let (kept, filtered) = bl.partition(&msgs);
+        assert_eq!(filtered.len(), 2);
+        assert_eq!(kept, vec!["real thermal problem"]);
+    }
+
+    #[test]
+    fn empty_blacklist_keeps_everything() {
+        let bl = Blacklist::new(3);
+        assert!(bl.is_empty());
+        assert!(!bl.is_blacklisted("anything"));
+    }
+
+    #[test]
+    fn dedupes_similar_patterns() {
+        let mut bl = Blacklist::new(3);
+        bl.add("Started Session 1 of user root");
+        bl.add("Started Session 2 of user root");
+        assert_eq!(bl.len(), 1, "near-identical patterns share a bucket");
+    }
+}

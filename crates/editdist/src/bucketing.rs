@@ -1,0 +1,348 @@
+//! Exemplar-bucket grouping of syslog messages (Background §3).
+//!
+//! Every bucket holds one *exemplar* message. An incoming message joins the
+//! first bucket whose exemplar is within the edit-distance threshold
+//! (Darwin used 7); otherwise it founds a new bucket and lands in the
+//! unclassified queue for a human to label. Labeled buckets turn the store
+//! into a classifier: a message inherits the label of the bucket it joins.
+//!
+//! The lookup prunes by exemplar length (|len(a) − len(b)| ≤ threshold is a
+//! Levenshtein lower bound) and uses the banded early-exit distance, then
+//! falls back to a rayon parallel scan when many candidates survive.
+
+use crate::damerau::damerau_levenshtein;
+use crate::levenshtein::levenshtein_bounded_chars;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Which edit metric the store compares with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Plain Levenshtein (insert/delete/substitute). The Darwin default.
+    Levenshtein,
+    /// Damerau-Levenshtein (adds adjacent transposition).
+    Damerau,
+}
+
+/// Store configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketingConfig {
+    /// Maximum edit distance for a message to join a bucket. The paper's
+    /// production threshold was 7.
+    pub threshold: usize,
+    /// Distance metric.
+    pub metric: Metric,
+    /// Use a rayon parallel scan when at least this many candidate buckets
+    /// survive length pruning.
+    pub parallel_cutoff: usize,
+}
+
+impl Default for BucketingConfig {
+    fn default() -> Self {
+        BucketingConfig {
+            threshold: 7,
+            metric: Metric::Levenshtein,
+            parallel_cutoff: 256,
+        }
+    }
+}
+
+/// One message bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Stable id (insertion order).
+    pub id: u32,
+    /// The founding message.
+    pub exemplar: String,
+    /// Human-assigned issue-category label, once classified.
+    pub label: Option<String>,
+    /// How many messages have joined (including the exemplar).
+    pub count: u64,
+    #[serde(skip)]
+    exemplar_chars: Vec<char>,
+}
+
+impl Bucket {
+    fn new(id: u32, exemplar: &str) -> Bucket {
+        Bucket {
+            id,
+            exemplar: exemplar.to_string(),
+            label: None,
+            count: 1,
+            exemplar_chars: exemplar.chars().collect(),
+        }
+    }
+
+    fn chars(&self) -> &[char] {
+        &self.exemplar_chars
+    }
+}
+
+/// Result of [`BucketStore::assign`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// The bucket the message joined or founded.
+    pub bucket_id: u32,
+    /// True when a new bucket was created (message needs human labeling).
+    pub is_new: bool,
+    /// Edit distance to the bucket exemplar (0 when new).
+    pub distance: usize,
+}
+
+/// The exemplar-bucket store.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct BucketStore {
+    config: BucketingConfig,
+    buckets: Vec<Bucket>,
+}
+
+impl<'de> Deserialize<'de> for BucketStore {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: serde::Deserializer<'de>,
+    {
+        #[derive(Deserialize)]
+        struct Raw {
+            config: BucketingConfig,
+            buckets: Vec<Bucket>,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        let mut store = BucketStore {
+            config: raw.config,
+            buckets: raw.buckets,
+        };
+        // The per-bucket char caches are serde-skipped; rebuild them so
+        // distance computations stay correct after a round-trip.
+        store.rebuild_caches();
+        Ok(store)
+    }
+}
+
+impl BucketStore {
+    /// Create an empty store.
+    pub fn new(config: BucketingConfig) -> BucketStore {
+        BucketStore {
+            config,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &BucketingConfig {
+        &self.config
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True when no buckets exist.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Borrow all buckets.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Borrow a bucket by id.
+    pub fn bucket(&self, id: u32) -> Option<&Bucket> {
+        self.buckets.get(id as usize)
+    }
+
+    /// Find the closest bucket within the threshold, without mutating.
+    pub fn find(&self, message: &str) -> Option<(u32, usize)> {
+        let chars: Vec<char> = message.chars().collect();
+        self.find_chars(&chars)
+    }
+
+    fn find_chars(&self, chars: &[char]) -> Option<(u32, usize)> {
+        let threshold = self.config.threshold;
+        let candidates: Vec<&Bucket> = self
+            .buckets
+            .iter()
+            .filter(|b| b.chars().len().abs_diff(chars.len()) <= threshold)
+            .collect();
+        let best = if candidates.len() >= self.config.parallel_cutoff {
+            candidates
+                .par_iter()
+                .filter_map(|b| self.distance(chars, b).map(|d| (b.id, d)))
+                .min_by_key(|&(id, d)| (d, id))
+        } else {
+            candidates
+                .iter()
+                .filter_map(|b| self.distance(chars, b).map(|d| (b.id, d)))
+                .min_by_key(|&(id, d)| (d, id))
+        };
+        best
+    }
+
+    fn distance(&self, chars: &[char], bucket: &Bucket) -> Option<usize> {
+        match self.config.metric {
+            Metric::Levenshtein => {
+                levenshtein_bounded_chars(chars, bucket.chars(), self.config.threshold)
+            }
+            Metric::Damerau => {
+                let s: String = chars.iter().collect();
+                let d = damerau_levenshtein(&s, &bucket.exemplar);
+                (d <= self.config.threshold).then_some(d)
+            }
+        }
+    }
+
+    /// Assign a message: join the closest in-threshold bucket, or found a
+    /// new one.
+    pub fn assign(&mut self, message: &str) -> Assignment {
+        let chars: Vec<char> = message.chars().collect();
+        if let Some((id, distance)) = self.find_chars(&chars) {
+            self.buckets[id as usize].count += 1;
+            return Assignment {
+                bucket_id: id,
+                is_new: false,
+                distance,
+            };
+        }
+        let id = self.buckets.len() as u32;
+        self.buckets.push(Bucket::new(id, message));
+        Assignment {
+            bucket_id: id,
+            is_new: true,
+            distance: 0,
+        }
+    }
+
+    /// Label a bucket with an issue category. Returns false for unknown ids.
+    pub fn label_bucket(&mut self, id: u32, label: impl Into<String>) -> bool {
+        match self.buckets.get_mut(id as usize) {
+            Some(b) => {
+                b.label = Some(label.into());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Classify a message through its bucket's label (None when the message
+    /// founds no bucket within threshold or the bucket is unlabeled).
+    pub fn classify(&self, message: &str) -> Option<&str> {
+        let (id, _) = self.find(message)?;
+        self.buckets[id as usize].label.as_deref()
+    }
+
+    /// Buckets still waiting for a human label — the "unclassified queue"
+    /// whose growth rate is the system's retraining burden.
+    pub fn unlabeled(&self) -> impl Iterator<Item = &Bucket> {
+        self.buckets.iter().filter(|b| b.label.is_none())
+    }
+
+    /// Restore the char caches after deserialization.
+    pub fn rebuild_caches(&mut self) {
+        for b in &mut self.buckets {
+            b.exemplar_chars = b.exemplar.chars().collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(threshold: usize) -> BucketStore {
+        BucketStore::new(BucketingConfig {
+            threshold,
+            ..BucketingConfig::default()
+        })
+    }
+
+    #[test]
+    fn similar_messages_share_bucket() {
+        let mut s = store(7);
+        let a = s.assign("cpu 3 temperature above threshold");
+        let b = s.assign("cpu 7 temperature above threshold");
+        assert!(a.is_new);
+        assert!(!b.is_new);
+        assert_eq!(a.bucket_id, b.bucket_id);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.bucket(a.bucket_id).unwrap().count, 2);
+    }
+
+    #[test]
+    fn distant_messages_split() {
+        let mut s = store(7);
+        s.assign("cpu temperature above threshold");
+        let b = s.assign("usb device 4 disconnected from hub");
+        assert!(b.is_new);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn classification_via_labels() {
+        let mut s = store(7);
+        let a = s.assign("cpu 3 temperature above threshold");
+        s.label_bucket(a.bucket_id, "Thermal Issue");
+        assert_eq!(s.classify("cpu 9 temperature above threshold"), Some("Thermal Issue"));
+        assert_eq!(s.classify("totally different text about slurm"), None);
+        assert_eq!(s.unlabeled().count(), 0);
+    }
+
+    #[test]
+    fn unlabeled_queue_tracks_new_buckets() {
+        let mut s = store(3);
+        s.assign("first message kind");
+        s.assign("second message kind entirely different");
+        assert_eq!(s.unlabeled().count(), 2);
+        s.label_bucket(0, "X");
+        assert_eq!(s.unlabeled().count(), 1);
+    }
+
+    #[test]
+    fn paper_failure_mode_same_issue_different_phrasing() {
+        // §4.3.1: these describe the same thermal issue but exceed the
+        // threshold, so bucketing wrongly splits them — the motivating
+        // failure for the ML approach.
+        let mut s = store(7);
+        s.assign("CPU temperature above threshold, cpu clock throttled.");
+        let b = s.assign("CPU 1 Temperature Above Non-Recoverable - Asserted. Current temperature: 95C");
+        assert!(b.is_new, "heterogeneous phrasing must found a new bucket");
+    }
+
+    #[test]
+    fn ties_go_to_lowest_bucket_id() {
+        let mut s = store(2);
+        s.assign("aaaa");
+        s.assign("bbbb");
+        // "aabb" is distance 2 from both; must deterministically join id 0.
+        let a = s.assign("aabb");
+        assert_eq!(a.bucket_id, 0);
+    }
+
+    #[test]
+    fn damerau_metric_accepts_swaps() {
+        let mut s = BucketStore::new(BucketingConfig {
+            threshold: 1,
+            metric: Metric::Damerau,
+            ..BucketingConfig::default()
+        });
+        s.assign("thermal event");
+        // "thremal event" is one adjacent transposition away.
+        let c = s.assign("thremal event");
+        assert!(!c.is_new);
+    }
+
+    #[test]
+    fn empty_message_is_a_bucket() {
+        let mut s = store(7);
+        let a = s.assign("");
+        assert!(a.is_new);
+        let b = s.assign("short");
+        assert!(!b.is_new, "within threshold of empty exemplar");
+    }
+
+    #[test]
+    fn label_unknown_bucket_is_false() {
+        let mut s = store(7);
+        assert!(!s.label_bucket(42, "X"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Damerau-Levenshtein distance (optimal string alignment variant).
+//!
+//! Adds adjacent transposition to the Levenshtein edit set. Vendor firmware
+//! typos and field reorderings occasionally differ by exactly a swap, so
+//! the bucketing engine exposes this as an alternative metric.
+
+/// Optimal-string-alignment Damerau-Levenshtein distance (each substring
+/// may be edited at most once; the common variant used in practice).
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let cols = b.len() + 1;
+    // Three rolling rows: i-2, i-1, i.
+    let mut prev2: Vec<usize> = vec![0; cols];
+    let mut prev: Vec<usize> = (0..cols).collect();
+    let mut curr: Vec<usize> = vec![0; cols];
+    for i in 1..=a.len() {
+        curr[0] = i;
+        for j in 1..=b.len() {
+            let sub_cost = if a[i - 1] == b[j - 1] { 0 } else { 1 };
+            let mut best = (prev[j - 1] + sub_cost)
+                .min(prev[j] + 1)
+                .min(curr[j - 1] + 1);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(prev2[j - 2] + 1);
+            }
+            curr[j] = best;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein::levenshtein;
+
+    #[test]
+    fn transposition_costs_one() {
+        assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+        assert_eq!(levenshtein("ca", "ac"), 2);
+        assert_eq!(damerau_levenshtein("thermal", "thremal"), 1);
+    }
+
+    #[test]
+    fn matches_levenshtein_without_swaps() {
+        for (a, b) in [("kitten", "sitting"), ("", "abc"), ("same", "same")] {
+            assert_eq!(damerau_levenshtein(a, b), levenshtein(a, b));
+        }
+    }
+
+    #[test]
+    fn never_exceeds_levenshtein() {
+        let pairs = [
+            ("abcdef", "badcfe"),
+            ("warning cpu hot", "warning hot cpu"),
+            ("xy", "yx"),
+        ];
+        for (a, b) in pairs {
+            assert!(damerau_levenshtein(a, b) <= levenshtein(a, b));
+        }
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(damerau_levenshtein("", ""), 0);
+        assert_eq!(damerau_levenshtein("abc", ""), 3);
+    }
+}

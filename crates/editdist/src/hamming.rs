@@ -1,0 +1,51 @@
+//! Hamming distance (equal-length strings only).
+//!
+//! The paper cites Hamming distance alongside Levenshtein as the grouping
+//! metrics used on Darwin; in practice it was only applicable to the
+//! fixed-layout vendor messages, which is why `BucketStore` defaults to
+//! Levenshtein.
+
+/// Hamming distance between two strings, by chars.
+///
+/// Returns `None` when the strings have different char lengths (the metric
+/// is undefined there).
+pub fn hamming(a: &str, b: &str) -> Option<usize> {
+    let mut ai = a.chars();
+    let mut bi = b.chars();
+    let mut dist = 0usize;
+    loop {
+        match (ai.next(), bi.next()) {
+            (Some(ca), Some(cb)) => {
+                if ca != cb {
+                    dist += 1;
+                }
+            }
+            (None, None) => return Some(dist),
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(hamming("karolin", "kathrin"), Some(3));
+        assert_eq!(hamming("1011101", "1001001"), Some(2));
+        assert_eq!(hamming("", ""), Some(0));
+        assert_eq!(hamming("same", "same"), Some(0));
+    }
+
+    #[test]
+    fn length_mismatch_is_none() {
+        assert_eq!(hamming("ab", "abc"), None);
+        assert_eq!(hamming("abc", ""), None);
+    }
+
+    #[test]
+    fn unicode_by_char() {
+        assert_eq!(hamming("naïve", "naive"), Some(1));
+    }
+}

@@ -1,0 +1,249 @@
+//! Adapters implementing [`TextClassifier`] for the simulated LLMs, with
+//! virtual-clock cost accounting.
+
+use crate::clock::VirtualClock;
+use crate::generative::{GenerativeLlm, ModelPreset};
+use crate::parse::{parse_response, ParseFailure};
+use crate::prompt::PromptBuilder;
+use crate::zeroshot::ZeroShotModel;
+use hetsyslog_core::{Category, Explanation, Prediction, TextClassifier};
+use parking_lot::Mutex;
+
+/// Running failure-mode counters for a generative classifier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureCounters {
+    /// Responses whose category was out of taxonomy.
+    pub novel_category: u64,
+    /// Responses with no parsable label at all.
+    pub no_label: u64,
+    /// Responses cut short by the token cap.
+    pub truncated: u64,
+    /// Total classifications.
+    pub total: u64,
+}
+
+/// Generative LLM as a [`TextClassifier`].
+pub struct GenerativeLlmClassifier {
+    inner: Mutex<GenerativeLlm>,
+    prompt: PromptBuilder,
+    max_new_tokens: Option<usize>,
+    clock: Mutex<VirtualClock>,
+    counters: Mutex<FailureCounters>,
+    /// Category used when parsing fails (production would queue for a
+    /// human; evaluation needs a decision).
+    pub fallback: Category,
+}
+
+impl GenerativeLlmClassifier {
+    /// Wrap a model with the paper's prompt recipe and token cap.
+    pub fn new(
+        preset: ModelPreset,
+        corpus: &[(String, Category)],
+        prompt: PromptBuilder,
+        max_new_tokens: Option<usize>,
+        seed: u64,
+    ) -> GenerativeLlmClassifier {
+        GenerativeLlmClassifier {
+            inner: Mutex::new(GenerativeLlm::new(preset, corpus, seed)),
+            prompt,
+            max_new_tokens,
+            clock: Mutex::new(VirtualClock::new()),
+            counters: Mutex::new(FailureCounters::default()),
+            fallback: Category::Unimportant,
+        }
+    }
+
+    /// Accumulated virtual inference seconds.
+    pub fn virtual_seconds(&self) -> f64 {
+        self.clock.lock().elapsed_seconds()
+    }
+
+    /// Snapshot the failure counters.
+    pub fn counters(&self) -> FailureCounters {
+        *self.counters.lock()
+    }
+
+    /// Mean virtual seconds per classified message.
+    pub fn mean_inference_seconds(&self) -> f64 {
+        let c = self.counters();
+        if c.total == 0 {
+            0.0
+        } else {
+            self.virtual_seconds() / c.total as f64
+        }
+    }
+}
+
+impl TextClassifier for GenerativeLlmClassifier {
+    fn name(&self) -> String {
+        self.inner.lock().preset().name.to_string()
+    }
+
+    fn classify(&self, message: &str) -> Prediction {
+        let prompt_text = self.prompt.build(message);
+        let output = self
+            .inner
+            .lock()
+            .generate(&prompt_text, message, self.max_new_tokens);
+        self.clock.lock().advance(output.inference_seconds);
+        let parsed = parse_response(&output.text);
+        {
+            let mut c = self.counters.lock();
+            c.total += 1;
+            if output.truncated {
+                c.truncated += 1;
+            }
+            match &parsed {
+                Err(ParseFailure::NovelCategory(_)) => c.novel_category += 1,
+                Err(ParseFailure::NoLabel) => c.no_label += 1,
+                Ok(_) => {}
+            }
+        }
+        let category = parsed.unwrap_or(self.fallback);
+        Prediction {
+            category,
+            confidence: None,
+            explanation: Some(Explanation::new(Vec::new(), output.text)),
+        }
+    }
+
+    fn classify_batch(&self, messages: &[&str]) -> Vec<Prediction> {
+        // Generation mutates shared RNG state; keep batch sequential so
+        // results stay deterministic (the real bottleneck is the GPU
+        // anyway — the paper ran single-node inference).
+        messages.iter().map(|m| self.classify(m)).collect()
+    }
+}
+
+/// Zero-shot model as a [`TextClassifier`].
+pub struct ZeroShotLlmClassifier {
+    model: ZeroShotModel,
+    clock: Mutex<VirtualClock>,
+    total: Mutex<u64>,
+}
+
+impl ZeroShotLlmClassifier {
+    /// Wrap a zero-shot model.
+    pub fn new(corpus: &[(String, Category)]) -> ZeroShotLlmClassifier {
+        ZeroShotLlmClassifier {
+            model: ZeroShotModel::new(corpus),
+            clock: Mutex::new(VirtualClock::new()),
+            total: Mutex::new(0),
+        }
+    }
+
+    /// Accumulated virtual inference seconds.
+    pub fn virtual_seconds(&self) -> f64 {
+        self.clock.lock().elapsed_seconds()
+    }
+
+    /// Mean virtual seconds per message.
+    pub fn mean_inference_seconds(&self) -> f64 {
+        let n = *self.total.lock();
+        if n == 0 {
+            0.0
+        } else {
+            self.virtual_seconds() / n as f64
+        }
+    }
+}
+
+impl TextClassifier for ZeroShotLlmClassifier {
+    fn name(&self) -> String {
+        "facebook/Bart-Large-MNLI".to_string()
+    }
+
+    fn classify(&self, message: &str) -> Prediction {
+        let out = self.model.classify(message);
+        self.clock.lock().advance(out.inference_seconds);
+        *self.total.lock() += 1;
+        Prediction {
+            category: out.top(),
+            confidence: Some(out.confidence()),
+            explanation: Some(Explanation::new(
+                Vec::new(),
+                format!(
+                    "zero-shot entailment ranked '{}' at {:.2}",
+                    out.top().label(),
+                    out.confidence()
+                ),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<(String, Category)> {
+        let mut c = Vec::new();
+        for i in 0..10 {
+            c.push((
+                format!("cpu {i} temperature above threshold throttled sensor"),
+                Category::ThermalIssue,
+            ));
+            c.push((
+                format!("usb device {i} new number hub"),
+                Category::UsbDevice,
+            ));
+        }
+        c
+    }
+
+    #[test]
+    fn generative_classifier_accounts_costs() {
+        let corpus = corpus();
+        let clf = GenerativeLlmClassifier::new(
+            ModelPreset::falcon_7b(),
+            &corpus,
+            PromptBuilder::new(),
+            Some(32),
+            3,
+        );
+        for i in 0..20 {
+            let p = clf.classify(&format!("cpu {i} temperature throttled"));
+            assert!(Category::ALL.contains(&p.category));
+            assert!(p.explanation.is_some());
+        }
+        let counters = clf.counters();
+        assert_eq!(counters.total, 20);
+        assert!(clf.virtual_seconds() > 0.0);
+        // Falcon-7b averages ~0.6 virtual seconds per message.
+        let mean = clf.mean_inference_seconds();
+        assert!((0.3..1.2).contains(&mean), "mean inference {mean}");
+    }
+
+    #[test]
+    fn zero_shot_classifier_is_fast_and_valid() {
+        let corpus = corpus();
+        let clf = ZeroShotLlmClassifier::new(&corpus);
+        let p = clf.classify("usb device new on hub");
+        assert_eq!(p.category, Category::UsbDevice);
+        let mean = clf.mean_inference_seconds();
+        assert!((0.05..0.4).contains(&mean), "zero-shot mean {mean}");
+    }
+
+    #[test]
+    fn batch_is_deterministic_given_seed() {
+        let corpus = corpus();
+        let msgs = ["cpu hot", "usb new device", "cpu throttled again"];
+        let a = GenerativeLlmClassifier::new(
+            ModelPreset::falcon_40b(),
+            &corpus,
+            PromptBuilder::new(),
+            Some(32),
+            11,
+        );
+        let b = GenerativeLlmClassifier::new(
+            ModelPreset::falcon_40b(),
+            &corpus,
+            PromptBuilder::new(),
+            Some(32),
+            11,
+        );
+        let pa: Vec<Category> = a.classify_batch(&msgs).iter().map(|p| p.category).collect();
+        let pb: Vec<Category> = b.classify_batch(&msgs).iter().map(|p| p.category).collect();
+        assert_eq!(pa, pb);
+    }
+}

@@ -1,0 +1,66 @@
+//! Virtual time for inference-cost accounting.
+//!
+//! The paper's Table 3 numbers are wall-clock seconds on 4×A100; we model
+//! that cost analytically and accumulate it on a virtual clock, so the
+//! experiments report "GPU seconds" without needing the GPUs. (The
+//! simulator's own CPU time is negligible and measured separately.)
+
+use serde::{Deserialize, Serialize};
+
+/// An accumulating virtual clock, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct VirtualClock {
+    elapsed: f64,
+}
+
+impl VirtualClock {
+    /// A clock at zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Advance by `seconds` (negative advances are ignored).
+    pub fn advance(&mut self, seconds: f64) {
+        if seconds > 0.0 {
+            self.elapsed += seconds;
+        }
+    }
+
+    /// Total accumulated seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// Reset to zero.
+    pub fn reset(&mut self) {
+        self.elapsed = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut c = VirtualClock::new();
+        c.advance(0.5);
+        c.advance(1.25);
+        assert!((c.elapsed_seconds() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_negative() {
+        let mut c = VirtualClock::new();
+        c.advance(-5.0);
+        assert_eq!(c.elapsed_seconds(), 0.0);
+    }
+
+    #[test]
+    fn reset() {
+        let mut c = VirtualClock::new();
+        c.advance(3.0);
+        c.reset();
+        assert_eq!(c.elapsed_seconds(), 0.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! The generative pseudo-LLM with the paper's observed failure modes.
+//!
+//! §5.2 reports three behaviours that made generative classification
+//! painful, all reproduced here:
+//!
+//! 1. **Generated classification** — "the chosen classification … was an
+//!    entirely new category that we hadn't previously defined, but that
+//!    makes sense in the context of the message".
+//! 2. **Excessive generation** — unsolicited justifications for the chosen
+//!    category.
+//! 3. **Prompt continuation** — in the worst case the model fabricated a
+//!    new prompt introducing "a system administrator character" plus an
+//!    artificial syslog message for it to classify.
+//!
+//! The authors' mitigation — "placing a limit on the number of new tokens"
+//! — is the `max_new_tokens` argument.
+
+use crate::latency::LatencyModel;
+use crate::lm::CategoryLm;
+use crate::tokenizer::{count_tokens, truncate_to_tokens};
+use hetsyslog_core::Category;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Behavioural profile of one simulated model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelPreset {
+    /// Display name (matches the paper's Hugging Face ids loosely).
+    pub name: &'static str,
+    /// Latency profile.
+    pub latency: LatencyModel,
+    /// Gaussian noise added to category log-scores: smaller models choose
+    /// worse.
+    pub score_noise: f64,
+    /// Probability of inventing an out-of-taxonomy category.
+    pub novel_category_rate: f64,
+    /// Probability of appending an unsolicited justification.
+    pub excessive_generation_rate: f64,
+    /// Probability of runaway prompt continuation.
+    pub continuation_rate: f64,
+}
+
+impl ModelPreset {
+    /// Falcon-7b: fast, fairly inaccurate, very chatty.
+    pub fn falcon_7b() -> ModelPreset {
+        ModelPreset {
+            name: "Falcon-7b",
+            latency: LatencyModel::falcon_7b(),
+            score_noise: 2.2,
+            novel_category_rate: 0.14,
+            excessive_generation_rate: 0.30,
+            continuation_rate: 0.06,
+        }
+    }
+
+    /// Falcon-40b: slower, better aligned, still imperfect.
+    pub fn falcon_40b() -> ModelPreset {
+        ModelPreset {
+            name: "Falcon-40b",
+            latency: LatencyModel::falcon_40b(),
+            score_noise: 0.8,
+            novel_category_rate: 0.07,
+            excessive_generation_rate: 0.22,
+            continuation_rate: 0.02,
+        }
+    }
+}
+
+/// Out-of-taxonomy categories the simulator invents, keyed by the true
+/// category's flavour (these "make sense in the context of the message").
+fn novel_category_for(category: Category) -> &'static str {
+    match category {
+        Category::ThermalIssue => "Overheating Event",
+        Category::MemoryIssue => "RAM Degradation",
+        Category::SshConnection => "Remote Access Log",
+        Category::IntrusionDetection => "Privilege Escalation",
+        Category::UsbDevice => "Peripheral Change",
+        Category::SlurmIssue => "Scheduler Malfunction",
+        Category::HardwareIssue => "Component Failure",
+        Category::Unimportant => "Routine Operational Message",
+    }
+}
+
+/// One generation result with full cost accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerativeOutput {
+    /// The raw generated text (post-truncation).
+    pub text: String,
+    /// Tokens in the prompt (prefill cost).
+    pub prompt_tokens: usize,
+    /// Tokens generated (decode cost).
+    pub generated_tokens: usize,
+    /// Modeled inference wall time on the paper's 4×A100 node.
+    pub inference_seconds: f64,
+    /// True when the `max_new_tokens` cap cut the generation short.
+    pub truncated: bool,
+}
+
+/// A deterministic simulated generative LLM.
+#[derive(Debug, Clone)]
+pub struct GenerativeLlm {
+    preset: ModelPreset,
+    lm: CategoryLm,
+    rng: ChaCha8Rng,
+}
+
+impl GenerativeLlm {
+    /// Build a model: `corpus` plays the role of pretraining exposure,
+    /// `seed` fixes all stochastic behaviour.
+    pub fn new(preset: ModelPreset, corpus: &[(String, Category)], seed: u64) -> GenerativeLlm {
+        GenerativeLlm {
+            preset,
+            lm: CategoryLm::train(corpus),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The preset in force.
+    pub fn preset(&self) -> &ModelPreset {
+        &self.preset
+    }
+
+    /// Standard-normal draw (Box–Muller; rand's distributions live in
+    /// rand_distr, which we avoid pulling in for one function).
+    fn normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..std::f64::consts::TAU);
+        (-2.0 * u1.ln()).sqrt() * u2.cos()
+    }
+
+    /// The model's internal category belief: corpus likelihood plus
+    /// preset-scaled noise.
+    fn choose_category(&mut self, message: &str) -> Category {
+        let mut best = Category::Unimportant;
+        let mut best_score = f64::NEG_INFINITY;
+        let n_tokens = count_tokens(message).max(1) as f64;
+        for &c in &Category::ALL {
+            // Length-normalized likelihood keeps noise comparable across
+            // message lengths.
+            let ll = self.lm.log_likelihood(message, c) / n_tokens;
+            let score = ll + self.normal() * self.preset.score_noise / n_tokens.sqrt();
+            if score > best_score {
+                best_score = score;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Run one classification generation against `prompt` (already built
+    /// by [`crate::prompt::PromptBuilder`]) for `message`.
+    ///
+    /// `max_new_tokens = None` lets the failure modes run unbounded (the
+    /// authors' initial configuration); `Some(cap)` reproduces their fix.
+    pub fn generate(
+        &mut self,
+        prompt: &str,
+        message: &str,
+        max_new_tokens: Option<usize>,
+    ) -> GenerativeOutput {
+        let category = self.choose_category(message);
+
+        let answer = if self.rng.gen_bool(self.preset.novel_category_rate) {
+            novel_category_for(category).to_string()
+        } else {
+            category.label().to_string()
+        };
+        // Even well-behaved instruct models rarely emit the bare label;
+        // about half the time they wrap it in a sentence.
+        let mut text = if self.rng.gen_bool(0.5) {
+            format!("The given syslog message would be classified as: {answer}")
+        } else {
+            answer
+        };
+
+        if self.rng.gen_bool(self.preset.excessive_generation_rate) {
+            let strongest = textproc::tokenize(message)
+                .into_iter()
+                .max_by_key(|t| t.len())
+                .unwrap_or_else(|| "message".to_string());
+            text.push_str(&format!(
+                ". The message \"{message}\" would fall under this category because \
+                 \"{strongest}\" indicates {}. This can help prevent damage to the system.",
+                category.description()
+            ));
+        }
+
+        if self.rng.gen_bool(self.preset.continuation_rate) {
+            // The infamous runaway: fabricate a new character, a new
+            // syslog message, and instructions for the fiction to classify.
+            let fake_cat = Category::ALL[self.rng.gen_range(0..Category::ALL.len())];
+            let fake_seed = ["error", "cpu", "usb", "connection", "node"]
+                [self.rng.gen_range(0..5)];
+            let fake_msg = self.lm.generate(fake_cat, fake_seed, 12, &mut self.rng);
+            text.push_str(&format!(
+                "\n\nYou are a system administrator named Alex reviewing cluster logs. \
+                 Classify the following syslog message.\nMessage: \"{fake_msg}\"\nCategory: {}",
+                fake_cat.label()
+            ));
+        }
+
+        let mut truncated = false;
+        if let Some(cap) = max_new_tokens {
+            if count_tokens(&text) > cap {
+                text = truncate_to_tokens(&text, cap);
+                truncated = true;
+            }
+        }
+
+        let prompt_tokens = count_tokens(prompt);
+        let generated_tokens = count_tokens(&text).max(1);
+        let inference_seconds = self
+            .preset
+            .latency
+            .inference_seconds(prompt_tokens, generated_tokens);
+        GenerativeOutput {
+            text,
+            prompt_tokens,
+            generated_tokens,
+            inference_seconds,
+            truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_response, ParseFailure};
+
+    fn corpus() -> Vec<(String, Category)> {
+        let mut c = Vec::new();
+        for i in 0..10 {
+            c.push((
+                format!("cpu {i} temperature above threshold clock throttled sensor"),
+                Category::ThermalIssue,
+            ));
+            c.push((
+                format!("usb device {i} new number hub high speed"),
+                Category::UsbDevice,
+            ));
+            c.push((
+                format!("connection closed port {i} preauth user"),
+                Category::SshConnection,
+            ));
+            c.push((
+                format!("slurm_rpc_node_registration complete usec {i}"),
+                Category::Unimportant,
+            ));
+        }
+        c
+    }
+
+    #[test]
+    fn mostly_correct_on_clear_messages() {
+        let mut llm = GenerativeLlm::new(ModelPreset::falcon_40b(), &corpus(), 7);
+        let mut correct = 0;
+        let n = 40;
+        for i in 0..n {
+            let msg = format!("cpu {i} temperature above threshold throttled");
+            let out = llm.generate("prompt", &msg, Some(64));
+            if let Ok(c) = parse_response(&out.text) {
+                if c == Category::ThermalIssue {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct > n / 2, "falcon-40b sim too weak: {correct}/{n}");
+    }
+
+    #[test]
+    fn failure_modes_all_occur_unbounded() {
+        let mut llm = GenerativeLlm::new(ModelPreset::falcon_7b(), &corpus(), 13);
+        let mut novel = 0;
+        let mut excessive = 0;
+        let mut continuation = 0;
+        for i in 0..300 {
+            let out = llm.generate("prompt", &format!("usb device {i} new"), None);
+            if matches!(parse_response(&out.text), Err(ParseFailure::NovelCategory(_))) {
+                novel += 1;
+            }
+            if out.text.contains("would fall under") {
+                excessive += 1;
+            }
+            if out.text.contains("system administrator") {
+                continuation += 1;
+            }
+        }
+        assert!(novel > 0, "novel-category failure never occurred");
+        assert!(excessive > 0, "excessive generation never occurred");
+        assert!(continuation > 0, "prompt continuation never occurred");
+    }
+
+    #[test]
+    fn max_new_tokens_caps_cost() {
+        let corpus = corpus();
+        let mut unbounded = GenerativeLlm::new(ModelPreset::falcon_7b(), &corpus, 21);
+        let mut capped = GenerativeLlm::new(ModelPreset::falcon_7b(), &corpus, 21);
+        let mut total_unbounded = 0.0;
+        let mut total_capped = 0.0;
+        let mut saw_truncation = false;
+        for i in 0..200 {
+            let msg = format!("cpu {i} temperature throttled");
+            let a = unbounded.generate("prompt", &msg, None);
+            let b = capped.generate("prompt", &msg, Some(16));
+            assert!(b.generated_tokens <= 16);
+            total_unbounded += a.inference_seconds;
+            total_capped += b.inference_seconds;
+            saw_truncation |= b.truncated;
+        }
+        assert!(saw_truncation, "cap never triggered");
+        assert!(
+            total_capped < total_unbounded,
+            "token cap failed to reduce modeled cost"
+        );
+    }
+
+    #[test]
+    fn latency_matches_preset_model() {
+        let mut llm = GenerativeLlm::new(ModelPreset::falcon_40b(), &corpus(), 3);
+        let out = llm.generate("a twelve token prompt for checking latency model here now ok", "cpu hot", Some(8));
+        let expected = ModelPreset::falcon_40b()
+            .latency
+            .inference_seconds(out.prompt_tokens, out.generated_tokens);
+        assert!((out.inference_seconds - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let corpus = corpus();
+        let mut a = GenerativeLlm::new(ModelPreset::falcon_7b(), &corpus, 5);
+        let mut b = GenerativeLlm::new(ModelPreset::falcon_7b(), &corpus, 5);
+        for i in 0..20 {
+            let msg = format!("message {i}");
+            assert_eq!(a.generate("p", &msg, Some(32)), b.generate("p", &msg, Some(32)));
+        }
+    }
+}

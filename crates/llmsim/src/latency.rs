@@ -1,0 +1,168 @@
+//! Inference latency models calibrated to the paper's Table 3.
+//!
+//! | model                    | measured s/msg | messages/hour |
+//! |--------------------------|---------------:|--------------:|
+//! | Falcon-7b                |          0.639 |         5 633 |
+//! | Falcon-40b               |          2.184 |         1 648 |
+//! | facebook/bart-large-mnli |        0.13359 |        26 948 |
+//!
+//! The model is the standard two-phase cost: a prefill phase processing the
+//! prompt at `prefill_tokens_per_second`, then autoregressive decode at
+//! `seconds_per_generated_token`, plus a constant launch overhead. The
+//! presets are solved so that the paper's prompt shape (≈420 prompt tokens
+//! after adding TF-IDF word lists, ≈16 generated tokens) lands on the
+//! measured per-message seconds.
+
+use serde::{Deserialize, Serialize};
+
+/// A two-phase (prefill + decode) latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Constant per-request overhead (tokenization, launch, sampling).
+    pub overhead_seconds: f64,
+    /// Prompt-processing throughput.
+    pub prefill_tokens_per_second: f64,
+    /// Decode cost per generated token.
+    pub seconds_per_generated_token: f64,
+}
+
+impl LatencyModel {
+    /// Falcon-7b on 4×A100 (Table 3: 0.639 s per message).
+    pub fn falcon_7b() -> LatencyModel {
+        LatencyModel {
+            overhead_seconds: 0.035,
+            prefill_tokens_per_second: 3_500.0,
+            seconds_per_generated_token: 0.030,
+        }
+    }
+
+    /// Falcon-40b on 4×A100 (Table 3: 2.184 s per message).
+    pub fn falcon_40b() -> LatencyModel {
+        LatencyModel {
+            overhead_seconds: 0.070,
+            prefill_tokens_per_second: 1_000.0,
+            seconds_per_generated_token: 0.106,
+        }
+    }
+
+    /// facebook/bart-large-mnli zero-shot (Table 3: 0.13359 s per message).
+    /// Zero-shot entailment runs one forward pass per candidate label; the
+    /// decode term models the per-label passes instead of token decoding.
+    pub fn bart_large_mnli() -> LatencyModel {
+        LatencyModel {
+            overhead_seconds: 0.012,
+            prefill_tokens_per_second: 6_000.0,
+            seconds_per_generated_token: 0.0145, // per label pass
+        }
+    }
+
+    /// Seconds to process `prompt_tokens` and produce `generated_tokens`
+    /// (or, for zero-shot, score `generated_tokens` labels).
+    pub fn inference_seconds(&self, prompt_tokens: usize, generated_tokens: usize) -> f64 {
+        self.overhead_seconds
+            + prompt_tokens as f64 / self.prefill_tokens_per_second
+            + generated_tokens as f64 * self.seconds_per_generated_token
+    }
+
+    /// Messages classifiable per hour at a fixed per-message shape.
+    pub fn messages_per_hour(&self, prompt_tokens: usize, generated_tokens: usize) -> f64 {
+        3600.0 / self.inference_seconds(prompt_tokens, generated_tokens)
+    }
+
+    /// Amortized per-message seconds when `batch` requests are served
+    /// together — the obvious engineering answer to the paper's cost
+    /// problem, modeled with an Amdahl-style speedup: batching parallelizes
+    /// the per-request work but a serial fraction (attention over the
+    /// growing KV cache, scheduling, memory bandwidth) caps the gain.
+    ///
+    /// With the default serial fraction of 0.08 the speedup saturates near
+    /// 12.5× — generous relative to measured LLM serving systems, which
+    /// makes the experiment's conclusion (batching still doesn't reach
+    /// syslog volumes) conservative.
+    pub fn batched_seconds_per_message(
+        &self,
+        batch: usize,
+        prompt_tokens: usize,
+        generated_tokens: usize,
+    ) -> f64 {
+        const SERIAL_FRACTION: f64 = 0.08;
+        let batch = batch.max(1) as f64;
+        let single = self.inference_seconds(prompt_tokens, generated_tokens);
+        let speedup = batch / (1.0 + (batch - 1.0) * SERIAL_FRACTION);
+        single / speedup
+    }
+}
+
+/// The paper's prompt shape used for calibration assertions.
+pub const PAPER_PROMPT_TOKENS: usize = 420;
+/// Generated tokens in a well-behaved classification answer.
+pub const PAPER_GENERATED_TOKENS: usize = 16;
+/// Tokens in a BART-MNLI premise (message + template) per label pass.
+pub const ZEROSHOT_PROMPT_TOKENS: usize = 60;
+/// Candidate labels (the eight categories).
+pub const ZEROSHOT_LABELS: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn falcon_7b_matches_table3() {
+        let t = LatencyModel::falcon_7b()
+            .inference_seconds(PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS);
+        assert!((t - 0.639).abs() < 0.02, "falcon-7b calibrated at {t}");
+    }
+
+    #[test]
+    fn falcon_40b_matches_table3() {
+        let t = LatencyModel::falcon_40b()
+            .inference_seconds(PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS);
+        assert!((t - 2.184).abs() < 0.05, "falcon-40b calibrated at {t}");
+    }
+
+    #[test]
+    fn bart_matches_table3() {
+        let t = LatencyModel::bart_large_mnli()
+            .inference_seconds(ZEROSHOT_PROMPT_TOKENS, ZEROSHOT_LABELS);
+        assert!((t - 0.13359).abs() < 0.01, "bart calibrated at {t}");
+    }
+
+    #[test]
+    fn messages_per_hour_shapes() {
+        let f7 = LatencyModel::falcon_7b()
+            .messages_per_hour(PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS);
+        let f40 = LatencyModel::falcon_40b()
+            .messages_per_hour(PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS);
+        let bart = LatencyModel::bart_large_mnli()
+            .messages_per_hour(ZEROSHOT_PROMPT_TOKENS, ZEROSHOT_LABELS);
+        // Paper: 5633 / 1648 / 26948 — check ordering and rough magnitude.
+        assert!(bart > f7 && f7 > f40);
+        assert!((f7 - 5633.0).abs() / 5633.0 < 0.05, "f7 mph {f7}");
+        assert!((f40 - 1648.0).abs() / 1648.0 < 0.05, "f40 mph {f40}");
+        assert!((bart - 26_948.0).abs() / 26_948.0 < 0.10, "bart mph {bart}");
+    }
+
+    #[test]
+    fn batching_helps_but_saturates() {
+        let m = LatencyModel::falcon_40b();
+        let single = m.batched_seconds_per_message(1, PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS);
+        let b8 = m.batched_seconds_per_message(8, PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS);
+        let b64 = m.batched_seconds_per_message(64, PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS);
+        let b1024 = m.batched_seconds_per_message(1024, PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS);
+        assert_eq!(single, m.inference_seconds(PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS));
+        assert!(b8 < single && b64 < b8 && b1024 < b64);
+        // Saturation: the speedup never exceeds 1/serial_fraction.
+        assert!(single / b1024 < 12.5);
+        // Even saturated batching leaves Falcon-40b far below the >1M
+        // msgs/hour stream (the experiment's conclusion is robust).
+        assert!(3600.0 / b1024 < 50_000.0);
+    }
+
+    #[test]
+    fn excessive_generation_costs_more() {
+        let m = LatencyModel::falcon_40b();
+        let normal = m.inference_seconds(PAPER_PROMPT_TOKENS, 16);
+        let runaway = m.inference_seconds(PAPER_PROMPT_TOKENS, 256);
+        assert!(runaway > normal * 5.0, "runaway generation must dominate");
+    }
+}

@@ -1,0 +1,222 @@
+//! A category-conditioned bigram language model.
+//!
+//! This is the simulated LLM's "knowledge": trained on the same corpus the
+//! real models would see in their pretraining-adjacent world, it serves two
+//! purposes —
+//!
+//! 1. *Classification*: per-category unigram statistics give a naive-Bayes
+//!    style score for how well a message fits each category (degraded by a
+//!    per-preset noise term to model small-model fallibility).
+//! 2. *Generation*: bigram sampling fabricates plausible syslog-like
+//!    text for the hallucinated-continuation failure mode.
+
+use hetsyslog_core::Category;
+use rand::Rng;
+use textproc::hash::FxHashMap;
+use textproc::tokenize;
+
+/// Per-category unigram + bigram statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CategoryLm {
+    /// token → count, per category index.
+    unigrams: Vec<FxHashMap<String, f64>>,
+    /// total token count per category.
+    totals: Vec<f64>,
+    /// bigram successor table per category: token → (successor, count).
+    bigrams: Vec<FxHashMap<String, Vec<(String, f64)>>>,
+    vocab_size: usize,
+}
+
+impl CategoryLm {
+    /// Train on a labeled corpus.
+    pub fn train(corpus: &[(String, Category)]) -> CategoryLm {
+        let n = Category::ALL.len();
+        let mut unigrams: Vec<FxHashMap<String, f64>> = vec![FxHashMap::default(); n];
+        let mut totals = vec![0.0f64; n];
+        let mut bigrams: Vec<FxHashMap<String, Vec<(String, f64)>>> =
+            vec![FxHashMap::default(); n];
+        for (text, category) in corpus {
+            let c = category.index();
+            let tokens = tokenize(text);
+            for window in tokens.windows(2) {
+                let succ = bigrams[c].entry(window[0].clone()).or_default();
+                match succ.iter_mut().find(|(t, _)| *t == window[1]) {
+                    Some((_, count)) => *count += 1.0,
+                    None => succ.push((window[1].clone(), 1.0)),
+                }
+            }
+            for token in tokens {
+                *unigrams[c].entry(token).or_insert(0.0) += 1.0;
+                totals[c] += 1.0;
+            }
+        }
+        let vocab_size = unigrams
+            .iter()
+            .flat_map(|u| u.keys())
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            .max(1);
+        CategoryLm {
+            unigrams,
+            totals,
+            bigrams,
+            vocab_size,
+        }
+    }
+
+    /// Log-likelihood of `message` under category `c`'s unigram model
+    /// (Laplace-smoothed).
+    pub fn log_likelihood(&self, message: &str, c: Category) -> f64 {
+        let idx = c.index();
+        let total = self.totals[idx] + self.vocab_size as f64;
+        let mut ll = 0.0;
+        for token in tokenize(message) {
+            let count = self.unigrams[idx].get(&token).copied().unwrap_or(0.0);
+            ll += ((count + 1.0) / total).ln();
+        }
+        ll
+    }
+
+    /// Best-fit category by unigram likelihood with a class-prior term.
+    pub fn classify(&self, message: &str) -> Category {
+        let total_all: f64 = self.totals.iter().sum::<f64>().max(1.0);
+        Category::ALL
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let prior_a = ((self.totals[a.index()] + 1.0) / total_all).ln();
+                let prior_b = ((self.totals[b.index()] + 1.0) / total_all).ln();
+                let sa = self.log_likelihood(message, a) + prior_a;
+                let sb = self.log_likelihood(message, b) + prior_b;
+                sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(Category::Unimportant)
+    }
+
+    /// Sample `max_tokens` of syslog-flavoured text for `category`,
+    /// starting from `seed_token` when it exists in the table.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        category: Category,
+        seed_token: &str,
+        max_tokens: usize,
+        rng: &mut R,
+    ) -> String {
+        let idx = category.index();
+        let table = &self.bigrams[idx];
+        if table.is_empty() || max_tokens == 0 {
+            return String::new();
+        }
+        let mut current: String = if table.contains_key(seed_token) {
+            seed_token.to_string()
+        } else {
+            // Deterministically pick a common starting token.
+            let mut keys: Vec<&String> = table.keys().collect();
+            keys.sort_unstable();
+            keys[rng.gen_range(0..keys.len())].clone()
+        };
+        let mut out = vec![current.clone()];
+        for _ in 1..max_tokens {
+            let Some(successors) = table.get(&current) else { break };
+            let total: f64 = successors.iter().map(|(_, c)| c).sum();
+            let mut pick = rng.gen_range(0.0..total);
+            let mut next = successors[0].0.clone();
+            for (tok, count) in successors {
+                if pick < *count {
+                    next = tok.clone();
+                    break;
+                }
+                pick -= count;
+            }
+            out.push(next.clone());
+            current = next;
+        }
+        out.join(" ")
+    }
+
+    /// Distinct vocabulary size seen in training.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn corpus() -> Vec<(String, Category)> {
+        let mut c = Vec::new();
+        for i in 0..6 {
+            c.push((
+                format!("cpu {i} temperature above threshold clock throttled"),
+                Category::ThermalIssue,
+            ));
+            c.push((
+                format!("usb device {i} new high speed number on hub"),
+                Category::UsbDevice,
+            ));
+            c.push((
+                format!("connection closed by port {i} preauth"),
+                Category::SshConnection,
+            ));
+        }
+        c
+    }
+
+    #[test]
+    fn classifies_by_vocabulary() {
+        let lm = CategoryLm::train(&corpus());
+        assert_eq!(lm.classify("cpu temperature throttled"), Category::ThermalIssue);
+        assert_eq!(lm.classify("new usb device on hub"), Category::UsbDevice);
+        assert_eq!(lm.classify("connection closed preauth"), Category::SshConnection);
+    }
+
+    #[test]
+    fn likelihood_prefers_home_category() {
+        let lm = CategoryLm::train(&corpus());
+        let msg = "temperature above threshold";
+        assert!(
+            lm.log_likelihood(msg, Category::ThermalIssue)
+                > lm.log_likelihood(msg, Category::UsbDevice)
+        );
+    }
+
+    #[test]
+    fn generation_uses_category_vocabulary() {
+        let lm = CategoryLm::train(&corpus());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let text = lm.generate(Category::ThermalIssue, "temperature", 8, &mut rng);
+        assert!(!text.is_empty());
+        assert!(text.starts_with("temperature"));
+        // Generated tokens come from the thermal vocabulary.
+        for tok in text.split(' ') {
+            assert!(
+                corpus()
+                    .iter()
+                    .any(|(m, _)| m.contains(tok)),
+                "token {tok} not from corpus"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_respects_token_cap() {
+        let lm = CategoryLm::train(&corpus());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let text = lm.generate(Category::ThermalIssue, "cpu", 3, &mut rng);
+        assert!(text.split(' ').count() <= 3);
+        assert_eq!(lm.generate(Category::ThermalIssue, "cpu", 0, &mut rng), "");
+    }
+
+    #[test]
+    fn empty_corpus_degrades_gracefully() {
+        let lm = CategoryLm::train(&[]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(lm.generate(Category::ThermalIssue, "x", 5, &mut rng), "");
+        // classify still returns a valid category.
+        let c = lm.classify("anything");
+        assert!(Category::ALL.contains(&c));
+    }
+}

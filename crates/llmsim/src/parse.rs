@@ -1,0 +1,127 @@
+//! Parsing generated classifications back into the taxonomy — the
+//! automation pain point §5.2 complains about.
+
+use hetsyslog_core::Category;
+
+/// Why a generated response could not be mapped to the taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseFailure {
+    /// The model answered with a category that is not in the taxonomy
+    /// (the "generated classification" failure).
+    NovelCategory(String),
+    /// The response contained no recognizable category at all.
+    NoLabel,
+}
+
+impl std::fmt::Display for ParseFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseFailure::NovelCategory(s) => {
+                write!(f, "model invented category {s:?}")
+            }
+            ParseFailure::NoLabel => write!(f, "no category found in response"),
+        }
+    }
+}
+
+impl std::error::Error for ParseFailure {}
+
+/// Extract the category from a generated response.
+///
+/// Strategy mirrors what the authors had to build: take the first line as
+/// the answer, parse it leniently; if that fails, scan the whole response
+/// for any known label (models bury the answer in prose); otherwise report
+/// the first line as a novel category.
+pub fn parse_response(text: &str) -> Result<Category, ParseFailure> {
+    let first_line = text.lines().next().unwrap_or("").trim();
+    // The answer may carry a trailing justification on the same line
+    // ("Thermal Issue. The message …"); split at sentence punctuation.
+    let head = first_line
+        .split(['.', ',', ';', ':'])
+        .next()
+        .unwrap_or("")
+        .trim();
+    if let Some(c) = Category::parse_label(head) {
+        return Ok(c);
+    }
+    // Models love wrapping the answer in quotes mid-prose ("…the category
+    // of \"thermal\"") — try every quoted phrase. The message itself is
+    // also quoted in such answers, but full messages never parse as a
+    // bare label, so this stays precise.
+    let mut rest = text;
+    while let Some(open) = rest.find('"') {
+        let tail = &rest[open + 1..];
+        let Some(close) = tail.find('"') else { break };
+        if let Some(c) = Category::parse_label(&tail[..close]) {
+            return Ok(c);
+        }
+        rest = &tail[close + 1..];
+    }
+    // Scan for any label appearing anywhere (earliest wins).
+    let lower = text.to_ascii_lowercase();
+    let mut earliest: Option<(usize, Category)> = None;
+    for &c in &Category::ALL {
+        let needle = c.label().to_ascii_lowercase();
+        if let Some(pos) = lower.find(&needle) {
+            if earliest.map(|(p, _)| pos < p).unwrap_or(true) {
+                earliest = Some((pos, c));
+            }
+        }
+    }
+    if let Some((_, c)) = earliest {
+        return Ok(c);
+    }
+    if head.is_empty() {
+        Err(ParseFailure::NoLabel)
+    } else {
+        Err(ParseFailure::NovelCategory(head.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_answers() {
+        assert_eq!(parse_response("Thermal Issue"), Ok(Category::ThermalIssue));
+        assert_eq!(parse_response("USB-Device"), Ok(Category::UsbDevice));
+        assert_eq!(parse_response("  unimportant \n"), Ok(Category::Unimportant));
+    }
+
+    #[test]
+    fn answer_with_trailing_justification() {
+        let r = parse_response(
+            "Thermal Issue. The message indicates the CPU is being throttled to prevent overheating.",
+        );
+        assert_eq!(r, Ok(Category::ThermalIssue));
+    }
+
+    #[test]
+    fn answer_buried_in_prose() {
+        let r = parse_response(
+            "The message would fall under the category of \"Memory Issue\" because allocation failed.",
+        );
+        assert_eq!(r, Ok(Category::MemoryIssue));
+    }
+
+    #[test]
+    fn novel_category_detected() {
+        let r = parse_response("Overheating Event");
+        assert_eq!(r, Err(ParseFailure::NovelCategory("Overheating Event".to_string())));
+    }
+
+    #[test]
+    fn empty_response() {
+        assert_eq!(parse_response(""), Err(ParseFailure::NoLabel));
+        assert_eq!(parse_response("\n\n"), Err(ParseFailure::NoLabel));
+    }
+
+    #[test]
+    fn earliest_label_wins_in_scan() {
+        let r = parse_response(
+            "Category of Record: Hardware Issue — though some would argue Thermal Issue applies.",
+        );
+        assert_eq!(r, Ok(Category::HardwareIssue));
+    }
+}

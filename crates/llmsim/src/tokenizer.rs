@@ -1,0 +1,93 @@
+//! Subword token counting.
+//!
+//! Latency scales with token counts, so the simulator needs a tokenizer
+//! whose counts behave like a BPE vocabulary's: short common words ≈ 1
+//! token, long/rare identifiers split into several pieces. This is a
+//! deterministic approximation (≈1.3 tokens per English word), not a real
+//! BPE — the latency model only needs the scaling, not the ids.
+
+/// Number of model tokens `text` would occupy.
+pub fn count_tokens(text: &str) -> usize {
+    text.split_whitespace().map(word_tokens).sum()
+}
+
+/// Tokens for a single whitespace-delimited word: 1 for the first 6 chars,
+/// +1 per further 4 chars (numbers and punctuation fragment faster).
+fn word_tokens(word: &str) -> usize {
+    let chars = word.chars().count();
+    if chars == 0 {
+        return 0;
+    }
+    let has_digit_or_punct = word.chars().any(|c| !c.is_alphabetic());
+    let base_len = if has_digit_or_punct { 4 } else { 6 };
+    if chars <= base_len {
+        1
+    } else {
+        1 + (chars - base_len).div_ceil(4)
+    }
+}
+
+/// Split `text` into approximately `n` leading tokens' worth of words —
+/// used to truncate generations at a `max_new_tokens` cap.
+pub fn truncate_to_tokens(text: &str, n: usize) -> String {
+    let mut used = 0usize;
+    let mut end = 0usize;
+    for word in text.split_whitespace() {
+        let cost = word_tokens(word);
+        if used + cost > n {
+            break;
+        }
+        used += cost;
+        // Find this word's end position in the original text.
+        let start = text[end..].find(word).map(|p| p + end).unwrap_or(end);
+        end = start + word.len();
+    }
+    text[..end].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_words_are_one_token() {
+        assert_eq!(count_tokens("the cpu is hot"), 4);
+    }
+
+    #[test]
+    fn long_identifiers_fragment() {
+        assert!(count_tokens("slurm_rpc_node_registration") >= 4);
+        assert_eq!(count_tokens("temperature"), 3);
+    }
+
+    #[test]
+    fn numbers_fragment_faster() {
+        assert_eq!(count_tokens("12345678"), 2);
+        assert_eq!(count_tokens("deadbeef"), 2); // alphabetic 8 chars: 1+(8-6)/4→2
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(count_tokens(""), 0);
+        assert_eq!(count_tokens("   "), 0);
+    }
+
+    #[test]
+    fn truncation_respects_cap() {
+        let text = "one two three four five six seven eight";
+        let t = truncate_to_tokens(text, 3);
+        assert_eq!(t, "one two three");
+        assert!(count_tokens(&t) <= 3);
+    }
+
+    #[test]
+    fn truncation_with_large_cap_is_identity() {
+        let text = "short message";
+        assert_eq!(truncate_to_tokens(text, 100), text);
+    }
+
+    #[test]
+    fn truncation_zero_is_empty() {
+        assert_eq!(truncate_to_tokens("anything here", 0), "");
+    }
+}

@@ -1,0 +1,137 @@
+//! Zero-shot classification à la facebook/bart-large-mnli.
+//!
+//! §5.2: zero-shot "fixes the problems with generated classification, and
+//! the need to format the classification in the form of a prompt" — the
+//! model scores each candidate label by entailment and always returns an
+//! in-taxonomy answer. The trade-off the paper notes: no way to inject
+//! TF-IDF hints into the labels.
+//!
+//! The simulator scores entailment with the category language model's
+//! normalized likelihood, softmaxed over labels.
+
+use crate::latency::{LatencyModel, ZEROSHOT_LABELS};
+use crate::lm::CategoryLm;
+use crate::tokenizer::count_tokens;
+use hetsyslog_core::Category;
+
+/// A zero-shot entailment classifier.
+#[derive(Debug, Clone)]
+pub struct ZeroShotModel {
+    lm: CategoryLm,
+    latency: LatencyModel,
+}
+
+/// One zero-shot result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZeroShotOutput {
+    /// Labels with softmax scores, best first.
+    pub scores: Vec<(Category, f64)>,
+    /// Modeled inference seconds.
+    pub inference_seconds: f64,
+}
+
+impl ZeroShotOutput {
+    /// The winning category.
+    pub fn top(&self) -> Category {
+        self.scores[0].0
+    }
+
+    /// The winning score.
+    pub fn confidence(&self) -> f64 {
+        self.scores[0].1
+    }
+}
+
+impl ZeroShotModel {
+    /// Build with the BART-MNLI latency preset.
+    pub fn new(corpus: &[(String, Category)]) -> ZeroShotModel {
+        ZeroShotModel {
+            lm: CategoryLm::train(corpus),
+            latency: LatencyModel::bart_large_mnli(),
+        }
+    }
+
+    /// Classify one message over all eight labels.
+    pub fn classify(&self, message: &str) -> ZeroShotOutput {
+        let n_tokens = count_tokens(message).max(1) as f64;
+        let raw: Vec<(Category, f64)> = Category::ALL
+            .iter()
+            .map(|&c| (c, self.lm.log_likelihood(message, c) / n_tokens))
+            .collect();
+        // Softmax over length-normalized likelihoods.
+        let max = raw.iter().map(|(_, s)| *s).fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = raw.iter().map(|(_, s)| ((s - max) * 4.0).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        let mut scores: Vec<(Category, f64)> = raw
+            .iter()
+            .zip(&exps)
+            .map(|(&(c, _), &e)| (c, e / sum))
+            .collect();
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let premise_tokens = count_tokens(message) + 20; // hypothesis template
+        ZeroShotOutput {
+            scores,
+            inference_seconds: self
+                .latency
+                .inference_seconds(premise_tokens, ZEROSHOT_LABELS),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<(String, Category)> {
+        let mut c = Vec::new();
+        for i in 0..8 {
+            c.push((
+                format!("cpu {i} temperature above threshold throttled"),
+                Category::ThermalIssue,
+            ));
+            c.push((
+                format!("usb device {i} new number hub"),
+                Category::UsbDevice,
+            ));
+        }
+        c
+    }
+
+    #[test]
+    fn always_returns_valid_taxonomy_label() {
+        let m = ZeroShotModel::new(&corpus());
+        for msg in ["complete gibberish qqq", "", "cpu hot", "usb thing"] {
+            let out = m.classify(msg);
+            assert!(Category::ALL.contains(&out.top()));
+            assert_eq!(out.scores.len(), 8);
+        }
+    }
+
+    #[test]
+    fn scores_are_a_distribution() {
+        let m = ZeroShotModel::new(&corpus());
+        let out = m.classify("cpu temperature throttled");
+        let sum: f64 = out.scores.iter().map(|(_, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(out.scores.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!(out.confidence() > 1.0 / 8.0);
+    }
+
+    #[test]
+    fn classifies_by_vocabulary() {
+        let m = ZeroShotModel::new(&corpus());
+        assert_eq!(m.classify("cpu temperature throttled").top(), Category::ThermalIssue);
+        assert_eq!(m.classify("new usb device on hub").top(), Category::UsbDevice);
+    }
+
+    #[test]
+    fn latency_is_bart_scale() {
+        let m = ZeroShotModel::new(&corpus());
+        let out = m.classify("Warning: Socket 2 CPU 23 throttling");
+        assert!(
+            (0.05..0.4).contains(&out.inference_seconds),
+            "zero-shot latency {} out of BART envelope",
+            out.inference_seconds
+        );
+    }
+}

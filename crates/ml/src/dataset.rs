@@ -1,0 +1,248 @@
+//! Labeled sparse datasets: splits, shuffling, class balancing.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use textproc::SparseVec;
+
+/// A labeled dataset of sparse feature vectors.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// One sparse vector per sample.
+    pub features: Vec<SparseVec>,
+    /// Class index per sample, parallel to `features`.
+    pub labels: Vec<usize>,
+    /// Class index → display name.
+    pub class_names: Vec<String>,
+    n_features: usize,
+}
+
+impl Dataset {
+    /// Build a dataset; the feature dimensionality is inferred from the
+    /// data.
+    ///
+    /// # Panics
+    /// If `features` and `labels` lengths differ, or any label is out of
+    /// range for `class_names`.
+    pub fn new(features: Vec<SparseVec>, labels: Vec<usize>, class_names: Vec<String>) -> Dataset {
+        assert_eq!(features.len(), labels.len(), "features/labels length mismatch");
+        assert!(
+            labels.iter().all(|&l| l < class_names.len()),
+            "label out of range"
+        );
+        let n_features = features.iter().map(|f| f.max_dim()).max().unwrap_or(0);
+        Dataset {
+            features,
+            labels,
+            class_names,
+            n_features,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Feature-space dimensionality (max index + 1 over all samples).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Stratified train/test split: each class contributes `test_ratio` of
+    /// its samples (rounded down, at least 1 when the class has ≥ 2) to the
+    /// test set. Deterministic under `seed`.
+    pub fn stratified_split(&self, test_ratio: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..1.0).contains(&test_ratio), "test_ratio must be in [0,1)");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes()];
+        for (i, &l) in self.labels.iter().enumerate() {
+            by_class[l].push(i);
+        }
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for indices in &mut by_class {
+            indices.shuffle(&mut rng);
+            let mut n_test = (indices.len() as f64 * test_ratio).floor() as usize;
+            if n_test == 0 && indices.len() >= 2 && test_ratio > 0.0 {
+                n_test = 1;
+            }
+            test_idx.extend_from_slice(&indices[..n_test]);
+            train_idx.extend_from_slice(&indices[n_test..]);
+        }
+        train_idx.shuffle(&mut rng);
+        test_idx.shuffle(&mut rng);
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+
+    /// Extract the samples at `indices` (cloning features).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let features: Vec<SparseVec> = indices.iter().map(|&i| self.features[i].clone()).collect();
+        let labels: Vec<usize> = indices.iter().map(|&i| self.labels[i]).collect();
+        let mut d = Dataset::new(features, labels, self.class_names.clone());
+        // Preserve the parent dimensionality so models agree across splits.
+        d.n_features = self.n_features;
+        d
+    }
+
+    /// Random oversampling to the majority-class count (the balancing
+    /// strategy §4.4.2 motivates; Studiawan & Sohel recommend it for
+    /// imbalanced log data). Deterministic under `seed`.
+    pub fn random_oversample(&self, seed: u64) -> Dataset {
+        let counts = self.class_counts();
+        let target = counts.iter().copied().max().unwrap_or(0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes()];
+        for (i, &l) in self.labels.iter().enumerate() {
+            by_class[l].push(i);
+        }
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        for class_indices in by_class.iter().filter(|c| !c.is_empty()) {
+            for _ in class_indices.len()..target {
+                indices.push(class_indices[rng.gen_range(0..class_indices.len())]);
+            }
+        }
+        indices.shuffle(&mut rng);
+        self.subset(&indices)
+    }
+
+    /// Remove every sample of `class`, dropping the class from the label
+    /// space (the paper's "remove Unimportant" ablation). Returns the new
+    /// dataset and the mapping old-class-index → new-class-index.
+    pub fn drop_class(&self, class: usize) -> (Dataset, Vec<Option<usize>>) {
+        assert!(class < self.n_classes(), "class out of range");
+        let mut remap: Vec<Option<usize>> = Vec::with_capacity(self.n_classes());
+        let mut new_names = Vec::with_capacity(self.n_classes() - 1);
+        for (i, name) in self.class_names.iter().enumerate() {
+            if i == class {
+                remap.push(None);
+            } else {
+                remap.push(Some(new_names.len()));
+                new_names.push(name.clone());
+            }
+        }
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for (f, &l) in self.features.iter().zip(&self.labels) {
+            if let Some(nl) = remap[l] {
+                features.push(f.clone());
+                labels.push(nl);
+            }
+        }
+        let mut d = Dataset::new(features, labels, new_names);
+        d.n_features = self.n_features;
+        (d, remap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unbalanced() -> Dataset {
+        // 12 of class 0, 4 of class 1, 2 of class 2.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..18usize {
+            let class = if i < 12 { 0 } else if i < 16 { 1 } else { 2 };
+            features.push(SparseVec::from_pairs(vec![(i as u32, 1.0)]));
+            labels.push(class);
+        }
+        Dataset::new(features, labels, vec!["a".into(), "b".into(), "c".into()])
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let d = unbalanced();
+        assert_eq!(d.len(), 18);
+        assert_eq!(d.n_classes(), 3);
+        assert_eq!(d.class_counts(), vec![12, 4, 2]);
+        assert_eq!(d.n_features(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Dataset::new(vec![SparseVec::new()], vec![], vec!["a".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        Dataset::new(vec![SparseVec::new()], vec![3], vec!["a".into()]);
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_presence() {
+        let d = unbalanced();
+        let (train, test) = d.stratified_split(0.25, 42);
+        assert_eq!(train.len() + test.len(), d.len());
+        // Every class appears in both sides (class 2 has 2 samples: 1/1).
+        for c in 0..3 {
+            assert!(train.class_counts()[c] > 0, "class {c} missing from train");
+            assert!(test.class_counts()[c] > 0, "class {c} missing from test");
+        }
+        // Deterministic under the same seed.
+        let (train2, _) = d.stratified_split(0.25, 42);
+        assert_eq!(train.labels, train2.labels);
+        // Different under a different seed (extremely likely).
+        let (train3, _) = d.stratified_split(0.25, 43);
+        assert!(train.labels != train3.labels || train.features != train3.features);
+    }
+
+    #[test]
+    fn oversample_balances() {
+        let d = unbalanced();
+        let o = d.random_oversample(7);
+        assert_eq!(o.class_counts(), vec![12, 12, 12]);
+        // Original samples are all retained.
+        assert!(o.len() == 36);
+    }
+
+    #[test]
+    fn drop_class_remaps() {
+        let d = unbalanced();
+        let (dropped, remap) = d.drop_class(1);
+        assert_eq!(dropped.n_classes(), 2);
+        assert_eq!(dropped.len(), 14);
+        assert_eq!(remap, vec![Some(0), None, Some(1)]);
+        assert_eq!(dropped.class_names, vec!["a".to_string(), "c".to_string()]);
+        assert_eq!(dropped.class_counts(), vec![12, 2]);
+    }
+
+    #[test]
+    fn subset_preserves_dimensionality() {
+        let d = unbalanced();
+        let s = d.subset(&[0, 1]);
+        assert_eq!(s.n_features(), d.n_features());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new(vec![], vec![], vec!["a".into()]);
+        assert!(d.is_empty());
+        assert_eq!(d.n_features(), 0);
+        let (tr, te) = d.stratified_split(0.5, 1);
+        assert!(tr.is_empty() && te.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! From-scratch classical ML for sparse text features.
+//!
+//! Reimplements every traditional classifier the paper evaluates (Figure 3)
+//! plus the dataset tooling and metrics used to evaluate them:
+//!
+//! | Paper name             | Module        | Algorithm here                              |
+//! |------------------------|---------------|---------------------------------------------|
+//! | Logistic Regression    | [`logreg`]    | multinomial softmax, full-batch GD          |
+//! | Ridge Classifier       | [`ridge`]     | one-vs-rest least squares + L2, GD          |
+//! | kNN                    | [`knn`]       | brute-force cosine k-nearest neighbours     |
+//! | Random Forest          | [`forest`]    | bagged CART trees, gini, feature sampling   |
+//! | Linear SVC             | [`svc`]       | one-vs-rest L2-SVM, dual coordinate descent |
+//! | Log-loss SGD           | [`sgd`]       | one-vs-rest logistic SGD, few epochs        |
+//! | Nearest Centroid       | [`centroid`]  | per-class mean, cosine distance             |
+//! | Complement Naïve Bayes | [`nb`]        | Rennie et al. complement NB                 |
+//!
+//! All models implement [`Classifier`] over [`textproc::SparseVec`]
+//! features, are deterministic under a fixed seed, and parallelize batch
+//! prediction (and forest training) with rayon.
+
+pub mod balance;
+pub mod centroid;
+pub mod dataset;
+pub mod forest;
+pub mod knn;
+pub mod logreg;
+pub mod metrics;
+pub mod nb;
+pub mod ridge;
+pub mod sgd;
+pub mod svc;
+pub mod traits;
+pub mod tree;
+
+pub use balance::{adasyn_oversample, smote_oversample};
+pub use centroid::NearestCentroid;
+pub use dataset::Dataset;
+pub use forest::{RandomForest, RandomForestConfig};
+pub use knn::{KNearestNeighbors, KnnConfig};
+pub use logreg::{LogisticRegression, LogisticRegressionConfig};
+pub use metrics::{ClassificationReport, ConfusionMatrix};
+pub use nb::{ComplementNaiveBayes, ComplementNbConfig};
+pub use ridge::{RidgeClassifier, RidgeConfig};
+pub use sgd::{SgdClassifier, SgdConfig};
+pub use svc::{LinearSvc, LinearSvcConfig};
+pub use traits::Classifier;
+pub use tree::{DecisionTree, DecisionTreeConfig};
+
+/// Construct the paper's full classifier suite (Figure 3 rows) with
+/// defaults tuned for syslog-scale TF-IDF data.
+pub fn paper_suite(seed: u64) -> Vec<Box<dyn Classifier>> {
+    vec![
+        Box::new(LogisticRegression::new(LogisticRegressionConfig::default())),
+        Box::new(RidgeClassifier::new(RidgeConfig::default())),
+        Box::new(KNearestNeighbors::new(KnnConfig::default())),
+        Box::new(RandomForest::new(RandomForestConfig {
+            seed,
+            ..RandomForestConfig::default()
+        })),
+        Box::new(LinearSvc::new(LinearSvcConfig::default())),
+        Box::new(SgdClassifier::new(SgdConfig {
+            seed,
+            ..SgdConfig::default()
+        })),
+        Box::new(NearestCentroid::default()),
+        Box::new(ComplementNaiveBayes::new(ComplementNbConfig::default())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eight_models_with_unique_names() {
+        let suite = paper_suite(7);
+        assert_eq!(suite.len(), 8);
+        let mut names: Vec<&str> = suite.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+}

@@ -1,0 +1,223 @@
+//! Multinomial logistic regression (softmax) with full-batch gradient
+//! descent and L2 regularization.
+//!
+//! Plays the role of scikit-learn's `LogisticRegression(solver="lbfgs")` in
+//! the paper's Figure 3: a well-converged but not cheap linear model —
+//! slower to train than SGD, faster than Linear SVC.
+
+use crate::dataset::Dataset;
+use crate::traits::Classifier;
+use rayon::prelude::*;
+use textproc::SparseVec;
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegressionConfig {
+    /// Full-batch epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Stop early when the mean absolute weight update falls below this.
+    pub tolerance: f64,
+}
+
+impl Default for LogisticRegressionConfig {
+    fn default() -> Self {
+        LogisticRegressionConfig {
+            epochs: 400,
+            learning_rate: 4.0,
+            l2: 1e-6,
+            tolerance: 5e-8,
+        }
+    }
+}
+
+/// Multinomial logistic regression model.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    config: LogisticRegressionConfig,
+    /// Per-class weight rows, each `n_features` long.
+    weights: Vec<Vec<f64>>,
+    bias: Vec<f64>,
+}
+
+impl LogisticRegression {
+    /// Create an untrained model.
+    pub fn new(config: LogisticRegressionConfig) -> LogisticRegression {
+        LogisticRegression {
+            config,
+            weights: Vec::new(),
+            bias: Vec::new(),
+        }
+    }
+
+    /// Per-class probabilities for one sample.
+    pub fn predict_proba(&self, x: &SparseVec) -> Vec<f64> {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        let scores: Vec<f64> = self
+            .weights
+            .iter()
+            .zip(&self.bias)
+            .map(|(w, b)| x.dot_dense(w) + b)
+            .collect();
+        softmax(&scores)
+    }
+}
+
+/// Numerically stable softmax.
+pub(crate) fn softmax(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+impl Classifier for LogisticRegression {
+    fn name(&self) -> &'static str {
+        "Logistic Regression"
+    }
+
+    fn fit(&mut self, data: &Dataset) {
+        let n_classes = data.n_classes();
+        let n_features = data.n_features();
+        let n = data.len().max(1);
+        self.weights = vec![vec![0.0; n_features]; n_classes];
+        self.bias = vec![0.0; n_classes];
+
+        for _ in 0..self.config.epochs {
+            // Parallel gradient accumulation: map samples to (grad, bias
+            // grad) contributions, reduce by summation.
+            let (grad, bias_grad) = data
+                .features
+                .par_iter()
+                .zip(data.labels.par_iter())
+                .fold(
+                    || (vec![vec![0.0; n_features]; n_classes], vec![0.0; n_classes]),
+                    |(mut g, mut bg), (x, &label)| {
+                        let scores: Vec<f64> = self
+                            .weights
+                            .iter()
+                            .zip(&self.bias)
+                            .map(|(w, b)| x.dot_dense(w) + b)
+                            .collect();
+                        let probs = softmax(&scores);
+                        for c in 0..n_classes {
+                            let err = probs[c] - if c == label { 1.0 } else { 0.0 };
+                            if err != 0.0 {
+                                x.add_scaled_to_dense(&mut g[c], err);
+                                bg[c] += err;
+                            }
+                        }
+                        (g, bg)
+                    },
+                )
+                .reduce(
+                    || (vec![vec![0.0; n_features]; n_classes], vec![0.0; n_classes]),
+                    |(mut ga, mut bga), (gb, bgb)| {
+                        for (ra, rb) in ga.iter_mut().zip(&gb) {
+                            for (va, vb) in ra.iter_mut().zip(rb) {
+                                *va += vb;
+                            }
+                        }
+                        for (va, vb) in bga.iter_mut().zip(&bgb) {
+                            *va += vb;
+                        }
+                        (ga, bga)
+                    },
+                );
+
+            let lr = self.config.learning_rate / n as f64;
+            let mut total_update = 0.0;
+            for c in 0..n_classes {
+                for (w, g) in self.weights[c].iter_mut().zip(&grad[c]) {
+                    let update = lr * (g + self.config.l2 * *w * n as f64);
+                    *w -= update;
+                    total_update += update.abs();
+                }
+                self.bias[c] -= lr * bias_grad[c];
+            }
+            if total_update / ((n_classes * n_features.max(1)) as f64) < self.config.tolerance {
+                break;
+            }
+        }
+    }
+
+    fn predict(&self, x: &SparseVec) -> usize {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (c, (w, b)) in self.weights.iter().zip(&self.bias).enumerate() {
+            let score = x.dot_dense(w) + b;
+            if score > best_score {
+                best_score = score;
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn n_classes(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::testutil::{assert_learns_toy, toy_dataset};
+
+    #[test]
+    fn learns_toy_problem() {
+        let mut m = LogisticRegression::new(LogisticRegressionConfig::default());
+        assert_learns_toy(&mut m);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let data = toy_dataset();
+        let mut m = LogisticRegression::new(LogisticRegressionConfig::default());
+        m.fit(&data);
+        let p = m.predict_proba(&data.features[0]);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn softmax_stability_under_large_scores() {
+        let p = softmax(&[1000.0, 1001.0, 999.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[1] > p[0] && p[0] > p[2]);
+    }
+
+    #[test]
+    fn refit_replaces_state() {
+        let data = toy_dataset();
+        let mut m = LogisticRegression::new(LogisticRegressionConfig::default());
+        m.fit(&data);
+        let before = m.predict_batch(&data.features);
+        m.fit(&data);
+        let after = m.predict_batch(&data.features);
+        assert_eq!(before, after, "fit must be deterministic and re-entrant");
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        LogisticRegression::new(LogisticRegressionConfig::default())
+            .predict(&SparseVec::new());
+    }
+
+    #[test]
+    fn unseen_features_ignored() {
+        let data = toy_dataset();
+        let mut m = LogisticRegression::new(LogisticRegressionConfig::default());
+        m.fit(&data);
+        // Feature index 9999 is outside the trained space.
+        let x = SparseVec::from_pairs(vec![(0, 1.0), (1, 0.8), (9999, 5.0)]);
+        assert_eq!(m.predict(&x), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests: metric identities and cross-model invariants on random
+//! separable datasets.
+
+use hetsyslog_ml::metrics::ConfusionMatrix;
+use hetsyslog_ml::{
+    Classifier, ComplementNaiveBayes, ComplementNbConfig, Dataset, KNearestNeighbors, KnnConfig,
+    NearestCentroid,
+};
+use proptest::prelude::*;
+use textproc::SparseVec;
+
+fn class_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("c{i}")).collect()
+}
+
+proptest! {
+    /// Confusion-matrix row sums equal per-class support, and the diagonal
+    /// of a self-comparison is the full support.
+    #[test]
+    fn confusion_row_sums(labels in proptest::collection::vec(0usize..4, 1..60)) {
+        let cm = ConfusionMatrix::from_predictions(&class_names(4), &labels, &labels);
+        prop_assert_eq!(cm.accuracy(), 1.0);
+        for c in 0..4 {
+            let expected = labels.iter().filter(|&&l| l == c).count() as u64;
+            prop_assert_eq!(cm.support(c), expected);
+            prop_assert_eq!(cm.get(c, c), expected);
+        }
+        prop_assert_eq!(cm.total(), labels.len() as u64);
+    }
+
+    /// Weighted F1 is bounded by [0, 1] for arbitrary prediction vectors.
+    #[test]
+    fn weighted_f1_bounded(
+        truth in proptest::collection::vec(0usize..3, 1..50),
+        seed in 0u64..1000,
+    ) {
+        let predicted: Vec<usize> = truth
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| if (i as u64 + seed).is_multiple_of(3) { (t + 1) % 3 } else { t })
+            .collect();
+        let cm = ConfusionMatrix::from_predictions(&class_names(3), &truth, &predicted);
+        let f1 = cm.weighted_f1();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f1));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&cm.macro_f1()));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&cm.accuracy()));
+    }
+
+    /// On a cleanly separable random dataset, every cheap model predicts
+    /// training labels correctly (kNN k=1 must be exact; centroid and CNB
+    /// near-exact given disjoint feature blocks).
+    #[test]
+    fn models_fit_separable_data(
+        n_per_class in 2usize..8,
+        n_classes in 2usize..5,
+        scale in 0.5f64..3.0,
+    ) {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..n_classes {
+            for r in 0..n_per_class {
+                let base = (c * 4) as u32;
+                features.push(SparseVec::from_pairs(vec![
+                    (base, scale),
+                    (base + 1, scale * 0.5 + r as f64 * 0.01),
+                ]));
+                labels.push(c);
+            }
+        }
+        let data = Dataset::new(features, labels, class_names(n_classes));
+
+        let mut knn = KNearestNeighbors::new(KnnConfig { k: 1 });
+        knn.fit(&data);
+        prop_assert_eq!(knn.predict_batch(&data.features), data.labels.clone());
+
+        let mut nc = NearestCentroid::new();
+        nc.fit(&data);
+        prop_assert_eq!(nc.predict_batch(&data.features), data.labels.clone());
+
+        let mut cnb = ComplementNaiveBayes::new(ComplementNbConfig::default());
+        cnb.fit(&data);
+        prop_assert_eq!(cnb.predict_batch(&data.features), data.labels.clone());
+    }
+
+    /// Stratified splits partition the data and never lose samples, for
+    /// arbitrary ratios and seeds.
+    #[test]
+    fn split_partitions(
+        labels in proptest::collection::vec(0usize..3, 6..80),
+        ratio in 0.1f64..0.9,
+        seed in 0u64..500,
+    ) {
+        let features: Vec<SparseVec> = (0..labels.len())
+            .map(|i| SparseVec::from_pairs(vec![(i as u32, 1.0)]))
+            .collect();
+        let data = Dataset::new(features, labels, class_names(3));
+        let (train, test) = data.stratified_split(ratio, seed);
+        prop_assert_eq!(train.len() + test.len(), data.len());
+        // Class counts are preserved in the union.
+        let union: Vec<usize> = (0..3)
+            .map(|c| train.class_counts()[c] + test.class_counts()[c])
+            .collect();
+        prop_assert_eq!(union, data.class_counts());
+    }
+
+    /// SMOTE and ADASYN balance every non-empty class to the majority
+    /// count, and synthetic points carry only values producible by
+    /// interpolation (bounded by the class's max feature values).
+    #[test]
+    fn smote_adasyn_balance(
+        minority in 1usize..5,
+        majority in 5usize..12,
+        seed in 0u64..50,
+    ) {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..majority {
+            features.push(SparseVec::from_pairs(vec![(0, 1.0 + i as f64 * 0.1)]));
+            labels.push(0);
+        }
+        for i in 0..minority {
+            features.push(SparseVec::from_pairs(vec![(5, 2.0 + i as f64 * 0.2)]));
+            labels.push(1);
+        }
+        let data = Dataset::new(features, labels, class_names(2));
+        for balanced in [
+            hetsyslog_ml::smote_oversample(&data, 3, seed),
+            hetsyslog_ml::adasyn_oversample(&data, 3, seed),
+        ] {
+            prop_assert_eq!(balanced.class_counts(), vec![majority, majority]);
+            // Synthetic minority points stay inside the minority's bounding
+            // box on feature 5 and never touch majority feature 0.
+            let max_v = 2.0 + (minority as f64 - 1.0) * 0.2;
+            for (x, &l) in balanced.features.iter().zip(&balanced.labels).skip(data.len()) {
+                prop_assert_eq!(l, 1);
+                prop_assert_eq!(x.get(0), 0.0);
+                prop_assert!(x.get(5) >= 2.0 - 1e-9 && x.get(5) <= max_v + 1e-9);
+            }
+        }
+    }
+
+    /// Oversampling yields perfectly balanced classes among non-empty ones.
+    #[test]
+    fn oversample_balances(
+        labels in proptest::collection::vec(0usize..3, 3..40),
+        seed in 0u64..100,
+    ) {
+        let features: Vec<SparseVec> = (0..labels.len())
+            .map(|i| SparseVec::from_pairs(vec![(i as u32, 1.0)]))
+            .collect();
+        let data = Dataset::new(features, labels, class_names(3));
+        let balanced = data.random_oversample(seed);
+        let orig = data.class_counts();
+        let target = *orig.iter().max().unwrap();
+        for (c, &count) in balanced.class_counts().iter().enumerate() {
+            if orig[c] > 0 {
+                prop_assert_eq!(count, target);
+            } else {
+                prop_assert_eq!(count, 0);
+            }
+        }
+    }
+}

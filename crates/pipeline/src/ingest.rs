@@ -1,0 +1,223 @@
+//! The multi-threaded collector: rsyslogd → Fluentd → store, as a
+//! crossbeam-channel pipeline.
+//!
+//! Stage 1 (this thread): feed raw frames into a bounded channel —
+//! backpressure stands in for the syslog server's queue. Stage 2 (N parser
+//! workers): parse frames into [`LogRecord`]s. Stage 3 (the workers,
+//! directly): insert into the shared [`LogStore`], whose sharded locks
+//! absorb the concurrency.
+
+use crate::record::LogRecord;
+use crate::store::LogStore;
+use crossbeam::channel;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Pipeline statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IngestReport {
+    /// Frames ingested into the store.
+    pub ingested: u64,
+    /// Frames that fell back to free-form parsing (no RFC grammar).
+    pub free_form: u64,
+    /// Empty frames dropped.
+    pub dropped: u64,
+    /// Wall-clock seconds for the whole run.
+    pub seconds: f64,
+}
+
+impl IngestReport {
+    /// Ingest throughput, messages/second.
+    pub fn messages_per_second(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.ingested as f64 / self.seconds
+        }
+    }
+}
+
+/// A configurable ingest pipeline over a shared store.
+pub struct IngestPipeline {
+    store: Arc<LogStore>,
+    workers: usize,
+    queue_depth: usize,
+    /// Event time assigned to frames without a timestamp.
+    fallback_time: i64,
+}
+
+impl IngestPipeline {
+    /// Build over `store` with `workers` parser threads.
+    pub fn new(store: Arc<LogStore>, workers: usize) -> IngestPipeline {
+        IngestPipeline {
+            store,
+            workers: workers.max(1),
+            queue_depth: 8192,
+            fallback_time: 0,
+        }
+    }
+
+    /// Set the fallback event time for frames without timestamps.
+    pub fn with_fallback_time(mut self, t: i64) -> IngestPipeline {
+        self.fallback_time = t;
+        self
+    }
+
+    /// Run the pipeline over a raw TCP byte stream (RFC 6587 framing,
+    /// octet-counted or LF-delimited), as delivered by the syslog server's
+    /// socket in arbitrary chunks.
+    pub fn run_stream<I>(&self, chunks: I) -> IngestReport
+    where
+        I: IntoIterator<Item = Vec<u8>>,
+    {
+        let mut decoder = syslog_model::FrameDecoder::new();
+        let mut frames: Vec<String> = Vec::new();
+        for chunk in chunks {
+            frames.extend(decoder.push(&chunk));
+        }
+        frames.extend(decoder.finish());
+        self.run(frames)
+    }
+
+    /// Run the pipeline to completion over an iterator of raw frames.
+    pub fn run<I>(&self, frames: I) -> IngestReport
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let started = Instant::now();
+        let (tx, rx) = channel::bounded::<String>(self.queue_depth);
+        let ingested = AtomicU64::new(0);
+        let free_form = AtomicU64::new(0);
+        let dropped = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let rx = rx.clone();
+                let store = &self.store;
+                let ingested = &ingested;
+                let free_form = &free_form;
+                let dropped = &dropped;
+                let fallback_time = self.fallback_time;
+                scope.spawn(move || {
+                    for frame in rx.iter() {
+                        match syslog_model::parse(&frame) {
+                            Ok(msg) => {
+                                if msg.protocol == syslog_model::Protocol::FreeForm {
+                                    free_form.fetch_add(1, Ordering::Relaxed);
+                                }
+                                let record = LogRecord::from_message(
+                                    store.allocate_id(),
+                                    &msg,
+                                    fallback_time,
+                                );
+                                store.insert(record);
+                                ingested.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                dropped.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+            drop(rx);
+            for frame in frames {
+                // Bounded send: blocks when parsers lag (backpressure).
+                if tx.send(frame).is_err() {
+                    break;
+                }
+            }
+            drop(tx);
+        });
+
+        IngestReport {
+            ingested: ingested.into_inner(),
+            free_form: free_form.into_inner(),
+            dropped: dropped.into_inner(),
+            seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_stores_frames() {
+        let store = Arc::new(LogStore::new());
+        let pipeline = IngestPipeline::new(store.clone(), 4);
+        let frames: Vec<String> = (0..500)
+            .map(|i| format!("<13>Oct 11 22:14:{:02} cn{:04} kernel: event number {i}", i % 60, i % 9 + 1))
+            .collect();
+        let report = pipeline.run(frames);
+        assert_eq!(report.ingested, 500);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(store.len(), 500);
+        assert!(report.messages_per_second() > 0.0);
+    }
+
+    #[test]
+    fn free_form_frames_counted_not_lost() {
+        let store = Arc::new(LogStore::new());
+        let pipeline = IngestPipeline::new(store.clone(), 2).with_fallback_time(777);
+        let report = pipeline.run(vec![
+            "vendor gibberish without any header".to_string(),
+            "<13>Oct 11 22:14:15 cn0001 kernel: fine".to_string(),
+        ]);
+        assert_eq!(report.ingested, 2);
+        assert_eq!(report.free_form, 1);
+        // The free-form record got the fallback time.
+        assert_eq!(store.search(777, 778, &[]).len(), 1);
+    }
+
+    #[test]
+    fn empty_frames_dropped() {
+        let store = Arc::new(LogStore::new());
+        let pipeline = IngestPipeline::new(store.clone(), 2);
+        let report = pipeline.run(vec![String::new(), String::new()]);
+        assert_eq!(report.ingested, 0);
+        assert_eq!(report.dropped, 2);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn tcp_stream_framing_front_end() {
+        let store = Arc::new(LogStore::new());
+        let pipeline = IngestPipeline::new(store.clone(), 2);
+        // Two frames: one octet-counted, one LF-delimited, chopped into
+        // awkward chunk boundaries.
+        let f1 = "<13>Oct 11 22:14:15 cn0001 kernel: first frame";
+        let f2 = "<13>Oct 11 22:14:16 cn0002 kernel: second frame";
+        let wire = format!("{} {f1}{f2}\n", f1.len()).into_bytes();
+        let chunks: Vec<Vec<u8>> = wire.chunks(7).map(|c| c.to_vec()).collect();
+        let report = pipeline.run_stream(chunks);
+        assert_eq!(report.ingested, 2);
+        assert_eq!(store.search(0, i64::MAX / 2, &["first".to_string()]).len(), 1);
+        assert_eq!(store.search(0, i64::MAX / 2, &["second".to_string()]).len(), 1);
+    }
+
+    #[test]
+    fn darwin_scale_throughput_smoke() {
+        // The paper: >1M messages/hour (~280/s) on real hardware. The
+        // in-process pipeline should beat that by orders of magnitude.
+        let store = Arc::new(LogStore::new());
+        let pipeline = IngestPipeline::new(store.clone(), 4);
+        let frames: Vec<String> = (0..20_000)
+            .map(|i| {
+                format!(
+                    "<13>Oct 11 {:02}:{:02}:{:02} cn{:04} slurmd: slurm_rpc_node_registration complete usec={i}",
+                    i / 3600 % 24, i / 60 % 60, i % 60, i % 400 + 1
+                )
+            })
+            .collect();
+        let report = pipeline.run(frames);
+        assert_eq!(report.ingested, 20_000);
+        assert!(
+            report.messages_per_second() > 280.0,
+            "pipeline slower than Darwin's real load: {}/s",
+            report.messages_per_second()
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Tivan-like log infrastructure (§4.2), in-process.
+//!
+//! The paper's collection stack is rsyslogd → Fluentd → OpenSearch with
+//! Grafana on top: 8 Dell R530s storing thirty million records a month.
+//! This crate is the in-process equivalent built for the same workload
+//! shape:
+//!
+//! * [`topology`] — the heterogeneous test-bed model: racks, nodes,
+//!   architectures (Darwin's defining property);
+//! * [`record`] — the stored log record;
+//! * [`store`] — a time-sharded, inverted-index log store (the OpenSearch
+//!   stand-in) behind `parking_lot` locks;
+//! * [`query`] — boolean term + time-range + metadata queries;
+//! * [`ingest`] — the multi-threaded collector (the rsyslog/Fluentd
+//!   stand-in) built on crossbeam channels;
+//! * [`views`] — the §4.5 monitoring views: frequency/temporal analysis
+//!   with burst detection, positional (per-rack) analysis, and
+//!   per-architecture anomaly comparison;
+//! * [`monitor`] — glue that runs a [`hetsyslog_core::TextClassifier`]
+//!   inside the ingest path for real-time classification.
+
+pub mod ingest;
+pub mod monitor;
+pub mod query;
+pub mod record;
+pub mod sensors;
+pub mod store;
+pub mod topology;
+pub mod views;
+
+pub use ingest::{IngestPipeline, IngestReport};
+pub use monitor::ClassifyingIngest;
+pub use query::Query;
+pub use record::LogRecord;
+pub use sensors::{compare_to_arch_peers, sensor_sweep, SensorReading, SensorVerdict};
+pub use store::LogStore;
+pub use topology::{Architecture, ClusterTopology, NodeInfo};

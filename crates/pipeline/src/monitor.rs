@@ -1,0 +1,202 @@
+//! Real-time classification inside the ingest path — the end state the
+//! paper's Future Work aims at: "deploying our trained models on the new
+//! data we stored in our collection system".
+
+use crate::record::LogRecord;
+use crate::store::LogStore;
+use crossbeam::channel;
+use hetsyslog_core::{MonitorService, TextClassifier};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Ingest + classify report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClassifyReport {
+    /// Records stored.
+    pub ingested: u64,
+    /// Records dropped by the noise pre-filter (not stored with category).
+    pub prefiltered: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl ClassifyReport {
+    /// End-to-end classified-ingest throughput.
+    pub fn messages_per_second(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.ingested as f64 / self.seconds
+        }
+    }
+}
+
+/// An ingest pipeline that classifies every record in flight via a
+/// [`MonitorService`] (classifier + optional pre-filter + alerting) before
+/// storing it.
+pub struct ClassifyingIngest {
+    store: Arc<LogStore>,
+    service: Arc<MonitorService>,
+    workers: usize,
+    fallback_time: i64,
+}
+
+impl ClassifyingIngest {
+    /// Build over a shared store and monitor service.
+    pub fn new(
+        store: Arc<LogStore>,
+        service: Arc<MonitorService>,
+        workers: usize,
+    ) -> ClassifyingIngest {
+        ClassifyingIngest {
+            store,
+            service,
+            workers: workers.max(1),
+            fallback_time: 0,
+        }
+    }
+
+    /// Set the fallback event time.
+    pub fn with_fallback_time(mut self, t: i64) -> ClassifyingIngest {
+        self.fallback_time = t;
+        self
+    }
+
+    /// Run to completion over raw frames. Pre-filtered (noise) records are
+    /// still stored — with `category = None` — so the store stays complete
+    /// while the classifier and alert path skip them.
+    pub fn run<I>(&self, frames: I) -> ClassifyReport
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let started = Instant::now();
+        let (tx, rx) = channel::bounded::<String>(8192);
+        let ingested = AtomicU64::new(0);
+        let prefiltered = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let rx = rx.clone();
+                let store = &self.store;
+                let service = &self.service;
+                let ingested = &ingested;
+                let prefiltered = &prefiltered;
+                let fallback_time = self.fallback_time;
+                scope.spawn(move || {
+                    for frame in rx.iter() {
+                        let Ok(msg) = syslog_model::parse(&frame) else { continue };
+                        let mut record =
+                            LogRecord::from_message(store.allocate_id(), &msg, fallback_time);
+                        match service.ingest(&record.message) {
+                            Some(prediction) => {
+                                record.category = Some(prediction.category);
+                            }
+                            None => {
+                                prefiltered.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        store.insert(record);
+                        ingested.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            drop(rx);
+            for frame in frames {
+                if tx.send(frame).is_err() {
+                    break;
+                }
+            }
+            drop(tx);
+        });
+
+        ClassifyReport {
+            ingested: ingested.into_inner(),
+            prefiltered: prefiltered.into_inner(),
+            seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The monitor service (for stats / alert inspection).
+    pub fn service(&self) -> &MonitorService {
+        &self.service
+    }
+}
+
+/// Convenience: build a [`ClassifyingIngest`] from a bare classifier with
+/// no pre-filter or alerting.
+pub fn classifying_ingest(
+    store: Arc<LogStore>,
+    classifier: Arc<dyn TextClassifier>,
+    workers: usize,
+) -> ClassifyingIngest {
+    ClassifyingIngest::new(store, Arc::new(MonitorService::new(classifier)), workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsyslog_core::{Category, NoiseFilter, Prediction};
+
+    struct Stub;
+    impl TextClassifier for Stub {
+        fn name(&self) -> String {
+            "stub".into()
+        }
+        fn classify(&self, message: &str) -> Prediction {
+            if message.contains("throttled") {
+                Prediction::bare(Category::ThermalIssue)
+            } else {
+                Prediction::bare(Category::Unimportant)
+            }
+        }
+    }
+
+    #[test]
+    fn classifies_in_flight() {
+        let store = Arc::new(LogStore::new());
+        let ingest = classifying_ingest(store.clone(), Arc::new(Stub), 2);
+        let frames = vec![
+            "<13>Oct 11 22:14:15 cn0001 kernel: cpu clock throttled".to_string(),
+            "<13>Oct 11 22:14:16 cn0002 systemd: Started Session 1".to_string(),
+        ];
+        let report = ingest.run(frames);
+        assert_eq!(report.ingested, 2);
+        let hot = store.search(0, i64::MAX / 2, &["throttled".to_string()]);
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].category, Some(Category::ThermalIssue));
+        assert_eq!(ingest.service().stats().total, 2);
+    }
+
+    #[test]
+    fn prefiltered_records_stored_unclassified() {
+        let mut filter = NoiseFilter::empty(2);
+        filter.add_pattern("Started Session 1");
+        let service = Arc::new(
+            hetsyslog_core::MonitorService::new(Arc::new(Stub) as Arc<dyn TextClassifier>)
+                .with_prefilter(filter),
+        );
+        let store = Arc::new(LogStore::new());
+        let ingest = ClassifyingIngest::new(store.clone(), service, 2);
+        let report = ingest.run(vec![
+            "<13>Oct 11 22:14:16 cn0002 systemd: Started Session 1".to_string(),
+        ]);
+        assert_eq!(report.ingested, 1);
+        assert_eq!(report.prefiltered, 1);
+        let all = store.search(0, i64::MAX / 2, &[]);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].category, None);
+    }
+
+    #[test]
+    fn concurrent_classification_volume() {
+        let store = Arc::new(LogStore::new());
+        let ingest = classifying_ingest(store.clone(), Arc::new(Stub), 4);
+        let frames: Vec<String> = (0..2000)
+            .map(|i| format!("<13>Oct 11 22:{:02}:{:02} cn0001 kernel: cpu clock throttled {i}", i / 60 % 60, i % 60))
+            .collect();
+        let report = ingest.run(frames);
+        assert_eq!(report.ingested, 2000);
+        assert_eq!(ingest.service().stats().count(Category::ThermalIssue), 2000);
+    }
+}

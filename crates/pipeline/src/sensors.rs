@@ -1,0 +1,298 @@
+//! IPMI sensor-reading comparison across architecture peers — the concrete
+//! §4.5.3 example.
+//!
+//! "Fans or thermal sensors will occasionally report through IPMI that
+//! they are not functioning or the reading for those sensors are unusually
+//! high or low, however when comparing readings from other nodes from the
+//! same architecture the readings are exactly the same" — i.e. early-access
+//! chassis firmware lies consistently, and the tell is *identical* readings
+//! across every peer, not a statistical outlier.
+//!
+//! This module models that workflow: a stream of [`SensorReading`]s, a
+//! synthetic generator with injectable per-node faults and arch-wide
+//! firmware quirks, and [`compare_to_arch_peers`] producing the §4.5.3
+//! verdict.
+
+use crate::topology::{Architecture, ClusterTopology};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One IPMI sensor sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorReading {
+    /// Node name.
+    pub node: String,
+    /// Sensor id (`CPU_Temp`, `Fan4`, …).
+    pub sensor: String,
+    /// The reading.
+    pub value: f64,
+    /// Sample time, Unix seconds.
+    pub unix_seconds: i64,
+}
+
+/// Verdict of the per-architecture sensor comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SensorVerdict {
+    /// Reading is consistent with architecture peers.
+    Nominal,
+    /// Reading deviates from peers — a genuine per-node issue.
+    Anomalous {
+        /// The node's reading.
+        value: f64,
+        /// Peer mean.
+        peer_mean: f64,
+        /// Peer standard deviation.
+        peer_std: f64,
+    },
+    /// Every peer reports exactly this value — the §4.5.3 firmware
+    /// false positive; the node is fine.
+    IdenticalAcrossArch {
+        /// The shared (bogus) reading.
+        value: f64,
+    },
+}
+
+/// Latest reading per node for `sensor`, restricted to `arch` peers.
+fn latest_per_peer<'a>(
+    topology: &ClusterTopology,
+    readings: &'a [SensorReading],
+    arch: Architecture,
+    sensor: &str,
+) -> BTreeMap<&'a str, f64> {
+    let mut latest: BTreeMap<&str, (i64, f64)> = BTreeMap::new();
+    for r in readings {
+        if r.sensor != sensor {
+            continue;
+        }
+        let Some(node) = topology.node(&r.node) else { continue };
+        if node.arch != arch {
+            continue;
+        }
+        match latest.get(r.node.as_str()) {
+            Some(&(t, _)) if t >= r.unix_seconds => {}
+            _ => {
+                latest.insert(&r.node, (r.unix_seconds, r.value));
+            }
+        }
+    }
+    latest.into_iter().map(|(n, (_, v))| (n, v)).collect()
+}
+
+/// Compare `node`'s latest `sensor` reading against same-architecture
+/// peers. `k` is the σ multiplier for the anomaly threshold.
+///
+/// Returns `None` when the node is unknown or has no reading.
+pub fn compare_to_arch_peers(
+    topology: &ClusterTopology,
+    readings: &[SensorReading],
+    node_name: &str,
+    sensor: &str,
+    k: f64,
+) -> Option<SensorVerdict> {
+    let node = topology.node(node_name)?;
+    let per_peer = latest_per_peer(topology, readings, node.arch, sensor);
+    let own = *per_peer.get(node_name)?;
+    let peers: Vec<f64> = per_peer
+        .iter()
+        .filter(|(n, _)| **n != node_name)
+        .map(|(_, &v)| v)
+        .collect();
+    if peers.is_empty() {
+        return Some(SensorVerdict::Nominal);
+    }
+    // The firmware-quirk tell: every node (peers AND this one) reports the
+    // exact same value.
+    if peers.len() >= 2 && peers.iter().all(|&v| v == own) {
+        return Some(SensorVerdict::IdenticalAcrossArch { value: own });
+    }
+    let mean = peers.iter().sum::<f64>() / peers.len() as f64;
+    let var = peers.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / peers.len() as f64;
+    let std = var.sqrt();
+    // A std floor keeps k·σ meaningful when peers agree closely.
+    let threshold = k * std.max(mean.abs() * 0.02 + 0.5);
+    if (own - mean).abs() > threshold {
+        Some(SensorVerdict::Anomalous {
+            value: own,
+            peer_mean: mean,
+            peer_std: std,
+        })
+    } else {
+        Some(SensorVerdict::Nominal)
+    }
+}
+
+/// Synthetic sensor-sweep generator with injectable failures.
+#[derive(Debug, Clone)]
+pub struct SensorSweepConfig {
+    /// Sensor id to sample.
+    pub sensor: String,
+    /// Per-architecture baseline values (unlisted architectures use 60.0).
+    pub baselines: Vec<(Architecture, f64)>,
+    /// Gaussian-ish jitter half-width around the baseline.
+    pub jitter: f64,
+    /// Nodes whose readings are forced high (a genuine fault).
+    pub faulty_nodes: Vec<(String, f64)>,
+    /// Architectures whose firmware reports a constant bogus value on
+    /// every node (the §4.5.3 quirk).
+    pub quirky_archs: Vec<(Architecture, f64)>,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for SensorSweepConfig {
+    fn default() -> Self {
+        SensorSweepConfig {
+            sensor: "CPU_Temp".to_string(),
+            baselines: vec![
+                (Architecture::X86Intel, 62.0),
+                (Architecture::X86Amd, 58.0),
+                (Architecture::Aarch64, 48.0),
+                (Architecture::Ppc64le, 66.0),
+                (Architecture::GpuA100, 70.0),
+            ],
+            jitter: 4.0,
+            faulty_nodes: Vec::new(),
+            quirky_archs: Vec::new(),
+            seed: 42,
+        }
+    }
+}
+
+/// Sample every node in the topology once.
+pub fn sensor_sweep(
+    topology: &ClusterTopology,
+    config: &SensorSweepConfig,
+    unix_seconds: i64,
+) -> Vec<SensorReading> {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    topology
+        .nodes()
+        .map(|node| {
+            let value = if let Some((_, v)) = config
+                .quirky_archs
+                .iter()
+                .find(|(a, _)| *a == node.arch)
+            {
+                *v
+            } else if let Some((_, v)) = config
+                .faulty_nodes
+                .iter()
+                .find(|(n, _)| *n == node.name)
+            {
+                *v
+            } else {
+                let base = config
+                    .baselines
+                    .iter()
+                    .find(|(a, _)| *a == node.arch)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(60.0);
+                base + rng.gen_range(-config.jitter..=config.jitter)
+            };
+            SensorReading {
+                node: node.name.clone(),
+                sensor: config.sensor.clone(),
+                value,
+                unix_seconds,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> ClusterTopology {
+        ClusterTopology::darwin_like(2, 10) // 4 nodes per architecture
+    }
+
+    #[test]
+    fn nominal_node_passes() {
+        let topo = topo();
+        let readings = sensor_sweep(&topo, &SensorSweepConfig::default(), 100);
+        let verdict =
+            compare_to_arch_peers(&topo, &readings, "cn0001", "CPU_Temp", 3.0).unwrap();
+        assert_eq!(verdict, SensorVerdict::Nominal);
+    }
+
+    #[test]
+    fn genuine_fault_is_anomalous() {
+        let topo = topo();
+        let config = SensorSweepConfig {
+            faulty_nodes: vec![("cn0002".to_string(), 103.0)],
+            ..SensorSweepConfig::default()
+        };
+        let readings = sensor_sweep(&topo, &config, 100);
+        match compare_to_arch_peers(&topo, &readings, "cn0002", "CPU_Temp", 3.0).unwrap() {
+            SensorVerdict::Anomalous { value, peer_mean, .. } => {
+                assert_eq!(value, 103.0);
+                assert!(peer_mean < 80.0);
+            }
+            other => panic!("expected anomaly, got {other:?}"),
+        }
+        // Its healthy peer stays nominal.
+        assert_eq!(
+            compare_to_arch_peers(&topo, &readings, "cn0001", "CPU_Temp", 3.0).unwrap(),
+            SensorVerdict::Nominal
+        );
+    }
+
+    #[test]
+    fn firmware_quirk_is_not_an_anomaly() {
+        let topo = topo();
+        // All aarch64 chassis report fan speed 0 — the paper's example.
+        let config = SensorSweepConfig {
+            sensor: "Fan4".to_string(),
+            quirky_archs: vec![(Architecture::Aarch64, 0.0)],
+            ..SensorSweepConfig::default()
+        };
+        let readings = sensor_sweep(&topo, &config, 100);
+        let aarch_node = topo
+            .arch_peers(Architecture::Aarch64)
+            .first()
+            .unwrap()
+            .name
+            .clone();
+        assert_eq!(
+            compare_to_arch_peers(&topo, &readings, &aarch_node, "Fan4", 3.0).unwrap(),
+            SensorVerdict::IdenticalAcrossArch { value: 0.0 }
+        );
+    }
+
+    #[test]
+    fn latest_reading_wins() {
+        let topo = topo();
+        let mut readings = sensor_sweep(&topo, &SensorSweepConfig::default(), 100);
+        // A later sample for cn0001 goes hot.
+        readings.push(SensorReading {
+            node: "cn0001".to_string(),
+            sensor: "CPU_Temp".to_string(),
+            value: 105.0,
+            unix_seconds: 200,
+        });
+        match compare_to_arch_peers(&topo, &readings, "cn0001", "CPU_Temp", 3.0).unwrap() {
+            SensorVerdict::Anomalous { value, .. } => assert_eq!(value, 105.0),
+            other => panic!("stale reading used: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_node_or_sensor_is_none() {
+        let topo = topo();
+        let readings = sensor_sweep(&topo, &SensorSweepConfig::default(), 100);
+        assert!(compare_to_arch_peers(&topo, &readings, "ghost", "CPU_Temp", 3.0).is_none());
+        assert!(compare_to_arch_peers(&topo, &readings, "cn0001", "NoSuch", 3.0).is_none());
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let topo = topo();
+        let a = sensor_sweep(&topo, &SensorSweepConfig::default(), 1);
+        let b = sensor_sweep(&topo, &SensorSweepConfig::default(), 1);
+        assert_eq!(a, b);
+    }
+}

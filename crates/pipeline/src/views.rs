@@ -1,0 +1,402 @@
+//! The §4.5 monitoring views.
+//!
+//! * **Frequency and temporal analysis** (§4.5.1): message counts over time
+//!   buckets, grouped by node / app / category, with burst detection — "a
+//!   sudden influx of a large quantity of new syslog messages can be
+//!   indicative of an issue".
+//! * **Positional analysis** (§4.5.2): per-rack aggregation — nodes in a
+//!   rack share an edge switch and a micro-climate, so rack-correlated
+//!   thermal/network trouble stands out here.
+//! * **Per-architecture analysis** (§4.5.3): compare a node against its
+//!   same-architecture peers; a "problem" every peer reports identically
+//!   is chassis-firmware noise, not an anomaly.
+
+use crate::record::LogRecord;
+use crate::store::LogStore;
+use crate::topology::ClusterTopology;
+use hetsyslog_core::Category;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A labeled time-series of counts (one Grafana panel line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Series label (node, app or category name).
+    pub label: String,
+    /// Bucket start times, Unix seconds.
+    pub bucket_starts: Vec<i64>,
+    /// Message counts per bucket.
+    pub counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Mean bucket count.
+    pub fn mean(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.counts.iter().sum::<u64>() as f64 / self.counts.len() as f64
+    }
+
+    /// Population standard deviation of bucket counts.
+    pub fn std_dev(&self) -> f64 {
+        let mean = self.mean();
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        let var = self
+            .counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.counts.len() as f64;
+        var.sqrt()
+    }
+
+    /// Buckets whose count exceeds `mean + k·σ` — the §4.5.1 surge signal.
+    /// Returns `(bucket_start, count)` pairs.
+    pub fn bursts(&self, k: f64) -> Vec<(i64, u64)> {
+        let threshold = self.mean() + k * self.std_dev();
+        self.bucket_starts
+            .iter()
+            .zip(&self.counts)
+            .filter(|&(_, &c)| c as f64 > threshold && c > 0)
+            .map(|(&t, &c)| (t, c))
+            .collect()
+    }
+}
+
+/// How to group the frequency analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroupBy {
+    /// One series per node.
+    Node,
+    /// One series per application tag.
+    App,
+    /// One series per classified category.
+    Category,
+    /// A single aggregate series.
+    Total,
+}
+
+fn group_key(record: &LogRecord, group: GroupBy) -> String {
+    match group {
+        GroupBy::Node => record.node.clone(),
+        GroupBy::App => record.app.clone(),
+        GroupBy::Category => record
+            .category
+            .map(|c| c.label().to_string())
+            .unwrap_or_else(|| "unclassified".to_string()),
+        GroupBy::Total => "total".to_string(),
+    }
+}
+
+/// §4.5.1 frequency/temporal analysis: bucketed counts per group over
+/// `[from, to)` with `bucket_seconds`-wide buckets.
+pub fn frequency_analysis(
+    store: &LogStore,
+    from: i64,
+    to: i64,
+    bucket_seconds: i64,
+    group: GroupBy,
+) -> Vec<TimeSeries> {
+    assert!(bucket_seconds > 0, "bucket width must be positive");
+    let n_buckets = ((to - from).max(0) as usize).div_ceil(bucket_seconds as usize);
+    let bucket_starts: Vec<i64> = (0..n_buckets)
+        .map(|i| from + i as i64 * bucket_seconds)
+        .collect();
+    let mut groups: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    store.scan(from, to, &[], |r| {
+        let bucket = ((r.unix_seconds - from) / bucket_seconds) as usize;
+        let counts = groups
+            .entry(group_key(r, group))
+            .or_insert_with(|| vec![0; n_buckets]);
+        if let Some(slot) = counts.get_mut(bucket) {
+            *slot += 1;
+        }
+    });
+    groups
+        .into_iter()
+        .map(|(label, counts)| TimeSeries {
+            label,
+            bucket_starts: bucket_starts.clone(),
+            counts,
+        })
+        .collect()
+}
+
+/// One rack's aggregate in the positional view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RackSummary {
+    /// Rack id.
+    pub rack: String,
+    /// Total messages from the rack's nodes.
+    pub total: u64,
+    /// Messages in the category of interest.
+    pub in_category: u64,
+    /// Nodes in the rack that produced at least one in-category message.
+    pub affected_nodes: usize,
+}
+
+/// §4.5.2 positional analysis: per-rack counts of `category` messages.
+/// Racks whose `affected_nodes` is high show rack-correlated trouble
+/// (cooling loss, edge-switch congestion).
+pub fn positional_analysis(
+    store: &LogStore,
+    topology: &ClusterTopology,
+    from: i64,
+    to: i64,
+    category: Category,
+) -> Vec<RackSummary> {
+    let mut per_rack: BTreeMap<String, (u64, u64, std::collections::BTreeSet<String>)> =
+        BTreeMap::new();
+    for rack in topology.racks() {
+        per_rack.insert(rack, (0, 0, Default::default()));
+    }
+    store.scan(from, to, &[], |r| {
+        let Some(node) = topology.node(&r.node) else { return };
+        let entry = per_rack
+            .entry(node.rack.clone())
+            .or_insert_with(|| (0, 0, Default::default()));
+        entry.0 += 1;
+        if r.category == Some(category) {
+            entry.1 += 1;
+            entry.2.insert(r.node.clone());
+        }
+    });
+    per_rack
+        .into_iter()
+        .map(|(rack, (total, in_category, nodes))| RackSummary {
+            rack,
+            total,
+            in_category,
+            affected_nodes: nodes.len(),
+        })
+        .collect()
+}
+
+/// Verdict of the per-architecture comparison for one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArchVerdict {
+    /// The node behaves like its same-architecture peers.
+    Nominal,
+    /// The node's count deviates from its peers — a genuine anomaly.
+    Anomalous {
+        /// The node's own message count.
+        count: u64,
+        /// Mean count over the peer group.
+        peer_mean: f64,
+    },
+    /// Every peer reports the same signature — §4.5.3's chassis-firmware
+    /// false positive ("the readings are exactly the same" on all nodes).
+    ArchWideSignature,
+}
+
+/// §4.5.3 per-architecture analysis: is `node`'s volume of `category`
+/// messages anomalous relative to same-architecture peers?
+///
+/// `k` is the σ multiplier for anomaly, `arch_wide_fraction` the peer
+/// fraction that, once affected, flips the verdict to a firmware-wide
+/// signature rather than a per-node anomaly.
+#[allow(clippy::too_many_arguments)] // topology query: all parameters are semantically distinct
+pub fn per_architecture_analysis(
+    store: &LogStore,
+    topology: &ClusterTopology,
+    from: i64,
+    to: i64,
+    category: Category,
+    node_name: &str,
+    k: f64,
+    arch_wide_fraction: f64,
+) -> Option<ArchVerdict> {
+    let node = topology.node(node_name)?;
+    let peers = topology.arch_peers(node.arch);
+    if peers.len() < 2 {
+        return Some(ArchVerdict::Nominal);
+    }
+    let mut counts: BTreeMap<&str, u64> = peers.iter().map(|p| (p.name.as_str(), 0)).collect();
+    store.scan(from, to, &[], |r| {
+        if r.category == Some(category) {
+            if let Some(c) = counts.get_mut(r.node.as_str()) {
+                *c += 1;
+            }
+        }
+    });
+    let affected = counts.values().filter(|&&c| c > 0).count();
+    if affected as f64 >= arch_wide_fraction * peers.len() as f64 && affected >= 2 {
+        return Some(ArchVerdict::ArchWideSignature);
+    }
+    let own = *counts.get(node_name)?;
+    let peer_counts: Vec<u64> = counts
+        .iter()
+        .filter(|(name, _)| **name != node_name)
+        .map(|(_, &c)| c)
+        .collect();
+    let mean = peer_counts.iter().sum::<u64>() as f64 / peer_counts.len() as f64;
+    let var = peer_counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / peer_counts.len() as f64;
+    let threshold = mean + k * var.sqrt();
+    if own as f64 > threshold && own > 0 {
+        Some(ArchVerdict::Anomalous {
+            count: own,
+            peer_mean: mean,
+        })
+    } else {
+        Some(ArchVerdict::Nominal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Architecture;
+    use syslog_model::{Facility, Severity};
+
+    fn insert(store: &LogStore, t: i64, node: &str, cat: Category, msg: &str) {
+        store.insert(LogRecord {
+            id: store.allocate_id(),
+            unix_seconds: t,
+            node: node.to_string(),
+            app: "kernel".to_string(),
+            severity: Severity::Warning,
+            facility: Facility::Kern,
+            message: msg.to_string(),
+            category: Some(cat),
+        });
+    }
+
+    #[test]
+    fn frequency_buckets_and_groups() {
+        let store = LogStore::new();
+        for t in 0..10 {
+            insert(&store, t, "cn0001", Category::Unimportant, "tick");
+        }
+        for t in 10..12 {
+            insert(&store, t, "cn0002", Category::ThermalIssue, "hot");
+        }
+        let series = frequency_analysis(&store, 0, 20, 5, GroupBy::Node);
+        assert_eq!(series.len(), 2);
+        let cn1 = series.iter().find(|s| s.label == "cn0001").unwrap();
+        assert_eq!(cn1.counts, vec![5, 5, 0, 0]);
+        let total = frequency_analysis(&store, 0, 20, 10, GroupBy::Total);
+        assert_eq!(total[0].counts, vec![10, 2]);
+        let by_cat = frequency_analysis(&store, 0, 20, 20, GroupBy::Category);
+        assert_eq!(by_cat.len(), 2);
+    }
+
+    #[test]
+    fn burst_detection_flags_surge() {
+        let store = LogStore::new();
+        // Quiet baseline: 1 message per 10s bucket, then a surge of 50.
+        for b in 0..10 {
+            insert(&store, b * 10, "cn0001", Category::Unimportant, "tick");
+        }
+        for i in 0..50 {
+            insert(&store, 100 + (i % 10), "cn0001", Category::MemoryIssue, "oom");
+        }
+        let series = frequency_analysis(&store, 0, 110, 10, GroupBy::Total);
+        let bursts = series[0].bursts(2.0);
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].0, 100);
+        assert_eq!(bursts[0].1, 50);
+    }
+
+    #[test]
+    fn positional_analysis_ranks_racks() {
+        let topo = ClusterTopology::darwin_like(2, 5); // cn0001-05 r01, cn0006-10 r02
+        let store = LogStore::new();
+        // Rack 1 has a cooling problem: three nodes hot.
+        for (i, node) in ["cn0001", "cn0002", "cn0003"].iter().enumerate() {
+            for j in 0..4 {
+                insert(&store, (i * 4 + j) as i64, node, Category::ThermalIssue, "hot");
+            }
+        }
+        insert(&store, 50, "cn0006", Category::Unimportant, "fine");
+        let racks = positional_analysis(&store, &topo, 0, 100, Category::ThermalIssue);
+        assert_eq!(racks.len(), 2);
+        let r01 = racks.iter().find(|r| r.rack == "r01").unwrap();
+        let r02 = racks.iter().find(|r| r.rack == "r02").unwrap();
+        assert_eq!(r01.affected_nodes, 3);
+        assert_eq!(r01.in_category, 12);
+        assert_eq!(r02.affected_nodes, 0);
+        assert_eq!(r02.total, 1);
+    }
+
+    #[test]
+    fn per_arch_flags_lone_deviant() {
+        let topo = ClusterTopology::darwin_like(1, 10); // all same rack; 2 nodes/arch
+        // Make a topology where one arch has 5 peers.
+        let mut topo2 = ClusterTopology::new();
+        for i in 0..5 {
+            topo2.add(crate::topology::NodeInfo {
+                name: format!("cn{:04}", i + 1),
+                rack: "r01".into(),
+                arch: Architecture::X86Amd,
+            });
+        }
+        let _ = topo;
+        let store = LogStore::new();
+        for i in 0..20 {
+            insert(&store, i, "cn0001", Category::MemoryIssue, "edac error");
+        }
+        let verdict = per_architecture_analysis(
+            &store, &topo2, 0, 100, Category::MemoryIssue, "cn0001", 2.0, 0.8,
+        )
+        .unwrap();
+        assert!(matches!(verdict, ArchVerdict::Anomalous { count: 20, .. }), "{verdict:?}");
+        // A quiet peer is nominal.
+        let verdict = per_architecture_analysis(
+            &store, &topo2, 0, 100, Category::MemoryIssue, "cn0002", 2.0, 0.8,
+        )
+        .unwrap();
+        assert_eq!(verdict, ArchVerdict::Nominal);
+    }
+
+    #[test]
+    fn per_arch_detects_firmware_wide_signature() {
+        let mut topo = ClusterTopology::new();
+        for i in 0..4 {
+            topo.add(crate::topology::NodeInfo {
+                name: format!("cn{:04}", i + 1),
+                rack: "r01".into(),
+                arch: Architecture::Aarch64,
+            });
+        }
+        let store = LogStore::new();
+        // Every node of the arch reports the same "fan missing" issue —
+        // the §4.5.3 early-access-hardware false positive.
+        for i in 0..4 {
+            insert(
+                &store,
+                i,
+                &format!("cn{:04}", i + 1),
+                Category::HardwareIssue,
+                "fan 3 missing",
+            );
+        }
+        let verdict = per_architecture_analysis(
+            &store, &topo, 0, 100, Category::HardwareIssue, "cn0001", 2.0, 0.8,
+        )
+        .unwrap();
+        assert_eq!(verdict, ArchVerdict::ArchWideSignature);
+    }
+
+    #[test]
+    fn unknown_node_is_none() {
+        let topo = ClusterTopology::darwin_like(1, 2);
+        let store = LogStore::new();
+        assert!(per_architecture_analysis(
+            &store, &topo, 0, 10, Category::ThermalIssue, "ghost", 2.0, 0.8
+        )
+        .is_none());
+    }
+}

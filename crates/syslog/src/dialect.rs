@@ -1,0 +1,178 @@
+//! Vendor / subsystem dialect detection.
+//!
+//! A heterogeneous test-bed mixes log emitters whose conventions differ
+//! wildly: kernel ring-buffer messages, Slurm daemons, sshd, IPMI/BMC
+//! firmware from several vendors, NVIDIA driver messages, and so on. The
+//! paper's central difficulty — the same condition phrased differently per
+//! vendor — starts here. Downstream crates use [`Dialect`] to group nodes
+//! "per architecture" (§4.5.3 of the paper) and to model drift.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The emitting subsystem family, detected from the tag and message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dialect {
+    /// Linux kernel ring-buffer messages (`kernel:`).
+    Kernel,
+    /// Slurm workload manager daemons (`slurmd`, `slurmctld`, `slurmstepd`).
+    Slurm,
+    /// OpenSSH daemon.
+    Sshd,
+    /// systemd and its units.
+    Systemd,
+    /// IPMI / BMC firmware (iDRAC, iLO, OpenBMC…).
+    Ipmi,
+    /// NVIDIA driver / GPU management messages.
+    Nvidia,
+    /// Authentication stack other than sshd (su, sudo, PAM).
+    Auth,
+    /// Network stack / NIC drivers.
+    Network,
+    /// Anything else.
+    Other,
+}
+
+impl Dialect {
+    /// All dialects, for enumeration in tests and generators.
+    pub const ALL: [Dialect; 9] = [
+        Dialect::Kernel,
+        Dialect::Slurm,
+        Dialect::Sshd,
+        Dialect::Systemd,
+        Dialect::Ipmi,
+        Dialect::Nvidia,
+        Dialect::Auth,
+        Dialect::Network,
+        Dialect::Other,
+    ];
+
+    /// A short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dialect::Kernel => "kernel",
+            Dialect::Slurm => "slurm",
+            Dialect::Sshd => "sshd",
+            Dialect::Systemd => "systemd",
+            Dialect::Ipmi => "ipmi",
+            Dialect::Nvidia => "nvidia",
+            Dialect::Auth => "auth",
+            Dialect::Network => "network",
+            Dialect::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for Dialect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Detect the dialect from the app tag (preferred) and message text.
+pub fn detect_dialect(app_name: Option<&str>, message: &str) -> Dialect {
+    if let Some(tag) = app_name {
+        let tag = tag.to_ascii_lowercase();
+        if tag == "kernel" || tag == "kern" {
+            // Kernel messages are further refined by content below.
+            return refine_kernel(message);
+        }
+        if tag.starts_with("slurm") {
+            return Dialect::Slurm;
+        }
+        if tag == "sshd" || tag == "ssh" {
+            return Dialect::Sshd;
+        }
+        if tag == "systemd" || tag.starts_with("systemd-") {
+            return Dialect::Systemd;
+        }
+        if tag.contains("ipmi") || tag == "bmc" || tag.contains("idrac") || tag.contains("ilo") {
+            return Dialect::Ipmi;
+        }
+        if tag.contains("nvidia") || tag == "nvrm" || tag.contains("dcgm") {
+            return Dialect::Nvidia;
+        }
+        if tag == "su" || tag == "sudo" || tag == "login" || tag.starts_with("pam") {
+            return Dialect::Auth;
+        }
+        if tag.contains("network") || tag == "dhclient" || tag == "ntpd" || tag == "chronyd" {
+            return Dialect::Network;
+        }
+    }
+    refine_content(message)
+}
+
+fn refine_kernel(message: &str) -> Dialect {
+    let lower = message.to_ascii_lowercase();
+    if lower.contains("nvrm") || lower.contains("nvidia") {
+        Dialect::Nvidia
+    } else if lower.contains("eth") && (lower.contains("link") || lower.contains("nic")) {
+        Dialect::Network
+    } else {
+        Dialect::Kernel
+    }
+}
+
+fn refine_content(message: &str) -> Dialect {
+    let lower = message.to_ascii_lowercase();
+    if lower.contains("ipmi") || lower.contains("sel event") || lower.contains("sensor") {
+        Dialect::Ipmi
+    } else if lower.contains("slurm") {
+        Dialect::Slurm
+    } else if lower.contains("sshd") || lower.contains("preauth") {
+        Dialect::Sshd
+    } else if lower.contains("pam_unix") || lower.contains("session opened") {
+        Dialect::Auth
+    } else {
+        Dialect::Other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_based_detection() {
+        assert_eq!(detect_dialect(Some("slurmctld"), ""), Dialect::Slurm);
+        assert_eq!(detect_dialect(Some("sshd"), ""), Dialect::Sshd);
+        assert_eq!(detect_dialect(Some("systemd-logind"), ""), Dialect::Systemd);
+        assert_eq!(detect_dialect(Some("ipmievd"), ""), Dialect::Ipmi);
+        assert_eq!(detect_dialect(Some("sudo"), ""), Dialect::Auth);
+        assert_eq!(detect_dialect(Some("chronyd"), ""), Dialect::Network);
+    }
+
+    #[test]
+    fn kernel_refinement() {
+        assert_eq!(
+            detect_dialect(Some("kernel"), "NVRM: Xid (PCI:0000:3b:00): 79"),
+            Dialect::Nvidia
+        );
+        assert_eq!(
+            detect_dialect(Some("kernel"), "eth0: link down"),
+            Dialect::Network
+        );
+        assert_eq!(
+            detect_dialect(Some("kernel"), "CPU3: Core temperature above threshold"),
+            Dialect::Kernel
+        );
+    }
+
+    #[test]
+    fn content_fallback() {
+        assert_eq!(
+            detect_dialect(None, "SEL event: Fan 3 lower critical going low"),
+            Dialect::Ipmi
+        );
+        assert_eq!(detect_dialect(None, "slurm_rpc_node_registration"), Dialect::Slurm);
+        assert_eq!(detect_dialect(None, "plain text"), Dialect::Other);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Dialect::ALL.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Dialect::ALL.len());
+    }
+}

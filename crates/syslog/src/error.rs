@@ -1,0 +1,51 @@
+//! Parse errors for syslog frames.
+
+use std::fmt;
+
+/// Why a syslog frame could not be parsed under a particular RFC grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input was empty.
+    Empty,
+    /// The `<PRI>` header was missing or malformed.
+    BadPri(String),
+    /// The PRI value exceeded the maximum (191 = facility 23, severity 7).
+    PriOutOfRange(u16),
+    /// The timestamp did not match the expected grammar.
+    BadTimestamp(String),
+    /// The RFC 5424 version field was not `1`.
+    BadVersion(String),
+    /// Structured data was malformed (unterminated element, bad escapes…).
+    BadStructuredData(String),
+    /// A required header field was missing.
+    MissingField(&'static str),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty syslog frame"),
+            ParseError::BadPri(s) => write!(f, "malformed PRI header: {s:?}"),
+            ParseError::PriOutOfRange(v) => write!(f, "PRI value {v} out of range (max 191)"),
+            ParseError::BadTimestamp(s) => write!(f, "malformed timestamp: {s:?}"),
+            ParseError::BadVersion(s) => write!(f, "unsupported syslog version: {s:?}"),
+            ParseError::BadStructuredData(s) => write!(f, "malformed structured data: {s:?}"),
+            ParseError::MissingField(name) => write!(f, "missing required field: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParseError::PriOutOfRange(500);
+        assert!(e.to_string().contains("500"));
+        let e = ParseError::MissingField("hostname");
+        assert!(e.to_string().contains("hostname"));
+    }
+}

@@ -1,0 +1,240 @@
+//! RFC 6587 TCP stream framing.
+//!
+//! Syslog over TCP (how Darwin's nodes reach the central syslog server)
+//! delivers a byte stream, not datagrams; RFC 6587 defines two framings
+//! that real senders mix freely:
+//!
+//! * **Octet counting**: `MSG-LEN SP MSG` (rsyslog's default for TCP);
+//! * **Non-transparent**: frames terminated by LF.
+//!
+//! [`FrameDecoder`] incrementally splits a stream into frames, detecting
+//! the framing per message the way rsyslog's receiver does (a frame that
+//! starts with a digit run followed by a space is octet-counted).
+
+/// Incremental RFC 6587 frame decoder.
+#[derive(Debug, Clone, Default)]
+pub struct FrameDecoder {
+    buffer: Vec<u8>,
+    /// Frames dropped because their declared length was unparseable or
+    /// oversized.
+    dropped: u64,
+}
+
+/// Upper bound on a declared octet count (guards against a corrupt length
+/// swallowing the stream).
+pub const MAX_FRAME_LEN: usize = 64 * 1024;
+
+/// Outcome of attempting octet-counted framing at the buffer head.
+enum OctetResult {
+    /// A complete frame was extracted.
+    Frame(String),
+    /// A corrupt length token was dropped; the buffer may hold more.
+    Dropped,
+    /// A plausible count was seen but the payload has not fully arrived.
+    Incomplete,
+    /// The buffer head is not octet-counted framing.
+    NotOctet,
+}
+
+impl FrameDecoder {
+    /// New empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Bytes currently buffered waiting for more input.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Frames dropped due to malformed octet counts.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Feed bytes; returns every complete frame they unlocked.
+    pub fn push(&mut self, bytes: &[u8]) -> Vec<String> {
+        self.buffer.extend_from_slice(bytes);
+        let mut frames = Vec::new();
+        while let Some(frame) = self.try_take_frame() {
+            frames.push(frame);
+        }
+        frames
+    }
+
+    /// Flush a trailing unterminated non-transparent frame (stream end).
+    pub fn finish(&mut self) -> Option<String> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        let frame = String::from_utf8_lossy(&self.buffer).trim_end().to_string();
+        self.buffer.clear();
+        (!frame.is_empty()).then_some(frame)
+    }
+
+    fn try_take_frame(&mut self) -> Option<String> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        if self.buffer[0].is_ascii_digit() {
+            match self.try_octet_counted() {
+                OctetResult::Frame(frame) => return Some(frame),
+                // A corrupt count was dropped; rescan what remains.
+                OctetResult::Dropped => return self.try_take_frame(),
+                // Valid count, payload still arriving.
+                OctetResult::Incomplete => return None,
+                // Digits but not a count: fall through to LF framing.
+                OctetResult::NotOctet => {}
+            }
+        }
+        self.try_non_transparent()
+    }
+
+    fn try_octet_counted(&mut self) -> OctetResult {
+        // Find the count terminator within the allowed digit width.
+        let window = &self.buffer[..self.buffer.len().min(7)];
+        let Some(space) = window.iter().position(|&b| b == b' ') else {
+            // No space yet: either a short partial count (wait) or an LF
+            // frame that happens to start with digits.
+            if self.buffer.len() <= 6 && self.buffer.iter().all(|b| b.is_ascii_digit()) {
+                return OctetResult::Incomplete;
+            }
+            return OctetResult::NotOctet;
+        };
+        if space == 0 || !self.buffer[..space].iter().all(|b| b.is_ascii_digit()) {
+            return OctetResult::NotOctet;
+        }
+        let len: usize = std::str::from_utf8(&self.buffer[..space])
+            .expect("digits are utf8")
+            .parse()
+            .expect("digit run parses");
+        if len == 0 || len > MAX_FRAME_LEN {
+            // Corrupt count: drop the length token and resynchronize.
+            self.buffer.drain(..=space);
+            self.dropped += 1;
+            return OctetResult::Dropped;
+        }
+        if self.buffer.len() < space + 1 + len {
+            return OctetResult::Incomplete;
+        }
+        let frame_bytes: Vec<u8> = self.buffer[space + 1..space + 1 + len].to_vec();
+        self.buffer.drain(..space + 1 + len);
+        OctetResult::Frame(String::from_utf8_lossy(&frame_bytes).into_owned())
+    }
+
+    fn try_non_transparent(&mut self) -> Option<String> {
+        let lf = self.buffer.iter().position(|&b| b == b'\n')?;
+        let frame_bytes: Vec<u8> = self.buffer[..lf].to_vec();
+        self.buffer.drain(..=lf);
+        let frame = String::from_utf8_lossy(&frame_bytes)
+            .trim_end_matches('\r')
+            .to_string();
+        if frame.is_empty() {
+            // Swallow blank lines and keep scanning.
+            return self.try_take_frame();
+        }
+        Some(frame)
+    }
+}
+
+/// Split a complete in-memory stream (convenience over [`FrameDecoder`]).
+pub fn split_stream(bytes: &[u8]) -> Vec<String> {
+    let mut decoder = FrameDecoder::new();
+    let mut frames = decoder.push(bytes);
+    if let Some(tail) = decoder.finish() {
+        frames.push(tail);
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FRAME: &str = "<13>Oct 11 22:14:15 cn01 app: hello";
+
+    #[test]
+    fn octet_counted_single() {
+        let wire = format!("{} {FRAME}", FRAME.len());
+        assert_eq!(split_stream(wire.as_bytes()), vec![FRAME.to_string()]);
+    }
+
+    #[test]
+    fn octet_counted_back_to_back() {
+        let wire = format!("{0} {FRAME}{0} {FRAME}", FRAME.len());
+        assert_eq!(split_stream(wire.as_bytes()).len(), 2);
+    }
+
+    #[test]
+    fn non_transparent_lines() {
+        let wire = format!("{FRAME}\n{FRAME}\r\n\n{FRAME}\n");
+        let frames = split_stream(wire.as_bytes());
+        assert_eq!(frames.len(), 3);
+        assert!(frames.iter().all(|f| f == FRAME));
+    }
+
+    #[test]
+    fn mixed_framings_in_one_stream() {
+        let wire = format!("{} {FRAME}{FRAME}\n", FRAME.len());
+        let frames = split_stream(wire.as_bytes());
+        assert_eq!(frames.len(), 2);
+    }
+
+    #[test]
+    fn partial_delivery_across_pushes() {
+        let wire = format!("{} {FRAME}", FRAME.len());
+        let bytes = wire.as_bytes();
+        let mut decoder = FrameDecoder::new();
+        // Byte-at-a-time delivery: only the final byte completes the frame.
+        let mut frames = Vec::new();
+        for b in bytes {
+            frames.extend(decoder.push(std::slice::from_ref(b)));
+        }
+        assert_eq!(frames, vec![FRAME.to_string()]);
+        assert_eq!(decoder.pending(), 0);
+    }
+
+    #[test]
+    fn oversized_count_resynchronizes() {
+        let wire = format!("999999 {FRAME}\n");
+        let mut decoder = FrameDecoder::new();
+        let frames = decoder.push(wire.as_bytes());
+        assert_eq!(decoder.dropped(), 1);
+        // After dropping the bogus count, the payload survives as an LF
+        // frame.
+        assert_eq!(frames, vec![FRAME.to_string()]);
+    }
+
+    #[test]
+    fn pri_digits_are_not_mistaken_for_counts() {
+        // A non-transparent frame starting with '<' then digits is fine,
+        // but one starting with bare digits + space could be ambiguous;
+        // RFC receivers treat it as octet-counted. Verify the common case:
+        // frames starting with '<PRI>' go through LF framing.
+        let frames = split_stream(format!("{FRAME}\n").as_bytes());
+        assert_eq!(frames, vec![FRAME.to_string()]);
+    }
+
+    #[test]
+    fn finish_flushes_unterminated_tail() {
+        let mut decoder = FrameDecoder::new();
+        assert!(decoder.push(FRAME.as_bytes()).is_empty());
+        assert_eq!(decoder.finish(), Some(FRAME.to_string()));
+        assert_eq!(decoder.finish(), None);
+    }
+
+    #[test]
+    fn empty_stream() {
+        assert!(split_stream(b"").is_empty());
+        assert!(split_stream(b"\n\n\n").is_empty());
+    }
+
+    #[test]
+    fn frames_parse_after_splitting() {
+        let wire = format!("{} {FRAME}{FRAME}\n", FRAME.len());
+        for frame in split_stream(wire.as_bytes()) {
+            let parsed = crate::parse(&frame).unwrap();
+            assert_eq!(parsed.hostname.as_deref(), Some("cn01"));
+        }
+    }
+}

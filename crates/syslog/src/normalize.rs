@@ -1,0 +1,224 @@
+//! Message normalization: mask the variable parts of a message so that two
+//! frames describing the same condition on different nodes/devices compare
+//! equal-ish.
+//!
+//! This is the preprocessing the paper's Levenshtein-bucketing baseline
+//! (Background §3) implicitly relies on, and the reason a distance threshold
+//! as low as 7 worked at all: most of the per-instance variation (node ids,
+//! temperatures, PIDs, addresses) collapses into placeholder tokens before
+//! the distance is computed.
+
+use serde::{Deserialize, Serialize};
+
+/// Controls which variable classes are masked by [`mask_variables`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NormalizeOptions {
+    /// Replace hex literals (`0x1f3a`, `dead:beef::1`) with `<HEX>`.
+    pub mask_hex: bool,
+    /// Replace dotted-quad IPv4 addresses with `<IP>`.
+    pub mask_ip: bool,
+    /// Replace decimal runs with `<NUM>`.
+    pub mask_numbers: bool,
+    /// Replace file-system paths with `<PATH>`.
+    pub mask_paths: bool,
+    /// Lowercase the result.
+    pub lowercase: bool,
+}
+
+impl Default for NormalizeOptions {
+    fn default() -> Self {
+        NormalizeOptions {
+            mask_hex: true,
+            mask_ip: true,
+            mask_numbers: true,
+            mask_paths: true,
+            lowercase: true,
+        }
+    }
+}
+
+/// Normalize a message with default options.
+pub fn normalize_message(message: &str) -> String {
+    mask_variables(message, &NormalizeOptions::default())
+}
+
+/// Mask variable tokens in `message` according to `opts`.
+///
+/// Works token-by-token on whitespace splits, so placeholder substitution
+/// never merges adjacent words. Unlike a regex pipeline, this is a single
+/// pass with no backtracking — it is in the hot path of both bucketing and
+/// feature extraction.
+pub fn mask_variables(message: &str, opts: &NormalizeOptions) -> String {
+    let mut out = String::with_capacity(message.len());
+    let mut first = true;
+    for token in message.split_whitespace() {
+        if !first {
+            out.push(' ');
+        }
+        first = false;
+        // Already-masked placeholders pass through, making masking idempotent.
+        if token.len() >= 3 && token.starts_with('<') && token.ends_with('>') {
+            out.push_str(token);
+            continue;
+        }
+        let masked = mask_token(token, opts);
+        match masked {
+            Some(placeholder) => out.push_str(placeholder),
+            None => {
+                if opts.lowercase {
+                    for c in token.chars() {
+                        out.extend(c.to_lowercase());
+                    }
+                } else {
+                    out.push_str(token);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Classify a token; `Some(placeholder)` when it should be masked.
+fn mask_token(token: &str, opts: &NormalizeOptions) -> Option<&'static str> {
+    // Strip common trailing punctuation for classification purposes only;
+    // conservative: if we mask, the punctuation is dropped too. This matches
+    // what bucketing wants ("temp: 95C," and "temp: 87C." should agree).
+    let core = token.trim_matches(|c: char| matches!(c, ',' | '.' | ';' | ':' | ')' | '(' | ']' | '['));
+    if core.is_empty() {
+        return None;
+    }
+    if opts.mask_ip && is_ipv4(core) {
+        return Some("<IP>");
+    }
+    if opts.mask_hex && is_hex_literal(core) {
+        return Some("<HEX>");
+    }
+    if opts.mask_paths && core.len() > 1 && core.starts_with('/') {
+        return Some("<PATH>");
+    }
+    if opts.mask_numbers && is_numeric_like(core) {
+        return Some("<NUM>");
+    }
+    None
+}
+
+fn is_ipv4(s: &str) -> bool {
+    let mut parts = 0;
+    for part in s.split('.') {
+        if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+            return false;
+        }
+        if part.parse::<u16>().map(|v| v > 255).unwrap_or(true) {
+            return false;
+        }
+        parts += 1;
+    }
+    parts == 4
+}
+
+fn is_hex_literal(s: &str) -> bool {
+    if let Some(body) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return !body.is_empty() && body.bytes().all(|b| b.is_ascii_hexdigit());
+    }
+    // Bare hex runs of >= 6 chars that contain at least one letter and one
+    // digit (MAC fragments, UUIDs pieces) — avoids masking words like "deed".
+    if s.len() >= 6 && s.bytes().all(|b| b.is_ascii_hexdigit() || b == b':' || b == b'-') {
+        let has_digit = s.bytes().any(|b| b.is_ascii_digit());
+        let has_alpha = s.bytes().any(|b| b.is_ascii_alphabetic());
+        return has_digit && has_alpha;
+    }
+    false
+}
+
+/// Numbers with optional unit suffix (95C, 12ms, 4721, 1.5, 100Gbps).
+fn is_numeric_like(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let signed = bytes[0] == b'-' && bytes.len() > 1;
+    if !bytes[0].is_ascii_digit() && !signed {
+        return false;
+    }
+    let mut digits = 0usize;
+    let mut suffix = 0usize;
+    for &b in bytes.iter().skip(if bytes[0] == b'-' { 1 } else { 0 }) {
+        if b.is_ascii_digit() || b == b'.' {
+            if suffix > 0 {
+                return false; // digit after unit suffix: not a plain measurement
+            }
+            digits += 1;
+        } else if b.is_ascii_alphabetic() || b == b'%' {
+            suffix += 1;
+            if suffix > 4 {
+                return false;
+            }
+        } else {
+            return false;
+        }
+    }
+    digits > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_node_specific_parts() {
+        let a = normalize_message("Warning: Socket 2 - CPU 23 throttling at 95C");
+        let b = normalize_message("Warning: Socket 1 - CPU 7 throttling at 88C");
+        assert_eq!(a, b);
+        assert_eq!(a, "warning: socket <NUM> - cpu <NUM> throttling at <NUM>");
+    }
+
+    #[test]
+    fn masks_ipv4() {
+        assert_eq!(
+            normalize_message("Connection from 192.168.1.45 closed"),
+            "connection from <IP> closed"
+        );
+        // Octet out of range: not an IP, but still numeric-like.
+        assert_eq!(normalize_message("999.1.1.1"), "<NUM>");
+        assert_eq!(normalize_message("host 1.2.3.4.5 up"), "host <NUM> up");
+    }
+
+    #[test]
+    fn masks_hex() {
+        assert_eq!(normalize_message("fault at 0xDEADBEEF"), "fault at <HEX>");
+        assert_eq!(normalize_message("mac 3c:fd:fe:12:34:56"), "mac <HEX>");
+        // A word that happens to be hex letters only is kept.
+        assert_eq!(normalize_message("decade added"), "decade added");
+    }
+
+    #[test]
+    fn masks_paths() {
+        assert_eq!(
+            normalize_message("failed to open /var/log/messages now"),
+            "failed to open <PATH> now"
+        );
+    }
+
+    #[test]
+    fn respects_disabled_options() {
+        let opts = NormalizeOptions {
+            mask_numbers: false,
+            lowercase: false,
+            ..NormalizeOptions::default()
+        };
+        assert_eq!(mask_variables("CPU 23 hot", &opts), "CPU 23 hot");
+    }
+
+    #[test]
+    fn units_are_masked_with_value() {
+        assert_eq!(normalize_message("took 12ms at 100% load"), "took <NUM> at <NUM> load");
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert_eq!(normalize_message(""), "");
+        assert_eq!(normalize_message("   "), "");
+    }
+
+    #[test]
+    fn trailing_punctuation_on_masked_token_is_dropped() {
+        assert_eq!(normalize_message("temp: 95C,"), "temp: <NUM>");
+    }
+}

@@ -1,0 +1,307 @@
+//! Syslog priority: facility and severity codes (RFC 5424 §6.2.1).
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Message severity, 0 (most severe) through 7 (least).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Severity {
+    /// System is unusable.
+    Emergency = 0,
+    /// Action must be taken immediately.
+    Alert = 1,
+    /// Critical conditions.
+    Critical = 2,
+    /// Error conditions.
+    Error = 3,
+    /// Warning conditions.
+    Warning = 4,
+    /// Normal but significant condition.
+    Notice = 5,
+    /// Informational messages.
+    Informational = 6,
+    /// Debug-level messages.
+    Debug = 7,
+}
+
+impl Severity {
+    /// All severities in numeric order.
+    pub const ALL: [Severity; 8] = [
+        Severity::Emergency,
+        Severity::Alert,
+        Severity::Critical,
+        Severity::Error,
+        Severity::Warning,
+        Severity::Notice,
+        Severity::Informational,
+        Severity::Debug,
+    ];
+
+    /// Decode a numeric severity code (0-7).
+    pub fn from_code(code: u8) -> Option<Severity> {
+        Severity::ALL.get(code as usize).copied()
+    }
+
+    /// The numeric code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The RFC keyword, lowercase.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Severity::Emergency => "emerg",
+            Severity::Alert => "alert",
+            Severity::Critical => "crit",
+            Severity::Error => "err",
+            Severity::Warning => "warning",
+            Severity::Notice => "notice",
+            Severity::Informational => "info",
+            Severity::Debug => "debug",
+        }
+    }
+
+    /// True for severities that usually warrant operator attention
+    /// (warning or more severe).
+    pub fn is_actionable(self) -> bool {
+        self <= Severity::Warning
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Message facility, identifying the originating subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Facility {
+    /// Kernel messages.
+    Kern = 0,
+    /// User-level messages.
+    User = 1,
+    /// Mail system.
+    Mail = 2,
+    /// System daemons.
+    Daemon = 3,
+    /// Security/authorization messages.
+    Auth = 4,
+    /// Messages generated internally by syslogd.
+    Syslog = 5,
+    /// Line printer subsystem.
+    Lpr = 6,
+    /// Network news subsystem.
+    News = 7,
+    /// UUCP subsystem.
+    Uucp = 8,
+    /// Clock daemon.
+    Cron = 9,
+    /// Security/authorization messages (private).
+    AuthPriv = 10,
+    /// FTP daemon.
+    Ftp = 11,
+    /// NTP subsystem.
+    Ntp = 12,
+    /// Log audit.
+    Audit = 13,
+    /// Log alert.
+    LogAlert = 14,
+    /// Clock daemon (note 2).
+    Cron2 = 15,
+    /// Locally used facility 0.
+    Local0 = 16,
+    /// Locally used facility 1.
+    Local1 = 17,
+    /// Locally used facility 2.
+    Local2 = 18,
+    /// Locally used facility 3.
+    Local3 = 19,
+    /// Locally used facility 4.
+    Local4 = 20,
+    /// Locally used facility 5.
+    Local5 = 21,
+    /// Locally used facility 6.
+    Local6 = 22,
+    /// Locally used facility 7.
+    Local7 = 23,
+}
+
+impl Facility {
+    /// All facilities in numeric order.
+    pub const ALL: [Facility; 24] = [
+        Facility::Kern,
+        Facility::User,
+        Facility::Mail,
+        Facility::Daemon,
+        Facility::Auth,
+        Facility::Syslog,
+        Facility::Lpr,
+        Facility::News,
+        Facility::Uucp,
+        Facility::Cron,
+        Facility::AuthPriv,
+        Facility::Ftp,
+        Facility::Ntp,
+        Facility::Audit,
+        Facility::LogAlert,
+        Facility::Cron2,
+        Facility::Local0,
+        Facility::Local1,
+        Facility::Local2,
+        Facility::Local3,
+        Facility::Local4,
+        Facility::Local5,
+        Facility::Local6,
+        Facility::Local7,
+    ];
+
+    /// Decode a numeric facility code (0-23).
+    pub fn from_code(code: u8) -> Option<Facility> {
+        Facility::ALL.get(code as usize).copied()
+    }
+
+    /// The numeric code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The conventional keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Facility::Kern => "kern",
+            Facility::User => "user",
+            Facility::Mail => "mail",
+            Facility::Daemon => "daemon",
+            Facility::Auth => "auth",
+            Facility::Syslog => "syslog",
+            Facility::Lpr => "lpr",
+            Facility::News => "news",
+            Facility::Uucp => "uucp",
+            Facility::Cron => "cron",
+            Facility::AuthPriv => "authpriv",
+            Facility::Ftp => "ftp",
+            Facility::Ntp => "ntp",
+            Facility::Audit => "audit",
+            Facility::LogAlert => "alert",
+            Facility::Cron2 => "clock",
+            Facility::Local0 => "local0",
+            Facility::Local1 => "local1",
+            Facility::Local2 => "local2",
+            Facility::Local3 => "local3",
+            Facility::Local4 => "local4",
+            Facility::Local5 => "local5",
+            Facility::Local6 => "local6",
+            Facility::Local7 => "local7",
+        }
+    }
+}
+
+impl fmt::Display for Facility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Split a PRI value into `(facility, severity)`.
+pub fn decode_pri(pri: u16) -> Result<(Facility, Severity), ParseError> {
+    if pri > 191 {
+        return Err(ParseError::PriOutOfRange(pri));
+    }
+    let facility = Facility::from_code((pri / 8) as u8).ok_or(ParseError::PriOutOfRange(pri))?;
+    let severity = Severity::from_code((pri % 8) as u8).ok_or(ParseError::PriOutOfRange(pri))?;
+    Ok((facility, severity))
+}
+
+/// Combine facility and severity into a PRI value.
+pub fn encode_pri(facility: Facility, severity: Severity) -> u16 {
+    facility.code() as u16 * 8 + severity.code() as u16
+}
+
+/// Parse the leading `<PRI>` of a frame, returning the decoded pair and the
+/// remainder of the input.
+pub fn parse_pri_prefix(raw: &str) -> Result<((Facility, Severity), &str), ParseError> {
+    let rest = raw
+        .strip_prefix('<')
+        .ok_or_else(|| ParseError::BadPri(snippet(raw)))?;
+    let close = rest
+        .find('>')
+        .ok_or_else(|| ParseError::BadPri(snippet(raw)))?;
+    let digits = &rest[..close];
+    if digits.is_empty() || digits.len() > 3 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(ParseError::BadPri(snippet(raw)));
+    }
+    // RFC 5424 forbids leading zeros except for "0" itself.
+    if digits.len() > 1 && digits.starts_with('0') {
+        return Err(ParseError::BadPri(snippet(raw)));
+    }
+    let pri: u16 = digits.parse().map_err(|_| ParseError::BadPri(snippet(raw)))?;
+    Ok((decode_pri(pri)?, &rest[close + 1..]))
+}
+
+fn snippet(raw: &str) -> String {
+    raw.chars().take(24).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_roundtrips_all_pri_values() {
+        for pri in 0..=191u16 {
+            let (f, s) = decode_pri(pri).unwrap();
+            assert_eq!(encode_pri(f, s), pri);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range() {
+        assert!(decode_pri(192).is_err());
+        assert!(decode_pri(999).is_err());
+    }
+
+    #[test]
+    fn pri_34_is_auth_critical() {
+        let (f, s) = decode_pri(34).unwrap();
+        assert_eq!(f, Facility::Auth);
+        assert_eq!(s, Severity::Critical);
+    }
+
+    #[test]
+    fn prefix_parse_returns_rest() {
+        let ((f, s), rest) = parse_pri_prefix("<13>hello").unwrap();
+        assert_eq!(f, Facility::User);
+        assert_eq!(s, Severity::Notice);
+        assert_eq!(rest, "hello");
+    }
+
+    #[test]
+    fn prefix_parse_rejects_leading_zero() {
+        assert!(parse_pri_prefix("<013>x").is_err());
+    }
+
+    #[test]
+    fn prefix_parse_rejects_missing_bracket() {
+        assert!(parse_pri_prefix("13>x").is_err());
+        assert!(parse_pri_prefix("<13 x").is_err());
+        assert!(parse_pri_prefix("<>x").is_err());
+        assert!(parse_pri_prefix("<abc>x").is_err());
+    }
+
+    #[test]
+    fn severity_ordering_matches_rfc() {
+        assert!(Severity::Emergency < Severity::Debug);
+        assert!(Severity::Warning.is_actionable());
+        assert!(!Severity::Notice.is_actionable());
+    }
+
+    #[test]
+    fn keywords_are_stable() {
+        assert_eq!(Severity::Error.keyword(), "err");
+        assert_eq!(Facility::AuthPriv.keyword(), "authpriv");
+    }
+}

@@ -1,0 +1,174 @@
+//! RFC 3164 (legacy BSD) syslog parser.
+//!
+//! Grammar (loosely, because real emitters are loose):
+//!
+//! ```text
+//! <PRI>TIMESTAMP HOSTNAME TAG[PID]: MSG
+//! ```
+//!
+//! The TAG and PID are optional in practice; kernel messages on many distros
+//! use `kernel:` with no pid, IPMI BMCs frequently omit the tag entirely.
+
+use crate::error::ParseError;
+use crate::message::{Protocol, SyslogMessage};
+use crate::pri::parse_pri_prefix;
+use crate::timestamp::Timestamp;
+
+/// Parse a frame under the RFC 3164 grammar.
+pub fn parse_rfc3164(raw: &str) -> Result<SyslogMessage, ParseError> {
+    let ((facility, severity), rest) = parse_pri_prefix(raw)?;
+    let (timestamp, rest) = Timestamp::parse_rfc3164(rest)?;
+    let rest = rest.strip_prefix(' ').ok_or(ParseError::MissingField("hostname"))?;
+
+    let (hostname, rest) = take_token(rest).ok_or(ParseError::MissingField("hostname"))?;
+    if !is_plausible_hostname(hostname) {
+        return Err(ParseError::MissingField("hostname"));
+    }
+    let rest = rest.strip_prefix(' ').unwrap_or(rest);
+
+    let (app_name, proc_id, message) = split_tag(rest);
+
+    Ok(SyslogMessage {
+        protocol: Protocol::Rfc3164,
+        facility,
+        severity,
+        timestamp: Some(timestamp),
+        hostname: Some(hostname.to_string()),
+        app_name,
+        proc_id,
+        msg_id: None,
+        structured_data: Vec::new(),
+        message,
+        raw: raw.to_string(),
+    })
+}
+
+fn take_token(input: &str) -> Option<(&str, &str)> {
+    if input.is_empty() {
+        return None;
+    }
+    match input.find(' ') {
+        Some(0) => None,
+        Some(i) => Some((&input[..i], &input[i..])),
+        None => Some((input, "")),
+    }
+}
+
+fn is_plausible_hostname(token: &str) -> bool {
+    !token.is_empty()
+        && token.len() <= 255
+        && token
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'.' || b == b'_')
+}
+
+/// Split `TAG[PID]: MSG` / `TAG: MSG` / bare `MSG`.
+///
+/// A tag is a short alphanumeric token terminated by `:` or `[`; anything
+/// else means the content starts immediately (common for BMC firmware).
+fn split_tag(rest: &str) -> (Option<String>, Option<String>, String) {
+    let bytes = rest.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() && i < 48 {
+        let b = bytes[i];
+        if b == b':' || b == b'[' {
+            break;
+        }
+        if !(b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.' || b == b'/') {
+            // Not a tag shape; treat everything as the message.
+            return (None, None, rest.trim_start().to_string());
+        }
+        i += 1;
+    }
+    if i == 0 || i >= bytes.len() || i >= 48 {
+        return (None, None, rest.trim_start().to_string());
+    }
+    let tag = &rest[..i];
+    match bytes[i] {
+        b':' => {
+            let msg = rest[i + 1..].trim_start();
+            (Some(tag.to_string()), None, msg.to_string())
+        }
+        b'[' => {
+            let after = &rest[i + 1..];
+            if let Some(close) = after.find(']') {
+                let pid = &after[..close];
+                let tail = &after[close + 1..];
+                let msg = tail.strip_prefix(':').unwrap_or(tail).trim_start();
+                if pid.bytes().all(|b| b.is_ascii_digit()) && !pid.is_empty() {
+                    return (Some(tag.to_string()), Some(pid.to_string()), msg.to_string());
+                }
+            }
+            (None, None, rest.trim_start().to_string())
+        }
+        _ => unreachable!("loop only breaks on ':' or '['"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pri::{Facility, Severity};
+
+    #[test]
+    fn classic_frame() {
+        let m = parse_rfc3164("<34>Oct 11 22:14:15 mymachine su: 'su root' failed for lonvick").unwrap();
+        assert_eq!(m.facility, Facility::Auth);
+        assert_eq!(m.severity, Severity::Critical);
+        assert_eq!(m.hostname.as_deref(), Some("mymachine"));
+        assert_eq!(m.app_name.as_deref(), Some("su"));
+        assert_eq!(m.proc_id, None);
+        assert_eq!(m.message, "'su root' failed for lonvick");
+    }
+
+    #[test]
+    fn frame_with_pid() {
+        let m = parse_rfc3164("<38>Feb  5 17:32:18 cn101 sshd[23541]: Accepted publickey for aquan").unwrap();
+        assert_eq!(m.app_name.as_deref(), Some("sshd"));
+        assert_eq!(m.proc_id.as_deref(), Some("23541"));
+        assert_eq!(m.message, "Accepted publickey for aquan");
+    }
+
+    #[test]
+    fn kernel_frame_without_pid() {
+        let m = parse_rfc3164("<6>Jun  9 10:00:00 gpu07 kernel: CPU3: Core temperature above threshold, cpu clock throttled").unwrap();
+        assert_eq!(m.app_name.as_deref(), Some("kernel"));
+        assert!(m.message.contains("throttled"));
+    }
+
+    #[test]
+    fn tagless_bmc_frame() {
+        let m = parse_rfc3164("<4>Jan 15 08:01:02 bmc-r3c7 Fan 4 speed below critical threshold").unwrap();
+        // "Fan 4 ..." cannot be split into TAG: — it has a space before any colon.
+        assert_eq!(m.app_name, None);
+        assert_eq!(m.message, "Fan 4 speed below critical threshold");
+    }
+
+    #[test]
+    fn rejects_missing_timestamp() {
+        assert!(parse_rfc3164("<34>no timestamp here").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_hostname() {
+        assert!(parse_rfc3164("<34>Oct 11 22:14:15 ").is_err());
+    }
+
+    #[test]
+    fn rejects_hostname_with_bad_bytes() {
+        assert!(parse_rfc3164("<34>Oct 11 22:14:15 host!name msg").is_err());
+    }
+
+    #[test]
+    fn bracketed_nonnumeric_pid_is_message() {
+        let m = parse_rfc3164("<34>Oct 11 22:14:15 h1 tag[abc]: body").unwrap();
+        assert_eq!(m.app_name, None);
+        assert_eq!(m.message, "tag[abc]: body");
+    }
+
+    #[test]
+    fn raw_is_preserved() {
+        let raw = "<34>Oct 11 22:14:15 h1 app: body";
+        assert_eq!(parse_rfc3164(raw).unwrap().raw, raw);
+    }
+}

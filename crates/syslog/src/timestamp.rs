@@ -1,0 +1,379 @@
+//! Minimal civil-time timestamp for syslog frames.
+//!
+//! Syslog needs only two grammars: the RFC 3164 `Mmm dd hh:mm:ss` form
+//! (which has no year or zone) and the RFC 5424 ISO 8601 form. We carry a
+//! plain civil datetime plus an optional UTC offset, and can convert to Unix
+//! seconds for time-sharded storage. This avoids pulling a calendar crate
+//! into the workspace for what is a few dozen lines of well-known math.
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed syslog timestamp.
+///
+/// RFC 3164 timestamps carry no year; callers that need absolute time fill
+/// it in with [`Timestamp::with_year`] (collectors conventionally assume the
+/// current year).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Timestamp {
+    /// Calendar year; 0 means "unknown" (RFC 3164 frames).
+    pub year: i32,
+    /// Month, 1-12.
+    pub month: u8,
+    /// Day of month, 1-31.
+    pub day: u8,
+    /// Hour, 0-23.
+    pub hour: u8,
+    /// Minute, 0-59.
+    pub minute: u8,
+    /// Second, 0-59 (leap seconds are folded to 59).
+    pub second: u8,
+    /// Sub-second nanoseconds.
+    pub nanos: u32,
+    /// Offset from UTC in minutes, if the frame carried one.
+    pub utc_offset_minutes: Option<i16>,
+}
+
+const MONTH_ABBREV: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+const DAYS_IN_MONTH: [u8; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    if month == 2 && is_leap(year) {
+        29
+    } else {
+        DAYS_IN_MONTH[(month - 1) as usize]
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = y as i64 - if m <= 2 { 1 } else { 0 };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m as i64 + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+impl Timestamp {
+    /// Construct a timestamp, validating field ranges.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        year: i32,
+        month: u8,
+        day: u8,
+        hour: u8,
+        minute: u8,
+        second: u8,
+    ) -> Result<Timestamp, ParseError> {
+        let ts = Timestamp {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+            second,
+            nanos: 0,
+            utc_offset_minutes: None,
+        };
+        ts.validate()?;
+        Ok(ts)
+    }
+
+    fn validate(&self) -> Result<(), ParseError> {
+        let bad = |what: &str| -> ParseError { ParseError::BadTimestamp(what.to_string()) };
+        if !(1..=12).contains(&self.month) {
+            return Err(bad("month out of range"));
+        }
+        let year_for_len = if self.year == 0 { 2000 } else { self.year };
+        if self.day == 0 || self.day > days_in_month(year_for_len, self.month) {
+            return Err(bad("day out of range"));
+        }
+        if self.hour > 23 || self.minute > 59 || self.second > 59 {
+            return Err(bad("time of day out of range"));
+        }
+        Ok(())
+    }
+
+    /// Return a copy with the year filled in (for RFC 3164 frames).
+    pub fn with_year(mut self, year: i32) -> Timestamp {
+        self.year = year;
+        self
+    }
+
+    /// Seconds since the Unix epoch, treating a missing offset as UTC and a
+    /// missing year as 2023 (the paper's collection year).
+    pub fn unix_seconds(&self) -> i64 {
+        let year = if self.year == 0 { 2023 } else { self.year };
+        let days = days_from_civil(year, self.month, self.day);
+        let mut secs = days * 86_400
+            + self.hour as i64 * 3_600
+            + self.minute as i64 * 60
+            + self.second as i64;
+        if let Some(off) = self.utc_offset_minutes {
+            secs -= off as i64 * 60;
+        }
+        secs
+    }
+
+    /// Parse an RFC 3164 `Mmm dd hh:mm:ss` timestamp, returning the
+    /// remainder of the input after the (space-terminated) timestamp.
+    pub fn parse_rfc3164(input: &str) -> Result<(Timestamp, &str), ParseError> {
+        let bad = || ParseError::BadTimestamp(input.chars().take(20).collect());
+        if input.len() < 15 {
+            return Err(bad());
+        }
+        let month_str = &input[..3];
+        let month = MONTH_ABBREV
+            .iter()
+            .position(|m| *m == month_str)
+            .ok_or_else(bad)? as u8
+            + 1;
+        if input.as_bytes()[3] != b' ' {
+            return Err(bad());
+        }
+        // Day is space-padded: "Oct  5" or "Oct 15".
+        let day_str = input[4..6].trim_start();
+        let day: u8 = day_str.parse().map_err(|_| bad())?;
+        if input.as_bytes()[6] != b' ' {
+            return Err(bad());
+        }
+        let time = &input[7..15];
+        let tb = time.as_bytes();
+        if tb[2] != b':' || tb[5] != b':' {
+            return Err(bad());
+        }
+        let hour: u8 = time[..2].parse().map_err(|_| bad())?;
+        let minute: u8 = time[3..5].parse().map_err(|_| bad())?;
+        let second: u8 = time[6..8].parse().map_err(|_| bad())?;
+        let ts = Timestamp::new(0, month, day, hour, minute, second)?;
+        Ok((ts, &input[15..]))
+    }
+
+    /// Parse an RFC 5424 / ISO 8601 timestamp token (no trailing content).
+    pub fn parse_rfc5424(token: &str) -> Result<Timestamp, ParseError> {
+        let bad = || ParseError::BadTimestamp(token.chars().take(40).collect());
+        // Minimal form: 2023-10-11T22:14:15Z  (20 chars)
+        if token.len() < 19 {
+            return Err(bad());
+        }
+        let b = token.as_bytes();
+        if b[4] != b'-' || b[7] != b'-' || (b[10] != b'T' && b[10] != b't') {
+            return Err(bad());
+        }
+        if b[13] != b':' || b[16] != b':' {
+            return Err(bad());
+        }
+        let year: i32 = token[..4].parse().map_err(|_| bad())?;
+        let month: u8 = token[5..7].parse().map_err(|_| bad())?;
+        let day: u8 = token[8..10].parse().map_err(|_| bad())?;
+        let hour: u8 = token[11..13].parse().map_err(|_| bad())?;
+        let minute: u8 = token[14..16].parse().map_err(|_| bad())?;
+        let second: u8 = token[17..19].parse().map_err(|_| bad())?;
+        let mut rest = &token[19..];
+        let mut nanos = 0u32;
+        if rest.starts_with('.') {
+            let frac_end = rest[1..]
+                .find(|c: char| !c.is_ascii_digit())
+                .map(|i| i + 1)
+                .unwrap_or(rest.len());
+            let frac = &rest[1..frac_end];
+            if frac.is_empty() || frac.len() > 9 {
+                return Err(bad());
+            }
+            let digits: u32 = frac.parse().map_err(|_| bad())?;
+            nanos = digits * 10u32.pow(9 - frac.len() as u32);
+            rest = &rest[frac_end..];
+        }
+        let offset = match rest {
+            "Z" | "z" => Some(0i16),
+            "" => None,
+            _ => {
+                let sign = match rest.as_bytes()[0] {
+                    b'+' => 1i16,
+                    b'-' => -1i16,
+                    _ => return Err(bad()),
+                };
+                let ob = rest.as_bytes();
+                if rest.len() != 6 || ob[3] != b':' {
+                    return Err(bad());
+                }
+                let oh: i16 = rest[1..3].parse().map_err(|_| bad())?;
+                let om: i16 = rest[4..6].parse().map_err(|_| bad())?;
+                if oh > 23 || om > 59 {
+                    return Err(bad());
+                }
+                Some(sign * (oh * 60 + om))
+            }
+        };
+        let mut ts = Timestamp::new(year, month, day, hour, minute, second)?;
+        ts.nanos = nanos;
+        ts.utc_offset_minutes = offset;
+        Ok(ts)
+    }
+
+    /// Construct directly from Unix seconds (UTC).
+    pub fn from_unix_seconds(secs: i64) -> Timestamp {
+        // Inverse of days_from_civil (Hinnant's civil_from_days).
+        let days = secs.div_euclid(86_400);
+        let mut rem = secs.rem_euclid(86_400);
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
+        let year = (if m <= 2 { y + 1 } else { y }) as i32;
+        let hour = (rem / 3600) as u8;
+        rem %= 3600;
+        Timestamp {
+            year,
+            month: m,
+            day: d,
+            hour,
+            minute: (rem / 60) as u8,
+            second: (rem % 60) as u8,
+            nanos: 0,
+            utc_offset_minutes: Some(0),
+        }
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.year == 0 {
+            write!(
+                f,
+                "{} {:2} {:02}:{:02}:{:02}",
+                MONTH_ABBREV[(self.month - 1) as usize],
+                self.day,
+                self.hour,
+                self.minute,
+                self.second
+            )
+        } else {
+            write!(
+                f,
+                "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}",
+                self.year, self.month, self.day, self.hour, self.minute, self.second
+            )?;
+            if self.nanos > 0 {
+                write!(f, ".{:03}", self.nanos / 1_000_000)?;
+            }
+            match self.utc_offset_minutes {
+                Some(0) => write!(f, "Z"),
+                Some(off) => {
+                    let sign = if off < 0 { '-' } else { '+' };
+                    let a = off.abs();
+                    write!(f, "{sign}{:02}:{:02}", a / 60, a % 60)
+                }
+                None => Ok(()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc3164_parses_padded_day() {
+        let (ts, rest) = Timestamp::parse_rfc3164("Feb  5 17:32:18 host").unwrap();
+        assert_eq!((ts.month, ts.day, ts.hour), (2, 5, 17));
+        assert_eq!(rest, " host");
+    }
+
+    #[test]
+    fn rfc3164_parses_two_digit_day() {
+        let (ts, _) = Timestamp::parse_rfc3164("Oct 11 22:14:15 x").unwrap();
+        assert_eq!((ts.month, ts.day), (10, 11));
+        assert_eq!((ts.hour, ts.minute, ts.second), (22, 14, 15));
+    }
+
+    #[test]
+    fn rfc3164_rejects_bad_month() {
+        assert!(Timestamp::parse_rfc3164("Xxx 11 22:14:15 ").is_err());
+    }
+
+    #[test]
+    fn rfc3164_rejects_short_input() {
+        assert!(Timestamp::parse_rfc3164("Oct 11").is_err());
+    }
+
+    #[test]
+    fn rfc5424_parses_utc() {
+        let ts = Timestamp::parse_rfc5424("2023-10-11T22:14:15.003Z").unwrap();
+        assert_eq!(ts.year, 2023);
+        assert_eq!(ts.nanos, 3_000_000);
+        assert_eq!(ts.utc_offset_minutes, Some(0));
+    }
+
+    #[test]
+    fn rfc5424_parses_offset() {
+        let ts = Timestamp::parse_rfc5424("2023-01-02T03:04:05-06:30").unwrap();
+        assert_eq!(ts.utc_offset_minutes, Some(-390));
+    }
+
+    #[test]
+    fn rfc5424_rejects_bad_offsets() {
+        assert!(Timestamp::parse_rfc5424("2023-01-02T03:04:05+25:00").is_err());
+        assert!(Timestamp::parse_rfc5424("2023-01-02T03:04:05+06").is_err());
+        assert!(Timestamp::parse_rfc5424("2023-01-02 03:04:05Z").is_err());
+    }
+
+    #[test]
+    fn unix_seconds_known_value() {
+        // 2023-10-11T22:14:15Z
+        let ts = Timestamp::parse_rfc5424("2023-10-11T22:14:15Z").unwrap();
+        assert_eq!(ts.unix_seconds(), 1_697_062_455);
+    }
+
+    #[test]
+    fn unix_roundtrip() {
+        for &secs in &[0i64, 1_697_062_455, 951_782_400, 4_102_444_799] {
+            let ts = Timestamp::from_unix_seconds(secs);
+            assert_eq!(ts.unix_seconds(), secs, "roundtrip failed for {secs}");
+        }
+    }
+
+    #[test]
+    fn offset_shifts_epoch() {
+        let utc = Timestamp::parse_rfc5424("2023-06-01T12:00:00Z").unwrap();
+        let plus2 = Timestamp::parse_rfc5424("2023-06-01T14:00:00+02:00").unwrap();
+        assert_eq!(utc.unix_seconds(), plus2.unix_seconds());
+    }
+
+    #[test]
+    fn validates_calendar() {
+        assert!(Timestamp::new(2023, 2, 29, 0, 0, 0).is_err());
+        assert!(Timestamp::new(2024, 2, 29, 0, 0, 0).is_ok());
+        assert!(Timestamp::new(2023, 13, 1, 0, 0, 0).is_err());
+        assert!(Timestamp::new(2023, 4, 31, 0, 0, 0).is_err());
+        assert!(Timestamp::new(2023, 1, 1, 24, 0, 0).is_err());
+    }
+
+    #[test]
+    fn display_rfc3164_style_when_yearless() {
+        let (ts, _) = Timestamp::parse_rfc3164("Oct  5 01:02:03 ").unwrap();
+        assert_eq!(ts.to_string(), "Oct  5 01:02:03");
+    }
+
+    #[test]
+    fn display_iso_when_dated() {
+        let ts = Timestamp::parse_rfc5424("2023-10-11T22:14:15Z").unwrap();
+        assert_eq!(ts.to_string(), "2023-10-11T22:14:15Z");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the syslog parsers: the top-level `parse` must
+//! never panic, and structured round-trips must hold.
+
+use proptest::prelude::*;
+use syslog_model::pri::{decode_pri, encode_pri};
+use syslog_model::{mask_variables, parse, FrameDecoder, NormalizeOptions, Timestamp};
+
+proptest! {
+    /// The permissive entry point must accept any non-empty string without
+    /// panicking and must preserve the raw frame.
+    #[test]
+    fn parse_never_panics(raw in ".{1,400}") {
+        if let Ok(m) = parse(&raw) {
+            prop_assert_eq!(m.raw, raw);
+        }
+    }
+
+    /// PRI encode/decode is a bijection on the valid range.
+    #[test]
+    fn pri_bijection(pri in 0u16..=191) {
+        let (f, s) = decode_pri(pri).unwrap();
+        prop_assert_eq!(encode_pri(f, s), pri);
+    }
+
+    /// Unix-seconds conversion round-trips through civil time.
+    #[test]
+    fn timestamp_unix_roundtrip(secs in 0i64..=4_102_444_799) {
+        let ts = Timestamp::from_unix_seconds(secs);
+        prop_assert_eq!(ts.unix_seconds(), secs);
+    }
+
+    /// Masking is idempotent: masking an already-masked message changes
+    /// nothing.
+    #[test]
+    fn masking_idempotent(msg in "[ -~]{0,200}") {
+        let opts = NormalizeOptions::default();
+        let once = mask_variables(&msg, &opts);
+        let twice = mask_variables(&once, &opts);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Masking never increases the number of whitespace-separated tokens.
+    #[test]
+    fn masking_preserves_token_count(msg in "[ -~]{0,200}") {
+        let masked = mask_variables(&msg, &NormalizeOptions::default());
+        prop_assert_eq!(
+            masked.split_whitespace().count(),
+            msg.split_whitespace().count()
+        );
+    }
+
+    /// RFC 5424 timestamps we format are re-parseable.
+    #[test]
+    fn rfc5424_timestamp_roundtrip(secs in 0i64..=4_102_444_799) {
+        let ts = Timestamp::from_unix_seconds(secs);
+        let formatted = ts.to_string();
+        let back = Timestamp::parse_rfc5424(&formatted).unwrap();
+        prop_assert_eq!(back.unix_seconds(), secs);
+    }
+
+    /// Octet-counted framing round-trips arbitrary frame payloads through
+    /// arbitrary chunking of the byte stream.
+    #[test]
+    fn octet_framing_roundtrip(
+        payloads in proptest::collection::vec("<[0-9]{1,3}>[ -~]{1,60}", 1..8),
+        chunk in 1usize..32,
+    ) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            wire.extend_from_slice(format!("{} {p}", p.len()).as_bytes());
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for piece in wire.chunks(chunk) {
+            frames.extend(decoder.push(piece));
+        }
+        if let Some(tail) = decoder.finish() {
+            frames.push(tail);
+        }
+        prop_assert_eq!(frames, payloads);
+        prop_assert_eq!(decoder.dropped(), 0);
+    }
+
+    /// Non-transparent framing round-trips any LF-free line set.
+    #[test]
+    fn lf_framing_roundtrip(
+        payloads in proptest::collection::vec("<[0-9]{1,3}>[!-~][ -~]{0,50}[!-~]", 1..8),
+        chunk in 1usize..32,
+    ) {
+        let wire: String = payloads.iter().map(|p| format!("{p}\n")).collect();
+        let mut decoder = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for piece in wire.as_bytes().chunks(chunk) {
+            frames.extend(decoder.push(piece));
+        }
+        prop_assert_eq!(frames, payloads);
+    }
+}

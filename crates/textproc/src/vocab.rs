@@ -1,0 +1,99 @@
+//! Token ↔ id interning for feature vectors.
+
+use crate::hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// A bidirectional token ↔ `u32` id mapping.
+///
+/// Ids are dense and assigned in first-seen order, so a fitted vocabulary
+/// doubles as the feature-index space of every vectorizer built on it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    token_to_id: FxHashMap<String, u32>,
+    id_to_token: Vec<String>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Vocabulary {
+        Vocabulary::default()
+    }
+
+    /// Intern `token`, returning its id (existing or new).
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.token_to_id.get(token) {
+            return id;
+        }
+        let id = self.id_to_token.len() as u32;
+        self.token_to_id.insert(token.to_string(), id);
+        self.id_to_token.push(token.to_string());
+        id
+    }
+
+    /// Look up an id without interning.
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// The token for `id`.
+    pub fn token(&self, id: u32) -> Option<&str> {
+        self.id_to_token.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned tokens.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// True when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.is_empty()
+    }
+
+    /// Iterate `(id, token)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.id_to_token
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u32, t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("cpu");
+        let b = v.intern("temperature");
+        assert_eq!(v.intern("cpu"), a);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.token(a), Some("cpu"));
+        assert_eq!(v.token(b), Some("temperature"));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.token(99), None);
+    }
+
+    #[test]
+    fn ids_are_dense_first_seen_order() {
+        let mut v = Vocabulary::new();
+        for (i, t) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(v.intern(t), i as u32);
+        }
+        let collected: Vec<_> = v.iter().map(|(_, t)| t.to_string()).collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut v = Vocabulary::new();
+        v.intern("x");
+        v.intern("y");
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Vocabulary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("y"), Some(1));
+        assert_eq!(back.len(), 2);
+    }
+}

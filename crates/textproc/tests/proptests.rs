@@ -1,0 +1,127 @@
+//! Property tests for the NLP substrate.
+
+use proptest::prelude::*;
+use textproc::sparse::SparseVec;
+use textproc::tfidf::{TfidfConfig, TfidfVectorizer};
+use textproc::{preprocess, tokenize, Lemmatizer};
+
+fn sparse_vec_strategy() -> impl Strategy<Value = SparseVec> {
+    proptest::collection::vec((0u32..64, -10.0f64..10.0), 0..16)
+        .prop_map(SparseVec::from_pairs)
+}
+
+proptest! {
+    /// Tokenization never panics and yields only lowercase word characters.
+    #[test]
+    fn tokenizer_output_is_clean(text in ".{0,300}") {
+        for tok in tokenize(&text) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().all(|c| c.is_alphanumeric() || c == '_'));
+            // Lowercasing is a fixpoint (some uppercase chars, e.g. math
+            // letters, have no lowercase mapping and pass through).
+            prop_assert_eq!(tok.to_lowercase(), tok.clone());
+        }
+    }
+
+    /// Lemmatization is idempotent.
+    #[test]
+    fn lemmatizer_idempotent(word in "[a-z]{1,20}") {
+        let l = Lemmatizer::new();
+        let once = l.lemmatize(&word);
+        prop_assert_eq!(l.lemmatize(&once), once);
+    }
+
+    /// The lemma is never longer than the input plus one char (the `+e`
+    /// and `ies→y` rules can only shrink or keep length).
+    #[test]
+    fn lemma_does_not_grow(word in "[a-z]{1,20}") {
+        let lemma = Lemmatizer::new().lemmatize(&word);
+        prop_assert!(lemma.len() <= word.len() + 1);
+    }
+
+    /// Dot product is symmetric and Cauchy-Schwarz holds.
+    #[test]
+    fn dot_symmetric_cauchy_schwarz(a in sparse_vec_strategy(), b in sparse_vec_strategy()) {
+        prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-9);
+        prop_assert!(a.dot(&b).abs() <= a.norm() * b.norm() + 1e-9);
+    }
+
+    /// Cosine similarity is bounded in [-1, 1].
+    #[test]
+    fn cosine_bounded(a in sparse_vec_strategy(), b in sparse_vec_strategy()) {
+        let c = a.cosine(&b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+    }
+
+    /// Euclidean distance is non-negative and zero against itself.
+    #[test]
+    fn euclidean_nonneg(a in sparse_vec_strategy()) {
+        prop_assert!(a.euclidean_sq(&a) < 1e-9);
+    }
+
+    /// TF-IDF transforms are non-negative and confined to the fitted
+    /// vocabulary dimensionality.
+    #[test]
+    fn tfidf_nonnegative_and_bounded(
+        texts in proptest::collection::vec("[a-z]{1,6}( [a-z]{1,6}){0,8}", 1..12)
+    ) {
+        let docs: Vec<Vec<String>> = texts
+            .iter()
+            .map(|t| t.split_whitespace().map(str::to_string).collect())
+            .collect();
+        let mut v = TfidfVectorizer::new(TfidfConfig::default());
+        let rows = v.fit_transform(&docs);
+        for row in rows {
+            prop_assert!(row.values().iter().all(|&x| x >= 0.0));
+            prop_assert!(row.max_dim() <= v.n_features());
+            if !row.is_empty() {
+                prop_assert!((row.norm() - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The full preprocess pipeline never panics and never emits stopwords.
+    #[test]
+    fn preprocess_no_stopwords(text in ".{0,200}") {
+        for tok in preprocess(&text) {
+            prop_assert!(!textproc::stopwords::is_stopword(&tok));
+        }
+    }
+
+    /// The hashing vectorizer confines indices to its bucket space, is
+    /// deterministic, and (unsigned) keeps token-count mass: the L1 norm of
+    /// the unnormalized vector equals the token count.
+    #[test]
+    fn hashing_vectorizer_invariants(
+        tokens in proptest::collection::vec("[a-z_0-9]{1,12}", 0..40),
+        buckets_log2 in 3u32..12,
+    ) {
+        let v = textproc::HashingVectorizer {
+            n_buckets: 1 << buckets_log2,
+            signed: false,
+            l2_normalize: false,
+        };
+        let a = v.transform(&tokens);
+        let b = v.transform(&tokens);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.max_dim() <= (1usize << buckets_log2));
+        prop_assert!((a.l1_norm() - tokens.len() as f64).abs() < 1e-9);
+    }
+
+    /// Signed hashing: each token contributes ±1, so the L1 norm is the
+    /// token count minus an even number (each opposite-sign collision
+    /// cancels a pair).
+    #[test]
+    fn signed_hashing_mass(tokens in proptest::collection::vec("[a-z]{1,8}", 1..30)) {
+        let v = textproc::HashingVectorizer {
+            n_buckets: 1 << 20,
+            signed: true,
+            l2_normalize: false,
+        };
+        let out = v.transform(&tokens);
+        let l1 = out.l1_norm();
+        prop_assert!(l1 <= tokens.len() as f64 + 1e-9);
+        let cancelled = tokens.len() as f64 - l1;
+        prop_assert!((cancelled / 2.0 - (cancelled / 2.0).round()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,94 @@
+//! Model lifecycle: the paper's Future Work deployment loop end to end —
+//! train, persist, deploy (load), observe drift, absorb fresh labels with
+//! `partial_fit`, and persist again.
+//!
+//! Run: `cargo run --release --example model_lifecycle`
+
+use hetsyslog::core::persist::{SavedModel, SavedPipeline};
+use hetsyslog::datagen::{DriftConfig, DriftModel};
+use hetsyslog::prelude::*;
+
+fn accuracy(clf: &SavedPipeline, data: &[(String, Category)]) -> f64 {
+    data.iter()
+        .filter(|(m, c)| clf.classify(m).category == *c)
+        .count() as f64
+        / data.len().max(1) as f64
+}
+
+fn main() -> Result<(), String> {
+    let dir = std::env::temp_dir().join("hetsyslog_lifecycle");
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let model_path = dir.join("deployed.json");
+
+    // Day 0: train on the collection system's labeled history and persist.
+    let corpus = datagen::corpus::as_pairs(&generate_corpus(&CorpusConfig {
+        scale: 0.01,
+        seed: 42,
+        min_per_class: 12,
+    }));
+    let trained = SavedPipeline::train(
+        FeatureConfig::default(),
+        SavedModel::by_name("cnb").expect("cnb is a known model"),
+        &corpus,
+    );
+    trained.save(&model_path).map_err(|e| e.to_string())?;
+    println!(
+        "day 0: trained {} on {} messages → {} ({} KiB)",
+        trained.name(),
+        corpus.len(),
+        model_path.display(),
+        std::fs::metadata(&model_path).map(|m| m.len() / 1024).unwrap_or(0)
+    );
+
+    // Day 1: a fresh process loads the model and serves traffic.
+    let mut deployed = SavedPipeline::load(&model_path)?;
+    println!(
+        "day 1: loaded model classifies with accuracy {:.4} on its own history",
+        accuracy(&deployed, &corpus)
+    );
+
+    // Day 90: firmware updates reword the stream.
+    let mut drift = DriftModel::new(DriftConfig {
+        synonym_rate: 0.7,
+        vendor_jargon: false,
+        ..DriftConfig::default()
+    });
+    let drifted: Vec<(String, Category)> = corpus
+        .iter()
+        .map(|(m, c)| (drift.mutate(m), *c))
+        .collect();
+    println!(
+        "day 90: firmware drift arrives — accuracy on reworded traffic {:.4}",
+        accuracy(&deployed, &drifted)
+    );
+
+    // The admin labels a 5% trickle of the new traffic; the deployed model
+    // absorbs it in place (Complement NB partial_fit is exact).
+    let n = drifted.len() / 20;
+    let fresh_features: Vec<_> = drifted[..n]
+        .iter()
+        .map(|(m, _)| deployed.features.transform(m))
+        .collect();
+    let fresh = hetsyslog::ml::Dataset::new(
+        fresh_features,
+        drifted[..n].iter().map(|(_, c)| c.index()).collect(),
+        Category::all_labels(),
+    );
+    if let SavedModel::ComplementNb(m) = &mut deployed.model {
+        m.partial_fit(&fresh);
+    }
+    println!(
+        "day 90+: after absorbing {n} labeled messages, accuracy {:.4} — and the \
+         updated model persists back:",
+        accuracy(&deployed, &drifted)
+    );
+    deployed.save(&model_path).map_err(|e| e.to_string())?;
+    let reloaded = SavedPipeline::load(&model_path)?;
+    println!(
+        "         reloaded copy agrees: accuracy {:.4}",
+        accuracy(&reloaded, &drifted)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

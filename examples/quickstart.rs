@@ -1,0 +1,81 @@
+//! Quickstart: train the paper's preferred pipeline on a synthetic Darwin
+//! corpus, classify a few live messages, and reproduce the Figure 1
+//! interaction — an LLM classifying a thermal message with a prose
+//! explanation.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use hetsyslog::prelude::*;
+
+fn main() {
+    // 1. A synthetic heterogeneous corpus with the paper's Table 2 class
+    //    balance (~2k messages at this scale; scale 1.0 is the full 196k).
+    let corpus = datagen::corpus::as_pairs(&generate_corpus(&CorpusConfig {
+        scale: 0.01,
+        seed: 42,
+        min_per_class: 12,
+    }));
+    println!("corpus: {} unique labeled messages", corpus.len());
+
+    // 2. Train the paper's pipeline: tokenize → lemmatize → TF-IDF →
+    //    Complement Naive Bayes (the best accuracy/cost trade-off).
+    let clf = TraditionalPipeline::train(
+        FeatureConfig::default(),
+        Box::new(ComplementNaiveBayes::new(Default::default())),
+        &corpus,
+    );
+    println!("trained: {}\n", clf.name());
+
+    // 3. Classify incoming messages, with explanations.
+    let incoming = [
+        "Warning: Socket 2 - CPU 23 throttling, processor thermal sensor trip point reached",
+        "Connection closed by 10.3.7.77 port 50914 [preauth]",
+        "usb 3-2: new high-speed USB device number 17 using xhci_hcd",
+        "error: Node cn0188 has low real_memory size (8192 < 196608) node configuration unusable",
+        "slurm_rpc_node_registration complete for cn0021 usec=312",
+    ];
+    for msg in incoming {
+        let p = clf.classify(msg);
+        println!("[{}] {}", p.category, msg);
+        if let Some(e) = &p.explanation {
+            let tokens: Vec<String> = e
+                .top_tokens
+                .iter()
+                .take(3)
+                .map(|(t, w)| format!("{t} ({w:.2})"))
+                .collect();
+            println!("         evidence: {}", tokens.join(", "));
+        }
+        println!("         action: {}", p.category.suggested_action());
+    }
+
+    // 4. Figure 1: the same message through a (simulated) generative LLM,
+    //    which produces a prose justification — the one capability the
+    //    paper found genuinely attractive about LLMs.
+    println!("\n--- Figure 1: generative LLM classification ---");
+    let llm = GenerativeLlmClassifier::new(
+        ModelPreset::falcon_40b(),
+        &corpus,
+        PromptBuilder::new(),
+        Some(96),
+        7,
+    );
+    let msg = "Warning: Socket 2 - CPU 23 throttling";
+    // Sample until the excessive-generation mode produces the Figure 1
+    // style prose response (it fires for ~1 in 5 messages).
+    for attempt in 0..20 {
+        let p = llm.classify(msg);
+        let text = p.explanation.as_ref().map(|e| e.rationale.clone()).unwrap_or_default();
+        if text.contains("would fall under") || attempt == 19 {
+            println!("prompt message: {msg:?}");
+            println!("model answer  : {text}");
+            println!("parsed as     : {}", p.category);
+            break;
+        }
+    }
+    println!(
+        "modeled inference cost so far: {:.2} virtual GPU-seconds ({:.3} s/msg)",
+        llm.virtual_seconds(),
+        llm.mean_inference_seconds()
+    );
+}

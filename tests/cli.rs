@@ -1,0 +1,119 @@
+//! End-to-end tests of the `hetsyslog` CLI binary: generate → train →
+//! classify through real processes and files.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hetsyslog"))
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hetsyslog_cli_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn generate_train_classify_round_trip() {
+    let dir = tmpdir("roundtrip");
+    let corpus = dir.join("corpus.jsonl");
+    let model = dir.join("model.json");
+
+    let out = bin()
+        .args(["generate", "--scale", "0.002", "--seed", "7", "--out"])
+        .arg(&corpus)
+        .output()
+        .expect("generate runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let lines = std::fs::read_to_string(&corpus).unwrap().lines().count();
+    assert!(lines > 300, "corpus too small: {lines}");
+
+    let out = bin()
+        .args(["train", "--model", "cnb", "--corpus"])
+        .arg(&corpus)
+        .arg("--out")
+        .arg(&model)
+        .output()
+        .expect("train runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    let mut child = bin()
+        .args(["classify", "--model"])
+        .arg(&model)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("classify spawns");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            b"CPU 9 temperature above threshold clock throttled\n\
+              usb 1-1: new high-speed USB device number 5 using xhci_hcd\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0].starts_with("Thermal Issue\t"), "{}", lines[0]);
+    assert!(lines[1].starts_with("USB-Device\t"), "{}", lines[1]);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn classify_accepts_full_syslog_frames() {
+    let dir = tmpdir("frames");
+    let model = dir.join("model.json");
+    let out = bin()
+        .args([
+            "train", "--scale", "0.002", "--seed", "7", "--model", "cnb", "--out",
+        ])
+        .arg(&model)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let mut child = bin()
+        .args(["classify", "--explain", "--model"])
+        .arg(&model)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"<13>Oct 11 22:14:15 cn01 sshd[4]: Connection closed by 10.1.2.3 port 22 [preauth]\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The PRI/host/tag header must be stripped before classification.
+    assert!(stdout.starts_with("SSH-Connection\tConnection closed"), "{stdout}");
+    assert!(stdout.contains("preauth:"), "explanation tokens missing: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn train_rejects_unknown_model() {
+    let out = bin()
+        .args(["train", "--scale", "0.001", "--model", "gpt9000"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown model"));
+}

@@ -1,0 +1,155 @@
+//! Integration: the simulated LLM stack against the taxonomy, reproducing
+//! the §5.2 findings end to end.
+
+use hetsyslog::prelude::*;
+use llmsim::classifier::FailureCounters;
+use llmsim::parse::{parse_response, ParseFailure};
+
+fn corpus() -> Vec<(String, Category)> {
+    datagen::corpus::as_pairs(&generate_corpus(&CorpusConfig {
+        scale: 0.005,
+        seed: 42,
+        min_per_class: 16,
+    }))
+}
+
+fn sample(corpus: &[(String, Category)], n: usize) -> Vec<(String, Category)> {
+    corpus
+        .iter()
+        .step_by((corpus.len() / n).max(1))
+        .take(n)
+        .cloned()
+        .collect()
+}
+
+fn accuracy(clf: &dyn TextClassifier, data: &[(String, Category)]) -> f64 {
+    let texts: Vec<&str> = data.iter().map(|(m, _)| m.as_str()).collect();
+    let preds = clf.classify_batch(&texts);
+    preds
+        .iter()
+        .zip(data)
+        .filter(|(p, (_, c))| p.category == *c)
+        .count() as f64
+        / data.len() as f64
+}
+
+#[test]
+fn table3_cost_ordering_holds() {
+    let corpus = corpus();
+    let test = sample(&corpus, 120);
+    let prompt = PromptBuilder::new();
+
+    let f7 = GenerativeLlmClassifier::new(ModelPreset::falcon_7b(), &corpus, prompt.clone(), Some(24), 1);
+    let f40 = GenerativeLlmClassifier::new(ModelPreset::falcon_40b(), &corpus, prompt, Some(24), 1);
+    let zs = ZeroShotLlmClassifier::new(&corpus);
+
+    let acc7 = accuracy(&f7, &test);
+    let acc40 = accuracy(&f40, &test);
+    let acc_zs = accuracy(&zs, &test);
+
+    let (m7, m40, mzs) = (
+        f7.mean_inference_seconds(),
+        f40.mean_inference_seconds(),
+        zs.mean_inference_seconds(),
+    );
+    // Table 3 ordering: BART fastest, Falcon-40b slowest.
+    assert!(mzs < m7, "zero-shot {mzs} not faster than 7b {m7}");
+    assert!(m7 < m40, "7b {m7} not faster than 40b {m40}");
+    // Paper magnitudes: 0.134 / 0.639 / 2.184 s — allow wide factors.
+    assert!((0.05..0.35).contains(&mzs), "bart mean {mzs}");
+    assert!((0.3..1.2).contains(&m7), "falcon-7b mean {m7}");
+    assert!((1.0..3.5).contains(&m40), "falcon-40b mean {m40}");
+    // The bigger generative model classifies better; both beat chance.
+    assert!(acc40 > acc7, "40b ({acc40}) should beat 7b ({acc7})");
+    assert!(acc7 > 0.3);
+    assert!(acc_zs > 0.5);
+}
+
+#[test]
+fn llms_are_orders_of_magnitude_slower_than_traditional() {
+    let corpus = corpus();
+    let test = sample(&corpus, 100);
+    let texts: Vec<&str> = test.iter().map(|(m, _)| m.as_str()).collect();
+
+    let tfidf = TraditionalPipeline::train(
+        FeatureConfig::default(),
+        Box::new(ComplementNaiveBayes::new(Default::default())),
+        &corpus,
+    );
+    let t0 = std::time::Instant::now();
+    let _ = tfidf.classify_batch(&texts);
+    let traditional_s = t0.elapsed().as_secs_f64() / texts.len() as f64;
+
+    let f7 = GenerativeLlmClassifier::new(
+        ModelPreset::falcon_7b(),
+        &corpus,
+        PromptBuilder::new(),
+        Some(24),
+        1,
+    );
+    let _ = f7.classify_batch(&texts);
+    let llm_s = f7.mean_inference_seconds();
+
+    assert!(
+        llm_s > traditional_s * 100.0,
+        "paper's conclusion violated: LLM {llm_s}s/msg vs traditional {traditional_s}s/msg"
+    );
+}
+
+#[test]
+fn failure_modes_reproduce_and_cap_mitigates() {
+    let corpus = corpus();
+    let test = sample(&corpus, 200);
+    let texts: Vec<&str> = test.iter().map(|(m, _)| m.as_str()).collect();
+
+    let unbounded = GenerativeLlmClassifier::new(
+        ModelPreset::falcon_7b(),
+        &corpus,
+        PromptBuilder::new(),
+        None,
+        5,
+    );
+    let _ = unbounded.classify_batch(&texts);
+    let free: FailureCounters = unbounded.counters();
+    assert!(free.novel_category > 0, "novel-category failure never seen");
+    assert_eq!(free.truncated, 0, "nothing truncates without a cap");
+
+    let capped = GenerativeLlmClassifier::new(
+        ModelPreset::falcon_7b(),
+        &corpus,
+        PromptBuilder::new(),
+        Some(16),
+        5,
+    );
+    let _ = capped.classify_batch(&texts);
+    let c = capped.counters();
+    assert!(c.truncated > 0, "cap never engaged");
+    assert!(
+        capped.virtual_seconds() < unbounded.virtual_seconds(),
+        "the paper's max_new_tokens fix must reduce cost"
+    );
+}
+
+#[test]
+fn response_parsing_handles_the_papers_cases() {
+    // The exact Figure 1 answer style.
+    let fig1 = "The message \"Warning: Socket 2 - CPU 23 throttling\" would fall under the \
+                category of \"thermal\". Throttling is a technique used to regulate…";
+    assert_eq!(parse_response(fig1), Ok(Category::ThermalIssue));
+    // Out-of-taxonomy generation.
+    assert!(matches!(
+        parse_response("Overheating Event"),
+        Err(ParseFailure::NovelCategory(_))
+    ));
+}
+
+#[test]
+fn zero_shot_never_leaves_the_taxonomy() {
+    let corpus = corpus();
+    let zs = ZeroShotLlmClassifier::new(&corpus);
+    for (m, _) in sample(&corpus, 150) {
+        let p = zs.classify(&m);
+        assert!(Category::ALL.contains(&p.category));
+        assert!(p.confidence.unwrap() > 0.0);
+    }
+}

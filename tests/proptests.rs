@@ -1,0 +1,126 @@
+//! Cross-crate property tests: invariants that hold across subsystem
+//! boundaries for arbitrary seeds and scales.
+
+use hetsyslog::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every frame the stream generator emits parses back losslessly, for
+    /// any seed and rate.
+    #[test]
+    fn stream_frames_always_parse(seed in 0u64..500, rate in 10.0f64..1000.0) {
+        let stream = StreamGenerator::new(StreamConfig {
+            seed,
+            base_rate: rate,
+            ..StreamConfig::default()
+        });
+        for tm in stream.take(40) {
+            let frame = tm.to_frame();
+            let parsed = parse(&frame).expect("stream frame must parse");
+            prop_assert_eq!(parsed.hostname.as_deref(), Some(tm.message.node.as_str()));
+            prop_assert_eq!(parsed.message, tm.message.text);
+        }
+    }
+
+    /// The corpus generator keeps Table 2's dominance ordering for every
+    /// seed: Unimportant > Thermal > every other class.
+    #[test]
+    fn corpus_imbalance_shape(seed in 0u64..200) {
+        let corpus = generate_corpus(&CorpusConfig {
+            scale: 0.004,
+            seed,
+            min_per_class: 4,
+        });
+        let count = |c: Category| corpus.iter().filter(|m| m.category == c).count();
+        let unimportant = count(Category::Unimportant);
+        let thermal = count(Category::ThermalIssue);
+        prop_assert!(unimportant > thermal);
+        for c in [
+            Category::HardwareIssue,
+            Category::IntrusionDetection,
+            Category::MemoryIssue,
+            Category::SshConnection,
+            Category::SlurmIssue,
+            Category::UsbDevice,
+        ] {
+            prop_assert!(thermal > count(c), "thermal must dominate {c}");
+        }
+    }
+
+    /// Bucket assignment of a corpus then re-finding every message never
+    /// misses: everything is within threshold of its own bucket.
+    #[test]
+    fn bucket_store_total_coverage(seed in 0u64..100) {
+        let corpus = generate_corpus(&CorpusConfig {
+            scale: 0.001,
+            seed,
+            min_per_class: 3,
+        });
+        let mut store = BucketStore::new(BucketingConfig::default());
+        for m in &corpus {
+            store.assign(&m.text);
+        }
+        for m in &corpus {
+            prop_assert!(store.find(&m.text).is_some(), "message lost: {}", m.text);
+        }
+    }
+
+    /// Training on any seeded corpus slice yields a classifier whose
+    /// training accuracy beats the majority-class baseline.
+    #[test]
+    fn classifier_beats_majority_baseline(seed in 0u64..50) {
+        let corpus = datagen::corpus::as_pairs(&generate_corpus(&CorpusConfig {
+            scale: 0.002,
+            seed,
+            min_per_class: 6,
+        }));
+        let clf = TraditionalPipeline::train(
+            FeatureConfig::default(),
+            Box::new(ComplementNaiveBayes::new(Default::default())),
+            &corpus,
+        );
+        let texts: Vec<&str> = corpus.iter().map(|(m, _)| m.as_str()).collect();
+        let preds = clf.classify_batch(&texts);
+        let correct = preds
+            .iter()
+            .zip(&corpus)
+            .filter(|(p, (_, c))| p.category == *c)
+            .count();
+        let mut class_counts = [0usize; 8];
+        for (_, c) in &corpus {
+            class_counts[c.index()] += 1;
+        }
+        let majority = *class_counts.iter().max().unwrap();
+        prop_assert!(
+            correct > majority,
+            "classifier ({correct}) no better than majority vote ({majority})"
+        );
+    }
+
+    /// The monitor service's counters always reconcile: total = prefiltered
+    /// + classified.
+    #[test]
+    fn monitor_counters_reconcile(seed in 0u64..50, n in 20usize..120) {
+        let corpus = datagen::corpus::as_pairs(&generate_corpus(&CorpusConfig {
+            scale: 0.001,
+            seed: 42,
+            min_per_class: 4,
+        }));
+        let clf = std::sync::Arc::new(TraditionalPipeline::train(
+            FeatureConfig::default(),
+            Box::new(ComplementNaiveBayes::new(Default::default())),
+            &corpus,
+        ));
+        let service = MonitorService::new(clf).with_prefilter(NoiseFilter::train(3, &corpus));
+        let stream = StreamGenerator::new(StreamConfig { seed, ..StreamConfig::default() });
+        for tm in stream.take(n) {
+            let _ = service.ingest(&tm.message.text);
+        }
+        let stats = service.stats();
+        prop_assert_eq!(stats.total, n as u64);
+        let classified: u64 = stats.per_category.iter().sum();
+        prop_assert_eq!(stats.prefiltered + classified, n as u64);
+    }
+}
