@@ -36,7 +36,12 @@ fn bench_train_cheap_models(c: &mut Criterion) {
     let split = prepare_split(&corpus, &EvalConfig::default());
     let mut g = c.benchmark_group("fit");
     g.sample_size(10);
-    for name in ["kNN", "Nearest Centroid", "Complement Naive Bayes", "Log-loss SGD"] {
+    for name in [
+        "kNN",
+        "Nearest Centroid",
+        "Complement Naive Bayes",
+        "Log-loss SGD",
+    ] {
         let mut model = paper_suite(42)
             .into_iter()
             .find(|m| m.name() == name)

@@ -68,5 +68,10 @@ fn bench_bucket_build(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_metrics, bench_bucket_lookup, bench_bucket_build);
+criterion_group!(
+    benches,
+    bench_metrics,
+    bench_bucket_lookup,
+    bench_bucket_build
+);
 criterion_main!(benches);

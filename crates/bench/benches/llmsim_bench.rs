@@ -17,7 +17,11 @@ fn corpus() -> Vec<(String, Category)> {
 
 fn bench_prompt_build(c: &mut Criterion) {
     let builder = PromptBuilder::new().with_top_words(vec![
-        vec!["timestamp".into(), "sync".into(), "clock".into()];
+        vec![
+            "timestamp".into(),
+            "sync".into(),
+            "clock".into()
+        ];
         Category::ALL.len()
     ]);
     let mut g = c.benchmark_group("llm_prompt");
@@ -57,5 +61,10 @@ fn bench_zero_shot(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_prompt_build, bench_generation, bench_zero_shot);
+criterion_group!(
+    benches,
+    bench_prompt_build,
+    bench_generation,
+    bench_zero_shot
+);
 criterion_main!(benches);

@@ -21,11 +21,7 @@ fn bench_parse(c: &mut Criterion) {
     let mut g = c.benchmark_group("syslog_parse");
     g.throughput(Throughput::Elements(fs.len() as u64));
     g.bench_function("rfc3164_1k_frames", |b| {
-        b.iter(|| {
-            fs.iter()
-                .filter(|f| syslog_model::parse(f).is_ok())
-                .count()
-        })
+        b.iter(|| fs.iter().filter(|f| syslog_model::parse(f).is_ok()).count())
     });
     g.finish();
 }
@@ -35,9 +31,7 @@ fn bench_store_insert(c: &mut Criterion) {
     let records: Vec<LogRecord> = fs
         .iter()
         .enumerate()
-        .map(|(i, f)| {
-            LogRecord::from_message(i as u64, &syslog_model::parse(f).unwrap(), 0)
-        })
+        .map(|(i, f)| LogRecord::from_message(i as u64, &syslog_model::parse(f).unwrap(), 0))
         .collect();
     let mut g = c.benchmark_group("log_store");
     g.throughput(Throughput::Elements(records.len() as u64));

@@ -81,9 +81,7 @@ fn bench_tfidf(c: &mut Criterion) {
     });
     let mut fitted = TfidfVectorizer::new(TfidfConfig::default());
     fitted.fit(&docs);
-    g.bench_function("transform_one", |b| {
-        b.iter(|| fitted.transform(&docs[7]))
-    });
+    g.bench_function("transform_one", |b| b.iter(|| fitted.transform(&docs[7])));
     g.finish();
 }
 

@@ -59,7 +59,8 @@ fn main() {
 
     for preset in [ModelPreset::falcon_7b(), ModelPreset::falcon_40b()] {
         let name = preset.name;
-        let clf = GenerativeLlmClassifier::new(preset, &corpus, prompt.clone(), Some(24), args.seed);
+        let clf =
+            GenerativeLlmClassifier::new(preset, &corpus, prompt.clone(), Some(24), args.seed);
         let (acc, mean_s, mph) = eval_llm(&clf, sample, || clf.mean_inference_seconds());
         let counters = clf.counters();
         rows.push(vec![
@@ -102,7 +103,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Model", "Inference (s/msg)", "Messages/hour", "Accuracy", "Failure modes"],
+            &[
+                "Model",
+                "Inference (s/msg)",
+                "Messages/hour",
+                "Accuracy",
+                "Failure modes"
+            ],
             &rows
         )
     );
@@ -146,14 +153,17 @@ fn main() {
         ("Falcon-40b", LatencyModel::falcon_40b()),
     ] {
         let mph = |b: usize| {
-            3600.0 / model.batched_seconds_per_message(b, PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS)
+            3600.0
+                / model.batched_seconds_per_message(b, PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS)
         };
         println!(
             "  {name:<11} b=1: {:>7.0}  b=8: {:>7.0}  b=64: {:>7.0}  b=1024: {:>7.0}   (need >1,000,000)",
             mph(1), mph(8), mph(64), mph(1024)
         );
     }
-    println!("  even a saturated ~12x batching speedup leaves both models an order of magnitude short.");
+    println!(
+        "  even a saturated ~12x batching speedup leaves both models an order of magnitude short."
+    );
 
     if let Some(path) = &args.json_path {
         let value = serde_json::json!({

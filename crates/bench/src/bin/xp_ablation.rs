@@ -118,7 +118,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Preprocessing", "wF1 (clean test)", "wF1 (drifted test)", "Train", "Test"],
+            &[
+                "Preprocessing",
+                "wF1 (clean test)",
+                "wF1 (drifted test)",
+                "Train",
+                "Test"
+            ],
             &rows
         )
     );

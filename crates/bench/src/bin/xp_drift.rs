@@ -13,7 +13,9 @@
 
 use bench::{render_table, write_json, ExpArgs};
 use datagen::{DriftConfig, DriftModel};
-use hetsyslog_core::{BucketBaseline, Category, FeatureConfig, TextClassifier, TraditionalPipeline};
+use hetsyslog_core::{
+    BucketBaseline, Category, FeatureConfig, TextClassifier, TraditionalPipeline,
+};
 use hetsyslog_ml::{ComplementNaiveBayes, ComplementNbConfig};
 
 fn accuracy(clf: &dyn TextClassifier, data: &[(String, Category)]) -> f64 {
@@ -41,10 +43,8 @@ fn main() {
         seed: args.seed ^ 0xd41f7,
         ..DriftConfig::default()
     });
-    let drifted: Vec<(String, Category)> = corpus
-        .iter()
-        .map(|(m, c)| (drift.mutate(m), *c))
-        .collect();
+    let drifted: Vec<(String, Category)> =
+        corpus.iter().map(|(m, c)| (drift.mutate(m), *c)).collect();
 
     // Bucket baseline trained pre-drift.
     let bucket = BucketBaseline::train(7, &corpus);
@@ -84,7 +84,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Classifier", "Accuracy pre-drift", "Accuracy post-drift", "Orphaned msgs"],
+            &[
+                "Classifier",
+                "Accuracy pre-drift",
+                "Accuracy post-drift",
+                "Orphaned msgs"
+            ],
             &rows
         )
     );

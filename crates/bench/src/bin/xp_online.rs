@@ -59,8 +59,16 @@ fn main() {
     let static_acc = accuracy(&deployed, &drifted_test, &split.test.labels);
 
     let mut rows = vec![
-        vec!["deployed model, clean test".to_string(), format!("{clean_acc:.4}"), "-".to_string()],
-        vec!["deployed model, drifted test (no update)".to_string(), format!("{static_acc:.4}"), "0".to_string()],
+        vec![
+            "deployed model, clean test".to_string(),
+            format!("{clean_acc:.4}"),
+            "-".to_string(),
+        ],
+        vec![
+            "deployed model, drifted test (no update)".to_string(),
+            format!("{static_acc:.4}"),
+            "0".to_string(),
+        ],
     ];
     let mut json_rows = vec![
         serde_json::json!({"condition": "clean", "accuracy": clean_acc, "labels_used": 0}),
@@ -84,7 +92,10 @@ fn main() {
         adapted.partial_fit(&fresh);
         let acc = accuracy(&adapted, &drifted_test, &split.test.labels);
         rows.push(vec![
-            format!("partial_fit on {:.0}% labeled drifted traffic", fraction * 100.0),
+            format!(
+                "partial_fit on {:.0}% labeled drifted traffic",
+                fraction * 100.0
+            ),
             format!("{acc:.4}"),
             n_labeled.to_string(),
         ]);
@@ -122,8 +133,7 @@ fn main() {
     // of drifted traffic appended to the old training text.
     for fraction in [0.05, 0.25] {
         let n_labeled = ((split.train.len() as f64) * fraction) as usize;
-        let mut combined_texts: Vec<&str> =
-            split.train_texts.iter().map(String::as_str).collect();
+        let mut combined_texts: Vec<&str> = split.train_texts.iter().map(String::as_str).collect();
         combined_texts.extend(drifted_train_texts[..n_labeled].iter().map(String::as_str));
         let mut combined_labels = split.train.labels.clone();
         combined_labels.extend_from_slice(&split.train.labels[..n_labeled]);
@@ -143,7 +153,10 @@ fn main() {
             .collect();
         let acc = accuracy(&refreshed, &refit_test, &split.test.labels);
         rows.push(vec![
-            format!("vocabulary refit + {:.0}% labeled drifted traffic", fraction * 100.0),
+            format!(
+                "vocabulary refit + {:.0}% labeled drifted traffic",
+                fraction * 100.0
+            ),
             format!("{acc:.4}"),
             n_labeled.to_string(),
         ]);
@@ -175,8 +188,16 @@ fn main() {
     );
     let mut hashed_model = ComplementNaiveBayes::new(ComplementNbConfig::default());
     hashed_model.fit(&hash_train);
-    let acc_clean = accuracy(&hashed_model, &hash_vec(&split.test_texts), &split.test.labels);
-    let acc_drift = accuracy(&hashed_model, &hash_vec(&drifted_test_texts), &split.test.labels);
+    let acc_clean = accuracy(
+        &hashed_model,
+        &hash_vec(&split.test_texts),
+        &split.test.labels,
+    );
+    let acc_drift = accuracy(
+        &hashed_model,
+        &hash_vec(&drifted_test_texts),
+        &split.test.labels,
+    );
     rows.push(vec![
         format!("hashing features (no vocabulary), drifted test [clean: {acc_clean:.4}]"),
         format!("{acc_drift:.4}"),
@@ -224,7 +245,10 @@ fn main() {
         let n_labeled = ((split.train.len() as f64) * fraction) as usize;
         let mut bucket = BucketBaseline::train(7, &clean_pairs);
         let before = bucket.n_buckets();
-        for (t, &l) in drifted_train_texts[..n_labeled].iter().zip(&split.train.labels) {
+        for (t, &l) in drifted_train_texts[..n_labeled]
+            .iter()
+            .zip(&split.train.labels)
+        {
             bucket.absorb(t, Category::from_index(l).expect("valid label"));
         }
         let new_exemplars = bucket.n_buckets() - before;
@@ -279,7 +303,10 @@ fn main() {
 
     println!(
         "{}",
-        render_table(&["Condition", "Accuracy on drifted test", "Labels required"], &rows)
+        render_table(
+            &["Condition", "Accuracy on drifted test", "Labels required"],
+            &rows
+        )
     );
     println!("finding (the paper's titular hope, quantified): the TF-IDF + CNB pipeline is");
     println!("inherently drift-robust — redundant within-message vocabulary keeps accuracy near");

@@ -123,8 +123,11 @@ pub fn write_json(path: &str, value: &serde_json::Value) {
     if let Some(parent) = std::path::Path::new(path).parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    std::fs::write(path, serde_json::to_string_pretty(value).expect("serializable"))
-        .unwrap_or_else(|e| panic!("failed writing {path}: {e}"));
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(value).expect("serializable"),
+    )
+    .unwrap_or_else(|e| panic!("failed writing {path}: {e}"));
     println!("(results written to {path})");
 }
 

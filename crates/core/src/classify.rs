@@ -12,7 +12,7 @@ use crate::explain::Explanation;
 use crate::features::{FeatureConfig, FeaturePipeline};
 use crate::taxonomy::Category;
 use editdist::bucketing::{BucketStore, BucketingConfig};
-use hetsyslog_ml::{Classifier, Dataset};
+use hetsyslog_ml::{BatchClassifier, Classifier, Dataset};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -55,7 +55,7 @@ pub trait TextClassifier: Send + Sync {
 /// §4.3 preprocessing + a traditional ML model.
 pub struct TraditionalPipeline {
     pipeline: FeaturePipeline,
-    model: Box<dyn Classifier>,
+    model: Box<dyn BatchClassifier>,
     explain_top_k: usize,
 }
 
@@ -63,7 +63,7 @@ impl TraditionalPipeline {
     /// Train `model` on `corpus` with the given feature configuration.
     pub fn train(
         feature_config: FeatureConfig,
-        mut model: Box<dyn Classifier>,
+        mut model: Box<dyn BatchClassifier>,
         corpus: &[(String, Category)],
     ) -> TraditionalPipeline {
         let mut pipeline = FeaturePipeline::new(feature_config);
@@ -99,7 +99,9 @@ impl TextClassifier for TraditionalPipeline {
         let x = self.pipeline.transform(message);
         let idx = self.model.predict(&x);
         let category = Category::from_index(idx).unwrap_or(Category::Unimportant);
-        let top = self.pipeline.top_contributing_tokens(message, self.explain_top_k);
+        let top = self
+            .pipeline
+            .top_contributing_tokens(message, self.explain_top_k);
         let rationale = match top.first() {
             Some((t, _)) => format!(
                 "{} feature weights dominated by '{t}'; category '{category}'",
@@ -118,10 +120,12 @@ impl TextClassifier for TraditionalPipeline {
     }
 
     fn classify_batch(&self, messages: &[&str]) -> Vec<Prediction> {
-        // Vectorize in parallel, predict in parallel, skip explanations on
-        // the batch path (they are for interactive use).
-        let vectors = self.pipeline.transform_batch(messages);
-        let indices = self.model.predict_batch(&vectors);
+        // Matrix-at-a-time: vectorize into one CSR matrix, score it with
+        // the model's batch kernel. Explanations are skipped on the batch
+        // path (they are for interactive use); the predictions themselves
+        // are bit-identical to per-message `classify`.
+        let matrix = self.pipeline.transform_batch_csr(messages);
+        let indices = self.model.predict_csr(&matrix);
         indices
             .into_iter()
             .map(|i| Prediction::bare(Category::from_index(i).unwrap_or(Category::Unimportant)))
@@ -220,10 +224,7 @@ impl BucketBaseline {
 
 impl TextClassifier for BucketBaseline {
     fn name(&self) -> String {
-        format!(
-            "Levenshtein buckets (t={})",
-            self.store.config().threshold
-        )
+        format!("Levenshtein buckets (t={})", self.store.config().threshold)
     }
 
     fn classify(&self, message: &str) -> Prediction {
@@ -238,7 +239,9 @@ impl TextClassifier for BucketBaseline {
                     .unwrap_or(self.fallback);
                 Prediction {
                     category,
-                    confidence: Some(1.0 - distance as f64 / (self.store.config().threshold + 1) as f64),
+                    confidence: Some(
+                        1.0 - distance as f64 / (self.store.config().threshold + 1) as f64,
+                    ),
                     explanation: Some(Explanation::new(
                         Vec::new(),
                         format!(
@@ -291,7 +294,10 @@ mod tests {
 
     fn feature_cfg() -> FeatureConfig {
         FeatureConfig {
-            tfidf: TfidfConfig { min_df: 1, ..TfidfConfig::default() },
+            tfidf: TfidfConfig {
+                min_df: 1,
+                ..TfidfConfig::default()
+            },
             ..FeatureConfig::default()
         }
     }
@@ -328,7 +334,11 @@ mod tests {
         let clf = TraditionalPipeline::train(feature_cfg(), model, &corpus);
         let p = clf.classify("zzz qqq xxx");
         // Empty vector → some deterministic class; explanation flags it.
-        assert!(p.explanation.unwrap().rationale.contains("no known vocabulary"));
+        assert!(p
+            .explanation
+            .unwrap()
+            .rationale
+            .contains("no known vocabulary"));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use crate::features::{FeatureConfig, FeaturePipeline};
 use crate::taxonomy::Category;
-use hetsyslog_ml::{Classifier, ClassificationReport, ConfusionMatrix, Dataset};
+use hetsyslog_ml::{BatchClassifier, ClassificationReport, Classifier, ConfusionMatrix, Dataset};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -140,11 +140,8 @@ pub fn evaluate_model(model: &mut dyn Classifier, split: &PreparedSplit) -> Mode
     let predicted = model.predict_batch(&split.test.features);
     let test_seconds = t1.elapsed().as_secs_f64();
 
-    let confusion = ConfusionMatrix::from_predictions(
-        &split.test.class_names,
-        &split.test.labels,
-        &predicted,
-    );
+    let confusion =
+        ConfusionMatrix::from_predictions(&split.test.class_names, &split.test.labels, &predicted);
     let report = ClassificationReport {
         model: model.name().to_string(),
         weighted_f1: confusion.weighted_f1(),
@@ -160,7 +157,7 @@ pub fn evaluate_model(model: &mut dyn Classifier, split: &PreparedSplit) -> Mode
 /// Evaluate a whole suite on one shared split (the Figure 3 table).
 pub fn evaluate_suite(
     corpus: &[(String, Category)],
-    models: &mut [Box<dyn Classifier>],
+    models: &mut [Box<dyn BatchClassifier>],
     config: &EvalConfig,
 ) -> (PreparedSplit, Vec<ModelEvaluation>) {
     let split = prepare_split(corpus, config);
@@ -203,7 +200,10 @@ mod tests {
     fn config() -> EvalConfig {
         EvalConfig {
             features: FeatureConfig {
-                tfidf: TfidfConfig { min_df: 1, ..TfidfConfig::default() },
+                tfidf: TfidfConfig {
+                    min_df: 1,
+                    ..TfidfConfig::default()
+                },
                 ..FeatureConfig::default()
             },
             ..EvalConfig::default()
@@ -231,7 +231,7 @@ mod tests {
     #[test]
     fn evaluate_simple_models() {
         let corpus = corpus();
-        let mut models: Vec<Box<dyn Classifier>> = vec![
+        let mut models: Vec<Box<dyn BatchClassifier>> = vec![
             Box::new(ComplementNaiveBayes::new(ComplementNbConfig::default())),
             Box::new(NearestCentroid::new()),
         ];

@@ -3,8 +3,10 @@
 use crate::taxonomy::Category;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use textproc::hash::FxHashMap;
+use textproc::sparse::csr_from_items;
 use textproc::tfidf::{category_top_tokens, CategoryTokens};
-use textproc::{Lemmatizer, SparseVec, TfidfConfig, TfidfVectorizer, Tokenizer};
+use textproc::{CsrMatrix, Lemmatizer, SparseVec, TfidfConfig, TfidfVectorizer, Tokenizer};
 
 /// Pipeline options.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -87,12 +89,70 @@ impl FeaturePipeline {
         self.vectorizer.transform(&self.preprocess(text))
     }
 
-    /// Transform many messages in parallel.
+    /// Transform many messages straight into one CSR matrix — the batch
+    /// inference path. The unigram fast path fuses preprocessing and
+    /// vectorization: each chunk keeps a raw-token → vocab-id cache, so the
+    /// stopword check, lemmatization, and vocabulary lookup are paid once
+    /// per *distinct* token instead of once per occurrence. Row `i` is
+    /// bit-identical to [`FeaturePipeline::transform`] of `messages[i]`.
+    pub fn transform_batch_csr(&self, messages: &[impl AsRef<str> + Sync]) -> CsrMatrix {
+        if self.config.word_ngrams > 1 {
+            // n-gram rows depend on the adjacent-token stream, so token-level
+            // caching does not apply; take the uncached per-document path.
+            let docs: Vec<Vec<String>> = messages
+                .par_iter()
+                .map(|m| self.preprocess(m.as_ref()))
+                .collect();
+            return self.vectorizer.transform_batch_csr(&docs);
+        }
+        csr_from_items(
+            messages,
+            self.vectorizer.n_features(),
+            || {
+                (
+                    FxHashMap::<String, Option<u32>>::default(),
+                    FxHashMap::<u32, f64>::default(),
+                )
+            },
+            |message, pairs, (cache, counts)| {
+                counts.clear();
+                self.tokenizer.tokenize_each(message.as_ref(), |tok| {
+                    // get-then-insert instead of the entry API so cache hits
+                    // (the common case) never allocate an owned key.
+                    let id = match cache.get(tok) {
+                        Some(&id) => id,
+                        None => {
+                            let id = self.resolve_token(tok);
+                            cache.insert(tok.to_string(), id);
+                            id
+                        }
+                    };
+                    if let Some(id) = id {
+                        *counts.entry(id).or_insert(0.0) += 1.0;
+                    }
+                });
+                self.vectorizer.fill_pairs_from_counts(counts, pairs)
+            },
+        )
+    }
+
+    /// Map one raw token to its vocabulary id the way [`Self::preprocess`]
+    /// would: stopword check on the raw form, then lemmatize, then look up.
+    fn resolve_token(&self, token: &str) -> Option<u32> {
+        if self.config.remove_stopwords && textproc::stopwords::is_stopword(token) {
+            return None;
+        }
+        if self.config.lemmatize {
+            self.vectorizer.token_id(&self.lemmatizer.lemmatize(token))
+        } else {
+            self.vectorizer.token_id(token)
+        }
+    }
+
+    /// Transform many messages in parallel. Routed through the CSR path;
+    /// each returned row is bit-identical to [`FeaturePipeline::transform`].
     pub fn transform_batch(&self, messages: &[impl AsRef<str> + Sync]) -> Vec<SparseVec> {
-        messages
-            .par_iter()
-            .map(|m| self.transform(m.as_ref()))
-            .collect()
+        self.transform_batch_csr(messages).to_rows()
     }
 
     /// Fit and transform in one pass.
@@ -135,11 +195,7 @@ impl FeaturePipeline {
 
     /// The Table 1 analysis: per-category top TF-IDF tokens over a labeled
     /// corpus, with each category treated as one document.
-    pub fn table1(
-        &self,
-        corpus: &[(String, Category)],
-        top_k: usize,
-    ) -> Vec<CategoryTokens> {
+    pub fn table1(&self, corpus: &[(String, Category)], top_k: usize) -> Vec<CategoryTokens> {
         let grouped: Vec<(String, Vec<Vec<String>>)> = Category::ALL
             .iter()
             .map(|&cat| {
@@ -183,7 +239,10 @@ mod tests {
     #[test]
     fn lemmatization_folds_variants_into_one_feature() {
         let mut with = FeaturePipeline::new(FeatureConfig {
-            tfidf: TfidfConfig { min_df: 1, ..TfidfConfig::default() },
+            tfidf: TfidfConfig {
+                min_df: 1,
+                ..TfidfConfig::default()
+            },
             ..FeatureConfig::default()
         });
         let msgs = ["system failed", "system failure imminent", "system failing"];
@@ -197,7 +256,10 @@ mod tests {
     #[test]
     fn transform_maps_variants_to_same_vector() {
         let mut p = FeaturePipeline::new(FeatureConfig {
-            tfidf: TfidfConfig { min_df: 1, ..TfidfConfig::default() },
+            tfidf: TfidfConfig {
+                min_df: 1,
+                ..TfidfConfig::default()
+            },
             ..FeatureConfig::default()
         });
         p.fit(&["cpu throttled hot", "disk quiet"]);
@@ -210,7 +272,10 @@ mod tests {
     fn table1_separates_category_vocabulary() {
         let corpus = sample_corpus();
         let mut p = FeaturePipeline::new(FeatureConfig {
-            tfidf: TfidfConfig { min_df: 1, ..TfidfConfig::default() },
+            tfidf: TfidfConfig {
+                min_df: 1,
+                ..TfidfConfig::default()
+            },
             ..FeatureConfig::default()
         });
         let msgs: Vec<&String> = corpus.iter().map(|(m, _)| m).collect();
@@ -220,7 +285,9 @@ mod tests {
         let thermal = &t1[Category::ThermalIssue.index()];
         let tokens: Vec<&str> = thermal.tokens.iter().map(|(t, _)| t.as_str()).collect();
         assert!(
-            tokens.contains(&"temperature") || tokens.contains(&"throttle") || tokens.contains(&"cpu"),
+            tokens.contains(&"temperature")
+                || tokens.contains(&"throttle")
+                || tokens.contains(&"cpu"),
             "thermal top tokens were {tokens:?}"
         );
         let usb = &t1[Category::UsbDevice.index()];
@@ -233,7 +300,10 @@ mod tests {
     #[test]
     fn top_contributing_tokens_ranked() {
         let mut p = FeaturePipeline::new(FeatureConfig {
-            tfidf: TfidfConfig { min_df: 1, ..TfidfConfig::default() },
+            tfidf: TfidfConfig {
+                min_df: 1,
+                ..TfidfConfig::default()
+            },
             ..FeatureConfig::default()
         });
         p.fit(&["cpu hot throttle", "cpu cold", "cpu warm", "fan fine"]);
@@ -263,7 +333,11 @@ mod tests {
             ..FeatureConfig::default()
         });
         let drop = FeaturePipeline::new(FeatureConfig::default());
-        assert!(keep.preprocess("the cpu is hot").contains(&"the".to_string()));
-        assert!(!drop.preprocess("the cpu is hot").contains(&"the".to_string()));
+        assert!(keep
+            .preprocess("the cpu is hot")
+            .contains(&"the".to_string()));
+        assert!(!drop
+            .preprocess("the cpu is hot")
+            .contains(&"the".to_string()));
     }
 }

@@ -77,9 +77,15 @@ mod tests {
 
     fn corpus() -> Vec<(String, Category)> {
         vec![
-            ("Started Session 12 of user root".to_string(), Category::Unimportant),
+            (
+                "Started Session 12 of user root".to_string(),
+                Category::Unimportant,
+            ),
             ("rsyslogd was HUPed".to_string(), Category::Unimportant),
-            ("cpu temperature above threshold".to_string(), Category::ThermalIssue),
+            (
+                "cpu temperature above threshold".to_string(),
+                Category::ThermalIssue,
+            ),
         ]
     }
 
@@ -100,7 +106,13 @@ mod tests {
             "rsyslogd was HUPed",
         ];
         let (kept, stats) = f.filter(&msgs);
-        assert_eq!(stats, FilterStats { kept: 1, filtered: 2 });
+        assert_eq!(
+            stats,
+            FilterStats {
+                kept: 1,
+                filtered: 2
+            }
+        );
         assert_eq!(kept, vec!["memory error on DIMM 4"]);
     }
 

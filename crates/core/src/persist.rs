@@ -11,8 +11,8 @@ use crate::classify::{Prediction, TextClassifier};
 use crate::features::{FeatureConfig, FeaturePipeline};
 use crate::taxonomy::Category;
 use hetsyslog_ml::{
-    Classifier, ComplementNaiveBayes, KNearestNeighbors, LinearSvc, LogisticRegression,
-    NearestCentroid, RandomForest, RidgeClassifier, SgdClassifier,
+    BatchClassifier, Classifier, ComplementNaiveBayes, KNearestNeighbors, LinearSvc,
+    LogisticRegression, NearestCentroid, RandomForest, RidgeClassifier, SgdClassifier,
 };
 use serde::{Deserialize, Serialize};
 
@@ -53,6 +53,21 @@ impl SavedModel {
         }
     }
 
+    /// Borrow as the batch-scoring interface (every suite member has a
+    /// CSR kernel or the row-parallel fallback).
+    pub fn as_batch_classifier(&self) -> &dyn BatchClassifier {
+        match self {
+            SavedModel::LogisticRegression(m) => m,
+            SavedModel::Ridge(m) => m,
+            SavedModel::Knn(m) => m,
+            SavedModel::RandomForest(m) => m,
+            SavedModel::LinearSvc(m) => m,
+            SavedModel::Sgd(m) => m,
+            SavedModel::NearestCentroid(m) => m,
+            SavedModel::ComplementNb(m) => m,
+        }
+    }
+
     /// Mutable access (re-fitting a loaded model).
     pub fn as_classifier_mut(&mut self) -> &mut dyn Classifier {
         match self {
@@ -79,12 +94,18 @@ impl SavedModel {
             "logisticregression" | "logreg" | "lr" => {
                 SavedModel::LogisticRegression(LogisticRegression::new(Default::default()))
             }
-            "ridgeclassifier" | "ridge" => SavedModel::Ridge(RidgeClassifier::new(Default::default())),
-            "knn" | "knearestneighbors" => SavedModel::Knn(KNearestNeighbors::new(Default::default())),
+            "ridgeclassifier" | "ridge" => {
+                SavedModel::Ridge(RidgeClassifier::new(Default::default()))
+            }
+            "knn" | "knearestneighbors" => {
+                SavedModel::Knn(KNearestNeighbors::new(Default::default()))
+            }
             "randomforest" | "forest" | "rf" => {
                 SavedModel::RandomForest(RandomForest::new(Default::default()))
             }
-            "linearsvc" | "svc" | "svm" => SavedModel::LinearSvc(LinearSvc::new(Default::default())),
+            "linearsvc" | "svc" | "svm" => {
+                SavedModel::LinearSvc(LinearSvc::new(Default::default()))
+            }
             "loglosssgd" | "sgd" => SavedModel::Sgd(SgdClassifier::new(Default::default())),
             "nearestcentroid" | "centroid" | "nc" => {
                 SavedModel::NearestCentroid(NearestCentroid::new())
@@ -171,6 +192,18 @@ impl TextClassifier for SavedPipeline {
         let idx = self.model.as_classifier().predict(&x);
         Prediction::bare(Category::from_index(idx).unwrap_or(Category::Unimportant))
     }
+
+    fn classify_batch(&self, messages: &[&str]) -> Vec<Prediction> {
+        // Deployed models take the same matrix-at-a-time path as the live
+        // TraditionalPipeline.
+        let matrix = self.features.transform_batch_csr(messages);
+        self.model
+            .as_batch_classifier()
+            .predict_csr(&matrix)
+            .into_iter()
+            .map(|i| Prediction::bare(Category::from_index(i).unwrap_or(Category::Unimportant)))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -195,7 +228,10 @@ mod tests {
 
     fn cfg() -> FeatureConfig {
         FeatureConfig {
-            tfidf: TfidfConfig { min_df: 1, ..TfidfConfig::default() },
+            tfidf: TfidfConfig {
+                min_df: 1,
+                ..TfidfConfig::default()
+            },
             ..FeatureConfig::default()
         }
     }
@@ -248,7 +284,9 @@ mod tests {
         trained.save(&path).unwrap();
         let loaded = SavedPipeline::load(&path).unwrap();
         assert_eq!(
-            loaded.classify("cpu 9 temperature above threshold").category,
+            loaded
+                .classify("cpu 9 temperature above threshold")
+                .category,
             Category::ThermalIssue
         );
         std::fs::remove_dir_all(&dir).ok();

@@ -172,14 +172,58 @@ impl MonitorService {
         Some(prediction)
     }
 
-    /// Process a batch of messages.
+    /// Process a batch of messages through the classifier's batch path.
+    ///
+    /// Three passes that together observe the exact same stats/alert
+    /// sequence as calling [`MonitorService::ingest`] per message in order:
+    /// a sequential pre-filter pass (counting totals and drops), one
+    /// [`TextClassifier::classify_batch`] call over the survivors (the
+    /// matrix-at-a-time CSR path for traditional pipelines), and a
+    /// sequential merge applying category counters and alert throttling in
+    /// input order.
     pub fn ingest_batch(&self, messages: &[&str]) -> Vec<Option<Prediction>> {
-        messages.iter().map(|m| self.ingest(m)).collect()
+        // Pass 1: totals + pre-filter, preserving input order.
+        let mut kept_indices = Vec::with_capacity(messages.len());
+        {
+            let mut stats = self.stats.lock();
+            for (i, message) in messages.iter().enumerate() {
+                stats.total += 1;
+                match &self.prefilter {
+                    Some(f) if f.is_noise(message) => stats.prefiltered += 1,
+                    _ => kept_indices.push(i),
+                }
+            }
+        }
+        // Pass 2: classify all survivors at once.
+        let kept_messages: Vec<&str> = kept_indices.iter().map(|&i| messages[i]).collect();
+        let predictions = self.classifier.classify_batch(&kept_messages);
+        // Pass 3: merge counters and alerts back in input order.
+        let mut out: Vec<Option<Prediction>> = vec![None; messages.len()];
+        for (&i, prediction) in kept_indices.iter().zip(predictions) {
+            let mut stats = self.stats.lock();
+            stats.per_category[prediction.category.index()] += 1;
+            if prediction.category.is_actionable() {
+                if let Some(sink) = &self.sink {
+                    if self.alert_permitted(prediction.category) {
+                        stats.alerts += 1;
+                        sink.send(Alert {
+                            category: prediction.category,
+                            message: messages[i].to_string(),
+                            action: prediction.category.suggested_action().to_string(),
+                        });
+                    }
+                }
+            }
+            out[i] = Some(prediction);
+        }
+        out
     }
 
     /// Check and update the per-category alert budget.
     fn alert_permitted(&self, category: Category) -> bool {
-        let Some(max) = self.throttle else { return true };
+        let Some(max) = self.throttle else {
+            return true;
+        };
         let mut state = self.window_state.lock();
         let (counts, seen) = &mut *state;
         *seen += 1;

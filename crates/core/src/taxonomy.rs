@@ -151,7 +151,10 @@ impl Category {
 
     /// All labels, in [`Category::ALL`] order (handy for `Dataset`).
     pub fn all_labels() -> Vec<String> {
-        Category::ALL.iter().map(|c| c.label().to_string()).collect()
+        Category::ALL
+            .iter()
+            .map(|c| c.label().to_string())
+            .collect()
     }
 }
 
@@ -195,17 +198,37 @@ mod tests {
     #[test]
     fn labels_parse_back() {
         for &c in &Category::ALL {
-            assert_eq!(Category::parse_label(c.label()), Some(c), "label {}", c.label());
+            assert_eq!(
+                Category::parse_label(c.label()),
+                Some(c),
+                "label {}",
+                c.label()
+            );
         }
     }
 
     #[test]
     fn lenient_parsing() {
-        assert_eq!(Category::parse_label("thermal"), Some(Category::ThermalIssue));
-        assert_eq!(Category::parse_label("Thermal Issue."), Some(Category::ThermalIssue));
-        assert_eq!(Category::parse_label("SSH Connection"), Some(Category::SshConnection));
-        assert_eq!(Category::parse_label("security"), Some(Category::IntrusionDetection));
-        assert_eq!(Category::parse_label("Unimportant Noise"), Some(Category::Unimportant));
+        assert_eq!(
+            Category::parse_label("thermal"),
+            Some(Category::ThermalIssue)
+        );
+        assert_eq!(
+            Category::parse_label("Thermal Issue."),
+            Some(Category::ThermalIssue)
+        );
+        assert_eq!(
+            Category::parse_label("SSH Connection"),
+            Some(Category::SshConnection)
+        );
+        assert_eq!(
+            Category::parse_label("security"),
+            Some(Category::IntrusionDetection)
+        );
+        assert_eq!(
+            Category::parse_label("Unimportant Noise"),
+            Some(Category::Unimportant)
+        );
         assert_eq!(Category::parse_label("power grid failure"), None);
         assert_eq!(Category::parse_label(""), None);
     }

@@ -163,8 +163,14 @@ mod tests {
             assert_eq!(count, target_count(c, &config), "category {c}");
         }
         // Unimportant dominates, Slurm is rare — the paper's imbalance.
-        let unimportant = corpus.iter().filter(|m| m.category == Category::Unimportant).count();
-        let slurm = corpus.iter().filter(|m| m.category == Category::SlurmIssue).count();
+        let unimportant = corpus
+            .iter()
+            .filter(|m| m.category == Category::Unimportant)
+            .count();
+        let slurm = corpus
+            .iter()
+            .filter(|m| m.category == Category::SlurmIssue)
+            .count();
         assert!(unimportant > 50 * slurm / 10, "imbalance not preserved");
     }
 

@@ -24,7 +24,10 @@ const SYNONYMS: &[(&str, &str)] = &[
     ("failure detected", "fault condition observed"),
     ("Connection closed", "Session terminated"),
     ("disconnected", "link dropped"),
-    ("new high-speed USB device", "high-speed USB device attached,"),
+    (
+        "new high-speed USB device",
+        "high-speed USB device attached,",
+    ),
     ("not responding", "unreachable"),
     ("error", "err"),
     ("Warning", "WARN"),
@@ -204,7 +207,10 @@ mod tests {
         // category-critical training vocabulary must be gone.
         assert!(!drifted.contains("temperature"), "{drifted}");
         assert!(!drifted.contains("throttled"), "{drifted}");
-        assert_ne!(drifted, "CPU temperature above threshold, cpu clock throttled");
+        assert_ne!(
+            drifted,
+            "CPU temperature above threshold, cpu clock throttled"
+        );
         // A message the base table does not touch gets pure jargon.
         let d2 = m.mutate("usb device sensor error session preauth");
         assert!(d2.contains("xhci") && d2.contains("probe"), "{d2}");

@@ -261,8 +261,7 @@ mod tests {
         assert!(!burst_msgs.is_empty(), "no bursts generated");
         // Consecutive burst messages share node and category.
         let consecutive = burst_msgs.windows(2).filter(|w| {
-            w[0].message.node == w[1].message.node
-                && w[0].message.category == w[1].message.category
+            w[0].message.node == w[1].message.node && w[0].message.category == w[1].message.category
         });
         assert!(consecutive.count() > burst_msgs.len() / 2);
     }

@@ -486,8 +486,16 @@ pub const USERS: &[&str] = &[
 
 /// Process names for OOM-style messages.
 pub const PROCS: &[&str] = &[
-    "python3", "lammps", "gromacs_mpi", "orted", "charm_run", "tensorflow", "fio", "stress-ng",
-    "namd2", "paraview",
+    "python3",
+    "lammps",
+    "gromacs_mpi",
+    "orted",
+    "charm_run",
+    "tensorflow",
+    "fio",
+    "stress-ng",
+    "namd2",
+    "paraview",
 ];
 
 /// IPMI-ish sensor names.
@@ -579,7 +587,10 @@ fn fill_slot<R: Rng + ?Sized>(name: &str, rng: &mut R, out: &mut String) {
 
 /// The templates belonging to one category.
 pub fn templates_for(category: Category) -> Vec<&'static Template> {
-    TEMPLATES.iter().filter(|t| t.category == category).collect()
+    TEMPLATES
+        .iter()
+        .filter(|t| t.category == category)
+        .collect()
 }
 
 #[cfg(test)]
@@ -628,7 +639,9 @@ mod tests {
         // The fixed text of each category's families must carry the
         // paper's Table 1 signature vocabulary.
         let has = |c: Category, needle: &str| {
-            templates_for(c).iter().any(|t| t.text.to_lowercase().contains(needle))
+            templates_for(c)
+                .iter()
+                .any(|t| t.text.to_lowercase().contains(needle))
         };
         assert!(has(Category::ThermalIssue, "throttled"));
         assert!(has(Category::ThermalIssue, "temperature"));

@@ -44,8 +44,10 @@ impl Blacklist {
     }
 
     /// True when `message` matches a blacklisted pattern within threshold.
+    /// Uses the early-exit membership check: any in-threshold pattern
+    /// suffices, so there is no need to find the *closest* one.
     pub fn is_blacklisted(&self, message: &str) -> bool {
-        self.store.find(message).is_some()
+        self.store.contains(message)
     }
 
     /// Number of distinct blacklisted patterns.
@@ -82,7 +84,10 @@ mod tests {
     fn filters_near_duplicates_only() {
         let bl = Blacklist::from_messages(
             3,
-            &["systemd: Started Session 1 of user root", "rsyslogd was HUPed"],
+            &[
+                "systemd: Started Session 1 of user root",
+                "rsyslogd was HUPed",
+            ],
         );
         assert!(bl.is_blacklisted("systemd: Started Session 9 of user root"));
         assert!(!bl.is_blacklisted("kernel: CPU temperature above threshold"));
@@ -99,7 +104,11 @@ mod tests {
     #[test]
     fn partition_splits_stream() {
         let bl = Blacklist::from_messages(2, &["noise pattern alpha"]);
-        let msgs = ["noise pattern alpha", "noise pattern alph4", "real thermal problem"];
+        let msgs = [
+            "noise pattern alpha",
+            "noise pattern alph4",
+            "real thermal problem",
+        ];
         let (kept, filtered) = bl.partition(&msgs);
         assert_eq!(filtered.len(), 2);
         assert_eq!(kept, vec!["real thermal problem"]);

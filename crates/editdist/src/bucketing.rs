@@ -60,16 +60,36 @@ pub struct Bucket {
     pub count: u64,
     #[serde(skip)]
     exemplar_chars: Vec<char>,
+    /// Character-presence bitmask of the exemplar (see [`charmask`]).
+    #[serde(skip)]
+    charmask: u64,
+}
+
+/// 64-bit character-presence mask: bit `c mod 64` is set for every char in
+/// `chars`. One unit edit changes at most one char occurrence out and one
+/// in, flipping at most two bits of the mask, so
+/// `popcount(mask(a) ^ mask(b)) ≤ 2 · levenshtein(a, b)` — a constant-time
+/// lower bound used to skip the DP for clearly-distant pairs. (A Damerau
+/// transposition permutes chars without changing the bag: zero bits flip,
+/// so the bound holds for that metric too.)
+fn charmask(chars: &[char]) -> u64 {
+    let mut mask = 0u64;
+    for &c in chars {
+        mask |= 1 << (c as u32 % 64);
+    }
+    mask
 }
 
 impl Bucket {
     fn new(id: u32, exemplar: &str) -> Bucket {
+        let exemplar_chars: Vec<char> = exemplar.chars().collect();
         Bucket {
             id,
             exemplar: exemplar.to_string(),
             label: None,
             count: 1,
-            exemplar_chars: exemplar.chars().collect(),
+            charmask: charmask(&exemplar_chars),
+            exemplar_chars,
         }
     }
 
@@ -94,6 +114,13 @@ pub struct Assignment {
 pub struct BucketStore {
     config: BucketingConfig,
     buckets: Vec<Bucket>,
+    /// Bucket ids grouped by exemplar char length: `len_index[l]` holds the
+    /// ids (in insertion order) of every bucket whose exemplar is `l` chars
+    /// long. Lookups only visit the `±threshold` length window instead of
+    /// scanning all buckets — |len(a) − len(b)| ≤ threshold is a Levenshtein
+    /// lower bound, so no candidate is ever missed.
+    #[serde(skip)]
+    len_index: Vec<Vec<u32>>,
 }
 
 impl<'de> Deserialize<'de> for BucketStore {
@@ -110,6 +137,7 @@ impl<'de> Deserialize<'de> for BucketStore {
         let mut store = BucketStore {
             config: raw.config,
             buckets: raw.buckets,
+            len_index: Vec::new(),
         };
         // The per-bucket char caches are serde-skipped; rebuild them so
         // distance computations stay correct after a round-trip.
@@ -124,6 +152,7 @@ impl BucketStore {
         BucketStore {
             config,
             buckets: Vec::new(),
+            len_index: Vec::new(),
         }
     }
 
@@ -159,12 +188,7 @@ impl BucketStore {
     }
 
     fn find_chars(&self, chars: &[char]) -> Option<(u32, usize)> {
-        let threshold = self.config.threshold;
-        let candidates: Vec<&Bucket> = self
-            .buckets
-            .iter()
-            .filter(|b| b.chars().len().abs_diff(chars.len()) <= threshold)
-            .collect();
+        let candidates = self.length_window_candidates(chars.len(), charmask(chars));
         let best = if candidates.len() >= self.config.parallel_cutoff {
             candidates
                 .par_iter()
@@ -177,6 +201,60 @@ impl BucketStore {
                 .min_by_key(|&(id, d)| (d, id))
         };
         best
+    }
+
+    /// True when some bucket is within the threshold. Boolean-identical to
+    /// `find(message).is_some()` but exits on the first hit instead of
+    /// scanning the whole length window for the minimum — the fast path for
+    /// blacklist membership checks on the ingest hot loop.
+    pub fn contains(&self, message: &str) -> bool {
+        let chars: Vec<char> = message.chars().collect();
+        let mask = charmask(&chars);
+        let threshold = self.config.threshold;
+        let lo = chars.len().saturating_sub(threshold);
+        let hi = chars.len() + threshold;
+        for l in lo..=hi.min(self.len_index.len().saturating_sub(1)) {
+            let Some(ids) = self.len_index.get(l) else {
+                continue;
+            };
+            for &id in ids {
+                let b = &self.buckets[id as usize];
+                if (mask ^ b.charmask).count_ones() as usize <= 2 * threshold
+                    && self.distance(&chars, b).is_some()
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Buckets whose exemplar length is within `threshold` of `len` and
+    /// whose charmask passes the 2-bits-per-edit lower bound, in insertion
+    /// order — a subset of the full scan's candidates that provably
+    /// contains every in-threshold bucket.
+    fn length_window_candidates(&self, len: usize, mask: u64) -> Vec<&Bucket> {
+        let threshold = self.config.threshold;
+        let lo = len.saturating_sub(threshold);
+        let hi = (len + threshold).min(self.len_index.len().saturating_sub(1));
+        let mut candidates: Vec<&Bucket> = Vec::new();
+        for l in lo..=hi {
+            if let Some(ids) = self.len_index.get(l) {
+                candidates.extend(ids.iter().filter_map(|&id| {
+                    let b = &self.buckets[id as usize];
+                    ((mask ^ b.charmask).count_ones() as usize <= 2 * threshold).then_some(b)
+                }));
+            }
+        }
+        candidates
+    }
+
+    fn index_bucket(&mut self, id: u32) {
+        let len = self.buckets[id as usize].chars().len();
+        if self.len_index.len() <= len {
+            self.len_index.resize_with(len + 1, Vec::new);
+        }
+        self.len_index[len].push(id);
     }
 
     fn distance(&self, chars: &[char], bucket: &Bucket) -> Option<usize> {
@@ -206,6 +284,7 @@ impl BucketStore {
         }
         let id = self.buckets.len() as u32;
         self.buckets.push(Bucket::new(id, message));
+        self.index_bucket(id);
         Assignment {
             bucket_id: id,
             is_new: true,
@@ -237,10 +316,15 @@ impl BucketStore {
         self.buckets.iter().filter(|b| b.label.is_none())
     }
 
-    /// Restore the char caches after deserialization.
+    /// Restore the char caches and length index after deserialization.
     pub fn rebuild_caches(&mut self) {
         for b in &mut self.buckets {
             b.exemplar_chars = b.exemplar.chars().collect();
+            b.charmask = charmask(&b.exemplar_chars);
+        }
+        self.len_index.clear();
+        for id in 0..self.buckets.len() as u32 {
+            self.index_bucket(id);
         }
     }
 }
@@ -282,7 +366,10 @@ mod tests {
         let mut s = store(7);
         let a = s.assign("cpu 3 temperature above threshold");
         s.label_bucket(a.bucket_id, "Thermal Issue");
-        assert_eq!(s.classify("cpu 9 temperature above threshold"), Some("Thermal Issue"));
+        assert_eq!(
+            s.classify("cpu 9 temperature above threshold"),
+            Some("Thermal Issue")
+        );
         assert_eq!(s.classify("totally different text about slurm"), None);
         assert_eq!(s.unlabeled().count(), 0);
     }
@@ -304,7 +391,8 @@ mod tests {
         // failure for the ML approach.
         let mut s = store(7);
         s.assign("CPU temperature above threshold, cpu clock throttled.");
-        let b = s.assign("CPU 1 Temperature Above Non-Recoverable - Asserted. Current temperature: 95C");
+        let b = s
+            .assign("CPU 1 Temperature Above Non-Recoverable - Asserted. Current temperature: 95C");
         assert!(b.is_new, "heterogeneous phrasing must found a new bucket");
     }
 

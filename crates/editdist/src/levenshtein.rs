@@ -26,9 +26,7 @@ pub fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
         curr[0] = i + 1;
         for (j, &cb) in b.iter().enumerate() {
             let sub_cost = if ca == cb { 0 } else { 1 };
-            curr[j + 1] = (prev[j] + sub_cost)
-                .min(prev[j + 1] + 1)
-                .min(curr[j] + 1);
+            curr[j + 1] = (prev[j] + sub_cost).min(prev[j + 1] + 1).min(curr[j] + 1);
         }
         std::mem::swap(&mut prev, &mut curr);
     }
@@ -76,9 +74,7 @@ pub fn levenshtein_bounded_chars(a: &[char], b: &[char], max: usize) -> Option<u
         let mut row_min = INF;
         for j in lo..hi {
             let sub_cost = if ca == b[j] { 0 } else { 1 };
-            let val = (prev[j] + sub_cost)
-                .min(prev[j + 1] + 1)
-                .min(curr[j] + 1);
+            let val = (prev[j] + sub_cost).min(prev[j + 1] + 1).min(curr[j] + 1);
             curr[j + 1] = val;
             row_min = row_min.min(val);
         }

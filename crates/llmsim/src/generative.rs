@@ -190,8 +190,7 @@ impl GenerativeLlm {
             // The infamous runaway: fabricate a new character, a new
             // syslog message, and instructions for the fiction to classify.
             let fake_cat = Category::ALL[self.rng.gen_range(0..Category::ALL.len())];
-            let fake_seed = ["error", "cpu", "usb", "connection", "node"]
-                [self.rng.gen_range(0..5)];
+            let fake_seed = ["error", "cpu", "usb", "connection", "node"][self.rng.gen_range(0..5)];
             let fake_msg = self.lm.generate(fake_cat, fake_seed, 12, &mut self.rng);
             text.push_str(&format!(
                 "\n\nYou are a system administrator named Alex reviewing cluster logs. \
@@ -277,7 +276,10 @@ mod tests {
         let mut continuation = 0;
         for i in 0..300 {
             let out = llm.generate("prompt", &format!("usb device {i} new"), None);
-            if matches!(parse_response(&out.text), Err(ParseFailure::NovelCategory(_))) {
+            if matches!(
+                parse_response(&out.text),
+                Err(ParseFailure::NovelCategory(_))
+            ) {
                 novel += 1;
             }
             if out.text.contains("would fall under") {
@@ -319,7 +321,11 @@ mod tests {
     #[test]
     fn latency_matches_preset_model() {
         let mut llm = GenerativeLlm::new(ModelPreset::falcon_40b(), &corpus(), 3);
-        let out = llm.generate("a twelve token prompt for checking latency model here now ok", "cpu hot", Some(8));
+        let out = llm.generate(
+            "a twelve token prompt for checking latency model here now ok",
+            "cpu hot",
+            Some(8),
+        );
         let expected = ModelPreset::falcon_40b()
             .latency
             .inference_seconds(out.prompt_tokens, out.generated_tokens);
@@ -333,7 +339,10 @@ mod tests {
         let mut b = GenerativeLlm::new(ModelPreset::falcon_7b(), &corpus, 5);
         for i in 0..20 {
             let msg = format!("message {i}");
-            assert_eq!(a.generate("p", &msg, Some(32)), b.generate("p", &msg, Some(32)));
+            assert_eq!(
+                a.generate("p", &msg, Some(32)),
+                b.generate("p", &msg, Some(32))
+            );
         }
     }
 }

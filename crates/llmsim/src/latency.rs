@@ -148,8 +148,12 @@ mod tests {
         let single = m.batched_seconds_per_message(1, PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS);
         let b8 = m.batched_seconds_per_message(8, PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS);
         let b64 = m.batched_seconds_per_message(64, PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS);
-        let b1024 = m.batched_seconds_per_message(1024, PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS);
-        assert_eq!(single, m.inference_seconds(PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS));
+        let b1024 =
+            m.batched_seconds_per_message(1024, PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS);
+        assert_eq!(
+            single,
+            m.inference_seconds(PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS)
+        );
         assert!(b8 < single && b64 < b8 && b1024 < b64);
         // Saturation: the speedup never exceeds 1/serial_fraction.
         assert!(single / b1024 < 12.5);

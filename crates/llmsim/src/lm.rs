@@ -33,8 +33,7 @@ impl CategoryLm {
         let n = Category::ALL.len();
         let mut unigrams: Vec<FxHashMap<String, f64>> = vec![FxHashMap::default(); n];
         let mut totals = vec![0.0f64; n];
-        let mut bigrams: Vec<FxHashMap<String, Vec<(String, f64)>>> =
-            vec![FxHashMap::default(); n];
+        let mut bigrams: Vec<FxHashMap<String, Vec<(String, f64)>>> = vec![FxHashMap::default(); n];
         for (text, category) in corpus {
             let c = category.index();
             let tokens = tokenize(text);
@@ -117,7 +116,9 @@ impl CategoryLm {
         };
         let mut out = vec![current.clone()];
         for _ in 1..max_tokens {
-            let Some(successors) = table.get(&current) else { break };
+            let Some(successors) = table.get(&current) else {
+                break;
+            };
             let total: f64 = successors.iter().map(|(_, c)| c).sum();
             let mut pick = rng.gen_range(0.0..total);
             let mut next = successors[0].0.clone();
@@ -168,9 +169,15 @@ mod tests {
     #[test]
     fn classifies_by_vocabulary() {
         let lm = CategoryLm::train(&corpus());
-        assert_eq!(lm.classify("cpu temperature throttled"), Category::ThermalIssue);
+        assert_eq!(
+            lm.classify("cpu temperature throttled"),
+            Category::ThermalIssue
+        );
         assert_eq!(lm.classify("new usb device on hub"), Category::UsbDevice);
-        assert_eq!(lm.classify("connection closed preauth"), Category::SshConnection);
+        assert_eq!(
+            lm.classify("connection closed preauth"),
+            Category::SshConnection
+        );
     }
 
     #[test]
@@ -193,9 +200,7 @@ mod tests {
         // Generated tokens come from the thermal vocabulary.
         for tok in text.split(' ') {
             assert!(
-                corpus()
-                    .iter()
-                    .any(|(m, _)| m.contains(tok)),
+                corpus().iter().any(|(m, _)| m.contains(tok)),
                 "token {tok} not from corpus"
             );
         }

@@ -86,7 +86,10 @@ mod tests {
     fn clean_answers() {
         assert_eq!(parse_response("Thermal Issue"), Ok(Category::ThermalIssue));
         assert_eq!(parse_response("USB-Device"), Ok(Category::UsbDevice));
-        assert_eq!(parse_response("  unimportant \n"), Ok(Category::Unimportant));
+        assert_eq!(
+            parse_response("  unimportant \n"),
+            Ok(Category::Unimportant)
+        );
     }
 
     #[test]
@@ -108,7 +111,10 @@ mod tests {
     #[test]
     fn novel_category_detected() {
         let r = parse_response("Overheating Event");
-        assert_eq!(r, Err(ParseFailure::NovelCategory("Overheating Event".to_string())));
+        assert_eq!(
+            r,
+            Err(ParseFailure::NovelCategory("Overheating Event".to_string()))
+        );
     }
 
     #[test]

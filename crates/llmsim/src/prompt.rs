@@ -73,9 +73,7 @@ impl PromptBuilder {
             }
             p.push('\n');
         }
-        p.push_str(
-            "\nRespond with only the category name, nothing else.\n\nExample:\nMessage: \"",
-        );
+        p.push_str("\nRespond with only the category name, nothing else.\n\nExample:\nMessage: \"");
         p.push_str(&self.example.0);
         p.push_str("\"\nCategory: ");
         p.push_str(self.example.1.label());
@@ -137,7 +135,12 @@ mod tests {
             words(&["version", "update", "slurm", "please", "node"]),
             words(&["processor", "throttled", "sensor", "cpu", "temperature"]),
             words(&["usb", "device", "hub", "number", "new"]),
-            words(&["error", "lpi_hbm_nn", "job_argument", "slurm_rpc_node_registration"]),
+            words(&[
+                "error",
+                "lpi_hbm_nn",
+                "job_argument",
+                "slurm_rpc_node_registration",
+            ]),
         ]);
         let tokens = builder.token_count("Warning: Socket 2 - CPU 23 throttling at 95C");
         // The latency presets calibrate against ~420 prompt tokens.

@@ -164,15 +164,24 @@ impl StatusSummarizer {
         let relevant = Category::ALL
             .iter()
             .find(|c| {
-                question
-                    .to_ascii_lowercase()
-                    .contains(&c.label().to_ascii_lowercase().split(' ').next().unwrap_or("").to_string())
+                question.to_ascii_lowercase().contains(
+                    &c.label()
+                        .to_ascii_lowercase()
+                        .split(' ')
+                        .next()
+                        .unwrap_or("")
+                        .to_string(),
+                )
             })
             .copied();
         let mut text = String::from("Hi,\n\nThanks for reaching out. ");
         match relevant {
             Some(c) => {
-                let n = counts.iter().find(|(cc, _)| *cc == c).map(|(_, n)| *n).unwrap_or(0);
+                let n = counts
+                    .iter()
+                    .find(|(cc, _)| *cc == c)
+                    .map(|(_, n)| *n)
+                    .unwrap_or(0);
                 let _ = write!(
                     text,
                     "We logged {n} {c} messages in the current window. Recommended next step: {}.",
@@ -254,7 +263,9 @@ mod tests {
         assert!(r.text.contains("3 messages"));
         // The signature term must come from the messages themselves.
         assert!(
-            r.text.contains("temperature") || r.text.contains("threshold") || r.text.contains("throttled"),
+            r.text.contains("temperature")
+                || r.text.contains("threshold")
+                || r.text.contains("throttled"),
             "{}",
             r.text
         );

@@ -59,7 +59,10 @@ impl ZeroShotModel {
             .map(|&c| (c, self.lm.log_likelihood(message, c) / n_tokens))
             .collect();
         // Softmax over length-normalized likelihoods.
-        let max = raw.iter().map(|(_, s)| *s).fold(f64::NEG_INFINITY, f64::max);
+        let max = raw
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<f64> = raw.iter().map(|(_, s)| ((s - max) * 4.0).exp()).collect();
         let sum: f64 = exps.iter().sum();
         let mut scores: Vec<(Category, f64)> = raw
@@ -120,8 +123,14 @@ mod tests {
     #[test]
     fn classifies_by_vocabulary() {
         let m = ZeroShotModel::new(&corpus());
-        assert_eq!(m.classify("cpu temperature throttled").top(), Category::ThermalIssue);
-        assert_eq!(m.classify("new usb device on hub").top(), Category::UsbDevice);
+        assert_eq!(
+            m.classify("cpu temperature throttled").top(),
+            Category::ThermalIssue
+        );
+        assert_eq!(
+            m.classify("new usb device on hub").top(),
+            Category::UsbDevice
+        );
     }
 
     #[test]

@@ -86,9 +86,8 @@ fn synthetic_oversample(data: &Dataset, k: usize, seed: u64, adaptive: bool) -> 
                         .filter(|&j| j != i)
                         .map(|j| (j, data.features[i].cosine(&data.features[j])))
                         .collect();
-                    scored.sort_by(|a, b| {
-                        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-                    });
+                    scored
+                        .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
                     let neighbours = scored.iter().take(k.max(1));
                     let other = neighbours
                         .clone()
@@ -182,7 +181,12 @@ mod tests {
     fn smote_synthetics_stay_in_minority_subspace() {
         let data = imbalanced();
         let balanced = smote_oversample(&data, 3, 7);
-        for (x, &l) in balanced.features.iter().zip(&balanced.labels).skip(data.len()) {
+        for (x, &l) in balanced
+            .features
+            .iter()
+            .zip(&balanced.labels)
+            .skip(data.len())
+        {
             assert_eq!(l, 1, "synthetic samples must carry the minority label");
             // Interpolations of minority points never touch majority-only
             // features 0/1.

@@ -1,0 +1,242 @@
+//! Matrix-at-a-time inference over [`CsrMatrix`] batches.
+//!
+//! The scalar [`Classifier::predict`] path materializes one [`SparseVec`]
+//! per message and re-touches every class weight row per sample. The batch
+//! path scores a whole CSR matrix against the dense class-weight block at
+//! once: rows are processed in cache-sized chunks in parallel, and within a
+//! row the kernel walks the sparse entries once, updating all class scores
+//! column-major.
+//!
+//! Every implementation here is bit-identical to its scalar counterpart —
+//! the kernel accumulates each class's score in the same entry order as
+//! [`SparseVec::dot_dense`], applies the bias after the full accumulation,
+//! and reuses the exact decision rule (strict-inequality argmax/argmin) of
+//! the scalar `predict`. Property tests in `tests/proptests.rs` enforce
+//! the equivalence for every model.
+
+use crate::traits::Classifier;
+use rayon::prelude::*;
+use textproc::{CsrMatrix, SparseVec};
+
+/// Rows scored per parallel work item; the per-chunk score buffer is reused
+/// across its rows.
+const ROW_CHUNK: usize = 64;
+
+/// A classifier that can score a whole CSR batch at once.
+///
+/// The default implementation falls back to per-row [`Classifier::predict`]
+/// (parallel over rows), so any `Classifier` can be lifted; the linear
+/// family and kNN override it with real matrix kernels.
+pub trait BatchClassifier: Classifier {
+    /// Predict the class index of every row of `m`. Must agree exactly
+    /// with calling [`Classifier::predict`] on each row.
+    fn predict_csr(&self, m: &CsrMatrix) -> Vec<usize> {
+        map_row_chunks(m.n_rows(), |r| self.predict(&m.row_vec(r)))
+    }
+}
+
+/// Run `per_row` over `0..n_rows` parallel in contiguous chunks, preserving
+/// row order in the output.
+pub(crate) fn map_row_chunks<F>(n_rows: usize, per_row: F) -> Vec<usize>
+where
+    F: Fn(usize) -> usize + Sync,
+{
+    map_row_chunks_with(n_rows, || (), |r, ()| per_row(r))
+}
+
+/// [`map_row_chunks`] with per-chunk scratch state: `init` builds the
+/// scratch once per chunk and every row of that chunk reuses it, so hot
+/// buffers (score accumulators and the like) are allocated per work item
+/// rather than per row.
+pub(crate) fn map_row_chunks_with<S, I, F>(n_rows: usize, init: I, per_row: F) -> Vec<usize>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> usize + Sync,
+{
+    let n_chunks = n_rows.div_ceil(ROW_CHUNK).max(1);
+    let chunks: Vec<Vec<usize>> = (0..n_chunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * ROW_CHUNK;
+            let hi = (lo + ROW_CHUNK).min(n_rows);
+            let mut scratch = init();
+            (lo..hi).map(|r| per_row(r, &mut scratch)).collect()
+        })
+        .collect();
+    chunks.concat()
+}
+
+/// The shared linear-family kernel: for every row of `m`, compute
+/// `scores[c] = Σ_i weights[c][i] · row[i]` (+ `bias[c]` when given) and
+/// reduce the score vector to a class with `decide`.
+///
+/// Column-major accumulation: the row's sparse entries are walked once in
+/// ascending index order and each entry updates all class scores, so each
+/// class's partial sums occur in exactly the order of
+/// `row.dot_dense(&weights[c])` — same floats in, same float out. Entries
+/// at or beyond the weight dimensionality are skipped, mirroring
+/// `dot_dense`'s treatment of unseen vocabulary.
+pub(crate) fn linear_predict_csr<D>(
+    m: &CsrMatrix,
+    weights: &[Vec<f64>],
+    bias: Option<&[f64]>,
+    decide: D,
+) -> Vec<usize>
+where
+    D: Fn(&[f64]) -> usize + Sync,
+{
+    let n_classes = weights.len();
+    let n_features = weights.first().map(Vec::len).unwrap_or(0);
+    let n_rows = m.n_rows();
+    let n_chunks = n_rows.div_ceil(ROW_CHUNK).max(1);
+    let chunks: Vec<Vec<usize>> = (0..n_chunks)
+        .into_par_iter()
+        .map(|chunk| {
+            let lo = chunk * ROW_CHUNK;
+            let hi = (lo + ROW_CHUNK).min(n_rows);
+            let mut scores = vec![0.0f64; n_classes];
+            let mut preds = Vec::with_capacity(hi - lo);
+            for r in lo..hi {
+                let (indices, values) = m.row(r);
+                scores.iter_mut().for_each(|s| *s = 0.0);
+                for (&i, &v) in indices.iter().zip(values) {
+                    let i = i as usize;
+                    if i >= n_features {
+                        continue;
+                    }
+                    for (s, w) in scores.iter_mut().zip(weights) {
+                        *s += w[i] * v;
+                    }
+                }
+                if let Some(bias) = bias {
+                    for (s, &b) in scores.iter_mut().zip(bias) {
+                        *s += b;
+                    }
+                }
+                preds.push(decide(&scores));
+            }
+            preds
+        })
+        .collect();
+    chunks.concat()
+}
+
+/// Index of the strictly greatest score, first winner on ties — the exact
+/// loop every linear model's scalar `predict` runs.
+pub(crate) fn argmax(scores: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_score = f64::NEG_INFINITY;
+    for (c, &s) in scores.iter().enumerate() {
+        if s > best_score {
+            best_score = s;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Index of the strictly smallest score, first winner on ties.
+pub(crate) fn argmin(scores: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_score = f64::INFINITY;
+    for (c, &s) in scores.iter().enumerate() {
+        if s < best_score {
+            best_score = s;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Inverted index over a training set's feature columns: postings[f] lists
+/// `(train row, value)` for every training vector with feature `f` active.
+/// Built by kNN's `predict_csr` so a query touches only the training rows
+/// that share at least one feature with it, instead of the full scan.
+pub(crate) struct InvertedIndex {
+    postings: Vec<Vec<(u32, f64)>>,
+}
+
+impl InvertedIndex {
+    /// Index `train` by feature column.
+    pub(crate) fn build(train: &[SparseVec]) -> InvertedIndex {
+        let n_features = train.iter().map(SparseVec::max_dim).max().unwrap_or(0);
+        let mut postings: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_features];
+        for (t, vec) in train.iter().enumerate() {
+            for (i, v) in vec.iter() {
+                postings[i as usize].push((t as u32, v));
+            }
+        }
+        InvertedIndex { postings }
+    }
+
+    /// Accumulate `acc[t] += q_v · t_v` for every training row `t` sharing a
+    /// feature with the query. Because the query's entries are walked in
+    /// ascending index order and each posting list is in ascending training
+    /// row order, each `acc[t]` receives its products in ascending shared
+    /// feature order — the same order as the merge in [`SparseVec::dot`].
+    pub(crate) fn accumulate_dots(&self, q_indices: &[u32], q_values: &[f64], acc: &mut [f64]) {
+        for (&qi, &qv) in q_indices.iter().zip(q_values) {
+            let Some(list) = self.postings.get(qi as usize) else {
+                continue;
+            };
+            for &(t, tv) in list {
+                acc[t as usize] += qv * tv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_first_wins_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[f64::NEG_INFINITY]), 0);
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn argmin_first_wins_ties() {
+        assert_eq!(argmin(&[2.0, 1.0, 1.0]), 1);
+        assert_eq!(argmin(&[]), 0);
+    }
+
+    #[test]
+    fn kernel_matches_row_dot_dense() {
+        let rows = vec![
+            SparseVec::from_pairs(vec![(0, 1.0), (2, 0.5), (9, 4.0)]),
+            SparseVec::new(),
+            SparseVec::from_pairs(vec![(1, -2.0), (3, 1.5)]),
+        ];
+        let m = CsrMatrix::from_rows(&rows, 4);
+        let weights = vec![vec![1.0, 2.0, 3.0, 4.0], vec![-1.0, 0.5, 0.0, 2.0]];
+        let bias = vec![0.25, -0.5];
+        let preds = linear_predict_csr(&m, &weights, Some(&bias), argmax);
+        for (r, row) in rows.iter().enumerate() {
+            let scores: Vec<f64> = weights
+                .iter()
+                .zip(&bias)
+                .map(|(w, b)| row.dot_dense(w) + b)
+                .collect();
+            assert_eq!(preds[r], argmax(&scores));
+        }
+    }
+
+    #[test]
+    fn inverted_index_matches_sparse_dot() {
+        let train = vec![
+            SparseVec::from_pairs(vec![(0, 1.0), (3, 2.0)]),
+            SparseVec::from_pairs(vec![(1, 0.5)]),
+            SparseVec::new(),
+        ];
+        let index = InvertedIndex::build(&train);
+        let q = SparseVec::from_pairs(vec![(0, 2.0), (1, 4.0), (7, 1.0)]);
+        let mut acc = vec![0.0; train.len()];
+        index.accumulate_dots(q.indices(), q.values(), &mut acc);
+        for (t, tv) in train.iter().enumerate() {
+            assert_eq!(acc[t], q.dot(tv));
+        }
+    }
+}

@@ -4,10 +4,11 @@
 //! to train and test, at the cost of the lowest F1 in the paper's table
 //! (0.9523).
 
+use crate::batch::{linear_predict_csr, BatchClassifier};
 use crate::dataset::Dataset;
 use crate::traits::Classifier;
-use textproc::SparseVec;
 use serde::{Deserialize, Serialize};
+use textproc::{CsrMatrix, SparseVec};
 
 /// Nearest-centroid classifier.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -78,6 +79,29 @@ impl Classifier for NearestCentroid {
 
     fn n_classes(&self) -> usize {
         self.centroids.len()
+    }
+}
+
+impl BatchClassifier for NearestCentroid {
+    fn predict_csr(&self, m: &CsrMatrix) -> Vec<usize> {
+        assert!(!self.centroids.is_empty(), "predict before fit");
+        // The kernel yields per-class dots; the decision closure applies the
+        // same reduced-distance rule as the scalar `predict`.
+        linear_predict_csr(m, &self.centroids, None, |dots| {
+            let mut best = 0;
+            let mut best_dist = f64::INFINITY;
+            for (c, (&dot, &c_sq)) in dots.iter().zip(&self.norm_sq).enumerate() {
+                if self.empty[c] {
+                    continue;
+                }
+                let dist = c_sq - 2.0 * dot;
+                if dist < best_dist {
+                    best_dist = dist;
+                    best = c;
+                }
+            }
+            best
+        })
     }
 }
 

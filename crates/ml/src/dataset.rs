@@ -26,7 +26,11 @@ impl Dataset {
     /// If `features` and `labels` lengths differ, or any label is out of
     /// range for `class_names`.
     pub fn new(features: Vec<SparseVec>, labels: Vec<usize>, class_names: Vec<String>) -> Dataset {
-        assert_eq!(features.len(), labels.len(), "features/labels length mismatch");
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "features/labels length mismatch"
+        );
         assert!(
             labels.iter().all(|&l| l < class_names.len()),
             "label out of range"
@@ -73,7 +77,10 @@ impl Dataset {
     /// its samples (rounded down, at least 1 when the class has ≥ 2) to the
     /// test set. Deterministic under `seed`.
     pub fn stratified_split(&self, test_ratio: f64, seed: u64) -> (Dataset, Dataset) {
-        assert!((0.0..1.0).contains(&test_ratio), "test_ratio must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&test_ratio),
+            "test_ratio must be in [0,1)"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes()];
         for (i, &l) in self.labels.iter().enumerate() {
@@ -164,7 +171,13 @@ mod tests {
         let mut features = Vec::new();
         let mut labels = Vec::new();
         for i in 0..18usize {
-            let class = if i < 12 { 0 } else if i < 16 { 1 } else { 2 };
+            let class = if i < 12 {
+                0
+            } else if i < 16 {
+                1
+            } else {
+                2
+            };
             features.push(SparseVec::from_pairs(vec![(i as u32, 1.0)]));
             labels.push(class);
         }

@@ -2,6 +2,7 @@
 //! trained in parallel with rayon — the paper's best pre-ablation model
 //! (weighted F1 0.9995).
 
+use crate::batch::BatchClassifier;
 use crate::dataset::Dataset;
 use crate::traits::Classifier;
 use crate::tree::{DecisionTree, DecisionTreeConfig};
@@ -9,8 +10,8 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
-use textproc::SparseVec;
 use serde::{Deserialize, Serialize};
+use textproc::SparseVec;
 
 /// Forest hyperparameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -76,9 +77,10 @@ impl Classifier for RandomForest {
     fn fit(&mut self, data: &Dataset) {
         self.n_classes = data.n_classes();
         let n = data.len();
-        let mtry = self.config.mtry.unwrap_or_else(|| {
-            (data.n_features() as f64).sqrt().ceil() as usize
-        });
+        let mtry = self
+            .config
+            .mtry
+            .unwrap_or_else(|| (data.n_features() as f64).sqrt().ceil() as usize);
         let sample_size = ((n as f64) * self.config.bootstrap_ratio).round().max(1.0) as usize;
         let seed = self.config.seed;
         let tree_template = self.config.tree.clone();
@@ -86,8 +88,7 @@ impl Classifier for RandomForest {
             .into_par_iter()
             .map(|t| {
                 let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(t as u64 * 0x9E37_79B9));
-                let indices: Vec<usize> =
-                    (0..sample_size).map(|_| rng.gen_range(0..n)).collect();
+                let indices: Vec<usize> = (0..sample_size).map(|_| rng.gen_range(0..n)).collect();
                 let mut tree = DecisionTree::new(DecisionTreeConfig {
                     feature_subsample: Some(mtry.max(1)),
                     seed: seed.wrapping_add(0xABCD).wrapping_add(t as u64),
@@ -118,6 +119,10 @@ impl Classifier for RandomForest {
     }
 }
 
+/// Trees branch on one feature at a time, so there is no matrix kernel to
+/// exploit; the default row-parallel fallback is already the right shape.
+impl BatchClassifier for RandomForest {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,7 +149,10 @@ mod tests {
         let mut b = RandomForest::new(cfg);
         a.fit(&data);
         b.fit(&data);
-        assert_eq!(a.predict_batch(&data.features), b.predict_batch(&data.features));
+        assert_eq!(
+            a.predict_batch(&data.features),
+            b.predict_batch(&data.features)
+        );
     }
 
     #[test]

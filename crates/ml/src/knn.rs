@@ -6,11 +6,11 @@
 //! sparse-sparse dot product; batch prediction parallelizes over queries
 //! with rayon.
 
+use crate::batch::{map_row_chunks_with, BatchClassifier, InvertedIndex};
 use crate::dataset::Dataset;
 use crate::traits::Classifier;
-use rayon::prelude::*;
-use textproc::SparseVec;
 use serde::{Deserialize, Serialize};
+use textproc::{CsrMatrix, SparseVec};
 
 /// kNN hyperparameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -43,6 +43,39 @@ impl KNearestNeighbors {
             ..KNearestNeighbors::default()
         }
     }
+
+    /// Pick the winning class from per-training-row cosine scores: top-k by
+    /// partial selection, then majority vote with ties broken by summed
+    /// similarity then class index. Shared verbatim between the scalar and
+    /// CSR paths so both decide identically from identical scores.
+    fn vote(&self, scores: &[f64]) -> usize {
+        let k = self.config.k.min(self.train.len()).max(1);
+        let mut idx: Vec<usize> = (0..self.train.len()).collect();
+        idx.select_nth_unstable_by(k - 1, |&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let top = &idx[..k];
+        let mut votes = vec![0usize; self.n_classes];
+        let mut sims = vec![0.0f64; self.n_classes];
+        for &i in top {
+            votes[self.labels[i]] += 1;
+            sims[self.labels[i]] += scores[i];
+        }
+        (0..self.n_classes)
+            .max_by(|&a, &b| {
+                votes[a]
+                    .cmp(&votes[b])
+                    .then(
+                        sims[a]
+                            .partial_cmp(&sims[b])
+                            .unwrap_or(std::cmp::Ordering::Equal),
+                    )
+                    .then(b.cmp(&a))
+            })
+            .unwrap_or(0)
+    }
 }
 
 impl Classifier for KNearestNeighbors {
@@ -74,36 +107,48 @@ impl Classifier for KNearestNeighbors {
                 }
             })
             .collect();
-        // Top-k by partial selection.
-        let k = self.config.k.min(self.train.len()).max(1);
-        let mut idx: Vec<usize> = (0..self.train.len()).collect();
-        idx.select_nth_unstable_by(k - 1, |&a, &b| {
-            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let top = &idx[..k];
-        // Majority vote, ties broken by summed similarity then class index.
-        let mut votes = vec![0usize; self.n_classes];
-        let mut sims = vec![0.0f64; self.n_classes];
-        for &i in top {
-            votes[self.labels[i]] += 1;
-            sims[self.labels[i]] += scores[i];
-        }
-        (0..self.n_classes)
-            .max_by(|&a, &b| {
-                votes[a]
-                    .cmp(&votes[b])
-                    .then(sims[a].partial_cmp(&sims[b]).unwrap_or(std::cmp::Ordering::Equal))
-                    .then(b.cmp(&a))
-            })
-            .unwrap_or(0)
-    }
-
-    fn predict_batch(&self, xs: &[SparseVec]) -> Vec<usize> {
-        xs.par_iter().map(|x| self.predict(x)).collect()
+        self.vote(&scores)
     }
 
     fn n_classes(&self) -> usize {
         self.n_classes
+    }
+}
+
+impl BatchClassifier for KNearestNeighbors {
+    /// Pruned batch scoring: instead of a full sparse-sparse scan per query,
+    /// build an inverted index over the training columns once per batch and
+    /// accumulate each query's dot products only against training rows that
+    /// share a feature. Accumulation order per training row equals the merge
+    /// order of [`SparseVec::dot`], and the vote is the shared
+    /// [`KNearestNeighbors::vote`], so predictions match the scalar path
+    /// exactly.
+    fn predict_csr(&self, m: &CsrMatrix) -> Vec<usize> {
+        assert!(!self.train.is_empty(), "predict before fit");
+        let index = InvertedIndex::build(&self.train);
+        map_row_chunks_with(
+            m.n_rows(),
+            || {
+                (
+                    vec![0.0f64; self.train.len()],
+                    vec![0.0f64; self.train.len()],
+                )
+            },
+            |r, (acc, scores)| {
+                let (qi, qv) = m.row(r);
+                acc.iter_mut().for_each(|a| *a = 0.0);
+                index.accumulate_dots(qi, qv, acc);
+                let x_norm = qv.iter().map(|v| v * v).sum::<f64>().sqrt();
+                for ((s, &dot), &n) in scores.iter_mut().zip(acc.iter()).zip(&self.norms) {
+                    *s = if n == 0.0 || x_norm == 0.0 {
+                        0.0
+                    } else {
+                        dot / (n * x_norm)
+                    };
+                }
+                self.vote(scores)
+            },
+        )
     }
 }
 

@@ -19,6 +19,7 @@
 //! prediction (and forest training) with rayon.
 
 pub mod balance;
+pub mod batch;
 pub mod centroid;
 pub mod dataset;
 pub mod forest;
@@ -33,6 +34,7 @@ pub mod traits;
 pub mod tree;
 
 pub use balance::{adasyn_oversample, smote_oversample};
+pub use batch::BatchClassifier;
 pub use centroid::NearestCentroid;
 pub use dataset::Dataset;
 pub use forest::{RandomForest, RandomForestConfig};
@@ -47,8 +49,10 @@ pub use traits::Classifier;
 pub use tree::{DecisionTree, DecisionTreeConfig};
 
 /// Construct the paper's full classifier suite (Figure 3 rows) with
-/// defaults tuned for syslog-scale TF-IDF data.
-pub fn paper_suite(seed: u64) -> Vec<Box<dyn Classifier>> {
+/// defaults tuned for syslog-scale TF-IDF data. Every member supports the
+/// batched CSR scoring path (and coerces to `Box<dyn Classifier>` where
+/// only scalar prediction is needed).
+pub fn paper_suite(seed: u64) -> Vec<Box<dyn BatchClassifier>> {
     vec![
         Box::new(LogisticRegression::new(LogisticRegressionConfig::default())),
         Box::new(RidgeClassifier::new(RidgeConfig::default())),

@@ -5,11 +5,12 @@
 //! the paper's Figure 3: a well-converged but not cheap linear model —
 //! slower to train than SGD, faster than Linear SVC.
 
+use crate::batch::{argmax, linear_predict_csr, BatchClassifier};
 use crate::dataset::Dataset;
 use crate::traits::Classifier;
 use rayon::prelude::*;
-use textproc::SparseVec;
 use serde::{Deserialize, Serialize};
+use textproc::{CsrMatrix, SparseVec};
 
 /// Training hyperparameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -164,6 +165,13 @@ impl Classifier for LogisticRegression {
     }
 }
 
+impl BatchClassifier for LogisticRegression {
+    fn predict_csr(&self, m: &CsrMatrix) -> Vec<usize> {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        linear_predict_csr(m, &self.weights, Some(&self.bias), argmax)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,8 +215,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "predict before fit")]
     fn predict_before_fit_panics() {
-        LogisticRegression::new(LogisticRegressionConfig::default())
-            .predict(&SparseVec::new());
+        LogisticRegression::new(LogisticRegressionConfig::default()).predict(&SparseVec::new());
     }
 
     #[test]

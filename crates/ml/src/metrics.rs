@@ -17,8 +17,16 @@ impl ConfusionMatrix {
     ///
     /// # Panics
     /// If slice lengths differ or any index is ≥ `class_names.len()`.
-    pub fn from_predictions(class_names: &[String], truth: &[usize], predicted: &[usize]) -> ConfusionMatrix {
-        assert_eq!(truth.len(), predicted.len(), "truth/predicted length mismatch");
+    pub fn from_predictions(
+        class_names: &[String],
+        truth: &[usize],
+        predicted: &[usize],
+    ) -> ConfusionMatrix {
+        assert_eq!(
+            truth.len(),
+            predicted.len(),
+            "truth/predicted length mismatch"
+        );
         let n = class_names.len();
         let mut matrix = vec![0u64; n * n];
         for (&t, &p) in truth.iter().zip(predicted) {
@@ -203,17 +211,29 @@ impl ConfusionMatrix {
         let _ = writeln!(
             out,
             "{:>name_width$}  {:>9}  {:>9}  {:>9.4}  {:>9}",
-            "accuracy", "", "", self.accuracy(), self.total()
+            "accuracy",
+            "",
+            "",
+            self.accuracy(),
+            self.total()
         );
         let _ = writeln!(
             out,
             "{:>name_width$}  {:>9}  {:>9}  {:>9.4}  {:>9}",
-            "weighted avg", "", "", self.weighted_f1(), self.total()
+            "weighted avg",
+            "",
+            "",
+            self.weighted_f1(),
+            self.total()
         );
         let _ = writeln!(
             out,
             "{:>name_width$}  {:>9}  {:>9}  {:>9.4}  {:>9}",
-            "macro avg", "", "", self.macro_f1(), self.total()
+            "macro avg",
+            "",
+            "",
+            self.macro_f1(),
+            self.total()
         );
         out
     }
@@ -282,7 +302,8 @@ mod tests {
     fn hand_computed_binary_case() {
         // truth:     [0,0,0,0,1,1]
         // predicted: [0,0,1,1,1,0]
-        let cm = ConfusionMatrix::from_predictions(&names(2), &[0, 0, 0, 0, 1, 1], &[0, 0, 1, 1, 1, 0]);
+        let cm =
+            ConfusionMatrix::from_predictions(&names(2), &[0, 0, 0, 0, 1, 1], &[0, 0, 1, 1, 1, 0]);
         assert_eq!(cm.get(0, 0), 2);
         assert_eq!(cm.get(0, 1), 2);
         assert_eq!(cm.get(1, 0), 1);
@@ -301,7 +322,8 @@ mod tests {
 
     #[test]
     fn support_and_row_sums() {
-        let cm = ConfusionMatrix::from_predictions(&names(3), &[0, 0, 1, 2, 2, 2], &[1, 0, 1, 2, 0, 2]);
+        let cm =
+            ConfusionMatrix::from_predictions(&names(3), &[0, 0, 1, 2, 2, 2], &[1, 0, 1, 2, 0, 2]);
         assert_eq!(cm.support(0), 2);
         assert_eq!(cm.support(1), 1);
         assert_eq!(cm.support(2), 3);
@@ -310,11 +332,8 @@ mod tests {
 
     #[test]
     fn most_confused_finds_biggest_error() {
-        let cm = ConfusionMatrix::from_predictions(
-            &names(3),
-            &[0, 0, 0, 1, 1, 1],
-            &[1, 1, 1, 0, 1, 1],
-        );
+        let cm =
+            ConfusionMatrix::from_predictions(&names(3), &[0, 0, 0, 1, 1, 1], &[1, 1, 1, 0, 1, 1]);
         assert_eq!(cm.most_confused(), Some((0, 1, 3)));
     }
 
@@ -346,7 +365,18 @@ mod tests {
     fn classification_report_renders_all_rows() {
         let cm = ConfusionMatrix::from_predictions(&names(3), &[0, 1, 2, 1], &[0, 1, 1, 1]);
         let report = cm.classification_report();
-        for n in ["c0", "c1", "c2", "precision", "recall", "f1-score", "support", "accuracy", "weighted avg", "macro avg"] {
+        for n in [
+            "c0",
+            "c1",
+            "c2",
+            "precision",
+            "recall",
+            "f1-score",
+            "support",
+            "accuracy",
+            "weighted avg",
+            "macro avg",
+        ] {
             assert!(report.contains(n), "missing {n} in:\n{report}");
         }
         // c2 was never predicted correctly: zero f1 shown, not NaN.

@@ -12,10 +12,11 @@
 //! predict(d) = argmin_c  Σ_i f_di * w_ci
 //! ```
 
+use crate::batch::{argmin, linear_predict_csr, BatchClassifier};
 use crate::dataset::Dataset;
 use crate::traits::Classifier;
-use textproc::SparseVec;
 use serde::{Deserialize, Serialize};
+use textproc::{CsrMatrix, SparseVec};
 
 /// CNB hyperparameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -158,6 +159,13 @@ impl Classifier for ComplementNaiveBayes {
     }
 }
 
+impl BatchClassifier for ComplementNaiveBayes {
+    fn predict_csr(&self, m: &CsrMatrix) -> Vec<usize> {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        linear_predict_csr(m, &self.weights, None, argmin)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,7 +183,10 @@ mod tests {
         let mut features = Vec::new();
         let mut labels = Vec::new();
         for i in 0..20 {
-            features.push(SparseVec::from_pairs(vec![(0, 1.0), (1, 0.5 + (i % 3) as f64 * 0.1)]));
+            features.push(SparseVec::from_pairs(vec![
+                (0, 1.0),
+                (1, 0.5 + (i % 3) as f64 * 0.1),
+            ]));
             labels.push(0);
         }
         for _ in 0..2 {
@@ -185,15 +196,24 @@ mod tests {
         let data = Dataset::new(features, labels, vec!["major".into(), "minor".into()]);
         let mut m = ComplementNaiveBayes::new(ComplementNbConfig::default());
         m.fit(&data);
-        assert_eq!(m.predict(&SparseVec::from_pairs(vec![(2, 1.0), (3, 0.8)])), 1);
+        assert_eq!(
+            m.predict(&SparseVec::from_pairs(vec![(2, 1.0), (3, 0.8)])),
+            1
+        );
         assert_eq!(m.predict(&SparseVec::from_pairs(vec![(0, 1.0)])), 0);
     }
 
     #[test]
     fn weight_normalization_changes_scale_not_order() {
         let data = toy_dataset();
-        let mut normed = ComplementNaiveBayes::new(ComplementNbConfig { norm: true, alpha: 1.0 });
-        let mut raw = ComplementNaiveBayes::new(ComplementNbConfig { norm: false, alpha: 1.0 });
+        let mut normed = ComplementNaiveBayes::new(ComplementNbConfig {
+            norm: true,
+            alpha: 1.0,
+        });
+        let mut raw = ComplementNaiveBayes::new(ComplementNbConfig {
+            norm: false,
+            alpha: 1.0,
+        });
         normed.fit(&data);
         raw.fit(&data);
         assert_eq!(
@@ -235,7 +255,10 @@ mod tests {
             data.class_names.clone(),
         );
         m.partial_fit(&fresh);
-        assert_eq!(m.predict(&SparseVec::from_pairs(vec![(12, 1.0), (13, 0.9)])), 1);
+        assert_eq!(
+            m.predict(&SparseVec::from_pairs(vec![(12, 1.0), (13, 0.9)])),
+            1
+        );
         // Old signatures still classified correctly.
         assert_eq!(m.predict(&data.features[0]), data.labels[0]);
     }

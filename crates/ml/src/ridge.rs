@@ -2,11 +2,12 @@
 //! trained by full-batch gradient descent on ±1 targets — the standard
 //! `RidgeClassifier` formulation.
 
+use crate::batch::{argmax, linear_predict_csr, BatchClassifier};
 use crate::dataset::Dataset;
 use crate::traits::Classifier;
 use rayon::prelude::*;
-use textproc::SparseVec;
 use serde::{Deserialize, Serialize};
+use textproc::{CsrMatrix, SparseVec};
 
 /// Ridge hyperparameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -121,6 +122,13 @@ impl Classifier for RidgeClassifier {
     }
 }
 
+impl BatchClassifier for RidgeClassifier {
+    fn predict_csr(&self, m: &CsrMatrix) -> Vec<usize> {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        linear_predict_csr(m, &self.weights, Some(&self.bias), argmax)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,12 +143,23 @@ mod tests {
     #[test]
     fn heavier_regularization_shrinks_weights() {
         let data = toy_dataset();
-        let mut light = RidgeClassifier::new(RidgeConfig { alpha: 1e-6, ..RidgeConfig::default() });
-        let mut heavy = RidgeClassifier::new(RidgeConfig { alpha: 1e-2, ..RidgeConfig::default() });
+        let mut light = RidgeClassifier::new(RidgeConfig {
+            alpha: 1e-6,
+            ..RidgeConfig::default()
+        });
+        let mut heavy = RidgeClassifier::new(RidgeConfig {
+            alpha: 1e-2,
+            ..RidgeConfig::default()
+        });
         light.fit(&data);
         heavy.fit(&data);
         let norm = |m: &RidgeClassifier| -> f64 {
-            m.weights.iter().flatten().map(|w| w * w).sum::<f64>().sqrt()
+            m.weights
+                .iter()
+                .flatten()
+                .map(|w| w * w)
+                .sum::<f64>()
+                .sqrt()
         };
         assert!(norm(&heavy) < norm(&light));
     }
@@ -152,6 +171,9 @@ mod tests {
         let mut b = RidgeClassifier::new(RidgeConfig::default());
         a.fit(&data);
         b.fit(&data);
-        assert_eq!(a.predict_batch(&data.features), b.predict_batch(&data.features));
+        assert_eq!(
+            a.predict_batch(&data.features),
+            b.predict_batch(&data.features)
+        );
     }
 }

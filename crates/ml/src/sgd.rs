@@ -3,13 +3,14 @@
 //! trading a little F1 (0.9878 in the paper, the lowest of the linear
 //! models) for near-instant training.
 
+use crate::batch::{argmax, linear_predict_csr, BatchClassifier};
 use crate::dataset::Dataset;
 use crate::traits::Classifier;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use textproc::SparseVec;
 use serde::{Deserialize, Serialize};
+use textproc::{CsrMatrix, SparseVec};
 
 /// SGD hyperparameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -161,6 +162,13 @@ impl Classifier for SgdClassifier {
     }
 }
 
+impl BatchClassifier for SgdClassifier {
+    fn predict_csr(&self, m: &CsrMatrix) -> Vec<usize> {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        linear_predict_csr(m, &self.weights, Some(&self.bias), argmax)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,11 +183,20 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let data = toy_dataset();
-        let mut a = SgdClassifier::new(SgdConfig { seed: 9, ..SgdConfig::default() });
-        let mut b = SgdClassifier::new(SgdConfig { seed: 9, ..SgdConfig::default() });
+        let mut a = SgdClassifier::new(SgdConfig {
+            seed: 9,
+            ..SgdConfig::default()
+        });
+        let mut b = SgdClassifier::new(SgdConfig {
+            seed: 9,
+            ..SgdConfig::default()
+        });
         a.fit(&data);
         b.fit(&data);
-        assert_eq!(a.predict_batch(&data.features), b.predict_batch(&data.features));
+        assert_eq!(
+            a.predict_batch(&data.features),
+            b.predict_batch(&data.features)
+        );
     }
 
     #[test]
@@ -205,11 +222,18 @@ mod tests {
             m.partial_fit(&fresh);
         }
         // New phrasing learned…
-        assert_eq!(m.predict(&SparseVec::from_pairs(vec![(11, 1.0), (7, 0.8)])), 2);
+        assert_eq!(
+            m.predict(&SparseVec::from_pairs(vec![(11, 1.0), (7, 0.8)])),
+            2
+        );
         // …old knowledge retained.
         let after = m.predict_batch(&data.features);
         let kept = before.iter().zip(&after).filter(|(a, b)| a == b).count();
-        assert!(kept >= data.len() - 2, "catastrophic forgetting: {kept}/{}", data.len());
+        assert!(
+            kept >= data.len() - 2,
+            "catastrophic forgetting: {kept}/{}",
+            data.len()
+        );
     }
 
     #[test]
@@ -220,7 +244,11 @@ mod tests {
             m.partial_fit(&data);
         }
         let preds = m.predict_batch(&data.features);
-        let correct = preds.iter().zip(&data.labels).filter(|(p, l)| p == l).count();
+        let correct = preds
+            .iter()
+            .zip(&data.labels)
+            .filter(|(p, l)| p == l)
+            .count();
         assert!(correct >= data.len() - 2);
     }
 

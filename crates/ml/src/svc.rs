@@ -6,13 +6,14 @@
 //! the slowest trainer (211.8 s vs 15.4 s for logistic regression); dual CD
 //! run to a tight tolerance reproduces that cost profile.
 
+use crate::batch::{argmax, linear_predict_csr, BatchClassifier};
 use crate::dataset::Dataset;
 use crate::traits::Classifier;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use textproc::SparseVec;
 use serde::{Deserialize, Serialize};
+use textproc::{CsrMatrix, SparseVec};
 
 /// Linear SVC hyperparameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -133,6 +134,13 @@ impl Classifier for LinearSvc {
     }
 }
 
+impl BatchClassifier for LinearSvc {
+    fn predict_csr(&self, m: &CsrMatrix) -> Vec<usize> {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        linear_predict_csr(m, &self.weights, None, argmax)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,7 +159,10 @@ mod tests {
         let mut b = LinearSvc::new(LinearSvcConfig::default());
         a.fit(&data);
         b.fit(&data);
-        assert_eq!(a.predict_batch(&data.features), b.predict_batch(&data.features));
+        assert_eq!(
+            a.predict_batch(&data.features),
+            b.predict_batch(&data.features)
+        );
     }
 
     #[test]

@@ -7,13 +7,14 @@
 //! quantile thresholds over the observed values, which keeps node cost low
 //! on high-dimensional TF-IDF data where most values are zero.
 
+use crate::batch::BatchClassifier;
 use crate::dataset::Dataset;
 use crate::traits::Classifier;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use textproc::SparseVec;
 use serde::{Deserialize, Serialize};
+use textproc::SparseVec;
 
 /// Decision-tree hyperparameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -217,9 +218,7 @@ impl DecisionTree {
                         + n_right as f64 * gini(&right_counts, n_right))
                         / n as f64;
                     let decrease = node_gini - weighted;
-                    if decrease > 1e-12
-                        && best.map(|(_, _, s)| decrease > s).unwrap_or(true)
-                    {
+                    if decrease > 1e-12 && best.map(|(_, _, s)| decrease > s).unwrap_or(true) {
                         best = Some((feature, threshold, decrease));
                     }
                 }
@@ -261,7 +260,11 @@ impl Classifier for DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x.get(*feature) <= *threshold { *left } else { *right };
+                    node = if x.get(*feature) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -271,6 +274,8 @@ impl Classifier for DecisionTree {
         self.n_classes
     }
 }
+
+impl BatchClassifier for DecisionTree {}
 
 #[cfg(test)]
 mod tests {
@@ -322,6 +327,9 @@ mod tests {
         let mut b = DecisionTree::new(DecisionTreeConfig::default());
         a.fit(&data);
         b.fit(&data);
-        assert_eq!(a.predict_batch(&data.features), b.predict_batch(&data.features));
+        assert_eq!(
+            a.predict_batch(&data.features),
+            b.predict_batch(&data.features)
+        );
     }
 }

@@ -3,14 +3,50 @@
 
 use hetsyslog_ml::metrics::ConfusionMatrix;
 use hetsyslog_ml::{
-    Classifier, ComplementNaiveBayes, ComplementNbConfig, Dataset, KNearestNeighbors, KnnConfig,
-    NearestCentroid,
+    BatchClassifier, Classifier, ComplementNaiveBayes, ComplementNbConfig, Dataset,
+    KNearestNeighbors, KnnConfig, LinearSvc, LinearSvcConfig, LogisticRegression,
+    LogisticRegressionConfig, NearestCentroid, RandomForest, RandomForestConfig, RidgeClassifier,
+    RidgeConfig, SgdClassifier, SgdConfig,
 };
 use proptest::prelude::*;
-use textproc::SparseVec;
+use textproc::{CsrMatrix, SparseVec};
 
 fn class_names(n: usize) -> Vec<String> {
     (0..n).map(|i| format!("c{i}")).collect()
+}
+
+/// The full suite with trimmed training budgets — the agreement test is
+/// about inference, not fit quality.
+fn fast_suite(seed: u64) -> Vec<Box<dyn BatchClassifier>> {
+    vec![
+        Box::new(LogisticRegression::new(LogisticRegressionConfig {
+            epochs: 15,
+            ..LogisticRegressionConfig::default()
+        })),
+        Box::new(RidgeClassifier::new(RidgeConfig {
+            epochs: 15,
+            ..RidgeConfig::default()
+        })),
+        Box::new(KNearestNeighbors::new(KnnConfig { k: 3 })),
+        Box::new(RandomForest::new(RandomForestConfig {
+            n_trees: 4,
+            seed,
+            ..RandomForestConfig::default()
+        })),
+        Box::new(LinearSvc::new(LinearSvcConfig {
+            max_epochs: 15,
+            tolerance: 1e-2,
+            seed,
+            ..LinearSvcConfig::default()
+        })),
+        Box::new(SgdClassifier::new(SgdConfig {
+            epochs: 3,
+            seed,
+            ..SgdConfig::default()
+        })),
+        Box::new(NearestCentroid::new()),
+        Box::new(ComplementNaiveBayes::new(ComplementNbConfig::default())),
+    ]
 }
 
 proptest! {
@@ -80,6 +116,45 @@ proptest! {
         let mut cnb = ComplementNaiveBayes::new(ComplementNbConfig::default());
         cnb.fit(&data);
         prop_assert_eq!(cnb.predict_batch(&data.features), data.labels.clone());
+    }
+
+    /// The batch CSR path is bit-identical to the scalar path: for every
+    /// classifier in the suite, `predict_csr` over the whole matrix equals
+    /// per-row `predict` exactly (no tolerance — the kernels are built to
+    /// reproduce the scalar accumulation order).
+    #[test]
+    fn predict_csr_matches_scalar_predict(
+        n_per_class in 2usize..6,
+        n_classes in 2usize..5,
+        scale in 0.5f64..3.0,
+        seed in 0u64..100,
+    ) {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..n_classes {
+            for r in 0..n_per_class {
+                let base = (c * 4) as u32;
+                features.push(SparseVec::from_pairs(vec![
+                    (base, scale),
+                    (base + 1, scale * 0.5 + r as f64 * 0.01),
+                ]));
+                labels.push(c);
+            }
+        }
+        // Query rows include the training points plus off-distribution
+        // probes (an empty row and one overlapping two class blocks).
+        let mut queries = features.clone();
+        queries.push(SparseVec::from_pairs(vec![]));
+        queries.push(SparseVec::from_pairs(vec![(0, scale * 0.3), (4, scale * 0.3)]));
+        let matrix = CsrMatrix::from_rows(&queries, 0);
+
+        let data = Dataset::new(features, labels, class_names(n_classes));
+        for mut model in fast_suite(seed) {
+            model.fit(&data);
+            let scalar: Vec<usize> = queries.iter().map(|x| model.predict(x)).collect();
+            let batch = model.predict_csr(&matrix);
+            prop_assert_eq!(batch, scalar, "CSR/scalar divergence in {}", model.name());
+        }
     }
 
     /// Stratified splits partition the data and never lose samples, for

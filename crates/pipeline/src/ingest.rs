@@ -149,7 +149,13 @@ mod tests {
         let store = Arc::new(LogStore::new());
         let pipeline = IngestPipeline::new(store.clone(), 4);
         let frames: Vec<String> = (0..500)
-            .map(|i| format!("<13>Oct 11 22:14:{:02} cn{:04} kernel: event number {i}", i % 60, i % 9 + 1))
+            .map(|i| {
+                format!(
+                    "<13>Oct 11 22:14:{:02} cn{:04} kernel: event number {i}",
+                    i % 60,
+                    i % 9 + 1
+                )
+            })
             .collect();
         let report = pipeline.run(frames);
         assert_eq!(report.ingested, 500);
@@ -194,8 +200,14 @@ mod tests {
         let chunks: Vec<Vec<u8>> = wire.chunks(7).map(|c| c.to_vec()).collect();
         let report = pipeline.run_stream(chunks);
         assert_eq!(report.ingested, 2);
-        assert_eq!(store.search(0, i64::MAX / 2, &["first".to_string()]).len(), 1);
-        assert_eq!(store.search(0, i64::MAX / 2, &["second".to_string()]).len(), 1);
+        assert_eq!(
+            store.search(0, i64::MAX / 2, &["first".to_string()]).len(),
+            1
+        );
+        assert_eq!(
+            store.search(0, i64::MAX / 2, &["second".to_string()]).len(),
+            1
+        );
     }
 
     #[test]

@@ -85,7 +85,9 @@ impl ClassifyingIngest {
                 let fallback_time = self.fallback_time;
                 scope.spawn(move || {
                     for frame in rx.iter() {
-                        let Ok(msg) = syslog_model::parse(&frame) else { continue };
+                        let Ok(msg) = syslog_model::parse(&frame) else {
+                            continue;
+                        };
                         let mut record =
                             LogRecord::from_message(store.allocate_id(), &msg, fallback_time);
                         match service.ingest(&record.message) {
@@ -193,7 +195,13 @@ mod tests {
         let store = Arc::new(LogStore::new());
         let ingest = classifying_ingest(store.clone(), Arc::new(Stub), 4);
         let frames: Vec<String> = (0..2000)
-            .map(|i| format!("<13>Oct 11 22:{:02}:{:02} cn0001 kernel: cpu clock throttled {i}", i / 60 % 60, i % 60))
+            .map(|i| {
+                format!(
+                    "<13>Oct 11 22:{:02}:{:02} cn0001 kernel: cpu clock throttled {i}",
+                    i / 60 % 60,
+                    i % 60
+                )
+            })
             .collect();
         let report = ingest.run(frames);
         assert_eq!(report.ingested, 2000);

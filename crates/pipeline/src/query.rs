@@ -101,7 +101,11 @@ impl Query {
     /// Execute against a store.
     pub fn execute(&self, store: &LogStore) -> Vec<LogRecord> {
         let mut out = Vec::new();
-        let cap = if self.limit == 0 { usize::MAX } else { self.limit };
+        let cap = if self.limit == 0 {
+            usize::MAX
+        } else {
+            self.limit
+        };
         store.scan(self.from, self.to, &self.terms, |r| {
             if out.len() < cap && self.accepts(r) {
                 out.push(r.clone());
@@ -129,20 +133,50 @@ mod tests {
 
     fn store_with_data() -> LogStore {
         let store = LogStore::new();
-        let mk = |id: u64, t: i64, node: &str, sev: Severity, msg: &str, cat: Option<Category>| LogRecord {
-            id,
-            unix_seconds: t,
-            node: node.to_string(),
-            app: "kernel".to_string(),
-            severity: sev,
-            facility: Facility::Kern,
-            message: msg.to_string(),
-            category: cat,
+        let mk = |id: u64, t: i64, node: &str, sev: Severity, msg: &str, cat: Option<Category>| {
+            LogRecord {
+                id,
+                unix_seconds: t,
+                node: node.to_string(),
+                app: "kernel".to_string(),
+                severity: sev,
+                facility: Facility::Kern,
+                message: msg.to_string(),
+                category: cat,
+            }
         };
-        store.insert(mk(0, 10, "cn01", Severity::Warning, "cpu temperature high", Some(Category::ThermalIssue)));
-        store.insert(mk(1, 20, "cn02", Severity::Informational, "usb device new", Some(Category::UsbDevice)));
-        store.insert(mk(2, 30, "cn01", Severity::Error, "cpu throttled", Some(Category::ThermalIssue)));
-        store.insert(mk(3, 40, "cn03", Severity::Debug, "heartbeat ok", Some(Category::Unimportant)));
+        store.insert(mk(
+            0,
+            10,
+            "cn01",
+            Severity::Warning,
+            "cpu temperature high",
+            Some(Category::ThermalIssue),
+        ));
+        store.insert(mk(
+            1,
+            20,
+            "cn02",
+            Severity::Informational,
+            "usb device new",
+            Some(Category::UsbDevice),
+        ));
+        store.insert(mk(
+            2,
+            30,
+            "cn01",
+            Severity::Error,
+            "cpu throttled",
+            Some(Category::ThermalIssue),
+        ));
+        store.insert(mk(
+            3,
+            40,
+            "cn03",
+            Severity::Debug,
+            "heartbeat ok",
+            Some(Category::Unimportant),
+        ));
         store
     }
 
@@ -151,7 +185,10 @@ mod tests {
         let store = store_with_data();
         let hits = Query::range(0, 100).term("cpu").execute(&store);
         assert_eq!(hits.len(), 2);
-        let hits = Query::range(0, 100).term("cpu").on_node("cn01").execute(&store);
+        let hits = Query::range(0, 100)
+            .term("cpu")
+            .on_node("cn01")
+            .execute(&store);
         assert_eq!(hits.len(), 2);
         let hits = Query::range(0, 100).on_node("cn02").execute(&store);
         assert_eq!(hits.len(), 1);
@@ -164,7 +201,9 @@ mod tests {
             .in_category(Category::ThermalIssue)
             .execute(&store);
         assert_eq!(hits.len(), 2);
-        let hits = Query::range(0, 100).at_least(Severity::Warning).execute(&store);
+        let hits = Query::range(0, 100)
+            .at_least(Severity::Warning)
+            .execute(&store);
         assert_eq!(hits.len(), 2, "warning and error only");
     }
 

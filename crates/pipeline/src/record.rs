@@ -35,8 +35,14 @@ impl LogRecord {
                 .timestamp
                 .map(|t| t.unix_seconds())
                 .unwrap_or(fallback_time),
-            node: msg.hostname.clone().unwrap_or_else(|| "unknown".to_string()),
-            app: msg.app_name.clone().unwrap_or_else(|| "unknown".to_string()),
+            node: msg
+                .hostname
+                .clone()
+                .unwrap_or_else(|| "unknown".to_string()),
+            app: msg
+                .app_name
+                .clone()
+                .unwrap_or_else(|| "unknown".to_string()),
             severity: msg.severity,
             facility: msg.facility,
             message: msg.message.clone(),

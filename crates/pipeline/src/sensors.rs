@@ -67,7 +67,9 @@ fn latest_per_peer<'a>(
         if r.sensor != sensor {
             continue;
         }
-        let Some(node) = topology.node(&r.node) else { continue };
+        let Some(node) = topology.node(&r.node) else {
+            continue;
+        };
         if node.arch != arch {
             continue;
         }
@@ -171,17 +173,11 @@ pub fn sensor_sweep(
     topology
         .nodes()
         .map(|node| {
-            let value = if let Some((_, v)) = config
-                .quirky_archs
-                .iter()
-                .find(|(a, _)| *a == node.arch)
+            let value = if let Some((_, v)) =
+                config.quirky_archs.iter().find(|(a, _)| *a == node.arch)
             {
                 *v
-            } else if let Some((_, v)) = config
-                .faulty_nodes
-                .iter()
-                .find(|(n, _)| *n == node.name)
-            {
+            } else if let Some((_, v)) = config.faulty_nodes.iter().find(|(n, _)| *n == node.name) {
                 *v
             } else {
                 let base = config
@@ -214,8 +210,7 @@ mod tests {
     fn nominal_node_passes() {
         let topo = topo();
         let readings = sensor_sweep(&topo, &SensorSweepConfig::default(), 100);
-        let verdict =
-            compare_to_arch_peers(&topo, &readings, "cn0001", "CPU_Temp", 3.0).unwrap();
+        let verdict = compare_to_arch_peers(&topo, &readings, "cn0001", "CPU_Temp", 3.0).unwrap();
         assert_eq!(verdict, SensorVerdict::Nominal);
     }
 
@@ -228,7 +223,9 @@ mod tests {
         };
         let readings = sensor_sweep(&topo, &config, 100);
         match compare_to_arch_peers(&topo, &readings, "cn0002", "CPU_Temp", 3.0).unwrap() {
-            SensorVerdict::Anomalous { value, peer_mean, .. } => {
+            SensorVerdict::Anomalous {
+                value, peer_mean, ..
+            } => {
                 assert_eq!(value, 103.0);
                 assert!(peer_mean < 80.0);
             }

@@ -27,8 +27,14 @@ impl Shard {
             self.index.entry(token).or_default().push(offset);
         }
         // Node and app are searchable terms too (Grafana-style filters).
-        self.index.entry(record.node.clone()).or_default().push(offset);
-        self.index.entry(record.app.clone()).or_default().push(offset);
+        self.index
+            .entry(record.node.clone())
+            .or_default()
+            .push(offset);
+        self.index
+            .entry(record.app.clone())
+            .or_default()
+            .push(offset);
         self.docs.push(record);
     }
 
@@ -103,11 +109,7 @@ impl LogStore {
             }
         }
         let mut shards = self.shards.write();
-        shards
-            .entry(key)
-            .or_default()
-            .write()
-            .insert(record);
+        shards.entry(key).or_default().write().insert(record);
     }
 
     /// Total stored records.
@@ -131,13 +133,7 @@ impl LogStore {
 
     /// Run `f` over every record in `[from, to)` matching all `terms`,
     /// in shard order. The callback form avoids cloning the result set.
-    pub fn scan<F: FnMut(&LogRecord)>(
-        &self,
-        from: i64,
-        to: i64,
-        terms: &[String],
-        mut f: F,
-    ) {
+    pub fn scan<F: FnMut(&LogRecord)>(&self, from: i64, to: i64, terms: &[String], mut f: F) {
         let (k_from, k_to) = (self.shard_key(from), self.shard_key(to - 1));
         let shards = self.shards.read();
         for (_, shard) in shards.range(k_from..=k_to) {
@@ -169,10 +165,7 @@ impl LogStore {
         let cutoff_shard = self.shard_key(cutoff_unix_seconds);
         let mut shards = self.shards.write();
         let keep = shards.split_off(&cutoff_shard);
-        let evicted: u64 = shards
-            .values()
-            .map(|s| s.read().docs.len() as u64)
-            .sum();
+        let evicted: u64 = shards.values().map(|s| s.read().docs.len() as u64).sum();
         *shards = keep;
         evicted
     }
@@ -351,7 +344,10 @@ mod tests {
         assert_eq!(skipped, 0);
         assert_eq!(restored.len(), 2);
         // The inverted index is rebuilt, not just the documents.
-        assert_eq!(restored.search(0, 100, &["temperature".to_string()]).len(), 1);
+        assert_eq!(
+            restored.search(0, 100, &["temperature".to_string()]).len(),
+            1
+        );
         // Id allocation continues past the snapshot's ids.
         assert!(restored.allocate_id() >= 2);
     }

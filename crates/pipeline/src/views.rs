@@ -157,7 +157,9 @@ pub fn positional_analysis(
         per_rack.insert(rack, (0, 0, Default::default()));
     }
     store.scan(from, to, &[], |r| {
-        let Some(node) = topology.node(&r.node) else { return };
+        let Some(node) = topology.node(&r.node) else {
+            return;
+        };
         let entry = per_rack
             .entry(node.rack.clone())
             .or_insert_with(|| (0, 0, Default::default()));
@@ -301,7 +303,13 @@ mod tests {
             insert(&store, b * 10, "cn0001", Category::Unimportant, "tick");
         }
         for i in 0..50 {
-            insert(&store, 100 + (i % 10), "cn0001", Category::MemoryIssue, "oom");
+            insert(
+                &store,
+                100 + (i % 10),
+                "cn0001",
+                Category::MemoryIssue,
+                "oom",
+            );
         }
         let series = frequency_analysis(&store, 0, 110, 10, GroupBy::Total);
         let bursts = series[0].bursts(2.0);
@@ -317,7 +325,13 @@ mod tests {
         // Rack 1 has a cooling problem: three nodes hot.
         for (i, node) in ["cn0001", "cn0002", "cn0003"].iter().enumerate() {
             for j in 0..4 {
-                insert(&store, (i * 4 + j) as i64, node, Category::ThermalIssue, "hot");
+                insert(
+                    &store,
+                    (i * 4 + j) as i64,
+                    node,
+                    Category::ThermalIssue,
+                    "hot",
+                );
             }
         }
         insert(&store, 50, "cn0006", Category::Unimportant, "fine");
@@ -334,7 +348,7 @@ mod tests {
     #[test]
     fn per_arch_flags_lone_deviant() {
         let topo = ClusterTopology::darwin_like(1, 10); // all same rack; 2 nodes/arch
-        // Make a topology where one arch has 5 peers.
+                                                        // Make a topology where one arch has 5 peers.
         let mut topo2 = ClusterTopology::new();
         for i in 0..5 {
             topo2.add(crate::topology::NodeInfo {
@@ -349,13 +363,30 @@ mod tests {
             insert(&store, i, "cn0001", Category::MemoryIssue, "edac error");
         }
         let verdict = per_architecture_analysis(
-            &store, &topo2, 0, 100, Category::MemoryIssue, "cn0001", 2.0, 0.8,
+            &store,
+            &topo2,
+            0,
+            100,
+            Category::MemoryIssue,
+            "cn0001",
+            2.0,
+            0.8,
         )
         .unwrap();
-        assert!(matches!(verdict, ArchVerdict::Anomalous { count: 20, .. }), "{verdict:?}");
+        assert!(
+            matches!(verdict, ArchVerdict::Anomalous { count: 20, .. }),
+            "{verdict:?}"
+        );
         // A quiet peer is nominal.
         let verdict = per_architecture_analysis(
-            &store, &topo2, 0, 100, Category::MemoryIssue, "cn0002", 2.0, 0.8,
+            &store,
+            &topo2,
+            0,
+            100,
+            Category::MemoryIssue,
+            "cn0002",
+            2.0,
+            0.8,
         )
         .unwrap();
         assert_eq!(verdict, ArchVerdict::Nominal);
@@ -384,7 +415,14 @@ mod tests {
             );
         }
         let verdict = per_architecture_analysis(
-            &store, &topo, 0, 100, Category::HardwareIssue, "cn0001", 2.0, 0.8,
+            &store,
+            &topo,
+            0,
+            100,
+            Category::HardwareIssue,
+            "cn0001",
+            2.0,
+            0.8,
         )
         .unwrap();
         assert_eq!(verdict, ArchVerdict::ArchWideSignature);
@@ -395,7 +433,14 @@ mod tests {
         let topo = ClusterTopology::darwin_like(1, 2);
         let store = LogStore::new();
         assert!(per_architecture_analysis(
-            &store, &topo, 0, 10, Category::ThermalIssue, "ghost", 2.0, 0.8
+            &store,
+            &topo,
+            0,
+            10,
+            Category::ThermalIssue,
+            "ghost",
+            2.0,
+            0.8
         )
         .is_none());
     }

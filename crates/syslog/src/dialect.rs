@@ -164,7 +164,10 @@ mod tests {
             detect_dialect(None, "SEL event: Fan 3 lower critical going low"),
             Dialect::Ipmi
         );
-        assert_eq!(detect_dialect(None, "slurm_rpc_node_registration"), Dialect::Slurm);
+        assert_eq!(
+            detect_dialect(None, "slurm_rpc_node_registration"),
+            Dialect::Slurm
+        );
         assert_eq!(detect_dialect(None, "plain text"), Dialect::Other);
     }
 

@@ -72,14 +72,20 @@ mod tests {
 
     #[test]
     fn parse_prefers_rfc5424() {
-        let m = parse("<165>1 2023-10-11T22:14:15.003Z cn12 ipmid 812 TH01 - CPU1 temp above threshold").unwrap();
+        let m = parse(
+            "<165>1 2023-10-11T22:14:15.003Z cn12 ipmid 812 TH01 - CPU1 temp above threshold",
+        )
+        .unwrap();
         assert_eq!(m.protocol, Protocol::Rfc5424);
         assert_eq!(m.msg_id.as_deref(), Some("TH01"));
     }
 
     #[test]
     fn parse_falls_back_to_rfc3164() {
-        let m = parse("<13>Feb  5 17:32:18 gpu-node04 kernel: usb 1-1: new high-speed USB device number 5").unwrap();
+        let m = parse(
+            "<13>Feb  5 17:32:18 gpu-node04 kernel: usb 1-1: new high-speed USB device number 5",
+        )
+        .unwrap();
         assert_eq!(m.protocol, Protocol::Rfc3164);
         assert_eq!(m.app_name.as_deref(), Some("kernel"));
     }

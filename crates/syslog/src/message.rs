@@ -109,7 +109,11 @@ impl SyslogMessage {
 
 impl fmt::Display for SyslogMessage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "<{}>", crate::pri::encode_pri(self.facility, self.severity))?;
+        write!(
+            f,
+            "<{}>",
+            crate::pri::encode_pri(self.facility, self.severity)
+        )?;
         if let Some(ts) = &self.timestamp {
             write!(f, "{ts} ")?;
         }

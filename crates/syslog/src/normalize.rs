@@ -83,7 +83,8 @@ fn mask_token(token: &str, opts: &NormalizeOptions) -> Option<&'static str> {
     // Strip common trailing punctuation for classification purposes only;
     // conservative: if we mask, the punctuation is dropped too. This matches
     // what bucketing wants ("temp: 95C," and "temp: 87C." should agree).
-    let core = token.trim_matches(|c: char| matches!(c, ',' | '.' | ';' | ':' | ')' | '(' | ']' | '['));
+    let core =
+        token.trim_matches(|c: char| matches!(c, ',' | '.' | ';' | ':' | ')' | '(' | ']' | '['));
     if core.is_empty() {
         return None;
     }
@@ -122,7 +123,10 @@ fn is_hex_literal(s: &str) -> bool {
     }
     // Bare hex runs of >= 6 chars that contain at least one letter and one
     // digit (MAC fragments, UUIDs pieces) — avoids masking words like "deed".
-    if s.len() >= 6 && s.bytes().all(|b| b.is_ascii_hexdigit() || b == b':' || b == b'-') {
+    if s.len() >= 6
+        && s.bytes()
+            .all(|b| b.is_ascii_hexdigit() || b == b':' || b == b'-')
+    {
         let has_digit = s.bytes().any(|b| b.is_ascii_digit());
         let has_alpha = s.bytes().any(|b| b.is_ascii_alphabetic());
         return has_digit && has_alpha;
@@ -208,7 +212,10 @@ mod tests {
 
     #[test]
     fn units_are_masked_with_value() {
-        assert_eq!(normalize_message("took 12ms at 100% load"), "took <NUM> at <NUM> load");
+        assert_eq!(
+            normalize_message("took 12ms at 100% load"),
+            "took <NUM> at <NUM> load"
+        );
     }
 
     #[test]

@@ -238,7 +238,9 @@ pub fn parse_pri_prefix(raw: &str) -> Result<((Facility, Severity), &str), Parse
     if digits.len() > 1 && digits.starts_with('0') {
         return Err(ParseError::BadPri(snippet(raw)));
     }
-    let pri: u16 = digits.parse().map_err(|_| ParseError::BadPri(snippet(raw)))?;
+    let pri: u16 = digits
+        .parse()
+        .map_err(|_| ParseError::BadPri(snippet(raw)))?;
     Ok((decode_pri(pri)?, &rest[close + 1..]))
 }
 

@@ -18,7 +18,9 @@ use crate::timestamp::Timestamp;
 pub fn parse_rfc3164(raw: &str) -> Result<SyslogMessage, ParseError> {
     let ((facility, severity), rest) = parse_pri_prefix(raw)?;
     let (timestamp, rest) = Timestamp::parse_rfc3164(rest)?;
-    let rest = rest.strip_prefix(' ').ok_or(ParseError::MissingField("hostname"))?;
+    let rest = rest
+        .strip_prefix(' ')
+        .ok_or(ParseError::MissingField("hostname"))?;
 
     let (hostname, rest) = take_token(rest).ok_or(ParseError::MissingField("hostname"))?;
     if !is_plausible_hostname(hostname) {
@@ -96,7 +98,11 @@ fn split_tag(rest: &str) -> (Option<String>, Option<String>, String) {
                 let tail = &after[close + 1..];
                 let msg = tail.strip_prefix(':').unwrap_or(tail).trim_start();
                 if pid.bytes().all(|b| b.is_ascii_digit()) && !pid.is_empty() {
-                    return (Some(tag.to_string()), Some(pid.to_string()), msg.to_string());
+                    return (
+                        Some(tag.to_string()),
+                        Some(pid.to_string()),
+                        msg.to_string(),
+                    );
                 }
             }
             (None, None, rest.trim_start().to_string())
@@ -112,7 +118,8 @@ mod tests {
 
     #[test]
     fn classic_frame() {
-        let m = parse_rfc3164("<34>Oct 11 22:14:15 mymachine su: 'su root' failed for lonvick").unwrap();
+        let m = parse_rfc3164("<34>Oct 11 22:14:15 mymachine su: 'su root' failed for lonvick")
+            .unwrap();
         assert_eq!(m.facility, Facility::Auth);
         assert_eq!(m.severity, Severity::Critical);
         assert_eq!(m.hostname.as_deref(), Some("mymachine"));
@@ -123,7 +130,9 @@ mod tests {
 
     #[test]
     fn frame_with_pid() {
-        let m = parse_rfc3164("<38>Feb  5 17:32:18 cn101 sshd[23541]: Accepted publickey for aquan").unwrap();
+        let m =
+            parse_rfc3164("<38>Feb  5 17:32:18 cn101 sshd[23541]: Accepted publickey for aquan")
+                .unwrap();
         assert_eq!(m.app_name.as_deref(), Some("sshd"));
         assert_eq!(m.proc_id.as_deref(), Some("23541"));
         assert_eq!(m.message, "Accepted publickey for aquan");
@@ -138,7 +147,8 @@ mod tests {
 
     #[test]
     fn tagless_bmc_frame() {
-        let m = parse_rfc3164("<4>Jan 15 08:01:02 bmc-r3c7 Fan 4 speed below critical threshold").unwrap();
+        let m = parse_rfc3164("<4>Jan 15 08:01:02 bmc-r3c7 Fan 4 speed below critical threshold")
+            .unwrap();
         // "Fan 4 ..." cannot be split into TAG: — it has a space before any colon.
         assert_eq!(m.app_name, None);
         assert_eq!(m.message, "Fan 4 speed below critical threshold");

@@ -116,7 +116,9 @@ fn parse_sd_element(input: &str) -> Result<(StructuredElement, &str), ParseError
         if let Some(tail) = rest.strip_prefix(']') {
             return Ok((StructuredElement { id, params }, tail));
         }
-        rest = rest.strip_prefix(' ').ok_or_else(|| bad("expected SP or ']'"))?;
+        rest = rest
+            .strip_prefix(' ')
+            .ok_or_else(|| bad("expected SP or ']'"))?;
         let eq = rest.find('=').ok_or_else(|| bad("param missing '='"))?;
         let name = rest[..eq].to_string();
         if name.is_empty() {
@@ -154,7 +156,9 @@ fn parse_quoted_value(input: &str) -> Result<(String, &str), ParseError> {
             _ => value.push(c),
         }
     }
-    Err(ParseError::BadStructuredData("unterminated param value".to_string()))
+    Err(ParseError::BadStructuredData(
+        "unterminated param value".to_string(),
+    ))
 }
 
 #[cfg(test)]

@@ -115,10 +115,8 @@ impl Timestamp {
     pub fn unix_seconds(&self) -> i64 {
         let year = if self.year == 0 { 2023 } else { self.year };
         let days = days_from_civil(year, self.month, self.day);
-        let mut secs = days * 86_400
-            + self.hour as i64 * 3_600
-            + self.minute as i64 * 60
-            + self.second as i64;
+        let mut secs =
+            days * 86_400 + self.hour as i64 * 3_600 + self.minute as i64 * 60 + self.second as i64;
         if let Some(off) = self.utc_offset_minutes {
             secs -= off as i64 * 60;
         }

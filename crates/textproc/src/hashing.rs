@@ -13,7 +13,7 @@
 //! Weinberger et al.) keeps collisions unbiased in expectation.
 
 use crate::hash::FxHasher;
-use crate::sparse::SparseVec;
+use crate::sparse::{csr_from_items, CsrMatrix, SparseVec};
 use serde::{Deserialize, Serialize};
 use std::hash::{Hash, Hasher};
 
@@ -52,21 +52,37 @@ impl HashingVectorizer {
         token.hash(&mut h);
         let hash = h.finish();
         let bucket = (hash % self.n_buckets as u64) as u32;
-        let sign = if self.signed && (hash >> 63) == 1 { -1.0 } else { 1.0 };
+        let sign = if self.signed && (hash >> 63) == 1 {
+            -1.0
+        } else {
+            1.0
+        };
         (bucket, sign)
     }
 
     /// Vectorize a tokenized document. Never fails, never needs fitting.
     pub fn transform(&self, tokens: &[String]) -> SparseVec {
-        let pairs: Vec<(u32, f64)> = tokens
-            .iter()
-            .map(|t| self.bucket_and_sign(t))
-            .collect();
+        let pairs: Vec<(u32, f64)> = tokens.iter().map(|t| self.bucket_and_sign(t)).collect();
         let mut v = SparseVec::from_pairs(pairs);
         if self.l2_normalize {
             v.l2_normalize();
         }
         v
+    }
+
+    /// Vectorize many documents straight into one CSR matrix (the batch
+    /// inference path; see [`crate::tfidf::TfidfVectorizer::transform_batch_csr`]).
+    /// Row `i` is bit-identical to `self.transform(documents[i])`.
+    pub fn transform_batch_csr<D: AsRef<[String]> + Sync>(&self, documents: &[D]) -> CsrMatrix {
+        csr_from_items(
+            documents,
+            self.n_features(),
+            || (),
+            |doc, pairs, _| {
+                pairs.extend(doc.as_ref().iter().map(|t| self.bucket_and_sign(t)));
+                self.l2_normalize
+            },
+        )
     }
 
     /// Feature-space dimensionality.
@@ -149,6 +165,9 @@ mod tests {
         let large = HashingVectorizer::with_buckets(1 << 20);
         let t = toks("cpu temperature above threshold sensor throttle");
         assert!(small.transform(&t).max_dim() <= 8);
-        assert!(large.transform(&t).nnz() == 6, "collisions unlikely at 1M buckets");
+        assert!(
+            large.transform(&t).nnz() == 6,
+            "collisions unlikely at 1M buckets"
+        );
     }
 }

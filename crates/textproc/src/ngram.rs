@@ -11,10 +11,7 @@ pub fn word_ngrams(tokens: &[String], n: usize) -> Vec<String> {
     if n == 0 || tokens.len() < n {
         return Vec::new();
     }
-    tokens
-        .windows(n)
-        .map(|w| w.join("_"))
-        .collect()
+    tokens.windows(n).map(|w| w.join("_")).collect()
 }
 
 /// Word n-grams for every order in `1..=max_n`, concatenated (the

@@ -6,6 +6,7 @@
 //! makes dot products a linear merge and keeps cache behaviour predictable
 //! (see the perf-book guidance on contiguous data).
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// A sparse `f64` vector with sorted, unique indices.
@@ -24,22 +25,10 @@ impl SparseVec {
     /// Build from parallel `(index, value)` pairs; sorts, merges duplicates
     /// (summing their values), and drops explicit zeros.
     pub fn from_pairs(mut pairs: Vec<(u32, f64)>) -> SparseVec {
-        pairs.sort_unstable_by_key(|&(i, _)| i);
         let mut indices = Vec::with_capacity(pairs.len());
         let mut values = Vec::with_capacity(pairs.len());
-        for (i, v) in pairs {
-            if let Some(&last) = indices.last() {
-                if last == i {
-                    *values.last_mut().expect("values tracks indices") += v;
-                    continue;
-                }
-            }
-            indices.push(i);
-            values.push(v);
-        }
-        let mut out = SparseVec { indices, values };
-        out.prune_zeros();
-        out
+        merge_pairs_into(&mut pairs, &mut indices, &mut values);
+        SparseVec { indices, values }
     }
 
     fn prune_zeros(&mut self) {
@@ -79,7 +68,10 @@ impl SparseVec {
 
     /// Iterate `(index, value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// The value at `index` (0.0 when absent).
@@ -156,10 +148,7 @@ impl SparseVec {
 
     /// Normalize to unit L2 length (no-op on the zero vector).
     pub fn l2_normalize(&mut self) {
-        let n = self.norm();
-        if n > 0.0 {
-            self.scale(1.0 / n);
-        }
+        l2_normalize_slice(&mut self.values);
     }
 
     /// Cosine similarity in `[−1, 1]`; 0 for zero vectors.
@@ -182,6 +171,114 @@ impl SparseVec {
     pub fn max_dim(&self) -> usize {
         self.indices.last().map(|&i| i as usize + 1).unwrap_or(0)
     }
+}
+
+/// Sort `pairs` by index, merge duplicate indices by summation, and append
+/// the surviving (non-zero) entries to `indices`/`values`.
+///
+/// This is the single canonical pair-merging routine: [`SparseVec::from_pairs`]
+/// and the batch CSR vectorizer paths both call it, which is what keeps
+/// per-row CSR construction bit-identical to per-document `SparseVec`
+/// construction.
+pub(crate) fn merge_pairs_into(
+    pairs: &mut [(u32, f64)],
+    indices: &mut Vec<u32>,
+    values: &mut Vec<f64>,
+) {
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    let mut run = 0;
+    while run < pairs.len() {
+        let (index, mut sum) = pairs[run];
+        run += 1;
+        while run < pairs.len() && pairs[run].0 == index {
+            sum += pairs[run].1;
+            run += 1;
+        }
+        if sum != 0.0 {
+            indices.push(index);
+            values.push(sum);
+        }
+    }
+}
+
+/// L2-normalize a value slice in place (no-op on all-zero input), summing
+/// squares in slice order — the same operation order as
+/// [`SparseVec::l2_normalize`], so both paths produce identical bits.
+pub(crate) fn l2_normalize_slice(values: &mut [f64]) {
+    let norm = values.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        let factor = 1.0 / norm;
+        for v in values {
+            *v *= factor;
+        }
+    }
+}
+
+/// Documents per parallel vectorization chunk. Large enough to amortize the
+/// per-chunk scratch allocations, small enough to spread over cores.
+const VECTORIZE_CHUNK: usize = 256;
+
+/// Build a [`CsrMatrix`] from arbitrary items, chunk-parallel with per-chunk
+/// scratch state.
+///
+/// `init` creates one scratch state per chunk (token caches, count maps —
+/// whatever the caller needs to amortize across a chunk's items).
+/// `fill_pairs` turns one item into unsorted `(index, value)` pairs
+/// (appended to the supplied scratch) and returns whether the finished row
+/// should be L2-normalized. Pairs are merged with [`merge_pairs_into`] and
+/// normalized with [`l2_normalize_slice`], so each row is bit-identical to
+/// `SparseVec::from_pairs(pairs).l2_normalize()` built per item.
+pub fn csr_from_items<T, S, I, F>(items: &[T], n_cols: usize, init: I, fill_pairs: F) -> CsrMatrix
+where
+    T: Sync,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&T, &mut Vec<(u32, f64)>, &mut S) -> bool + Sync,
+{
+    let n_chunks = items.len().div_ceil(VECTORIZE_CHUNK).max(1);
+    let chunks: Vec<(Vec<usize>, Vec<u32>, Vec<f64>)> = (0..n_chunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * VECTORIZE_CHUNK;
+            let hi = (lo + VECTORIZE_CHUNK).min(items.len());
+            let chunk = &items[lo..hi];
+            let mut state = init();
+            let mut row_lens = Vec::with_capacity(chunk.len());
+            let mut indices: Vec<u32> = Vec::new();
+            let mut values: Vec<f64> = Vec::new();
+            let mut pairs: Vec<(u32, f64)> = Vec::new();
+            for item in chunk {
+                pairs.clear();
+                let l2 = fill_pairs(item, &mut pairs, &mut state);
+                let start = indices.len();
+                merge_pairs_into(&mut pairs, &mut indices, &mut values);
+                if l2 {
+                    l2_normalize_slice(&mut values[start..]);
+                }
+                row_lens.push(indices.len() - start);
+            }
+            (row_lens, indices, values)
+        })
+        .collect();
+    stitch_chunks(n_cols, &chunks)
+}
+
+/// Stitch per-chunk `(row_lens, indices, values)` parts into one
+/// [`CsrMatrix`].
+fn stitch_chunks(n_cols: usize, chunks: &[(Vec<usize>, Vec<u32>, Vec<f64>)]) -> CsrMatrix {
+    let nnz = chunks.iter().map(|(_, i, _)| i.len()).sum();
+    let n_rows = chunks.iter().map(|(l, _, _)| l.len()).sum::<usize>();
+    let mut m = CsrMatrix {
+        row_offsets: Vec::with_capacity(n_rows + 1),
+        indices: Vec::with_capacity(nnz),
+        values: Vec::with_capacity(nnz),
+        n_cols,
+    };
+    m.row_offsets.push(0);
+    for (row_lens, indices, values) in chunks {
+        m.append_concat_rows(row_lens, indices, values);
+    }
+    m
 }
 
 /// A compressed-sparse-row matrix: one [`SparseVec`]-shaped row per sample.
@@ -256,6 +353,60 @@ impl CsrMatrix {
         SparseVec {
             indices: idx.to_vec(),
             values: vals.to_vec(),
+        }
+    }
+
+    /// Append a row given pre-sorted, pre-merged parts (the CSR-direct
+    /// construction path used by the batch vectorizers).
+    pub fn push_row_parts(&mut self, indices: &[u32], values: &[f64]) {
+        debug_assert_eq!(indices.len(), values.len());
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "row indices must be sorted unique"
+        );
+        self.indices.extend_from_slice(indices);
+        self.values.extend_from_slice(values);
+        self.row_offsets.push(self.indices.len());
+        if let Some(&last) = indices.last() {
+            self.n_cols = self.n_cols.max(last as usize + 1);
+        }
+    }
+
+    /// Append many rows at once from concatenated storage: `row_lens[i]`
+    /// entries belong to appended row `i`. One bulk copy per chunk — the
+    /// stitch step after parallel per-chunk vectorization.
+    pub fn append_concat_rows(&mut self, row_lens: &[usize], indices: &[u32], values: &[f64]) {
+        debug_assert_eq!(indices.len(), values.len());
+        debug_assert_eq!(row_lens.iter().sum::<usize>(), indices.len());
+        self.indices.extend_from_slice(indices);
+        self.values.extend_from_slice(values);
+        let mut offset = *self.row_offsets.last().expect("offsets never empty");
+        for &len in row_lens {
+            offset += len;
+            self.row_offsets.push(offset);
+        }
+        for &i in indices {
+            self.n_cols = self.n_cols.max(i as usize + 1);
+        }
+    }
+
+    /// Iterate rows as `(indices, values)` slice pairs, in row order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (&[u32], &[f64])> + '_ {
+        (0..self.n_rows()).map(move |r| self.row(r))
+    }
+
+    /// Expand back into one owned [`SparseVec`] per row (the inverse of
+    /// [`CsrMatrix::from_rows`]).
+    pub fn to_rows(&self) -> Vec<SparseVec> {
+        (0..self.n_rows()).map(|r| self.row_vec(r)).collect()
+    }
+
+    /// L2-normalize every row in place (zero rows untouched), with the same
+    /// operation order as [`SparseVec::l2_normalize`] row by row.
+    pub fn l2_normalize_rows(&mut self) {
+        for r in 0..self.row_offsets.len() - 1 {
+            let (start, end) = (self.row_offsets[r], self.row_offsets[r + 1]);
+            l2_normalize_slice(&mut self.values[start..end]);
         }
     }
 

@@ -10,8 +10,8 @@
 //!    the top-scoring tokens per category become both human-readable
 //!    explanations and prompt material for the LLM classifiers.
 
-use crate::hash::FxHashMap;
-use crate::sparse::SparseVec;
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::sparse::{csr_from_items, CsrMatrix, SparseVec};
 use crate::vocab::Vocabulary;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -68,12 +68,13 @@ impl TfidfVectorizer {
     /// Fit document frequencies over tokenized documents.
     pub fn fit<D: AsRef<[String]>>(&mut self, documents: &[D]) {
         let mut df: FxHashMap<String, usize> = FxHashMap::default();
-        let mut seen: Vec<&str> = Vec::new();
+        // Hashed per-document dedup: the linear `Vec::contains` scan this
+        // replaces was quadratic in document length.
+        let mut seen: FxHashSet<&str> = FxHashSet::default();
         for doc in documents {
             seen.clear();
             for tok in doc.as_ref() {
-                if !seen.contains(&tok.as_str()) {
-                    seen.push(tok);
+                if seen.insert(tok.as_str()) {
                     *df.entry(tok.clone()).or_insert(0) += 1;
                 }
             }
@@ -119,7 +120,11 @@ impl TfidfVectorizer {
         let pairs: Vec<(u32, f64)> = counts
             .into_iter()
             .map(|(id, tf)| {
-                let tf = if self.config.sublinear_tf { 1.0 + tf.ln() } else { tf };
+                let tf = if self.config.sublinear_tf {
+                    1.0 + tf.ln()
+                } else {
+                    tf
+                };
                 (id, tf * self.idf[id as usize])
             })
             .collect();
@@ -136,6 +141,55 @@ impl TfidfVectorizer {
             .par_iter()
             .map(|d| self.transform(d.as_ref()))
             .collect()
+    }
+
+    /// Transform many documents straight into one CSR matrix — the batch
+    /// inference path. Parallel over document chunks; each chunk reuses its
+    /// count map and pair scratch across documents instead of allocating a
+    /// [`SparseVec`] per document. Row `i` is bit-identical to
+    /// `self.transform(documents[i])`.
+    pub fn transform_batch_csr<D: AsRef<[String]> + Sync>(&self, documents: &[D]) -> CsrMatrix {
+        csr_from_items(
+            documents,
+            self.n_features(),
+            FxHashMap::default,
+            |doc, pairs, counts| {
+                counts.clear();
+                for tok in doc.as_ref() {
+                    if let Some(id) = self.vocab.get(tok) {
+                        *counts.entry(id).or_insert(0.0) += 1.0;
+                    }
+                }
+                self.fill_pairs_from_counts(counts, pairs)
+            },
+        )
+    }
+
+    /// Vocabulary id for one (already preprocessed) token.
+    pub fn token_id(&self, token: &str) -> Option<u32> {
+        self.vocab.get(token)
+    }
+
+    /// Append one document's TF-IDF `(id, weight)` pairs given its per-id
+    /// term counts — the same math as [`TfidfVectorizer::transform`] after
+    /// vocabulary lookup. Returns whether the finished row should be
+    /// L2-normalized. Callers that resolve tokens to ids themselves (e.g. a
+    /// batch path with a token cache) use this to stay bit-identical to the
+    /// per-document transform.
+    pub fn fill_pairs_from_counts(
+        &self,
+        counts: &FxHashMap<u32, f64>,
+        pairs: &mut Vec<(u32, f64)>,
+    ) -> bool {
+        pairs.extend(counts.iter().map(|(&id, &tf)| {
+            let tf = if self.config.sublinear_tf {
+                1.0 + tf.ln()
+            } else {
+                tf
+            };
+            (id, tf * self.idf[id as usize])
+        }));
+        self.config.l2_normalize
     }
 
     /// Fit then transform in one call.
@@ -215,8 +269,7 @@ pub fn category_top_tokens(
             let mut scored: Vec<(String, f64)> = tf
                 .iter()
                 .map(|(tok, &count)| {
-                    let idf =
-                        ((1.0 + n_categories as f64) / (1.0 + df[tok] as f64)).ln() + 1.0;
+                    let idf = ((1.0 + n_categories as f64) / (1.0 + df[tok] as f64)).ln() + 1.0;
                     ((*tok).to_string(), (count / total) * idf)
                 })
                 .collect();
@@ -342,7 +395,11 @@ mod tests {
             ),
             (
                 "USB".to_string(),
-                docs(&["usb device hub new", "usb device number new", "usb hub power"]),
+                docs(&[
+                    "usb device hub new",
+                    "usb device number new",
+                    "usb hub power",
+                ]),
             ),
         ];
         let ranked = category_top_tokens(&grouped, 3);

@@ -59,6 +59,14 @@ impl Tokenizer {
     /// Tokenize `text` into owned tokens.
     pub fn tokenize(&self, text: &str) -> Vec<String> {
         let mut tokens = Vec::new();
+        self.tokenize_each(text, |t| tokens.push(t.to_string()));
+        tokens
+    }
+
+    /// Streaming tokenization: invoke `f` on each token in place, reusing
+    /// one scratch buffer — no per-token allocation. Tokens arrive in the
+    /// same order and with the same content as [`Tokenizer::tokenize`].
+    pub fn tokenize_each(&self, text: &str, mut f: impl FnMut(&str)) {
         let mut current = String::new();
         for c in text.chars() {
             if self.is_word_char(c) {
@@ -71,29 +79,27 @@ impl Tokenizer {
                     current.push(c);
                 }
             } else if !current.is_empty() {
-                self.flush(&mut current, &mut tokens);
+                self.flush(&mut current, &mut f);
             }
         }
         if !current.is_empty() {
-            self.flush(&mut current, &mut tokens);
+            self.flush(&mut current, &mut f);
         }
-        tokens
     }
 
     fn is_word_char(&self, c: char) -> bool {
         c.is_alphanumeric() || (self.config.keep_underscores && c == '_')
     }
 
-    fn flush(&self, current: &mut String, tokens: &mut Vec<String>) {
+    fn flush(&self, current: &mut String, f: &mut impl FnMut(&str)) {
         let len = current.chars().count();
         let keep = len >= self.config.min_len
             && len <= self.config.max_len
             && !(self.config.drop_pure_numbers && current.bytes().all(|b| b.is_ascii_digit()));
         if keep {
-            tokens.push(std::mem::take(current));
-        } else {
-            current.clear();
+            f(current);
         }
+        current.clear();
     }
 }
 
@@ -118,14 +124,22 @@ mod tests {
     fn keeps_snake_case_identifiers() {
         assert_eq!(
             tokenize("error in slurm_rpc_node_registration for lpi_hbm_nn"),
-            vec!["error", "in", "slurm_rpc_node_registration", "for", "lpi_hbm_nn"]
+            vec![
+                "error",
+                "in",
+                "slurm_rpc_node_registration",
+                "for",
+                "lpi_hbm_nn"
+            ]
         );
     }
 
     #[test]
     fn splits_punctuation_and_drops_numbers() {
         assert_eq!(
-            tokenize("CPU 1 Temperature Above Non-Recoverable - Asserted. Current temperature: 95C"),
+            tokenize(
+                "CPU 1 Temperature Above Non-Recoverable - Asserted. Current temperature: 95C"
+            ),
             vec![
                 "cpu",
                 "temperature",
@@ -142,7 +156,10 @@ mod tests {
 
     #[test]
     fn mixed_alnum_tokens_survive() {
-        assert_eq!(tokenize("usb 1-1 device eth0"), vec!["usb", "device", "eth0"]);
+        assert_eq!(
+            tokenize("usb 1-1 device eth0"),
+            vec!["usb", "device", "eth0"]
+        );
     }
 
     #[test]
@@ -178,6 +195,9 @@ mod tests {
 
     #[test]
     fn unicode_words() {
-        assert_eq!(tokenize("überhitzung am knoten"), vec!["überhitzung", "am", "knoten"]);
+        assert_eq!(
+            tokenize("überhitzung am knoten"),
+            vec!["überhitzung", "am", "knoten"]
+        );
     }
 }

@@ -1,13 +1,12 @@
 //! Property tests for the NLP substrate.
 
 use proptest::prelude::*;
-use textproc::sparse::SparseVec;
+use textproc::sparse::{CsrMatrix, SparseVec};
 use textproc::tfidf::{TfidfConfig, TfidfVectorizer};
 use textproc::{preprocess, tokenize, Lemmatizer};
 
 fn sparse_vec_strategy() -> impl Strategy<Value = SparseVec> {
-    proptest::collection::vec((0u32..64, -10.0f64..10.0), 0..16)
-        .prop_map(SparseVec::from_pairs)
+    proptest::collection::vec((0u32..64, -10.0f64..10.0), 0..16).prop_map(SparseVec::from_pairs)
 }
 
 proptest! {
@@ -106,6 +105,65 @@ proptest! {
         prop_assert_eq!(&a, &b);
         prop_assert!(a.max_dim() <= (1usize << buckets_log2));
         prop_assert!((a.l1_norm() - tokens.len() as f64).abs() < 1e-9);
+    }
+
+    /// CSR round trip: `from_rows` → `to_rows` reproduces every row
+    /// exactly (indices, values, order), and incremental `push_row` agrees
+    /// with the bulk constructor row by row.
+    #[test]
+    fn csr_round_trip(rows in proptest::collection::vec(sparse_vec_strategy(), 0..12)) {
+        let m = CsrMatrix::from_rows(&rows, 0);
+        prop_assert_eq!(m.n_rows(), rows.len());
+        prop_assert_eq!(m.nnz(), rows.iter().map(|r| r.nnz()).sum::<usize>());
+        prop_assert_eq!(m.to_rows(), rows.clone());
+
+        let mut incremental = CsrMatrix::with_columns(0);
+        for row in &rows {
+            incremental.push_row(row);
+        }
+        prop_assert_eq!(incremental.n_cols(), m.n_cols());
+        for (r, row) in rows.iter().enumerate() {
+            prop_assert_eq!(&incremental.row_vec(r), row);
+            let (idx, vals) = m.row(r);
+            prop_assert_eq!(idx, row.indices());
+            prop_assert_eq!(vals, row.values());
+        }
+    }
+
+    /// The column count inferred by `from_rows` covers every index, and an
+    /// explicit larger `n_cols` wins.
+    #[test]
+    fn csr_column_bounds(rows in proptest::collection::vec(sparse_vec_strategy(), 1..8)) {
+        let m = CsrMatrix::from_rows(&rows, 0);
+        let max_dim = rows.iter().map(|r| r.max_dim()).max().unwrap_or(0);
+        prop_assert_eq!(m.n_cols(), max_dim);
+        let wide = CsrMatrix::from_rows(&rows, max_dim + 7);
+        prop_assert_eq!(wide.n_cols(), max_dim + 7);
+    }
+
+    /// Batch CSR vectorization is row-for-row identical to per-document
+    /// transforms, for both TF-IDF and the hashing vectorizer.
+    #[test]
+    fn batch_csr_matches_per_doc_transform(
+        texts in proptest::collection::vec("[a-z]{1,6}( [a-z]{1,6}){0,8}", 1..12)
+    ) {
+        let docs: Vec<Vec<String>> = texts
+            .iter()
+            .map(|t| t.split_whitespace().map(str::to_string).collect())
+            .collect();
+
+        let mut tfidf = TfidfVectorizer::new(TfidfConfig { min_df: 1, ..TfidfConfig::default() });
+        tfidf.fit(&docs);
+        let per_doc: Vec<SparseVec> = docs.iter().map(|d| tfidf.transform(d)).collect();
+        prop_assert_eq!(tfidf.transform_batch_csr(&docs).to_rows(), per_doc);
+
+        let hashing = textproc::HashingVectorizer {
+            n_buckets: 1 << 10,
+            signed: true,
+            l2_normalize: true,
+        };
+        let per_doc: Vec<SparseVec> = docs.iter().map(|d| hashing.transform(d)).collect();
+        prop_assert_eq!(hashing.transform_batch_csr(&docs).to_rows(), per_doc);
     }
 
     /// Signed hashing: each token contributes ±1, so the L1 norm is the

@@ -57,16 +57,29 @@ fn main() {
     for series in frequency_analysis(&store, start - 10, horizon, 10, GroupBy::Category) {
         let total: u64 = series.counts.iter().sum();
         if total > 0 {
-            println!("  {:<22} {:>6}  {}", series.label, total, sparkline(&series.counts));
+            println!(
+                "  {:<22} {:>6}  {}",
+                series.label,
+                total,
+                sparkline(&series.counts)
+            );
         }
     }
 
     // Panel 2: burst detector on the aggregate series.
     let total_series = frequency_analysis(&store, start - 10, horizon, 10, GroupBy::Total);
     if let Some(s) = total_series.first() {
-        println!("\n  {:<22} {:>6}  {}", "TOTAL", s.counts.iter().sum::<u64>(), sparkline(&s.counts));
+        println!(
+            "\n  {:<22} {:>6}  {}",
+            "TOTAL",
+            s.counts.iter().sum::<u64>(),
+            sparkline(&s.counts)
+        );
         for (t, c) in s.bursts(2.0) {
-            println!("  ⚠ burst: {c} messages in bucket starting t+{}s", t - start);
+            println!(
+                "  ⚠ burst: {c} messages in bucket starting t+{}s",
+                t - start
+            );
         }
     }
 
@@ -76,7 +89,10 @@ fn main() {
     let racks = positional_analysis(&store, &topo, start - 10, horizon, Category::ThermalIssue);
     for r in &racks {
         let bar = "#".repeat((r.in_category as usize).min(60));
-        println!("  {:<4} {:>5} across {:>2} nodes {}", r.rack, r.in_category, r.affected_nodes, bar);
+        println!(
+            "  {:<4} {:>5} across {:>2} nodes {}",
+            r.rack, r.in_category, r.affected_nodes, bar
+        );
     }
 
     // Panel 4: per-architecture verdicts for the three noisiest thermal

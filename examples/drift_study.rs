@@ -39,10 +39,8 @@ fn main() {
             vendor_jargon: false,
             seed: 100 + wave,
         });
-        let drifted: Vec<(String, Category)> = corpus
-            .iter()
-            .map(|(m, c)| (drift.mutate(m), *c))
-            .collect();
+        let drifted: Vec<(String, Category)> =
+            corpus.iter().map(|(m, c)| (drift.mutate(m), *c)).collect();
 
         let orphans = drifted
             .iter()

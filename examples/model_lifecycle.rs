@@ -37,7 +37,9 @@ fn main() -> Result<(), String> {
         trained.name(),
         corpus.len(),
         model_path.display(),
-        std::fs::metadata(&model_path).map(|m| m.len() / 1024).unwrap_or(0)
+        std::fs::metadata(&model_path)
+            .map(|m| m.len() / 1024)
+            .unwrap_or(0)
     );
 
     // Day 1: a fresh process loads the model and serves traffic.
@@ -53,10 +55,8 @@ fn main() -> Result<(), String> {
         vendor_jargon: false,
         ..DriftConfig::default()
     });
-    let drifted: Vec<(String, Category)> = corpus
-        .iter()
-        .map(|(m, c)| (drift.mutate(m), *c))
-        .collect();
+    let drifted: Vec<(String, Category)> =
+        corpus.iter().map(|(m, c)| (drift.mutate(m), *c)).collect();
     println!(
         "day 90: firmware drift arrives — accuracy on reworded traffic {:.4}",
         accuracy(&deployed, &drifted)

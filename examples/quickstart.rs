@@ -65,7 +65,11 @@ fn main() {
     // style prose response (it fires for ~1 in 5 messages).
     for attempt in 0..20 {
         let p = llm.classify(msg);
-        let text = p.explanation.as_ref().map(|e| e.rationale.clone()).unwrap_or_default();
+        let text = p
+            .explanation
+            .as_ref()
+            .map(|e| e.rationale.clone())
+            .unwrap_or_default();
         if text.contains("would fall under") || attempt == 19 {
             println!("prompt message: {msg:?}");
             println!("model answer  : {text}");

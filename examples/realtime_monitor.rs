@@ -73,8 +73,14 @@ fn main() {
     let series = frequency_analysis(&store, t0, t1, 10, GroupBy::Total);
     if let Some(total) = series.first() {
         let bursts = total.bursts(2.0);
-        println!("\nfrequency analysis: {} buckets, bursts at {:?}", total.counts.len(),
-            bursts.iter().map(|(t, c)| format!("t={t} n={c}")).collect::<Vec<_>>());
+        println!(
+            "\nfrequency analysis: {} buckets, bursts at {:?}",
+            total.counts.len(),
+            bursts
+                .iter()
+                .map(|(t, c)| format!("t={t} n={c}"))
+                .collect::<Vec<_>>()
+        );
     }
 
     // §4.5.2 positional analysis: which rack is hot?

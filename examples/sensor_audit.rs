@@ -58,7 +58,10 @@ fn main() {
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         if let Some((node, value)) = hottest {
             let verdict = compare_to_arch_peers(&topo, &temp_sweep, &node, "CPU_Temp", 3.0);
-            println!("  {:<9} {node} reads {value:>6.1}C → {verdict:?}", arch.name());
+            println!(
+                "  {:<9} {node} reads {value:>6.1}C → {verdict:?}",
+                arch.name()
+            );
         }
     }
 

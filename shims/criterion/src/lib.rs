@@ -1,0 +1,203 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock timing harness exposing the API subset the bench
+//! binaries use. Each benchmark is warmed up briefly, then timed over enough
+//! iterations to fill a short measurement window; mean time per iteration
+//! (and throughput, when configured) is printed to stdout. No statistics,
+//! plots, or baselines — the point is that `cargo bench` compiles and gives
+//! usable relative numbers offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(150);
+const MEASURE: Duration = Duration::from_millis(700);
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Input-handling hints for `iter_batched`; the shim treats all the same.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<I: AsRef<str>, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id.as_ref(), None, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I: AsRef<str>, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id.as_ref(), self.throughput, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, f: &mut F) {
+    let mut bencher = Bencher {
+        total: Duration::ZERO,
+        iterations: 0,
+        mode: Mode::Warmup,
+    };
+    // Warmup: run until the warmup window has elapsed.
+    let warmup_start = Instant::now();
+    while warmup_start.elapsed() < WARMUP {
+        f(&mut bencher);
+    }
+    bencher.total = Duration::ZERO;
+    bencher.iterations = 0;
+    bencher.mode = Mode::Measure;
+    let measure_start = Instant::now();
+    while measure_start.elapsed() < MEASURE {
+        f(&mut bencher);
+    }
+    if bencher.iterations == 0 {
+        println!("  {id}: no iterations recorded");
+        return;
+    }
+    let per_iter = bencher.total.as_secs_f64() / bencher.iterations as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  ({:.0} elem/s)", n as f64 / per_iter),
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.1} MiB/s)", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("  {id}: {}{rate}", format_duration(per_iter));
+}
+
+fn format_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s/iter")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms/iter", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs/iter", seconds * 1e6)
+    } else {
+        format!("{:.1} ns/iter", seconds * 1e9)
+    }
+}
+
+#[derive(PartialEq)]
+enum Mode {
+    Warmup,
+    Measure,
+}
+
+/// Passed to each benchmark closure; measures the timed routine.
+pub struct Bencher {
+    total: Duration,
+    iterations: u64,
+    mode: Mode,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        let elapsed = start.elapsed();
+        if self.mode == Mode::Measure {
+            self.total += elapsed;
+            self.iterations += 1;
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let elapsed = start.elapsed();
+        if self.mode == Mode::Measure {
+            self.total += elapsed;
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        group.finish();
+    }
+}

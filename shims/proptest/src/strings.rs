@@ -1,0 +1,282 @@
+//! Regex-subset string generation for string-literal strategies.
+//!
+//! Supports the constructs the workspace's patterns use: literal characters,
+//! `.` (any char except newline), character classes `[a-z_0-9]`/`[ -~]`,
+//! groups `( ... )`, and the quantifiers `{n}`, `{n,m}`, `?`, `+`, `*`.
+
+use crate::TestRunner;
+
+enum Node {
+    Literal(char),
+    AnyChar,
+    Class(Vec<(char, char)>),
+    Group(Vec<(Node, Quant)>),
+}
+
+#[derive(Clone, Copy)]
+struct Quant {
+    min: usize,
+    max: usize,
+}
+
+const UNBOUNDED_CAP: usize = 8;
+
+pub fn generate_matching(pattern: &str, runner: &mut TestRunner) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let nodes = parse_sequence(pattern, &chars, &mut pos, false);
+    assert!(
+        pos == chars.len(),
+        "proptest shim: unsupported regex `{pattern}` (stopped at {pos})"
+    );
+    let mut out = String::new();
+    emit_sequence(&nodes, runner, &mut out);
+    out
+}
+
+fn parse_sequence(
+    pattern: &str,
+    chars: &[char],
+    pos: &mut usize,
+    in_group: bool,
+) -> Vec<(Node, Quant)> {
+    let mut nodes = Vec::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        if c == ')' && in_group {
+            break;
+        }
+        let node = match c {
+            '.' => {
+                *pos += 1;
+                Node::AnyChar
+            }
+            '[' => {
+                *pos += 1;
+                Node::Class(parse_class(pattern, chars, pos))
+            }
+            '(' => {
+                *pos += 1;
+                let inner = parse_sequence(pattern, chars, pos, true);
+                assert!(
+                    chars.get(*pos) == Some(&')'),
+                    "proptest shim: unclosed group in `{pattern}`"
+                );
+                *pos += 1;
+                Node::Group(inner)
+            }
+            '\\' => {
+                *pos += 1;
+                let escaped = *chars
+                    .get(*pos)
+                    .unwrap_or_else(|| panic!("proptest shim: dangling escape in `{pattern}`"));
+                *pos += 1;
+                match escaped {
+                    'n' => Node::Literal('\n'),
+                    'r' => Node::Literal('\r'),
+                    't' => Node::Literal('\t'),
+                    'd' => Node::Class(vec![('0', '9')]),
+                    'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    other => Node::Literal(other),
+                }
+            }
+            other => {
+                *pos += 1;
+                Node::Literal(other)
+            }
+        };
+        let quant = parse_quantifier(pattern, chars, pos);
+        nodes.push((node, quant));
+    }
+    nodes
+}
+
+fn parse_class(pattern: &str, chars: &[char], pos: &mut usize) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    assert!(
+        chars.get(*pos) != Some(&'^'),
+        "proptest shim: negated classes unsupported in `{pattern}`"
+    );
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let lo = chars[*pos];
+        *pos += 1;
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&c| c != ']') {
+            let hi = chars[*pos + 1];
+            *pos += 2;
+            assert!(lo <= hi, "proptest shim: bad class range in `{pattern}`");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(
+        chars.get(*pos) == Some(&']'),
+        "proptest shim: unclosed class in `{pattern}`"
+    );
+    *pos += 1;
+    assert!(
+        !ranges.is_empty(),
+        "proptest shim: empty class in `{pattern}`"
+    );
+    ranges
+}
+
+fn parse_quantifier(pattern: &str, chars: &[char], pos: &mut usize) -> Quant {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            Quant { min: 0, max: 1 }
+        }
+        Some('+') => {
+            *pos += 1;
+            Quant {
+                min: 1,
+                max: UNBOUNDED_CAP,
+            }
+        }
+        Some('*') => {
+            *pos += 1;
+            Quant {
+                min: 0,
+                max: UNBOUNDED_CAP,
+            }
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut min = 0usize;
+            while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                min = min * 10 + chars[*pos].to_digit(10).unwrap() as usize;
+                *pos += 1;
+            }
+            let max = if chars.get(*pos) == Some(&',') {
+                *pos += 1;
+                let mut max = 0usize;
+                while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                    max = max * 10 + chars[*pos].to_digit(10).unwrap() as usize;
+                    *pos += 1;
+                }
+                max
+            } else {
+                min
+            };
+            assert!(
+                chars.get(*pos) == Some(&'}'),
+                "proptest shim: unclosed quantifier in `{pattern}`"
+            );
+            *pos += 1;
+            assert!(min <= max, "proptest shim: bad quantifier in `{pattern}`");
+            Quant { min, max }
+        }
+        _ => Quant { min: 1, max: 1 },
+    }
+}
+
+fn emit_sequence(nodes: &[(Node, Quant)], runner: &mut TestRunner, out: &mut String) {
+    for (node, quant) in nodes {
+        let reps = if quant.max > quant.min {
+            quant.min + runner.below(quant.max - quant.min + 1)
+        } else {
+            quant.min
+        };
+        for _ in 0..reps {
+            emit_node(node, runner, out);
+        }
+    }
+}
+
+fn emit_node(node: &Node, runner: &mut TestRunner, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::AnyChar => out.push(any_char(runner)),
+        Node::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
+            let mut pick = runner.below(total as usize) as u32;
+            for &(lo, hi) in ranges {
+                let width = hi as u32 - lo as u32 + 1;
+                if pick < width {
+                    // Class ranges in the workspace's patterns never span the
+                    // surrogate gap, so this conversion always succeeds.
+                    out.push(char::from_u32(lo as u32 + pick).expect("class range hit surrogate"));
+                    return;
+                }
+                pick -= width;
+            }
+            unreachable!("class pick out of range");
+        }
+        Node::Group(inner) => emit_sequence(inner, runner, out),
+    }
+}
+
+/// `.`: any char except `\n` — mostly printable ASCII, with control, BMP and
+/// astral characters mixed in to exercise robustness.
+fn any_char(runner: &mut TestRunner) -> char {
+    loop {
+        let roll = runner.below(100);
+        let candidate = if roll < 70 {
+            char::from_u32(0x20 + runner.below(0x5F) as u32)
+        } else if roll < 80 {
+            char::from_u32(runner.below(0x20) as u32)
+        } else if roll < 95 {
+            char::from_u32(runner.below(0xFFFF) as u32)
+        } else {
+            char::from_u32(0x1_0000 + runner.below(0x10_000) as u32)
+        };
+        match candidate {
+            Some('\n') | None => continue,
+            Some(c) => return c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        let mut runner = TestRunner::from_seed(seed);
+        generate_matching(pattern, &mut runner)
+    }
+
+    #[test]
+    fn fixed_and_bounded_repeats() {
+        for seed in 0..200 {
+            let s = gen("[a-c]{0,12}", seed);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+
+            let t = gen("<[0-9]{1,3}>[ -~]{1,60}", seed);
+            assert!(t.starts_with('<'));
+            let close = t.find('>').unwrap();
+            assert!((2..=4).contains(&close));
+            assert!(t[1..close].chars().all(|c| c.is_ascii_digit()));
+            assert!(t.len() > close + 1);
+        }
+    }
+
+    #[test]
+    fn groups_and_classes() {
+        for seed in 0..100 {
+            let s = gen("[a-z]{1,6}( [a-z]{1,6}){0,8}", seed);
+            for word in s.split(' ') {
+                assert!(!word.is_empty() && word.len() <= 6, "bad word in {s:?}");
+                assert!(word.chars().all(|c| c.is_ascii_lowercase()));
+            }
+            let u = gen("[a-z_0-9]{1,12}", seed);
+            assert!(u
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn dot_never_newline() {
+        for seed in 0..300 {
+            let s = gen(".{1,40}", seed);
+            assert!(!s.contains('\n'));
+            assert!(!s.is_empty());
+        }
+    }
+}

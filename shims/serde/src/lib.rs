@@ -1,0 +1,475 @@
+//! Offline shim for `serde`.
+//!
+//! The data model is a JSON value tree ([`json::Value`]) rather than serde's
+//! visitor machinery: `Serialize` renders to a `Value`, `Deserialize` reads
+//! from one, and the derive macros in `serde_derive` generate both. The
+//! `Deserializer` trait exists so hand-written impls in the workspace (which
+//! delegate to a derived helper struct, then post-process) keep compiling
+//! against the familiar signature.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::BuildHasher;
+
+use json::{Error, Number, Value};
+
+/// Serialization to the shim's JSON data model.
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+/// Source of a borrowed [`Value`] during deserialization.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+    fn value_ref(&self) -> &Value;
+}
+
+/// Deserialization from the shim's JSON data model.
+///
+/// The two methods default to each other: derived impls provide
+/// `from_json_value`, hand-written impls typically provide `deserialize`.
+/// Overriding at least one is required (overriding neither would recurse).
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Self::from_json_value(deserializer.value_ref()).map_err(de::Error::custom)
+    }
+
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        Self::deserialize(de::ValueDeserializer { value })
+    }
+}
+
+pub mod de {
+    //! Deserialization support used by generated and hand-written impls.
+
+    use super::json::{Error as JsonError, Value};
+    use super::Deserialize;
+
+    /// Error construction hook (`serde::de::Error` subset).
+    pub trait Error: Sized {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for JsonError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            JsonError::msg(msg.to_string())
+        }
+    }
+
+    /// A [`super::Deserializer`] over a borrowed [`Value`].
+    ///
+    /// Implements `Deserializer<'de>` for every `'de` independent of the
+    /// borrow, so container impls can recurse without tying the trait
+    /// lifetime to the value reference.
+    pub struct ValueDeserializer<'a> {
+        pub value: &'a Value,
+    }
+
+    impl<'a, 'de> super::Deserializer<'de> for ValueDeserializer<'a> {
+        type Error = JsonError;
+
+        fn value_ref(&self) -> &Value {
+            self.value
+        }
+    }
+
+    /// Deserialize a `T` out of a borrowed value.
+    pub fn from_value<'de, T: Deserialize<'de>>(value: &Value) -> Result<T, JsonError> {
+        T::deserialize(ValueDeserializer { value })
+    }
+
+    /// View a value as an object, with `context` naming the target type.
+    pub fn as_object<'v>(
+        value: &'v Value,
+        context: &str,
+    ) -> Result<&'v [(String, Value)], JsonError> {
+        value.as_object().ok_or_else(|| {
+            JsonError::msg(format!(
+                "{context}: expected object, found {}",
+                value.describe()
+            ))
+        })
+    }
+
+    static NULL: Value = Value::Null;
+
+    /// Extract a struct field. A missing key is tolerated when the field
+    /// type accepts `null` (e.g. `Option`), mirroring serde's behavior.
+    pub fn field<'de, T: Deserialize<'de>>(
+        fields: &[(String, Value)],
+        name: &'static str,
+    ) -> Result<T, JsonError> {
+        match fields.iter().find(|(key, _)| key == name) {
+            Some((_, value)) => {
+                from_value(value).map_err(|e| JsonError::msg(format!("field `{name}`: {e}")))
+            }
+            None => {
+                from_value(&NULL).map_err(|_| JsonError::msg(format!("missing field `{name}`")))
+            }
+        }
+    }
+
+    /// Extract a struct field marked `#[serde(default)]`.
+    pub fn field_or_default<'de, T: Deserialize<'de> + Default>(
+        fields: &[(String, Value)],
+        name: &'static str,
+    ) -> Result<T, JsonError> {
+        match fields.iter().find(|(key, _)| key == name) {
+            Some((_, value)) => {
+                from_value(value).map_err(|e| JsonError::msg(format!("field `{name}`: {e}")))
+            }
+            None => Ok(T::default()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+    )*};
+}
+
+serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn to_json_value(&self) -> Value {
+        // Sort keys so output is deterministic despite hash ordering.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected null, found {}",
+                value.describe()
+            )))
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::msg(format!("expected boolean, found {}", value.describe())))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg(format!("expected string, found {}", value.describe())))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::msg(format!("expected string, found {}", value.describe())))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg("expected single-character string")),
+        }
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::Number(n) => n
+                        .as_i128()
+                        .ok_or_else(|| Error::msg("expected integer, found float"))?,
+                    other => {
+                        return Err(Error::msg(format!(
+                            "expected integer, found {}",
+                            other.describe()
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::msg(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::msg(format!("expected number, found {}", value.describe())))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        f64::from_json_value(value).map(|v| v as f32)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+fn expect_array(value: &Value) -> Result<&[Value], Error> {
+    value
+        .as_array()
+        .ok_or_else(|| Error::msg(format!("expected array, found {}", value.describe())))
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        expect_array(value)?.iter().map(de::from_value).collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let items = expect_array(value)?;
+        if items.len() != N {
+            return Err(Error::msg(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(de::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::msg("array length mismatch"))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        T::from_json_value(value).map(Box::new)
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:expr; $($name:ident : $idx:tt),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                let items = expect_array(value)?;
+                if items.len() != $len {
+                    return Err(Error::msg(format!(
+                        "expected array of length {}, found {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($(de::from_value::<$name>(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (1; A: 0)
+    (2; A: 0, B: 1)
+    (3; A: 0, B: 1, C: 2)
+    (4; A: 0, B: 1, C: 2, D: 3)
+}
+
+fn expect_object(value: &Value) -> Result<&[(String, Value)], Error> {
+    value
+        .as_object()
+        .ok_or_else(|| Error::msg(format!("expected object, found {}", value.describe())))
+}
+
+impl<'de, V: Deserialize<'de>, S: BuildHasher + Default> Deserialize<'de>
+    for HashMap<String, V, S>
+{
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let entries = expect_object(value)?;
+        let mut map = HashMap::with_capacity_and_hasher(entries.len(), S::default());
+        for (key, item) in entries {
+            map.insert(key.clone(), de::from_value(item)?);
+        }
+        Ok(map)
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let entries = expect_object(value)?;
+        let mut map = BTreeMap::new();
+        for (key, item) in entries {
+            map.insert(key.clone(), de::from_value(item)?);
+        }
+        Ok(map)
+    }
+}

@@ -1,0 +1,407 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Parses the deriving item directly from the `proc_macro` token stream (no
+//! `syn`/`quote`) and emits impls for the serde shim's value-based traits.
+//! Supported shapes — the ones this workspace uses:
+//!
+//! - named-field structs, with `#[serde(default)]` and `#[serde(skip)]`
+//! - enums with any mix of unit variants (serialized as the variant-name
+//!   string, explicit discriminants ignored), newtype variants and
+//!   struct variants (externally tagged: `{"Variant": ...}`)
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = parse_item(input);
+    let code = match (&item, mode) {
+        (Item::Struct { name, fields }, Mode::Serialize) => gen_struct_serialize(name, fields),
+        (Item::Struct { name, fields }, Mode::Deserialize) => gen_struct_deserialize(name, fields),
+        (Item::Enum { name, variants }, Mode::Serialize) => gen_enum_serialize(name, variants),
+        (Item::Enum { name, variants }, Mode::Deserialize) => gen_enum_deserialize(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive shim generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let token = self.tokens.get(self.pos).cloned();
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Consume `#[...]` attributes; returns the serde flags seen.
+    fn skip_attributes(&mut self) -> (bool, bool) {
+        let (mut default, mut skip) = (false, false);
+        while self.at_punct('#') {
+            self.next();
+            if let Some(TokenTree::Group(group)) = self.next() {
+                let mut inner = Cursor::new(group.stream());
+                if inner.at_ident("serde") {
+                    inner.next();
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        for token in args.stream() {
+                            if let TokenTree::Ident(flag) = token {
+                                match flag.to_string().as_str() {
+                                    "default" => default = true,
+                                    "skip" => skip = true,
+                                    other => panic!(
+                                        "serde_derive shim: unsupported serde attribute `{other}`"
+                                    ),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (default, skip)
+    }
+
+    /// Consume `pub`, `pub(...)` if present.
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skip tokens until a top-level comma, tracking `<...>` depth so types
+    /// like `Vec<(String, f64)>` survive. Consumes the comma.
+    fn skip_past_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(token) = self.peek() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cursor = Cursor::new(input);
+    cursor.skip_attributes();
+    cursor.skip_visibility();
+    let keyword = match cursor.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, found {other:?}"),
+    };
+    let name = match cursor.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: expected item name, found {other:?}"),
+    };
+    if cursor.at_punct('<') {
+        panic!("serde_derive shim: generic types are not supported (deriving {name})");
+    }
+    let body = loop {
+        match cursor.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(_) => continue,
+            None => {
+                panic!("serde_derive shim: {name} has no braced body (tuple structs unsupported)")
+            }
+        }
+    };
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_fields(body.stream()),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body.stream()),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cursor.peek().is_some() {
+        let (default, skip) = cursor.skip_attributes();
+        cursor.skip_visibility();
+        let raw_name = match cursor.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, found {other:?}"),
+        };
+        let name = raw_name.strip_prefix("r#").unwrap_or(&raw_name).to_string();
+        if !cursor.at_punct(':') {
+            panic!("serde_derive shim: expected `:` after field `{name}`");
+        }
+        cursor.next();
+        cursor.skip_past_comma();
+        fields.push(Field {
+            name,
+            default,
+            skip,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cursor.peek().is_some() {
+        cursor.skip_attributes();
+        let name = match cursor.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant name, found {other:?}"),
+        };
+        let shape = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields_in_payload = Cursor::new(g.stream())
+                    .tokens
+                    .iter()
+                    .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ',' ))
+                    .count();
+                if fields_in_payload > 0 {
+                    panic!("serde_derive shim: multi-field tuple variant `{name}` is unsupported");
+                }
+                cursor.next();
+                VariantShape::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                cursor.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= 3`) and the trailing comma.
+        cursor.skip_past_comma();
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for field in fields.iter().filter(|f| !f.skip) {
+        let f = &field.name;
+        pushes.push_str(&format!(
+            "__fields.push((\"{f}\".to_string(), serde::Serialize::to_json_value(&self.{f})));\n"
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> serde::json::Value {{\n\
+                 let mut __fields: Vec<(String, serde::json::Value)> = Vec::new();\n\
+                 {pushes}\
+                 serde::json::Value::Object(__fields)\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn struct_body_expr(path: &str, fields: &[Field], source: &str) -> String {
+    let mut inits = String::new();
+    for field in fields {
+        let f = &field.name;
+        let init = if field.skip {
+            "Default::default()".to_string()
+        } else if field.default {
+            format!("serde::de::field_or_default({source}, \"{f}\")?")
+        } else {
+            format!("serde::de::field({source}, \"{f}\")?")
+        };
+        inits.push_str(&format!("{f}: {init},\n"));
+    }
+    format!("{path} {{\n{inits}}}")
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let body = struct_body_expr(name, fields, "__entries");
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn from_json_value(__value: &serde::json::Value) -> Result<Self, serde::json::Error> {{\n\
+                 let __entries = serde::de::as_object(__value, \"{name}\")?;\n\
+                 Ok({body})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for variant in variants {
+        let v = &variant.name;
+        match &variant.shape {
+            VariantShape::Unit => arms.push_str(&format!(
+                "{name}::{v} => serde::json::Value::String(\"{v}\".to_string()),\n"
+            )),
+            VariantShape::Newtype => arms.push_str(&format!(
+                "{name}::{v}(__inner) => serde::json::Value::Object(vec![(\
+                 \"{v}\".to_string(), serde::Serialize::to_json_value(__inner))]),\n"
+            )),
+            VariantShape::Struct(fields) => {
+                let mut pushes = String::new();
+                let mut bindings = String::new();
+                for field in fields.iter() {
+                    let f = &field.name;
+                    bindings.push_str(&format!("{f}, "));
+                    if !field.skip {
+                        pushes.push_str(&format!(
+                            "__fields.push((\"{f}\".to_string(), serde::Serialize::to_json_value({f})));\n"
+                        ));
+                    }
+                }
+                arms.push_str(&format!(
+                    "{name}::{v} {{ {bindings} }} => {{\n\
+                         let mut __fields: Vec<(String, serde::json::Value)> = Vec::new();\n\
+                         {pushes}\
+                         serde::json::Value::Object(vec![(\"{v}\".to_string(), serde::json::Value::Object(__fields))])\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> serde::json::Value {{\n\
+                 match self {{\n{arms}}}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut string_arms = String::new();
+    let mut tagged_arms = String::new();
+    for variant in variants {
+        let v = &variant.name;
+        match &variant.shape {
+            VariantShape::Unit => string_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n")),
+            VariantShape::Newtype => tagged_arms.push_str(&format!(
+                "\"{v}\" => Ok({name}::{v}(serde::de::from_value(__inner)?)),\n"
+            )),
+            VariantShape::Struct(fields) => {
+                let body = struct_body_expr(&format!("{name}::{v}"), fields, "__entries");
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => {{\n\
+                         let __entries = serde::de::as_object(__inner, \"{name}::{v}\")?;\n\
+                         Ok({body})\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn from_json_value(__value: &serde::json::Value) -> Result<Self, serde::json::Error> {{\n\
+                 match __value {{\n\
+                     serde::json::Value::String(__s) => match __s.as_str() {{\n\
+                         {string_arms}\
+                         __other => Err(serde::json::Error::msg(format!(\
+                             \"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     serde::json::Value::Object(__entries_outer) if __entries_outer.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries_outer[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\
+                             __other => Err(serde::json::Error::msg(format!(\
+                                 \"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => Err(serde::json::Error::msg(format!(\
+                         \"invalid representation for enum {name}: {{}}\", __other.describe()))),\n\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,130 @@
+//! Offline shim for `serde_json`, backed by the serde shim's value model.
+
+use std::io::Write;
+
+pub use serde::json::{Error, Number, Value};
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    serde::json::print(&value.to_json_value())
+}
+
+/// Serialize to a two-space-indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    serde::json::print_pretty(&value.to_json_value())
+}
+
+/// Serialize compact JSON into a writer.
+pub fn to_writer<W: Write, T: serde::Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let text = to_string(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error::msg(format!("io error: {e}")))
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: for<'de> serde::Deserialize<'de>>(input: &str) -> Result<T> {
+    let value = serde::json::parse(input)?;
+    serde::de::from_value(&value)
+}
+
+/// Deserialize a value from JSON bytes.
+pub fn from_slice<T: for<'de> serde::Deserialize<'de>>(input: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(input).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+/// Build a [`Value`] from a JSON-ish literal. Object values and array
+/// elements are arbitrary serializable expressions; nested literal objects
+/// must themselves be wrapped in `json!`.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ([ $($element:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$element) ),* ])
+    };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __object: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::json_object_entries!(__object, $($body)*);
+        $crate::Value::Object(__object)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+/// Entry muncher for [`json!`] object bodies; nested `{ ... }` values recurse
+/// back into `json!` so nested object literals work.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object_entries {
+    ($object:ident $(,)?) => {};
+    ($object:ident, $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $object.push((($key).to_string(), $crate::json!({ $($inner)* })));
+        $( $crate::json_object_entries!($object, $($rest)*); )?
+    };
+    ($object:ident, $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $object.push((($key).to_string(), $crate::to_value(&$value)));
+        $( $crate::json_object_entries!($object, $($rest)*); )?
+    };
+}
+
+#[cfg(test)]
+// `json!` expands to init-then-push; only this crate sees the lint (callers
+// get the external-macro suppression).
+#[allow(clippy::vec_init_then_push)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let v: Vec<f64> = vec![1.0, -0.5, 1e-12, 123456.75];
+        let text = to_string(&v).unwrap();
+        let back: Vec<f64> = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        let n: i64 = from_str("-42").unwrap();
+        assert_eq!(n, -42);
+        let s: String = from_str("\"a\\nb\\u00e9\"").unwrap();
+        assert_eq!(s, "a\nbé");
+    }
+
+    #[test]
+    fn object_order_preserved() {
+        let text = "{\"z\": 1, \"a\": {\"nested\": [true, null]}}";
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v.get("z").and_then(Value::as_u64), Some(1));
+        let compact = to_string(&v).unwrap();
+        assert_eq!(compact, "{\"z\":1,\"a\":{\"nested\":[true,null]}}");
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let rows = vec![json!({"a": 1u32}), json!({"a": 2u32})];
+        let doc = json!({
+            "name": "xp",
+            "count": rows.len(),
+            "rows": rows,
+            "ratio": 0.5f64,
+        });
+        let text = to_string_pretty(&doc).unwrap();
+        assert!(text.contains("\"count\": 2"));
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn non_finite_floats_error() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+}

@@ -67,7 +67,7 @@ pub mod prelude {
         NoiseFilter, Prediction, SavedModel, SavedPipeline, TextClassifier, TraditionalPipeline,
     };
     pub use hetsyslog_ml::{
-        paper_suite, Classifier, ComplementNaiveBayes, ConfusionMatrix, Dataset,
+        paper_suite, BatchClassifier, Classifier, ComplementNaiveBayes, ConfusionMatrix, Dataset,
         KNearestNeighbors, LinearSvc, LogisticRegression, NearestCentroid, RandomForest,
         RidgeClassifier, SgdClassifier,
     };

@@ -141,20 +141,26 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     let mut out = std::io::BufWriter::new(out);
     datagen::corpus::write_jsonl(&corpus, &mut out).map_err(|e| e.to_string())?;
     out.flush().map_err(|e| e.to_string())?;
-    eprintln!("wrote {} labeled messages (scale {scale}, seed {seed})", corpus.len());
+    eprintln!(
+        "wrote {} labeled messages (scale {scale}, seed {seed})",
+        corpus.len()
+    );
     Ok(())
 }
 
 fn cmd_train(opts: &Opts) -> Result<(), String> {
     let corpus = load_corpus(opts)?;
     let model_name = opts.get("model").unwrap_or("cnb");
-    let model = SavedModel::by_name(model_name)
-        .ok_or_else(|| format!("unknown model {model_name:?} (try: lr ridge knn rf svc sgd nc cnb)"))?;
+    let model = SavedModel::by_name(model_name).ok_or_else(|| {
+        format!("unknown model {model_name:?} (try: lr ridge knn rf svc sgd nc cnb)")
+    })?;
     let t0 = std::time::Instant::now();
     let pipeline = SavedPipeline::train(FeatureConfig::default(), model, &corpus);
     let seconds = t0.elapsed().as_secs_f64();
     let out = opts.get("out").unwrap_or("model.json");
-    pipeline.save(std::path::Path::new(out)).map_err(|e| e.to_string())?;
+    pipeline
+        .save(std::path::Path::new(out))
+        .map_err(|e| e.to_string())?;
     eprintln!(
         "trained {} on {} messages in {seconds:.2}s → {out}",
         pipeline.name(),
@@ -250,7 +256,10 @@ fn cmd_monitor(opts: &Opts) -> Result<(), String> {
         report.seconds,
         report.messages_per_second() * 3600.0 / 1e6
     );
-    println!("pre-filtered {} noise messages, {} alerts", stats.prefiltered, stats.alerts);
+    println!(
+        "pre-filtered {} noise messages, {} alerts",
+        stats.prefiltered, stats.alerts
+    );
     for &c in &Category::ALL {
         if stats.count(c) > 0 {
             println!("  {:<20} {}", c.label(), stats.count(c));
@@ -266,11 +275,8 @@ fn cmd_summarize(opts: &Opts) -> Result<(), String> {
     let corpus = load_corpus(opts)?;
     let window = opts.get_u64("window", 60)?;
     let seed = opts.get_u64("seed", 42)?;
-    let mut summarizer = llmsim::StatusSummarizer::new(
-        llmsim::ModelPreset::falcon_40b(),
-        &corpus,
-        seed,
-    );
+    let mut summarizer =
+        llmsim::StatusSummarizer::new(llmsim::ModelPreset::falcon_40b(), &corpus, seed);
     // Derive counts from a simulated window of traffic.
     let mut counts: BTreeMap<Category, u64> = BTreeMap::new();
     for tm in StreamGenerator::new(StreamConfig {

@@ -25,7 +25,11 @@ fn generate_train_classify_round_trip() {
         .arg(&corpus)
         .output()
         .expect("generate runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let lines = std::fs::read_to_string(&corpus).unwrap().lines().count();
     assert!(lines > 300, "corpus too small: {lines}");
 
@@ -36,7 +40,11 @@ fn generate_train_classify_round_trip() {
         .arg(&model)
         .output()
         .expect("train runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
 
     let mut child = bin()
@@ -77,7 +85,11 @@ fn classify_accepts_full_syslog_frames() {
         .arg(&model)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let mut child = bin()
         .args(["classify", "--explain", "--model"])
@@ -90,13 +102,21 @@ fn classify_accepts_full_syslog_frames() {
         .stdin
         .take()
         .unwrap()
-        .write_all(b"<13>Oct 11 22:14:15 cn01 sshd[4]: Connection closed by 10.1.2.3 port 22 [preauth]\n")
+        .write_all(
+            b"<13>Oct 11 22:14:15 cn01 sshd[4]: Connection closed by 10.1.2.3 port 22 [preauth]\n",
+        )
         .unwrap();
     let out = child.wait_with_output().unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
     // The PRI/host/tag header must be stripped before classification.
-    assert!(stdout.starts_with("SSH-Connection\tConnection closed"), "{stdout}");
-    assert!(stdout.contains("preauth:"), "explanation tokens missing: {stdout}");
+    assert!(
+        stdout.starts_with("SSH-Connection\tConnection closed"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("preauth:"),
+        "explanation tokens missing: {stdout}"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

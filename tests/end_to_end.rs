@@ -25,7 +25,11 @@ fn traditional_suite_reproduces_figure3_shape() {
         // Paper: every weighted F1 in 0.9523..0.9995. Nearest Centroid is
         // the weakest on our harder synthetic corpus; everything else must
         // clear 0.95.
-        let floor = if e.report.model == "Nearest Centroid" { 0.85 } else { 0.95 };
+        let floor = if e.report.model == "Nearest Centroid" {
+            0.85
+        } else {
+            0.95
+        };
         assert!(
             e.report.weighted_f1 >= floor,
             "{} weighted F1 {} below floor {floor}",
@@ -60,10 +64,10 @@ fn drop_unimportant_ablation_raises_f1() {
         ..EvalConfig::default()
     };
     // Probe with the two cheapest models.
-    let mut m1: Vec<Box<dyn Classifier>> =
+    let mut m1: Vec<Box<dyn BatchClassifier>> =
         vec![Box::new(ComplementNaiveBayes::new(Default::default()))];
     let (_, base) = evaluate_suite(&corpus, &mut m1, &base_cfg);
-    let mut m2: Vec<Box<dyn Classifier>> =
+    let mut m2: Vec<Box<dyn BatchClassifier>> =
         vec![Box::new(ComplementNaiveBayes::new(Default::default()))];
     let (_, dropped) = evaluate_suite(&corpus, &mut m2, &drop_cfg);
     assert!(
@@ -79,7 +83,7 @@ fn unimportant_is_the_confused_category() {
     // Figure 2's qualitative finding: when any confusion exists, it
     // involves the Unimportant class.
     let corpus = corpus();
-    let mut models: Vec<Box<dyn Classifier>> =
+    let mut models: Vec<Box<dyn BatchClassifier>> =
         vec![Box::new(LinearSvc::new(Default::default()))];
     let (_, evals) = evaluate_suite(&corpus, &mut models, &EvalConfig::default());
     if let Some((t, p, _)) = evals[0].confusion.most_confused() {

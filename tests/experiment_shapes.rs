@@ -22,23 +22,59 @@ fn table1_signature_tokens_reproduce() {
     let t1 = pipeline.table1(&corpus, 5);
 
     let tokens_of = |c: Category| -> Vec<String> {
-        t1[c.index()].tokens.iter().map(|(t, _)| t.clone()).collect()
+        t1[c.index()]
+            .tokens
+            .iter()
+            .map(|(t, _)| t.clone())
+            .collect()
     };
     let expect_any = |c: Category, candidates: &[&str]| {
         let got = tokens_of(c);
         assert!(
-            candidates.iter().filter(|w| got.contains(&w.to_string())).count() >= 2,
+            candidates
+                .iter()
+                .filter(|w| got.contains(&w.to_string()))
+                .count()
+                >= 2,
             "{c}: top tokens {got:?} missing paper signature {candidates:?}"
         );
     };
     // Paper Table 1 signatures (lemmatized on our side).
-    expect_any(Category::ThermalIssue, &["temperature", "throttle", "sensor", "cpu", "processor", "threshold"]);
-    expect_any(Category::SshConnection, &["close", "preauth", "connection", "port", "user"]);
-    expect_any(Category::UsbDevice, &["usb", "device", "hub", "number", "new"]);
-    expect_any(Category::MemoryIssue, &["size", "real_memory", "low", "memory", "node"]);
-    expect_any(Category::SlurmIssue, &["version", "update", "slurm", "please", "node"]);
-    expect_any(Category::IntrusionDetection, &["root", "session", "user", "start", "boot"]);
-    expect_any(Category::HardwareIssue, &["timestamp", "sync", "clock", "system", "event"]);
+    expect_any(
+        Category::ThermalIssue,
+        &[
+            "temperature",
+            "throttle",
+            "sensor",
+            "cpu",
+            "processor",
+            "threshold",
+        ],
+    );
+    expect_any(
+        Category::SshConnection,
+        &["close", "preauth", "connection", "port", "user"],
+    );
+    expect_any(
+        Category::UsbDevice,
+        &["usb", "device", "hub", "number", "new"],
+    );
+    expect_any(
+        Category::MemoryIssue,
+        &["size", "real_memory", "low", "memory", "node"],
+    );
+    expect_any(
+        Category::SlurmIssue,
+        &["version", "update", "slurm", "please", "node"],
+    );
+    expect_any(
+        Category::IntrusionDetection,
+        &["root", "session", "user", "start", "boot"],
+    );
+    expect_any(
+        Category::HardwareIssue,
+        &["timestamp", "sync", "clock", "system", "event"],
+    );
 }
 
 /// Table 2: the scaled class balance is exact and Slurm-floor protected.
@@ -64,9 +100,12 @@ fn table3_latency_calibration_reproduces() {
         LatencyModel, PAPER_GENERATED_TOKENS, PAPER_PROMPT_TOKENS, ZEROSHOT_LABELS,
         ZEROSHOT_PROMPT_TOKENS,
     };
-    let f7 = LatencyModel::falcon_7b().inference_seconds(PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS);
-    let f40 = LatencyModel::falcon_40b().inference_seconds(PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS);
-    let bart = LatencyModel::bart_large_mnli().inference_seconds(ZEROSHOT_PROMPT_TOKENS, ZEROSHOT_LABELS);
+    let f7 =
+        LatencyModel::falcon_7b().inference_seconds(PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS);
+    let f40 =
+        LatencyModel::falcon_40b().inference_seconds(PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS);
+    let bart =
+        LatencyModel::bart_large_mnli().inference_seconds(ZEROSHOT_PROMPT_TOKENS, ZEROSHOT_LABELS);
     // Paper: 0.639 / 2.184 / 0.13359 seconds.
     assert!((f7 - 0.639).abs() / 0.639 < 0.10, "falcon-7b {f7}");
     assert!((f40 - 2.184).abs() / 2.184 < 0.10, "falcon-40b {f40}");
@@ -79,10 +118,8 @@ fn drift_shape_reproduces() {
     use hetsyslog::datagen::{DriftConfig, DriftModel};
     let corpus = corpus();
     let mut drift = DriftModel::new(DriftConfig::default());
-    let drifted: Vec<(String, Category)> = corpus
-        .iter()
-        .map(|(m, c)| (drift.mutate(m), *c))
-        .collect();
+    let drifted: Vec<(String, Category)> =
+        corpus.iter().map(|(m, c)| (drift.mutate(m), *c)).collect();
 
     let bucket = BucketBaseline::train(7, &corpus);
     let tfidf = TraditionalPipeline::train(
@@ -106,7 +143,10 @@ fn drift_shape_reproduces() {
         "bucketing must lose ≥10 points more than TF-IDF (bucket {bucket_drop:.3}, tfidf {tfidf_drop:.3})"
     );
     // The orphan queue — the paper's retraining burden — is substantial.
-    let orphans = drifted.iter().filter(|(m, _)| bucket.find(m).is_none()).count();
+    let orphans = drifted
+        .iter()
+        .filter(|(m, _)| bucket.find(m).is_none())
+        .count();
     assert!(orphans as f64 > 0.2 * drifted.len() as f64);
 }
 
@@ -136,9 +176,11 @@ fn throughput_shape_reproduces() {
         traditional_mph > 1_000_000.0,
         "traditional pipeline too slow: {traditional_mph:.0}/hour"
     );
-    let f40_mph = 3600.0
-        / llmsim::LatencyModel::falcon_40b().inference_seconds(420, 16);
-    assert!(traditional_mph / f40_mph > 100.0, "the paper's cost gap must hold");
+    let f40_mph = 3600.0 / llmsim::LatencyModel::falcon_40b().inference_seconds(420, 16);
+    assert!(
+        traditional_mph / f40_mph > 100.0,
+        "the paper's cost gap must hold"
+    );
 }
 
 /// Masked bucketing beats raw bucketing on labeling burden (the xp_ablation

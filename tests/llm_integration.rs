@@ -39,7 +39,13 @@ fn table3_cost_ordering_holds() {
     let test = sample(&corpus, 120);
     let prompt = PromptBuilder::new();
 
-    let f7 = GenerativeLlmClassifier::new(ModelPreset::falcon_7b(), &corpus, prompt.clone(), Some(24), 1);
+    let f7 = GenerativeLlmClassifier::new(
+        ModelPreset::falcon_7b(),
+        &corpus,
+        prompt.clone(),
+        Some(24),
+        1,
+    );
     let f40 = GenerativeLlmClassifier::new(ModelPreset::falcon_40b(), &corpus, prompt, Some(24), 1);
     let zs = ZeroShotLlmClassifier::new(&corpus);
 

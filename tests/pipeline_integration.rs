@@ -40,7 +40,10 @@ fn full_ingest_and_query_roundtrip() {
     let report = pipeline.run(stream_frames(5000, 0.0));
     assert_eq!(report.ingested, 5000);
     assert_eq!(store.len(), 5000);
-    assert!(report.free_form == 0, "stream frames must parse structurally");
+    assert!(
+        report.free_form == 0,
+        "stream frames must parse structurally"
+    );
 
     // Term queries hit the inverted index.
     let hits = Query::range(START - 100, START + 100_000)
@@ -62,12 +65,10 @@ fn full_ingest_and_query_roundtrip() {
 #[test]
 fn classified_ingest_emits_alerts_and_views_work() {
     let sink = Arc::new(CollectingSink::new());
-    let service = Arc::new(
-        MonitorService::new(trained_classifier()).with_alert_sink(sink.clone()),
-    );
+    let service = Arc::new(MonitorService::new(trained_classifier()).with_alert_sink(sink.clone()));
     let store = Arc::new(LogStore::with_shard_seconds(60));
-    let ingest = ClassifyingIngest::new(store.clone(), service.clone(), 4)
-        .with_fallback_time(START);
+    let ingest =
+        ClassifyingIngest::new(store.clone(), service.clone(), 4).with_fallback_time(START);
     let report = ingest.run(stream_frames(4000, 0.002));
     assert_eq!(report.ingested, 4000);
 
@@ -112,10 +113,7 @@ fn burst_detection_fires_on_injected_bursts() {
     pipeline.run(frames);
 
     let series = frequency_analysis(&store, START, START + 65, 1, GroupBy::Total);
-    let bursts = series
-        .first()
-        .map(|s| s.bursts(3.0))
-        .unwrap_or_default();
+    let bursts = series.first().map(|s| s.bursts(3.0)).unwrap_or_default();
     assert!(
         !bursts.is_empty(),
         "injected bursts must trip the §4.5.1 surge detector"

@@ -49,7 +49,12 @@ fn classifier_with_empty_vocabulary_does_not_panic() {
 #[test]
 fn single_class_corpus_trains_and_predicts() {
     let corpus: Vec<(String, Category)> = (0..10)
-        .map(|i| (format!("usb device {i} new number on hub"), Category::UsbDevice))
+        .map(|i| {
+            (
+                format!("usb device {i} new number on hub"),
+                Category::UsbDevice,
+            )
+        })
         .collect();
     // Complement NB is excluded: "the complement of the only class" is
     // degenerate by construction, so its single-class prediction is
@@ -57,18 +62,28 @@ fn single_class_corpus_trains_and_predicts() {
     for model in ["nc", "sgd", "lr"] {
         let clf = hetsyslog::core::persist::SavedPipeline::train(
             FeatureConfig {
-                tfidf: TfidfConfig { min_df: 1, ..TfidfConfig::default() },
+                tfidf: TfidfConfig {
+                    min_df: 1,
+                    ..TfidfConfig::default()
+                },
                 ..FeatureConfig::default()
             },
             SavedModel::by_name(model).unwrap(),
             &corpus,
         );
         let p = clf.classify("usb device 99 new number on hub");
-        assert_eq!(p.category, Category::UsbDevice, "{model} failed on single-class corpus");
+        assert_eq!(
+            p.category,
+            Category::UsbDevice,
+            "{model} failed on single-class corpus"
+        );
     }
     let cnb = hetsyslog::core::persist::SavedPipeline::train(
         FeatureConfig {
-            tfidf: TfidfConfig { min_df: 1, ..TfidfConfig::default() },
+            tfidf: TfidfConfig {
+                min_df: 1,
+                ..TfidfConfig::default()
+            },
             ..FeatureConfig::default()
         },
         SavedModel::by_name("cnb").unwrap(),
@@ -105,11 +120,19 @@ fn monitor_service_with_everything_filtered() {
     use std::sync::Arc;
     let corpus: Vec<(String, Category)> = (0..6)
         .map(|i| (format!("noise pattern {i}"), Category::Unimportant))
-        .chain((0..6).map(|i| (format!("cpu {i} temperature throttled"), Category::ThermalIssue)))
+        .chain((0..6).map(|i| {
+            (
+                format!("cpu {i} temperature throttled"),
+                Category::ThermalIssue,
+            )
+        }))
         .collect();
     let clf: Arc<dyn TextClassifier> = Arc::new(TraditionalPipeline::train(
         FeatureConfig {
-            tfidf: TfidfConfig { min_df: 1, ..TfidfConfig::default() },
+            tfidf: TfidfConfig {
+                min_df: 1,
+                ..TfidfConfig::default()
+            },
             ..FeatureConfig::default()
         },
         Box::new(ComplementNaiveBayes::new(Default::default())),
