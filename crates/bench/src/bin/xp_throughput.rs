@@ -21,9 +21,10 @@ use hetsyslog_ml::{
     RandomForestConfig, RidgeClassifier, RidgeConfig, SgdClassifier, SgdConfig,
 };
 use llmsim::{GenerativeLlmClassifier, ModelPreset, PromptBuilder, ZeroShotLlmClassifier};
-use logpipeline::{ClassifyingIngest, LogStore};
+use logpipeline::{ClassifyingIngest, ListenerConfig, LogStore, OverloadPolicy, SyslogListener};
+use std::io::Write;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Path the batch-vs-scalar comparison is always written to (committed as
 /// the PR's evidence that the CSR path clears its speedup floor).
@@ -64,6 +65,76 @@ fn linear_suite(seed: u64) -> Vec<(&'static str, Box<dyn BatchClassifier>)> {
             Box::new(ComplementNaiveBayes::new(ComplementNbConfig::default())),
         ),
     ]
+}
+
+/// Result of the loopback listener run: final counters plus wall time.
+struct ListenerBench {
+    connections: usize,
+    report: hetsyslog_core::IngestSnapshot,
+    seconds: f64,
+}
+
+impl ListenerBench {
+    fn msgs_per_sec(&self) -> f64 {
+        self.report.ingested as f64 / self.seconds
+    }
+}
+
+/// Push `frames` through the loopback TCP listener over 4 concurrent
+/// octet-counted connections and report sustained wire-to-store ingest.
+fn bench_listener(frames: &[String]) -> ListenerBench {
+    const CONNECTIONS: usize = 4;
+    let store = Arc::new(LogStore::new());
+    let listener = SyslogListener::start(
+        store.clone(),
+        None,
+        ListenerConfig {
+            workers: 4,
+            queue_depth: 4096,
+            overload: OverloadPolicy::Block,
+            idle_timeout: Duration::from_secs(30),
+            ..ListenerConfig::default()
+        },
+    )
+    .expect("bind loopback listener");
+    let addr = listener.tcp_addr();
+
+    let started = Instant::now();
+    let senders: Vec<_> = (0..CONNECTIONS)
+        .map(|c| {
+            let shard: Vec<String> = frames
+                .iter()
+                .skip(c)
+                .step_by(CONNECTIONS)
+                .cloned()
+                .collect();
+            std::thread::spawn(move || {
+                let mut sock = std::net::TcpStream::connect(addr).expect("connect");
+                let mut wire = Vec::with_capacity(shard.iter().map(|f| f.len() + 8).sum());
+                for frame in &shard {
+                    wire.extend_from_slice(format!("{} {frame}", frame.len()).as_bytes());
+                }
+                sock.write_all(&wire).expect("write");
+            })
+        })
+        .collect();
+    for sender in senders {
+        sender.join().expect("sender thread");
+    }
+    let expected = frames.len() as u64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while listener.stats().snapshot().ingested + listener.stats().snapshot().parse_errors < expected
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    let report = listener.shutdown();
+    ListenerBench {
+        connections: CONNECTIONS,
+        report,
+        seconds,
+    }
 }
 
 fn main() {
@@ -251,6 +322,28 @@ fn main() {
             &batch_rows
         )
     );
+    // Socket-facing listener: the same frames delivered over loopback TCP
+    // (RFC 6587 octet counting, 4 concurrent connections) through the
+    // bounded-queue listener into the store — wire → decode → parse →
+    // index, measured end to end.
+    let listener = bench_listener(&frames.iter().take(20_000).cloned().collect::<Vec<_>>());
+    println!(
+        "\nLoopback listener ingest: {:.0} msg/s over {} TCP connections ({} frames, {} drops)",
+        listener.msgs_per_sec(),
+        listener.connections,
+        listener.report.frames,
+        listener.report.total_dropped(),
+    );
+    let listener_json = serde_json::json!({
+        "connections": listener.connections,
+        "frames": listener.report.frames,
+        "ingested": listener.report.ingested,
+        "dropped": listener.report.total_dropped(),
+        "bytes": listener.report.bytes,
+        "seconds": listener.seconds,
+        "msgs_per_sec": listener.msgs_per_sec(),
+    });
+
     write_json(
         BENCH_JSON,
         &serde_json::json!({
@@ -259,6 +352,7 @@ fn main() {
             "seed": args.seed,
             "n_messages": bench_msgs.len(),
             "classifiers": batch_json,
+            "listener": listener_json,
         }),
     );
     println!("Batch comparison written to {BENCH_JSON}");

@@ -33,5 +33,5 @@ pub use explain::Explanation;
 pub use features::{FeatureConfig, FeaturePipeline};
 pub use filter::NoiseFilter;
 pub use persist::{SavedModel, SavedPipeline};
-pub use service::{Alert, MonitorService, MonitorStats};
+pub use service::{Alert, HealthSnapshot, IngestSnapshot, MonitorService, MonitorStats};
 pub use taxonomy::Category;

@@ -87,6 +87,48 @@ impl MonitorStats {
     }
 }
 
+/// Point-in-time counters from the ingest layer in front of the monitor —
+/// the socket listener / stream decoder that feeds it frames. The transport
+/// owns these numbers (the monitor never sees shed or undecodable frames);
+/// it reports them here so one snapshot can describe the whole service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestSnapshot {
+    /// Frames decoded off the wire.
+    pub frames: u64,
+    /// Raw bytes received.
+    pub bytes: u64,
+    /// Records successfully parsed and stored.
+    pub ingested: u64,
+    /// Frames that failed syslog parsing outright (empty frames; the
+    /// free-form fallback accepts everything else).
+    pub parse_errors: u64,
+    /// Frames shed because the bounded ingest queue was full.
+    pub shed: u64,
+    /// Corrupt octet-count tokens dropped by the RFC 6587 decoder.
+    pub decode_dropped: u64,
+    /// Connections accepted over the lifetime of the listener.
+    pub connections: u64,
+    /// Connections closed for idling past the per-connection timeout.
+    pub idle_closed: u64,
+}
+
+impl IngestSnapshot {
+    /// Total frames lost before classification, for any reason.
+    pub fn total_dropped(&self) -> u64 {
+        self.parse_errors + self.shed + self.decode_dropped
+    }
+}
+
+/// One combined health view: classification counters plus the ingest-layer
+/// counters supplied by the transport feeding this service.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthSnapshot {
+    /// Classifier-side counters (owned by the [`MonitorService`]).
+    pub monitor: MonitorStats,
+    /// Transport-side counters (owned by the listener / decoder).
+    pub ingest: IngestSnapshot,
+}
+
 /// The continuous classification service.
 pub struct MonitorService {
     classifier: Arc<dyn TextClassifier>,
@@ -245,6 +287,15 @@ impl MonitorService {
         self.stats.lock().clone()
     }
 
+    /// Combine this service's counters with the ingest-layer counters of
+    /// the transport feeding it into one health snapshot.
+    pub fn health(&self, ingest: IngestSnapshot) -> HealthSnapshot {
+        HealthSnapshot {
+            monitor: self.stats(),
+            ingest,
+        }
+    }
+
     /// The classifier in use.
     pub fn classifier_name(&self) -> String {
         self.classifier.name()
@@ -348,6 +399,29 @@ mod tests {
         }
         // Windows of 10 actionable messages → one alert each.
         assert_eq!(sink.len(), 3);
+    }
+
+    #[test]
+    fn health_combines_monitor_and_ingest_counters() {
+        let svc = MonitorService::new(Arc::new(Stub));
+        svc.ingest("cpu is hot");
+        let ingest = IngestSnapshot {
+            frames: 3,
+            bytes: 120,
+            ingested: 1,
+            parse_errors: 1,
+            shed: 1,
+            decode_dropped: 0,
+            connections: 2,
+            idle_closed: 0,
+        };
+        let health = svc.health(ingest);
+        assert_eq!(health.monitor.total, 1);
+        assert_eq!(health.ingest.total_dropped(), 2);
+        // The combined snapshot serializes as one document (the dashboard
+        // wire format).
+        let json = serde_json::to_string(&health).unwrap();
+        assert!(json.contains("\"shed\""));
     }
 
     #[test]

@@ -21,8 +21,14 @@ pub struct IngestReport {
     pub ingested: u64,
     /// Frames that fell back to free-form parsing (no RFC grammar).
     pub free_form: u64,
-    /// Empty frames dropped.
+    /// Frames that failed syslog parsing and were not stored. In practice
+    /// only empty frames fail (the free-form fallback accepts any other
+    /// UTF-8), but the counter tallies every parse error.
     pub dropped: u64,
+    /// Corrupt frames dropped by the RFC 6587 decoder before parsing
+    /// (bogus octet counts, truncated count tokens); only non-zero for
+    /// [`IngestPipeline::run_stream`].
+    pub decoder_dropped: u64,
     /// Wall-clock seconds for the whole run.
     pub seconds: f64,
 }
@@ -64,20 +70,39 @@ impl IngestPipeline {
         self
     }
 
+    /// Set the bounded parser-queue depth (how far decode may run ahead of
+    /// the parse/store workers before blocking).
+    pub fn with_queue_depth(mut self, depth: usize) -> IngestPipeline {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
     /// Run the pipeline over a raw TCP byte stream (RFC 6587 framing,
     /// octet-counted or LF-delimited), as delivered by the syslog server's
     /// socket in arbitrary chunks.
+    ///
+    /// Frames are sent into the bounded parser queue *as each chunk is
+    /// decoded*: the workers run concurrently with decoding, and a slow
+    /// parser stage blocks the decode loop (real backpressure) instead of
+    /// the stream being buffered whole in memory first.
     pub fn run_stream<I>(&self, chunks: I) -> IngestReport
     where
         I: IntoIterator<Item = Vec<u8>>,
     {
-        let mut decoder = syslog_model::FrameDecoder::new();
-        let mut frames: Vec<String> = Vec::new();
-        for chunk in chunks {
-            frames.extend(decoder.push(&chunk));
-        }
-        frames.extend(decoder.finish());
-        self.run(frames)
+        self.run_with(|tx| {
+            let mut decoder = syslog_model::FrameDecoder::new();
+            for chunk in chunks {
+                for frame in decoder.push(&chunk) {
+                    if tx.send(frame).is_err() {
+                        return decoder.dropped();
+                    }
+                }
+            }
+            if let Some(tail) = decoder.finish() {
+                let _ = tx.send(tail);
+            }
+            decoder.dropped()
+        })
     }
 
     /// Run the pipeline to completion over an iterator of raw frames.
@@ -85,11 +110,30 @@ impl IngestPipeline {
     where
         I: IntoIterator<Item = String>,
     {
+        self.run_with(|tx| {
+            for frame in frames {
+                // Bounded send: blocks when parsers lag (backpressure).
+                if tx.send(frame).is_err() {
+                    break;
+                }
+            }
+            0
+        })
+    }
+
+    /// Shared engine: spawn the parser workers, let `feed` drive frames
+    /// into the bounded channel from this thread, then drain and join.
+    /// `feed` returns the number of frames the decode stage dropped.
+    fn run_with<F>(&self, feed: F) -> IngestReport
+    where
+        F: FnOnce(&channel::Sender<String>) -> u64,
+    {
         let started = Instant::now();
         let (tx, rx) = channel::bounded::<String>(self.queue_depth);
         let ingested = AtomicU64::new(0);
         let free_form = AtomicU64::new(0);
         let dropped = AtomicU64::new(0);
+        let mut decoder_dropped = 0;
 
         std::thread::scope(|scope| {
             for _ in 0..self.workers {
@@ -122,12 +166,7 @@ impl IngestPipeline {
                 });
             }
             drop(rx);
-            for frame in frames {
-                // Bounded send: blocks when parsers lag (backpressure).
-                if tx.send(frame).is_err() {
-                    break;
-                }
-            }
+            decoder_dropped = feed(&tx);
             drop(tx);
         });
 
@@ -135,6 +174,7 @@ impl IngestPipeline {
             ingested: ingested.into_inner(),
             free_form: free_form.into_inner(),
             dropped: dropped.into_inner(),
+            decoder_dropped,
             seconds: started.elapsed().as_secs_f64(),
         }
     }
@@ -208,6 +248,22 @@ mod tests {
             store.search(0, i64::MAX / 2, &["second".to_string()]).len(),
             1
         );
+    }
+
+    #[test]
+    fn stream_reports_decoder_drops_and_strips_truncated_count() {
+        let store = Arc::new(LogStore::new());
+        let pipeline = IngestPipeline::new(store.clone(), 2).with_queue_depth(4);
+        // An oversized count (dropped, payload survives as an LF frame),
+        // then a truncated octet-counted tail whose "35 " count token must
+        // not leak into a stored record.
+        let wire = b"999999 <13>Oct 11 22:14:15 cn0001 kernel: ok\n35 <13>Oct".to_vec();
+        let report = pipeline.run_stream(vec![wire]);
+        assert_eq!(report.ingested, 2);
+        assert_eq!(report.decoder_dropped, 1);
+        assert_eq!(report.dropped, 0);
+        let all = store.search(i64::MIN / 2, i64::MAX / 2, &[]);
+        assert!(all.iter().all(|r| !r.message.starts_with("35 ")));
     }
 
     #[test]

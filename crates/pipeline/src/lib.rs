@@ -13,6 +13,9 @@
 //! * [`query`] — boolean term + time-range + metadata queries;
 //! * [`ingest`] — the multi-threaded collector (the rsyslog/Fluentd
 //!   stand-in) built on crossbeam channels;
+//! * [`listener`] — the socket-facing front end: fault-tolerant TCP/UDP
+//!   syslog listeners with bounded-queue overload policies, idle timeouts,
+//!   a dead-letter ring, and graceful drain;
 //! * [`views`] — the §4.5 monitoring views: frequency/temporal analysis
 //!   with burst detection, positional (per-rack) analysis, and
 //!   per-architecture anomaly comparison;
@@ -20,6 +23,7 @@
 //!   inside the ingest path for real-time classification.
 
 pub mod ingest;
+pub mod listener;
 pub mod monitor;
 pub mod query;
 pub mod record;
@@ -29,6 +33,10 @@ pub mod topology;
 pub mod views;
 
 pub use ingest::{IngestPipeline, IngestReport};
+pub use listener::{
+    DeadLetter, DeadLetterRing, DropReason, IngestStats, ListenerConfig, OverloadPolicy,
+    SyslogListener,
+};
 pub use monitor::ClassifyingIngest;
 pub use query::Query;
 pub use record::LogRecord;

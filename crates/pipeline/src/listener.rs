@@ -1,0 +1,641 @@
+//! The socket-facing ingest front end: fault-tolerant TCP + UDP syslog
+//! listeners over the parse/store pipeline.
+//!
+//! The paper's Tivan substrate receives syslog from hundreds of
+//! heterogeneous Darwin nodes over the network (rsyslogd → Fluentd →
+//! OpenSearch, §2). This module is that receiving edge, built to survive
+//! hostile traffic the way production log pipelines do:
+//!
+//! * **Per-connection decoder state** — each TCP connection owns an RFC
+//!   6587 [`FrameDecoder`](syslog_model::FrameDecoder), so one sender's
+//!   corrupt framing never desynchronizes another's stream;
+//! * **Bounded ingest queue** with a configurable [`OverloadPolicy`]:
+//!   `Block` applies lossless backpressure through the TCP window, `Shed`
+//!   drops frames at the edge and counts every drop by reason;
+//! * **Idle timeouts** — a connection that goes quiet past
+//!   [`ListenerConfig::idle_timeout`] is closed (and its decoder tail
+//!   flushed), so slow or dead peers cannot pin resources forever;
+//! * **Dead-letter ring** — the last N unparseable or shed frames are kept
+//!   for operator inspection instead of vanishing into a counter;
+//! * **Graceful drain** — [`SyslogListener::shutdown`] stops accepting,
+//!   joins every connection (flushing decoder tails), then drains the
+//!   queue through the parser workers before returning final stats.
+
+use crate::record::LogRecord;
+use crate::store::LogStore;
+use crossbeam::channel::{self, TrySendError};
+use hetsyslog_core::{HealthSnapshot, IngestSnapshot, MonitorService};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What to do when the bounded ingest queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Block the connection thread until the parsers catch up. Lossless:
+    /// backpressure propagates to the sender through the TCP window (the
+    /// rsyslog disk-queue model without the disk).
+    #[default]
+    Block,
+    /// Drop the frame at the edge and count it. Keeps the listener
+    /// responsive under overload at the cost of loss (the UDP-syslog
+    /// tradition, applied deliberately).
+    Shed,
+}
+
+/// Why a frame was dropped or dead-lettered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The bounded queue was full under [`OverloadPolicy::Shed`].
+    QueueFull,
+    /// `syslog_model::parse` rejected the frame (empty frames; everything
+    /// else is absorbed by the free-form fallback).
+    ParseError,
+}
+
+impl DropReason {
+    /// Stable label for logs and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DropReason::QueueFull => "queue_full",
+            DropReason::ParseError => "parse_error",
+        }
+    }
+}
+
+/// Identifies where a frame entered the listener. TCP connections get ids
+/// from 1; id 0 is the UDP socket.
+pub const UDP_SOURCE: u64 = 0;
+
+/// A frame the pipeline could not (or chose not to) ingest, kept for
+/// operator inspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadLetter {
+    /// Why the frame was dropped.
+    pub reason: DropReason,
+    /// Connection id the frame arrived on ([`UDP_SOURCE`] for UDP).
+    pub source: u64,
+    /// The raw frame text (lossy UTF-8).
+    pub frame: String,
+}
+
+/// Fixed-capacity ring of the most recent [`DeadLetter`]s.
+#[derive(Debug)]
+pub struct DeadLetterRing {
+    capacity: usize,
+    items: Mutex<VecDeque<DeadLetter>>,
+    total: AtomicU64,
+}
+
+impl DeadLetterRing {
+    /// New ring holding at most `capacity` letters.
+    pub fn new(capacity: usize) -> DeadLetterRing {
+        DeadLetterRing {
+            capacity: capacity.max(1),
+            items: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a dropped frame, evicting the oldest letter when full.
+    pub fn push(&self, letter: DeadLetter) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let mut items = self.items.lock();
+        if items.len() == self.capacity {
+            items.pop_front();
+        }
+        items.push_back(letter);
+    }
+
+    /// The retained letters, oldest first.
+    pub fn snapshot(&self) -> Vec<DeadLetter> {
+        self.items.lock().iter().cloned().collect()
+    }
+
+    /// Letters currently retained.
+    pub fn len(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.items.lock().is_empty()
+    }
+
+    /// Total letters ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-source counters kept by [`IngestStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceCounters {
+    /// Frames decoded from this source.
+    pub frames: u64,
+    /// Raw bytes received from this source.
+    pub bytes: u64,
+}
+
+/// Shared, lock-light counters for the whole listener. Snapshot with
+/// [`IngestStats::snapshot`] to thread through
+/// [`MonitorService::health`](hetsyslog_core::MonitorService::health).
+#[derive(Debug, Default)]
+pub struct IngestStats {
+    /// Frames decoded off the wire (before parse).
+    pub frames: AtomicU64,
+    /// Raw bytes received.
+    pub bytes: AtomicU64,
+    /// Records parsed and stored.
+    pub ingested: AtomicU64,
+    /// Frames rejected by the syslog parser.
+    pub parse_errors: AtomicU64,
+    /// Frames shed because the queue was full.
+    pub shed: AtomicU64,
+    /// Corrupt octet counts dropped by the per-connection decoders.
+    pub decode_dropped: AtomicU64,
+    /// TCP connections accepted.
+    pub connections_opened: AtomicU64,
+    /// TCP connections closed (any reason).
+    pub connections_closed: AtomicU64,
+    /// Connections closed for exceeding the idle timeout.
+    pub idle_closed: AtomicU64,
+    per_source: Mutex<HashMap<u64, SourceCounters>>,
+}
+
+impl IngestStats {
+    /// Fold `frames`/`bytes` deltas into one source's counters.
+    fn add_source(&self, source: u64, frames: u64, bytes: u64) {
+        let mut map = self.per_source.lock();
+        let entry = map.entry(source).or_default();
+        entry.frames += frames;
+        entry.bytes += bytes;
+    }
+
+    /// Per-source counters, sorted by source id.
+    pub fn per_source(&self) -> Vec<(u64, SourceCounters)> {
+        let mut rows: Vec<(u64, SourceCounters)> = self
+            .per_source
+            .lock()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        rows.sort_by_key(|(id, _)| *id);
+        rows
+    }
+
+    /// Point-in-time snapshot in the core wire format.
+    pub fn snapshot(&self) -> IngestSnapshot {
+        IngestSnapshot {
+            frames: self.frames.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            ingested: self.ingested.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            decode_dropped: self.decode_dropped.load(Ordering::Relaxed),
+            connections: self.connections_opened.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Listener tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ListenerConfig {
+    /// Parser/store worker threads.
+    pub workers: usize,
+    /// Bounded ingest-queue depth (frames in flight between decode and
+    /// parse).
+    pub queue_depth: usize,
+    /// What to do when the queue is full.
+    pub overload: OverloadPolicy,
+    /// Close a TCP connection after this long without a byte.
+    pub idle_timeout: Duration,
+    /// How often blocked socket reads wake to check shutdown/idle state.
+    pub poll_interval: Duration,
+    /// Dead-letter ring capacity.
+    pub dead_letter_capacity: usize,
+    /// Event time for frames without a parseable timestamp.
+    pub fallback_time: i64,
+}
+
+impl Default for ListenerConfig {
+    fn default() -> ListenerConfig {
+        ListenerConfig {
+            workers: 2,
+            queue_depth: 1024,
+            overload: OverloadPolicy::Block,
+            idle_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(10),
+            dead_letter_capacity: 64,
+            fallback_time: 0,
+        }
+    }
+}
+
+/// A decoded frame tagged with its source connection.
+struct WireFrame {
+    source: u64,
+    frame: String,
+}
+
+/// The submit side shared by every socket thread: applies the overload
+/// policy and keeps the drop accounting in one place.
+struct FrameSink {
+    tx: channel::Sender<WireFrame>,
+    overload: OverloadPolicy,
+    stats: Arc<IngestStats>,
+    dead_letters: Arc<DeadLetterRing>,
+}
+
+impl FrameSink {
+    /// Offer one frame; returns `false` once the pipeline is gone.
+    fn submit(&self, source: u64, frame: String) -> bool {
+        self.stats.frames.fetch_add(1, Ordering::Relaxed);
+        match self.overload {
+            OverloadPolicy::Block => self.tx.send(WireFrame { source, frame }).is_ok(),
+            OverloadPolicy::Shed => match self.tx.try_send(WireFrame { source, frame }) {
+                Ok(()) => true,
+                Err(TrySendError::Full(wf)) => {
+                    self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    self.dead_letters.push(DeadLetter {
+                        reason: DropReason::QueueFull,
+                        source: wf.source,
+                        frame: wf.frame,
+                    });
+                    true
+                }
+                Err(TrySendError::Disconnected(_)) => false,
+            },
+        }
+    }
+}
+
+/// The running listener. Bind with [`SyslogListener::start`], feed it over
+/// loopback TCP/UDP, then [`SyslogListener::shutdown`] for a graceful
+/// drain.
+pub struct SyslogListener {
+    tcp_addr: SocketAddr,
+    udp_addr: SocketAddr,
+    stats: Arc<IngestStats>,
+    dead_letters: Arc<DeadLetterRing>,
+    service: Option<Arc<MonitorService>>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    udp_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    tx: Option<channel::Sender<WireFrame>>,
+}
+
+impl SyslogListener {
+    /// Bind TCP + UDP listeners on ephemeral loopback ports and start the
+    /// accept loop and parser workers. Pass a [`MonitorService`] to
+    /// classify records in flight (`None` stores them unclassified).
+    pub fn start(
+        store: Arc<LogStore>,
+        service: Option<Arc<MonitorService>>,
+        config: ListenerConfig,
+    ) -> std::io::Result<SyslogListener> {
+        let tcp = TcpListener::bind("127.0.0.1:0")?;
+        tcp.set_nonblocking(true)?;
+        let udp = UdpSocket::bind("127.0.0.1:0")?;
+        udp.set_read_timeout(Some(config.poll_interval))?;
+        let tcp_addr = tcp.local_addr()?;
+        let udp_addr = udp.local_addr()?;
+
+        let stats = Arc::new(IngestStats::default());
+        let dead_letters = Arc::new(DeadLetterRing::new(config.dead_letter_capacity));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let (tx, rx) = channel::bounded::<WireFrame>(config.queue_depth.max(1));
+
+        // Parser/store workers: drain the queue until every sender is gone.
+        let mut worker_threads = Vec::new();
+        for _ in 0..config.workers.max(1) {
+            let rx = rx.clone();
+            let store = store.clone();
+            let service = service.clone();
+            let stats = stats.clone();
+            let dead_letters = dead_letters.clone();
+            let fallback_time = config.fallback_time;
+            worker_threads.push(std::thread::spawn(move || {
+                for wf in rx.iter() {
+                    match syslog_model::parse(&wf.frame) {
+                        Ok(msg) => {
+                            let mut record =
+                                LogRecord::from_message(store.allocate_id(), &msg, fallback_time);
+                            if let Some(service) = &service {
+                                if let Some(prediction) = service.ingest(&record.message) {
+                                    record.category = Some(prediction.category);
+                                }
+                            }
+                            store.insert(record);
+                            stats.ingested.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                            dead_letters.push(DeadLetter {
+                                reason: DropReason::ParseError,
+                                source: wf.source,
+                                frame: wf.frame,
+                            });
+                        }
+                    }
+                }
+            }));
+        }
+        drop(rx);
+
+        // UDP: one datagram = one frame, no framing state to keep.
+        let udp_thread = {
+            let sink = FrameSink {
+                tx: tx.clone(),
+                overload: config.overload,
+                stats: stats.clone(),
+                dead_letters: dead_letters.clone(),
+            };
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || {
+                let mut buf = vec![0u8; 64 * 1024];
+                while !shutdown.load(Ordering::Relaxed) {
+                    match udp.recv_from(&mut buf) {
+                        Ok((n, _peer)) => {
+                            sink.stats.bytes.fetch_add(n as u64, Ordering::Relaxed);
+                            sink.stats.add_source(UDP_SOURCE, 1, n as u64);
+                            let frame = String::from_utf8_lossy(&buf[..n])
+                                .trim_end_matches(['\r', '\n'])
+                                .to_string();
+                            if !sink.submit(UDP_SOURCE, frame) {
+                                break;
+                            }
+                        }
+                        Err(e)
+                            if e.kind() == ErrorKind::WouldBlock
+                                || e.kind() == ErrorKind::TimedOut =>
+                        {
+                            continue;
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+
+        // TCP accept loop: nonblocking + poll so shutdown never hangs in
+        // accept(2).
+        let accept_thread = {
+            let sink_template = (
+                tx.clone(),
+                config.overload,
+                stats.clone(),
+                dead_letters.clone(),
+            );
+            let shutdown = shutdown.clone();
+            let conn_threads = conn_threads.clone();
+            let next_conn_id = AtomicU64::new(1);
+            let idle_timeout = config.idle_timeout;
+            let poll_interval = config.poll_interval;
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    match tcp.accept() {
+                        Ok((stream, _peer)) => {
+                            let conn_id = next_conn_id.fetch_add(1, Ordering::Relaxed);
+                            sink_template
+                                .2
+                                .connections_opened
+                                .fetch_add(1, Ordering::Relaxed);
+                            let sink = FrameSink {
+                                tx: sink_template.0.clone(),
+                                overload: sink_template.1,
+                                stats: sink_template.2.clone(),
+                                dead_letters: sink_template.3.clone(),
+                            };
+                            let shutdown = shutdown.clone();
+                            let handle = std::thread::spawn(move || {
+                                serve_connection(
+                                    stream,
+                                    conn_id,
+                                    sink,
+                                    shutdown,
+                                    idle_timeout,
+                                    poll_interval,
+                                );
+                            });
+                            conn_threads.lock().push(handle);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(poll_interval);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+
+        Ok(SyslogListener {
+            tcp_addr,
+            udp_addr,
+            stats,
+            dead_letters,
+            service,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            udp_thread: Some(udp_thread),
+            conn_threads,
+            worker_threads,
+            tx: Some(tx),
+        })
+    }
+
+    /// Address of the TCP listener.
+    pub fn tcp_addr(&self) -> SocketAddr {
+        self.tcp_addr
+    }
+
+    /// Address of the UDP socket.
+    pub fn udp_addr(&self) -> SocketAddr {
+        self.udp_addr
+    }
+
+    /// Live ingest counters.
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// The dead-letter ring.
+    pub fn dead_letters(&self) -> &DeadLetterRing {
+        &self.dead_letters
+    }
+
+    /// Combined transport + classification health, when a
+    /// [`MonitorService`] is attached.
+    pub fn health(&self) -> Option<HealthSnapshot> {
+        self.service
+            .as_ref()
+            .map(|service| service.health(self.stats.snapshot()))
+    }
+
+    /// Graceful drain: stop accepting, join every connection thread (each
+    /// flushes its decoder tail on the way out), close the queue, join the
+    /// parser workers after they empty it, and return the final counters.
+    pub fn shutdown(mut self) -> IngestSnapshot {
+        self.stop();
+        self.stats.snapshot()
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // After the accept loop exits, no new connection threads appear.
+        let conns: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conn_threads.lock());
+        for handle in conns {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.udp_thread.take() {
+            let _ = handle.join();
+        }
+        // Every producer is gone; dropping the last sender lets the
+        // workers drain the queue and observe the hangup.
+        drop(self.tx.take());
+        for handle in self.worker_threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SyslogListener {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One TCP connection: read with a short poll timeout, decode through a
+/// per-connection [`FrameDecoder`](syslog_model::FrameDecoder), enforce the
+/// idle deadline, and flush the decoder tail when the peer goes away (or
+/// the listener shuts down).
+fn serve_connection(
+    mut stream: std::net::TcpStream,
+    conn_id: u64,
+    sink: FrameSink,
+    shutdown: Arc<AtomicBool>,
+    idle_timeout: Duration,
+    poll_interval: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(poll_interval));
+    let mut decoder = syslog_model::FrameDecoder::new();
+    let mut decoder_dropped = 0u64;
+    let mut last_activity = Instant::now();
+    let mut buf = [0u8; 8 * 1024];
+    let mut idled_out = false;
+
+    'read: while !shutdown.load(Ordering::Relaxed) {
+        match stream.read(&mut buf) {
+            Ok(0) => break, // EOF: peer closed cleanly.
+            Ok(n) => {
+                last_activity = Instant::now();
+                sink.stats.bytes.fetch_add(n as u64, Ordering::Relaxed);
+                let frames = decoder.push(&buf[..n]);
+                let dropped_now = decoder.dropped() - decoder_dropped;
+                if dropped_now > 0 {
+                    decoder_dropped = decoder.dropped();
+                    sink.stats
+                        .decode_dropped
+                        .fetch_add(dropped_now, Ordering::Relaxed);
+                }
+                sink.stats
+                    .add_source(conn_id, frames.len() as u64, n as u64);
+                for frame in frames {
+                    if !sink.submit(conn_id, frame) {
+                        break 'read;
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if last_activity.elapsed() >= idle_timeout {
+                    idled_out = true;
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+
+    // Flush the decoder tail: an unterminated trailing frame still counts
+    // (its octet-count prefix, if any, is stripped by `finish`).
+    if let Some(tail) = decoder.finish() {
+        sink.stats.add_source(conn_id, 1, 0);
+        sink.submit(conn_id, tail);
+    }
+    let dropped_now = decoder.dropped() - decoder_dropped;
+    if dropped_now > 0 {
+        sink.stats
+            .decode_dropped
+            .fetch_add(dropped_now, Ordering::Relaxed);
+    }
+    if idled_out {
+        sink.stats.idle_closed.fetch_add(1, Ordering::Relaxed);
+    }
+    sink.stats
+        .connections_closed
+        .fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dead_letter_ring_evicts_oldest() {
+        let ring = DeadLetterRing::new(2);
+        for i in 0..5 {
+            ring.push(DeadLetter {
+                reason: DropReason::QueueFull,
+                source: 1,
+                frame: format!("frame {i}"),
+            });
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.total_recorded(), 5);
+        let kept = ring.snapshot();
+        assert_eq!(kept[0].frame, "frame 3");
+        assert_eq!(kept[1].frame, "frame 4");
+    }
+
+    #[test]
+    fn stats_snapshot_maps_to_core_format() {
+        let stats = IngestStats::default();
+        stats.frames.store(10, Ordering::Relaxed);
+        stats.shed.store(3, Ordering::Relaxed);
+        stats.parse_errors.store(1, Ordering::Relaxed);
+        stats.add_source(1, 6, 600);
+        stats.add_source(1, 4, 400);
+        let snap = stats.snapshot();
+        assert_eq!(snap.frames, 10);
+        assert_eq!(snap.total_dropped(), 4);
+        assert_eq!(
+            stats.per_source(),
+            vec![(
+                1,
+                SourceCounters {
+                    frames: 10,
+                    bytes: 1000
+                }
+            )]
+        );
+    }
+
+    #[test]
+    fn drop_reasons_have_stable_labels() {
+        assert_eq!(DropReason::QueueFull.as_str(), "queue_full");
+        assert_eq!(DropReason::ParseError.as_str(), "parse_error");
+    }
+}

@@ -1,0 +1,341 @@
+//! Loopback integration tests for the socket-facing ingest front end:
+//! concurrent TCP connections with hostile mixed framing, overload
+//! policies, idle timeouts, UDP datagrams, and graceful drain.
+//!
+//! Every listener binds an ephemeral (`:0`) loopback port, so tests cannot
+//! collide on addresses; CI still pins `--test-threads` for this binary to
+//! keep socket-heavy tests from contending for the accept backlog.
+
+use hetsyslog_core::{Category, MonitorService, Prediction, TextClassifier};
+use logpipeline::{DropReason, ListenerConfig, LogStore, OverloadPolicy, SyslogListener};
+use std::io::Write;
+use std::net::{TcpStream, UdpSocket};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Poll `cond` until it holds or `deadline_ms` passes.
+fn wait_until(deadline_ms: u64, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+/// A classifier that takes a fixed time per message, to make the bounded
+/// queue actually fill under load.
+struct SlowStub(Duration);
+
+impl TextClassifier for SlowStub {
+    fn name(&self) -> String {
+        "slow-stub".to_string()
+    }
+
+    fn classify(&self, _message: &str) -> Prediction {
+        std::thread::sleep(self.0);
+        Prediction::bare(Category::Unimportant)
+    }
+}
+
+/// The acceptance scenario: four concurrent TCP connections sending
+/// interleaved octet-counted, LF-framed, corrupt-count, garbage, and
+/// truncated traffic. Everything decodable ingests, drops land in the
+/// right per-reason counters, and shutdown flushes the decoder tails.
+#[test]
+fn four_concurrent_connections_mixed_hostile_traffic() {
+    let store = Arc::new(LogStore::new());
+    let listener = SyslogListener::start(
+        store.clone(),
+        None,
+        ListenerConfig {
+            workers: 3,
+            queue_depth: 64,
+            overload: OverloadPolicy::Block,
+            ..ListenerConfig::default()
+        },
+    )
+    .expect("bind loopback listener");
+    let addr = listener.tcp_addr();
+
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut sock = TcpStream::connect(addr).expect("connect");
+                let mut wire = Vec::new();
+                for k in 0..10 {
+                    // Octet-counted frames.
+                    let frame = format!("<13>Oct 11 22:14:{:02} cn{c:04} app: octet {k}", k % 60);
+                    wire.extend_from_slice(format!("{} {frame}", frame.len()).as_bytes());
+                }
+                for k in 0..10 {
+                    // LF-framed, with CRLF and blank-line noise.
+                    let frame = format!("<13>Oct 11 22:15:{:02} cn{c:04} app: lf {k}", k % 60);
+                    wire.extend_from_slice(frame.as_bytes());
+                    wire.extend_from_slice(if k % 2 == 0 {
+                        b"\r\n" as &[u8]
+                    } else {
+                        b"\n\n"
+                    });
+                }
+                // A corrupt oversized octet count: dropped and resynced.
+                wire.extend_from_slice(b"999999 \n");
+                // Binary garbage still ingests via the free-form fallback.
+                wire.extend_from_slice(b"@@garbage \x01\x02\xff!!\n");
+                // A truncated octet-counted tail: the declared 60-byte
+                // payload never fully arrives before the close.
+                let tail = format!("<13>Oct 11 22:16:00 cn{c:04} app: truncated tail");
+                wire.extend_from_slice(format!("60 {tail}").as_bytes());
+                // Dribble in awkward chunk sizes to exercise partial
+                // delivery across reads.
+                for chunk in wire.chunks(23) {
+                    sock.write_all(chunk).expect("write");
+                }
+                // Drop closes the socket; the listener flushes the tail.
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    // Per client: 10 octet + 10 LF + 1 garbage + 1 flushed tail = 22.
+    let expected = 4 * 22;
+    assert!(
+        wait_until(10_000, || listener.stats().snapshot().ingested == expected),
+        "timed out: {:?}",
+        listener.stats().snapshot()
+    );
+
+    let report = listener.shutdown();
+    assert_eq!(report.ingested, expected);
+    assert_eq!(report.frames, expected);
+    assert_eq!(report.decode_dropped, 4, "one corrupt count per client");
+    assert_eq!(report.parse_errors, 0);
+    assert_eq!(report.shed, 0, "Block policy never sheds");
+    assert_eq!(report.connections, 4);
+    assert_eq!(store.len() as u64, expected);
+    // The truncated tails were flushed without their "60 " count tokens.
+    let tails = store.search(0, i64::MAX / 2, &["truncated".to_string()]);
+    assert_eq!(tails.len(), 4);
+    assert!(tails.iter().all(|r| !r.message.contains("60 <13>")));
+}
+
+#[test]
+fn shed_policy_counts_and_dead_letters_queue_full_drops() {
+    let store = Arc::new(LogStore::new());
+    let service = Arc::new(MonitorService::new(Arc::new(SlowStub(
+        Duration::from_millis(3),
+    ))));
+    let listener = SyslogListener::start(
+        store,
+        Some(service),
+        ListenerConfig {
+            workers: 1,
+            queue_depth: 2,
+            overload: OverloadPolicy::Shed,
+            dead_letter_capacity: 8,
+            ..ListenerConfig::default()
+        },
+    )
+    .expect("bind loopback listener");
+
+    let addr = listener.tcp_addr();
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    let mut wire = Vec::new();
+    for k in 0..100 {
+        wire.extend_from_slice(format!("<13>Oct 11 22:14:15 cn0001 app: flood {k}\n").as_bytes());
+    }
+    sock.write_all(&wire).expect("write");
+    drop(sock);
+
+    assert!(
+        wait_until(15_000, || {
+            let s = listener.stats().snapshot();
+            s.frames == 100 && s.ingested + s.shed == 100
+        }),
+        "timed out: {:?}",
+        listener.stats().snapshot()
+    );
+    let shed = listener.stats().snapshot().shed;
+    assert!(
+        shed > 0,
+        "a 2-deep queue against a 3ms/msg worker must shed"
+    );
+
+    // Dead letters: all QueueFull, ring capped at its capacity, total
+    // matches the shed counter.
+    let letters = listener.dead_letters().snapshot();
+    assert!(!letters.is_empty());
+    assert!(letters.iter().all(|l| l.reason == DropReason::QueueFull));
+    assert!(letters.len() <= 8);
+    assert_eq!(listener.dead_letters().total_recorded(), shed);
+
+    // The combined health snapshot ties transport and classifier counters
+    // together: every stored record was classified.
+    let health = listener.health().expect("service attached");
+    assert_eq!(health.monitor.total, health.ingest.ingested);
+    assert_eq!(health.ingest.shed, shed);
+
+    let report = listener.shutdown();
+    assert_eq!(report.ingested + report.shed, 100);
+}
+
+#[test]
+fn block_policy_is_lossless_against_slow_workers() {
+    let store = Arc::new(LogStore::new());
+    let service = Arc::new(MonitorService::new(Arc::new(SlowStub(
+        Duration::from_millis(1),
+    ))));
+    let listener = SyslogListener::start(
+        store.clone(),
+        Some(service),
+        ListenerConfig {
+            workers: 1,
+            queue_depth: 2,
+            overload: OverloadPolicy::Block,
+            ..ListenerConfig::default()
+        },
+    )
+    .expect("bind loopback listener");
+
+    let addr = listener.tcp_addr();
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    for k in 0..200 {
+        sock.write_all(format!("<13>Oct 11 22:14:15 cn0001 app: steady {k}\n").as_bytes())
+            .expect("write");
+    }
+    drop(sock);
+
+    assert!(
+        wait_until(20_000, || listener.stats().snapshot().ingested == 200),
+        "timed out: {:?}",
+        listener.stats().snapshot()
+    );
+    let report = listener.shutdown();
+    assert_eq!(report.ingested, 200);
+    assert_eq!(report.shed, 0);
+    assert_eq!(store.len(), 200);
+}
+
+#[test]
+fn idle_connection_is_closed_and_its_tail_flushed() {
+    let store = Arc::new(LogStore::new());
+    let listener = SyslogListener::start(
+        store.clone(),
+        None,
+        ListenerConfig {
+            idle_timeout: Duration::from_millis(150),
+            ..ListenerConfig::default()
+        },
+    )
+    .expect("bind loopback listener");
+
+    let addr = listener.tcp_addr();
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    // An unterminated frame, then silence: the peer neither finishes the
+    // line nor closes the socket.
+    sock.write_all(b"<13>Oct 11 22:14:15 cn0001 app: half a line")
+        .expect("write");
+
+    assert!(
+        wait_until(5_000, || listener.stats().snapshot().idle_closed == 1),
+        "idle reaper never fired: {:?}",
+        listener.stats().snapshot()
+    );
+    assert!(wait_until(5_000, || listener.stats().snapshot().ingested == 1));
+
+    let report = listener.shutdown();
+    assert_eq!(report.idle_closed, 1);
+    assert_eq!(report.ingested, 1, "the decoder tail must be flushed");
+    let hits = store.search(0, i64::MAX / 2, &["half".to_string()]);
+    assert_eq!(hits.len(), 1);
+    drop(sock);
+}
+
+#[test]
+fn udp_datagrams_ingest_and_empty_datagrams_dead_letter() {
+    let store = Arc::new(LogStore::new());
+    let listener =
+        SyslogListener::start(store.clone(), None, ListenerConfig::default()).expect("bind");
+
+    let udp = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+    for k in 0..4 {
+        udp.send_to(
+            format!("<13>Oct 11 22:14:15 cn0001 app: dgram {k}\n").as_bytes(),
+            listener.udp_addr(),
+        )
+        .expect("send");
+    }
+    // A zero-length datagram decodes to an empty frame: the one input the
+    // permissive parser rejects, so it must land in the dead letters.
+    udp.send_to(b"", listener.udp_addr()).expect("send empty");
+
+    assert!(
+        wait_until(5_000, || {
+            let s = listener.stats().snapshot();
+            s.ingested == 4 && s.parse_errors == 1
+        }),
+        "timed out: {:?}",
+        listener.stats().snapshot()
+    );
+    let letters = listener.dead_letters().snapshot();
+    assert_eq!(letters.len(), 1);
+    assert_eq!(letters[0].reason, DropReason::ParseError);
+    assert_eq!(letters[0].source, logpipeline::listener::UDP_SOURCE);
+
+    let per_source = listener.stats().per_source();
+    let udp_row = per_source
+        .iter()
+        .find(|(id, _)| *id == logpipeline::listener::UDP_SOURCE)
+        .expect("udp counters");
+    assert_eq!(udp_row.1.frames, 5);
+
+    let report = listener.shutdown();
+    assert_eq!(report.ingested, 4);
+    assert_eq!(report.parse_errors, 1);
+}
+
+#[test]
+fn graceful_shutdown_flushes_tails_of_still_open_connections() {
+    let store = Arc::new(LogStore::new());
+    let listener =
+        SyslogListener::start(store.clone(), None, ListenerConfig::default()).expect("bind");
+    let addr = listener.tcp_addr();
+
+    // Two peers park mid-frame and keep their sockets open across the
+    // shutdown: one unterminated LF frame, one truncated octet frame.
+    let mut lf_sock = TcpStream::connect(addr).expect("connect");
+    lf_sock
+        .write_all(b"<13>Oct 11 22:14:15 cn0001 app: open lf tail")
+        .expect("write");
+    let mut oc_sock = TcpStream::connect(addr).expect("connect");
+    oc_sock
+        .write_all(b"55 <13>Oct 11 22:14:15 cn0002 app: open octet tail")
+        .expect("write");
+
+    // Wait until both payloads have been read off the sockets.
+    let expected_bytes = (b"<13>Oct 11 22:14:15 cn0001 app: open lf tail".len()
+        + b"55 <13>Oct 11 22:14:15 cn0002 app: open octet tail".len())
+        as u64;
+    assert!(
+        wait_until(5_000, || listener.stats().snapshot().bytes
+            == expected_bytes),
+        "payloads never arrived: {:?}",
+        listener.stats().snapshot()
+    );
+
+    let report = listener.shutdown();
+    assert_eq!(report.ingested, 2, "both decoder tails must be flushed");
+    assert_eq!(report.connections, 2);
+    let octet = store.search(0, i64::MAX / 2, &["octet".to_string()]);
+    assert_eq!(octet.len(), 1);
+    assert!(
+        !octet[0].message.starts_with("55 "),
+        "count token must not leak into the flushed tail"
+    );
+    drop(lf_sock);
+    drop(oc_sock);
+}

@@ -36,6 +36,16 @@ enum OctetResult {
     NotOctet,
 }
 
+/// Outcome of attempting non-transparent (LF-delimited) framing.
+enum LfResult {
+    /// A complete non-empty frame was extracted.
+    Frame(String),
+    /// One or more blank lines were swallowed; the buffer may hold more.
+    Blank,
+    /// No LF in the buffer yet.
+    NeedMore,
+}
+
 impl FrameDecoder {
     /// New empty decoder.
     pub fn new() -> FrameDecoder {
@@ -62,32 +72,75 @@ impl FrameDecoder {
         frames
     }
 
-    /// Flush a trailing unterminated non-transparent frame (stream end).
+    /// Flush a trailing unterminated frame (stream end).
+    ///
+    /// A stream cut mid-way through an octet-counted frame leaves the
+    /// `LEN ` count token at the buffer head; flushing it verbatim would
+    /// leak the count into the message text. The token is stripped (it is
+    /// framing, not payload) and the partial payload flushed; a tail that
+    /// is *only* a (possibly partial) count token is counted as dropped.
     pub fn finish(&mut self) -> Option<String> {
         if self.buffer.is_empty() {
             return None;
         }
-        let frame = String::from_utf8_lossy(&self.buffer).trim_end().to_string();
+        let mut head = 0;
+        if self.buffer[0].is_ascii_digit() {
+            let digit_run = self
+                .buffer
+                .iter()
+                .take_while(|b| b.is_ascii_digit())
+                .count();
+            if digit_run == self.buffer.len() && digit_run <= 6 {
+                // Nothing but a partial count token arrived.
+                self.buffer.clear();
+                self.dropped += 1;
+                return None;
+            }
+            if digit_run <= 6 && self.buffer[digit_run] == b' ' {
+                // A valid pending count (corrupt ones were already dropped
+                // during push): strip `LEN ` and flush the partial payload.
+                head = digit_run + 1;
+            }
+        }
+        let frame = String::from_utf8_lossy(&self.buffer[head..])
+            .trim_end()
+            .to_string();
         self.buffer.clear();
-        (!frame.is_empty()).then_some(frame)
+        if frame.is_empty() {
+            if head > 0 {
+                // The declared payload never arrived at all.
+                self.dropped += 1;
+            }
+            return None;
+        }
+        Some(frame)
     }
 
     fn try_take_frame(&mut self) -> Option<String> {
-        if self.buffer.is_empty() {
-            return None;
-        }
-        if self.buffer[0].is_ascii_digit() {
-            match self.try_octet_counted() {
-                OctetResult::Frame(frame) => return Some(frame),
-                // A corrupt count was dropped; rescan what remains.
-                OctetResult::Dropped => return self.try_take_frame(),
-                // Valid count, payload still arriving.
-                OctetResult::Incomplete => return None,
-                // Digits but not a count: fall through to LF framing.
-                OctetResult::NotOctet => {}
+        // Iterative by design: a recursive rescan after every dropped count
+        // or blank line overflows the stack on hostile input (a single push
+        // of ~100k blank lines).
+        loop {
+            if self.buffer.is_empty() {
+                return None;
+            }
+            if self.buffer[0].is_ascii_digit() {
+                match self.try_octet_counted() {
+                    OctetResult::Frame(frame) => return Some(frame),
+                    // A corrupt count was dropped; rescan what remains.
+                    OctetResult::Dropped => continue,
+                    // Valid count, payload still arriving.
+                    OctetResult::Incomplete => return None,
+                    // Digits but not a count: fall through to LF framing.
+                    OctetResult::NotOctet => {}
+                }
+            }
+            match self.try_non_transparent() {
+                LfResult::Frame(frame) => return Some(frame),
+                LfResult::Blank => continue,
+                LfResult::NeedMore => return None,
             }
         }
-        self.try_non_transparent()
     }
 
     fn try_octet_counted(&mut self) -> OctetResult {
@@ -122,18 +175,39 @@ impl FrameDecoder {
         OctetResult::Frame(String::from_utf8_lossy(&frame_bytes).into_owned())
     }
 
-    fn try_non_transparent(&mut self) -> Option<String> {
-        let lf = self.buffer.iter().position(|&b| b == b'\n')?;
+    fn try_non_transparent(&mut self) -> LfResult {
+        // Swallow the whole leading run of blank lines (`(\r*\n)+`) in one
+        // drain: removing them one at a time is quadratic on an LF flood.
+        let mut skip = 0;
+        loop {
+            let mut j = skip;
+            while j < self.buffer.len() && self.buffer[j] == b'\r' {
+                j += 1;
+            }
+            if j < self.buffer.len() && self.buffer[j] == b'\n' {
+                skip = j + 1;
+            } else {
+                break;
+            }
+        }
+        if skip > 0 {
+            self.buffer.drain(..skip);
+            return LfResult::Blank;
+        }
+        let Some(lf) = self.buffer.iter().position(|&b| b == b'\n') else {
+            return LfResult::NeedMore;
+        };
         let frame_bytes: Vec<u8> = self.buffer[..lf].to_vec();
         self.buffer.drain(..=lf);
         let frame = String::from_utf8_lossy(&frame_bytes)
             .trim_end_matches('\r')
             .to_string();
         if frame.is_empty() {
-            // Swallow blank lines and keep scanning.
-            return self.try_take_frame();
+            // A line of pure '\r's trims to nothing: also a blank line.
+            LfResult::Blank
+        } else {
+            LfResult::Frame(frame)
         }
-        Some(frame)
     }
 }
 
@@ -227,6 +301,77 @@ mod tests {
     fn empty_stream() {
         assert!(split_stream(b"").is_empty());
         assert!(split_stream(b"\n\n\n").is_empty());
+    }
+
+    #[test]
+    fn blank_line_flood_does_not_overflow_stack() {
+        // The recursive blank-line swallow overflowed the stack on a single
+        // push of ~100k blank lines; the loop must absorb it (quickly).
+        let mut decoder = FrameDecoder::new();
+        let flood: Vec<u8> = b"\n".repeat(150_000);
+        assert!(decoder.push(&flood).is_empty());
+        assert_eq!(decoder.pending(), 0);
+        // Mixed CRLF blanks, with a real frame buried at the end.
+        let mut wire = b"\r\n".repeat(50_000);
+        wire.extend_from_slice(FRAME.as_bytes());
+        wire.push(b'\n');
+        assert_eq!(decoder.push(&wire), vec![FRAME.to_string()]);
+    }
+
+    #[test]
+    fn corrupt_count_flood_does_not_overflow_stack() {
+        // Each "999999 " token is dropped and rescanned; recursion here
+        // also grew one stack frame per drop.
+        let mut decoder = FrameDecoder::new();
+        let flood: Vec<u8> = b"999999 ".repeat(60_000);
+        assert!(decoder.push(&flood).is_empty());
+        assert_eq!(decoder.dropped(), 60_000);
+    }
+
+    #[test]
+    fn blank_lines_before_octet_frame_are_skipped() {
+        let wire = format!("\n\r\n{} {FRAME}", FRAME.len());
+        assert_eq!(split_stream(wire.as_bytes()), vec![FRAME.to_string()]);
+    }
+
+    #[test]
+    fn finish_strips_count_prefix_of_truncated_octet_frame() {
+        // Stream ends mid-way through an octet-counted frame: the flushed
+        // tail must not leak the "35 " count token into the message.
+        let mut decoder = FrameDecoder::new();
+        let truncated = &FRAME[..23];
+        assert!(decoder
+            .push(format!("{} {truncated}", FRAME.len()).as_bytes())
+            .is_empty());
+        assert_eq!(decoder.finish(), Some(truncated.to_string()));
+    }
+
+    #[test]
+    fn finish_drops_bare_count_token() {
+        // Only (part of) a count token arrived: framing metadata, not a
+        // message — count it as dropped rather than flushing "123".
+        let mut decoder = FrameDecoder::new();
+        assert!(decoder.push(b"123").is_empty());
+        assert_eq!(decoder.finish(), None);
+        assert_eq!(decoder.dropped(), 1);
+
+        let mut decoder = FrameDecoder::new();
+        assert!(decoder.push(b"35 ").is_empty());
+        assert_eq!(decoder.finish(), None);
+        assert_eq!(decoder.dropped(), 1);
+    }
+
+    #[test]
+    fn finish_keeps_digit_leading_non_transparent_tail() {
+        // A tail that merely *starts* with digits but is not octet framing
+        // (no space after ≤6 digits) flushes verbatim.
+        let mut decoder = FrameDecoder::new();
+        decoder.push(b"12345678 load average high");
+        assert_eq!(
+            decoder.finish(),
+            Some("12345678 load average high".to_string())
+        );
+        assert_eq!(decoder.dropped(), 0);
     }
 
     #[test]

@@ -53,6 +53,24 @@ fn days_in_month(year: i32, month: u8) -> u8 {
     }
 }
 
+/// Parse exactly `n` ASCII digits at `b[i..i + n]`.
+///
+/// Operating on bytes (not `&str` slices) keeps the parsers panic-free on
+/// multi-byte UTF-8 input: `&input[..3]` panics when byte 3 is not a char
+/// boundary, and hostile frames do arrive mid-stream with non-ASCII bytes
+/// in timestamp position.
+fn digits(b: &[u8], i: usize, n: usize) -> Option<u32> {
+    let slice = b.get(i..i + n)?;
+    let mut value = 0u32;
+    for &c in slice {
+        if !c.is_ascii_digit() {
+            return None;
+        }
+        value = value * 10 + (c - b'0') as u32;
+    }
+    Some(value)
+}
+
 /// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
 fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
     let y = y as i64 - if m <= 2 { 1 } else { 0 };
@@ -127,33 +145,33 @@ impl Timestamp {
     /// remainder of the input after the (space-terminated) timestamp.
     pub fn parse_rfc3164(input: &str) -> Result<(Timestamp, &str), ParseError> {
         let bad = || ParseError::BadTimestamp(input.chars().take(20).collect());
-        if input.len() < 15 {
+        let b = input.as_bytes();
+        if b.len() < 15 {
             return Err(bad());
         }
-        let month_str = &input[..3];
         let month = MONTH_ABBREV
             .iter()
-            .position(|m| *m == month_str)
+            .position(|m| m.as_bytes() == &b[..3])
             .ok_or_else(bad)? as u8
             + 1;
-        if input.as_bytes()[3] != b' ' {
+        if b[3] != b' ' {
             return Err(bad());
         }
         // Day is space-padded: "Oct  5" or "Oct 15".
-        let day_str = input[4..6].trim_start();
-        let day: u8 = day_str.parse().map_err(|_| bad())?;
-        if input.as_bytes()[6] != b' ' {
+        let day: u8 = match (b[4], b[5]) {
+            (b' ', u) if u.is_ascii_digit() => u - b'0',
+            (t, u) if t.is_ascii_digit() && u.is_ascii_digit() => (t - b'0') * 10 + (u - b'0'),
+            _ => return Err(bad()),
+        };
+        if b[6] != b' ' || b[9] != b':' || b[12] != b':' {
             return Err(bad());
         }
-        let time = &input[7..15];
-        let tb = time.as_bytes();
-        if tb[2] != b':' || tb[5] != b':' {
-            return Err(bad());
-        }
-        let hour: u8 = time[..2].parse().map_err(|_| bad())?;
-        let minute: u8 = time[3..5].parse().map_err(|_| bad())?;
-        let second: u8 = time[6..8].parse().map_err(|_| bad())?;
+        let hour = digits(b, 7, 2).ok_or_else(bad)? as u8;
+        let minute = digits(b, 10, 2).ok_or_else(bad)? as u8;
+        let second = digits(b, 13, 2).ok_or_else(bad)? as u8;
         let ts = Timestamp::new(0, month, day, hour, minute, second)?;
+        // Bytes 0..15 are all ASCII (validated above), so 15 is a char
+        // boundary even when the remainder is multi-byte UTF-8.
         Ok((ts, &input[15..]))
     }
 
@@ -161,57 +179,54 @@ impl Timestamp {
     pub fn parse_rfc5424(token: &str) -> Result<Timestamp, ParseError> {
         let bad = || ParseError::BadTimestamp(token.chars().take(40).collect());
         // Minimal form: 2023-10-11T22:14:15Z  (20 chars)
-        if token.len() < 19 {
+        let b = token.as_bytes();
+        if b.len() < 19 {
             return Err(bad());
         }
-        let b = token.as_bytes();
         if b[4] != b'-' || b[7] != b'-' || (b[10] != b'T' && b[10] != b't') {
             return Err(bad());
         }
         if b[13] != b':' || b[16] != b':' {
             return Err(bad());
         }
-        let year: i32 = token[..4].parse().map_err(|_| bad())?;
-        let month: u8 = token[5..7].parse().map_err(|_| bad())?;
-        let day: u8 = token[8..10].parse().map_err(|_| bad())?;
-        let hour: u8 = token[11..13].parse().map_err(|_| bad())?;
-        let minute: u8 = token[14..16].parse().map_err(|_| bad())?;
-        let second: u8 = token[17..19].parse().map_err(|_| bad())?;
-        let mut rest = &token[19..];
+        let year = digits(b, 0, 4).ok_or_else(bad)? as i32;
+        let month = digits(b, 5, 2).ok_or_else(bad)? as u8;
+        let day = digits(b, 8, 2).ok_or_else(bad)? as u8;
+        let hour = digits(b, 11, 2).ok_or_else(bad)? as u8;
+        let minute = digits(b, 14, 2).ok_or_else(bad)? as u8;
+        let second = digits(b, 17, 2).ok_or_else(bad)? as u8;
+        let mut pos = 19;
         let mut nanos = 0u32;
-        if rest.starts_with('.') {
-            let frac_end = rest[1..]
-                .find(|c: char| !c.is_ascii_digit())
-                .map(|i| i + 1)
-                .unwrap_or(rest.len());
-            let frac = &rest[1..frac_end];
-            if frac.is_empty() || frac.len() > 9 {
+        if b.get(pos) == Some(&b'.') {
+            let frac_start = pos + 1;
+            let mut frac_end = frac_start;
+            while frac_end < b.len() && b[frac_end].is_ascii_digit() {
+                frac_end += 1;
+            }
+            let width = frac_end - frac_start;
+            if width == 0 || width > 9 {
                 return Err(bad());
             }
-            let digits: u32 = frac.parse().map_err(|_| bad())?;
-            nanos = digits * 10u32.pow(9 - frac.len() as u32);
-            rest = &rest[frac_end..];
+            let frac = digits(b, frac_start, width).ok_or_else(bad)?;
+            nanos = frac * 10u32.pow(9 - width as u32);
+            pos = frac_end;
         }
-        let offset = match rest {
-            "Z" | "z" => Some(0i16),
-            "" => None,
-            _ => {
-                let sign = match rest.as_bytes()[0] {
-                    b'+' => 1i16,
-                    b'-' => -1i16,
-                    _ => return Err(bad()),
-                };
-                let ob = rest.as_bytes();
-                if rest.len() != 6 || ob[3] != b':' {
+        let offset = match b.get(pos) {
+            None => None,
+            Some(b'Z' | b'z') if pos + 1 == b.len() => Some(0i16),
+            Some(&sign_byte @ (b'+' | b'-')) => {
+                if b.len() != pos + 6 || b[pos + 3] != b':' {
                     return Err(bad());
                 }
-                let oh: i16 = rest[1..3].parse().map_err(|_| bad())?;
-                let om: i16 = rest[4..6].parse().map_err(|_| bad())?;
+                let oh = digits(b, pos + 1, 2).ok_or_else(bad)? as i16;
+                let om = digits(b, pos + 4, 2).ok_or_else(bad)? as i16;
                 if oh > 23 || om > 59 {
                     return Err(bad());
                 }
+                let sign = if sign_byte == b'+' { 1i16 } else { -1i16 };
                 Some(sign * (oh * 60 + om))
             }
+            _ => return Err(bad()),
         };
         let mut ts = Timestamp::new(year, month, day, hour, minute, second)?;
         ts.nanos = nanos;
@@ -267,8 +282,17 @@ impl fmt::Display for Timestamp {
                 "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}",
                 self.year, self.month, self.day, self.hour, self.minute, self.second
             )?;
+            // Narrowest fraction that round-trips the stored nanos through
+            // parse_rfc5424 (truncating to milliseconds would silently lose
+            // sub-millisecond precision).
             if self.nanos > 0 {
-                write!(f, ".{:03}", self.nanos / 1_000_000)?;
+                if self.nanos.is_multiple_of(1_000_000) {
+                    write!(f, ".{:03}", self.nanos / 1_000_000)?;
+                } else if self.nanos.is_multiple_of(1_000) {
+                    write!(f, ".{:06}", self.nanos / 1_000)?;
+                } else {
+                    write!(f, ".{:09}", self.nanos)?;
+                }
             }
             match self.utc_offset_minutes {
                 Some(0) => write!(f, "Z"),
@@ -373,5 +397,46 @@ mod tests {
     fn display_iso_when_dated() {
         let ts = Timestamp::parse_rfc5424("2023-10-11T22:14:15Z").unwrap();
         assert_eq!(ts.to_string(), "2023-10-11T22:14:15Z");
+    }
+
+    #[test]
+    fn rfc3164_rejects_multibyte_input_without_panic() {
+        // "é" is two bytes, putting a non-char-boundary at byte 3: the old
+        // `&input[..3]` slicing panicked here and killed a parser worker.
+        assert!(Timestamp::parse_rfc3164("ab\u{e9} 5 17:32:18 x").is_err());
+        assert!(Timestamp::parse_rfc3164("\u{1F525}\u{1F525}\u{1F525}\u{1F525}").is_err());
+        assert!(Timestamp::parse_rfc3164("Oct \u{e9}5 17:32:18 x").is_err());
+        assert!(Timestamp::parse_rfc3164("Oct 11 22:14:1\u{e9} rest").is_err());
+    }
+
+    #[test]
+    fn rfc3164_multibyte_after_timestamp_is_fine() {
+        // Non-ASCII is only hostile inside the fixed-width timestamp; the
+        // remainder may legitimately carry it (vendor hostnames do).
+        let (ts, rest) = Timestamp::parse_rfc3164("Oct 11 22:14:15 h\u{f4}te").unwrap();
+        assert_eq!((ts.month, ts.day), (10, 11));
+        assert_eq!(rest, " h\u{f4}te");
+    }
+
+    #[test]
+    fn rfc5424_rejects_multibyte_input_without_panic() {
+        assert!(Timestamp::parse_rfc5424("202\u{e9}-10-11T22:14:15Z").is_err());
+        assert!(Timestamp::parse_rfc5424("2023-10-11T22:14:15.1\u{e9}Z").is_err());
+        assert!(Timestamp::parse_rfc5424("2023-10-11T22:14:15+0\u{e9}:00").is_err());
+        assert!(Timestamp::parse_rfc5424("\u{1F525}\u{1F525}\u{1F525}\u{1F525}\u{1F525}").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_sub_millisecond_nanos() {
+        // Micro- and nanosecond precision must survive format → parse; the
+        // old Display truncated everything to .{:03} milliseconds.
+        for frac in ["003", "000250", "000000125", "123456789", "999"] {
+            let text = format!("2023-10-11T22:14:15.{frac}Z");
+            let ts = Timestamp::parse_rfc5424(&text).unwrap();
+            let back = Timestamp::parse_rfc5424(&ts.to_string()).unwrap();
+            assert_eq!(back.nanos, ts.nanos, "lost precision for .{frac}");
+        }
+        let ts = Timestamp::parse_rfc5424("2023-10-11T22:14:15.000250Z").unwrap();
+        assert_eq!(ts.to_string(), "2023-10-11T22:14:15.000250Z");
     }
 }

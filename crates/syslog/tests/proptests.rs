@@ -96,3 +96,81 @@ proptest! {
         prop_assert_eq!(frames, payloads);
     }
 }
+
+proptest! {
+    /// Arbitrary byte soup — including invalid UTF-8 — through the frame
+    /// decoder and parser: no panics, every emitted frame is non-empty,
+    /// and the emitted + pending + dropped accounting is conserved at
+    /// every step.
+    #[test]
+    fn decoder_and_parser_survive_byte_soup(
+        soup in proptest::collection::vec(0u8..=255u8, 0..2048),
+        chunk in 1usize..64,
+    ) {
+        let mut decoder = FrameDecoder::new();
+        let mut emitted = 0u64;
+        for piece in soup.chunks(chunk) {
+            for frame in decoder.push(piece) {
+                emitted += 1;
+                prop_assert!(!frame.is_empty());
+                // The permissive parser must absorb whatever the decoder
+                // emits (lossy UTF-8 conversions included) without panic.
+                let _ = parse(&frame);
+            }
+        }
+        let pending_before = decoder.pending();
+        let dropped_before = decoder.dropped();
+        let mut tail_flushed = 0u64;
+        if let Some(tail) = decoder.finish() {
+            emitted += 1;
+            tail_flushed = 1;
+            prop_assert!(!tail.is_empty());
+            let _ = parse(&tail);
+        }
+        // finish() consumes the buffer entirely: a pending tail either
+        // became at most one frame, was counted as a dropped count token,
+        // or was pure whitespace/framing residue — never silently retained.
+        prop_assert_eq!(decoder.pending(), 0);
+        let tail_dropped = decoder.dropped() - dropped_before;
+        prop_assert!(tail_flushed + tail_dropped <= 1);
+        if pending_before == 0 {
+            prop_assert_eq!(tail_flushed + tail_dropped, 0);
+        }
+        // A second finish is a no-op.
+        prop_assert_eq!(decoder.finish(), None);
+        let _ = emitted;
+    }
+
+    /// Timestamp parsers never panic on arbitrary bytes (lossy-converted),
+    /// multi-byte UTF-8 included.
+    #[test]
+    fn timestamp_parsers_survive_byte_soup(
+        soup in proptest::collection::vec(0u8..=255u8, 0..64),
+    ) {
+        let text = String::from_utf8_lossy(&soup).into_owned();
+        let _ = Timestamp::parse_rfc3164(&text);
+        let _ = Timestamp::parse_rfc5424(&text);
+    }
+
+    /// Embedded NULs and multi-kilobyte single tokens pass through octet
+    /// framing and the parser intact.
+    #[test]
+    fn parse_survives_nul_and_giant_tokens(
+        repeat in 1usize..10_000,
+        byte in 1u8..=255u8,
+    ) {
+        let mut msg = String::from("<13>Oct 11 22:14:15 cn01 app: \0");
+        let filler = char::from(byte);
+        for _ in 0..repeat.min(10_000) {
+            msg.push(filler);
+        }
+        let _ = parse(&msg);
+        // Round-trip through octet-counted framing: the frame is opaque
+        // payload bytes, so NULs and size must survive exactly.
+        let mut decoder = FrameDecoder::new();
+        let wire = format!("{} {msg}", msg.len());
+        let frames = decoder.push(wire.as_bytes());
+        prop_assert_eq!(frames, vec![msg]);
+        prop_assert_eq!(decoder.pending(), 0);
+    }
+}

@@ -10,6 +10,7 @@ pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct State<T> {
         queue: VecDeque<T>,
@@ -54,6 +55,58 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the value is handed back.
+        Full(T),
+        /// Every receiver has been dropped; the value is handed back.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recover the value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// True when the failure was a full buffer (overload, not hangup).
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
+
     /// Create a bounded channel holding at most `cap` in-flight items.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
@@ -91,6 +144,21 @@ pub mod channel {
                 state = self.shared.not_full.wait(state).unwrap();
             }
         }
+
+        /// Enqueue without blocking; fails immediately when the buffer is
+        /// full (load-shedding) or every receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.queue.len() >= self.shared.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            state.queue.push_back(value);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
     }
 
     impl<T> Clone for Sender<T> {
@@ -127,6 +195,40 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 state = self.shared.not_empty.wait(state).unwrap();
+            }
+        }
+
+        /// Block until an item arrives or `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, result) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(state, remaining)
+                    .unwrap();
+                state = guard;
+                if result.timed_out() && state.queue.is_empty() {
+                    if state.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
             }
         }
 
@@ -217,5 +319,39 @@ mod tests {
         let (tx, rx) = channel::bounded::<u8>(1);
         drop(rx);
         assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn try_send_sheds_when_full() {
+        let (tx, rx) = channel::bounded::<u8>(2);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        match tx.try_send(3) {
+            Err(channel::TrySendError::Full(v)) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(4),
+            Err(channel::TrySendError::Disconnected(4))
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(20)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(20)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(20)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
     }
 }

@@ -77,7 +77,7 @@ pub mod prelude {
     };
     pub use logpipeline::{
         compare_to_arch_peers, sensor_sweep, ClassifyingIngest, ClusterTopology, IngestPipeline,
-        LogStore, Query, SensorVerdict,
+        ListenerConfig, LogStore, OverloadPolicy, Query, SensorVerdict, SyslogListener,
     };
     pub use syslog_model::{parse, split_stream, FrameDecoder, Severity, SyslogMessage};
 }
