@@ -1,72 +1,17 @@
-//! Figure 2 — the Linear SVC confusion matrix.
+//! Figure 2 — the Linear SVC confusion matrix (DESIGN.md §3 F2).
 //!
-//! The paper's observation to reproduce: the "Unimportant" row/column is
-//! where confusion concentrates, because noise messages borrow significant
-//! words from real categories.
+//! Thin wrapper over [`bench::experiments::fig2`]; the conformance
+//! runner (`repro`) executes the same code path.
 //!
 //! Run: `cargo run --release -p bench --bin fig2_confusion`
 
-use bench::{write_json, ExpArgs};
-use hetsyslog_core::eval::{evaluate_model, prepare_split, EvalConfig};
-use hetsyslog_core::Category;
-use hetsyslog_ml::{LinearSvc, LinearSvcConfig};
+use bench::{experiments, write_json, ExpArgs};
 
 fn main() {
     let args = ExpArgs::parse();
-    let corpus = args.corpus();
-    println!(
-        "Figure 2 reproduction: Linear SVC confusion matrix ({} messages, scale {})\n",
-        corpus.len(),
-        args.scale
-    );
-
-    let config = EvalConfig {
-        seed: args.seed,
-        ..EvalConfig::default()
-    };
-    let split = prepare_split(&corpus, &config);
-    let mut model = LinearSvc::new(LinearSvcConfig::default());
-    let eval = evaluate_model(&mut model, &split);
-
-    println!("{}", eval.confusion);
-    println!("{}", eval.confusion.classification_report());
-    println!(
-        "weighted F1 = {:.6}, accuracy = {:.6}",
-        eval.report.weighted_f1, eval.report.accuracy
-    );
-    match eval.confusion.most_confused() {
-        Some((t, p, n)) => {
-            let names = eval.confusion.class_names();
-            println!(
-                "most confused: {n} × true '{}' predicted as '{}'",
-                names[t], names[p]
-            );
-            let unimp = Category::Unimportant.index();
-            if t == unimp || p == unimp {
-                println!("⇒ matches the paper: 'Unimportant' is the troublesome category");
-            }
-        }
-        None => println!("no misclassifications at this scale"),
-    }
-
+    let out = experiments::fig2(&args);
+    print!("{}", out.report);
     if let Some(path) = &args.json_path {
-        let names = eval.confusion.class_names().to_vec();
-        let matrix: Vec<Vec<u64>> = (0..names.len())
-            .map(|t| (0..names.len()).map(|p| eval.confusion.get(t, p)).collect())
-            .collect();
-        let value = serde_json::json!({
-            "experiment": "fig2",
-            "scale": args.scale,
-            "seed": args.seed,
-            "class_names": names,
-            "matrix": matrix,
-            "weighted_f1": eval.report.weighted_f1,
-            "most_confused": eval.confusion.most_confused().map(|(t, p, n)| serde_json::json!({
-                "true": eval.confusion.class_names()[t],
-                "predicted": eval.confusion.class_names()[p],
-                "count": n,
-            })),
-        });
-        write_json(path, &value);
+        write_json(path, &out.value);
     }
 }

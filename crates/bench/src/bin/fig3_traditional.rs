@@ -1,86 +1,19 @@
 //! Figure 3 — the eight traditional classifiers: weighted F1, training
-//! time, testing time. With `--drop-unimportant`, runs the §5.1 ablation
-//! that removes the troublesome noise class.
+//! time, testing time (DESIGN.md §3 F3). With `--drop-unimportant`, runs
+//! the §5.1 ablation that removes the troublesome noise class (F3b).
 //!
-//! Run: `cargo run --release -p bench --bin fig3_traditional [--drop-unimportant] [--scale 0.05]`
+//! Thin wrapper over [`bench::experiments::fig3`]; the conformance
+//! runner (`repro`) executes the same code path.
+//!
+//! Run: `cargo run --release -p bench --bin fig3_traditional [--drop-unimportant]`
 
-use bench::{fmt_seconds, render_table, write_json, ExpArgs};
-use hetsyslog_core::eval::{evaluate_suite, EvalConfig};
-use hetsyslog_ml::paper_suite;
+use bench::{experiments, write_json, ExpArgs};
 
 fn main() {
     let args = ExpArgs::parse();
-    let drop_unimportant = args.has_flag("--drop-unimportant");
-    let corpus = args.corpus();
-    println!(
-        "Figure 3 reproduction: traditional classifiers with TF-IDF preprocessing\n\
-         ({} messages, scale {}, drop_unimportant={})\n",
-        corpus.len(),
-        args.scale,
-        drop_unimportant
-    );
-
-    let config = EvalConfig {
-        seed: args.seed,
-        drop_unimportant,
-        ..EvalConfig::default()
-    };
-    let mut models = paper_suite(args.seed);
-    let (split, evals) = evaluate_suite(&corpus, &mut models, &config);
-    println!(
-        "split: {} train / {} test, {} features (preprocess {})\n",
-        split.train.len(),
-        split.test.len(),
-        split.train.n_features(),
-        fmt_seconds(split.preprocess_seconds)
-    );
-
-    let rows: Vec<Vec<String>> = evals
-        .iter()
-        .map(|e| {
-            vec![
-                e.report.model.clone(),
-                format!("{:.6}", e.report.weighted_f1),
-                fmt_seconds(e.report.train_seconds),
-                fmt_seconds(e.report.test_seconds),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &["Classifier", "Weighted F1", "Training Time", "Testing Time"],
-            &rows
-        )
-    );
-
-    println!("Paper's Figure 3 shape checks:");
-    println!("  - every model's weighted F1 > 0.95 (paper: 0.9523..0.9995)");
-    println!("  - kNN: fastest training, slowest testing");
-    println!("  - Linear SVC: slowest training");
-    println!("  - Complement NB: fastest testing");
-    if drop_unimportant {
-        println!("  - ablation: all F1 scores rise, Linear SVC training collapses");
-    }
-
+    let out = experiments::fig3(&args, args.has_flag("--drop-unimportant"));
+    print!("{}", out.report);
     if let Some(path) = &args.json_path {
-        let value = serde_json::json!({
-            "experiment": if drop_unimportant { "fig3_drop_unimportant" } else { "fig3" },
-            "scale": args.scale,
-            "seed": args.seed,
-            "n_train": split.train.len(),
-            "n_test": split.test.len(),
-            "n_features": split.train.n_features(),
-            "rows": evals.iter().map(|e| serde_json::json!({
-                "model": e.report.model,
-                "weighted_f1": e.report.weighted_f1,
-                "macro_f1": e.report.macro_f1,
-                "accuracy": e.report.accuracy,
-                "train_seconds": e.report.train_seconds,
-                "test_seconds": e.report.test_seconds,
-                "messages_per_hour": e.report.messages_per_hour(),
-            })).collect::<Vec<_>>(),
-        });
-        write_json(path, &value);
+        write_json(path, &out.value);
     }
 }

@@ -1,0 +1,236 @@
+//! `repro` — the conformance entry point (DESIGN.md §3).
+//!
+//! Runs every experiment in the §3 index at a named scale and either
+//! checks the results against the committed goldens (`--check`, the
+//! default) or rewrites the goldens (`--update`). A differential oracle
+//! stage re-scores the test splits through both the scalar and the
+//! batched CSR classify paths and asserts prediction identity for the
+//! whole model suite.
+//!
+//! Exit codes: 0 = conformant, 1 = drift / differential mismatch,
+//! 2 = usage or I/O error.
+
+use bench::runner::{
+    self, default_goldens_root, find_experiment, golden_path, load_golden, run_experiment,
+    write_golden, Scale, EXPERIMENTS,
+};
+use bench::{experiments, ExpArgs};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: repro [--check | --update | --list] [options]
+
+modes:
+  --check               diff results against goldens (default)
+  --update              regenerate the goldens for the chosen scale
+  --list                list the experiment index and exit
+
+options:
+  --scale ci|paper      conformance scale (default: ci)
+  --seed <u64>          master seed (default: 42)
+  --only <keys>         comma-separated experiment codes or stems
+  --goldens <dir>       goldens root (default: the repo's results/)
+  --report <path>       also write the drift report to this file
+  --skip-differential   skip the scalar-vs-batch differential oracle
+";
+
+#[derive(PartialEq)]
+enum Mode {
+    Check,
+    Update,
+    List,
+}
+
+struct Opts {
+    mode: Mode,
+    scale: Scale,
+    seed: u64,
+    only: Vec<&'static str>,
+    goldens: PathBuf,
+    report: Option<PathBuf>,
+    skip_differential: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        mode: Mode::Check,
+        scale: Scale::Ci,
+        seed: 42,
+        only: Vec::new(),
+        goldens: default_goldens_root(),
+        report: None,
+        skip_differential: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => opts.mode = Mode::Check,
+            "--update" => opts.mode = Mode::Update,
+            "--list" => opts.mode = Mode::List,
+            "--scale" => {
+                let v = args.next().ok_or("--scale requires ci|paper")?;
+                opts.scale = Scale::parse(&v).ok_or(format!("unknown scale `{v}` (ci|paper)"))?;
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed requires an integer")?;
+            }
+            "--only" => {
+                let v = args.next().ok_or("--only requires experiment keys")?;
+                for key in v.split(',').filter(|k| !k.is_empty()) {
+                    let exp = find_experiment(key)
+                        .ok_or(format!("unknown experiment `{key}` (try --list)"))?;
+                    if !opts.only.contains(&exp.stem) {
+                        opts.only.push(exp.stem);
+                    }
+                }
+            }
+            "--goldens" => {
+                opts.goldens = PathBuf::from(args.next().ok_or("--goldens requires a directory")?);
+            }
+            "--report" => {
+                opts.report = Some(PathBuf::from(
+                    args.next().ok_or("--report requires a path")?,
+                ));
+            }
+            "--skip-differential" => opts.skip_differential = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn selected(opts: &Opts) -> Vec<&'static runner::Experiment> {
+    EXPERIMENTS
+        .iter()
+        .filter(|e| opts.only.is_empty() || opts.only.contains(&e.stem))
+        .collect()
+}
+
+fn run_differential(args: &ExpArgs, mismatches: &mut Vec<String>) -> (usize, usize) {
+    let results = experiments::differential_oracle(args);
+    let n = results.len();
+    let mut bad = 0;
+    for r in &results {
+        if r.mismatches > 0 {
+            bad += 1;
+            mismatches.push(format!(
+                "{} [{}]: {}/{} predictions differ between scalar and batched paths \
+                 (first at test index {})",
+                r.model,
+                r.variant,
+                r.mismatches,
+                r.n,
+                r.first_mismatch.unwrap_or(0),
+            ));
+        }
+    }
+    (n, bad)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("repro: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.mode == Mode::List {
+        for e in &EXPERIMENTS {
+            println!("{:4} {:22} {}", e.code, e.stem, e.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let exp_args = ExpArgs {
+        scale: opts.scale.factor(),
+        seed: opts.seed,
+        json_path: None,
+        flags: Vec::new(),
+    };
+    let experiments_to_run = selected(&opts);
+    let n_total = experiments_to_run.len();
+
+    let mut drifts = Vec::new();
+    let mut errors = Vec::new();
+    let mut differential = Vec::new();
+
+    for (i, exp) in experiments_to_run.iter().enumerate() {
+        eprintln!(
+            "[{}/{n_total}] {} ({}) — {}",
+            i + 1,
+            exp.code,
+            exp.stem,
+            exp.title
+        );
+        let out = run_experiment(exp.stem, &exp_args).expect("indexed experiment");
+        match opts.mode {
+            Mode::Update => match write_golden(&opts.goldens, opts.scale, exp.stem, &out) {
+                Ok(path) => eprintln!("  wrote {}", path.display()),
+                Err(e) => errors.push(format!("{}: cannot write golden: {e}", exp.stem)),
+            },
+            Mode::Check => {
+                let path = golden_path(&opts.goldens, opts.scale, exp.stem);
+                match load_golden(&path) {
+                    Ok(golden) => {
+                        let found = runner::diff_against_golden(exp.stem, &golden, &out.value);
+                        if !found.is_empty() {
+                            eprintln!("  {} drifted field(s)", found.len());
+                        }
+                        drifts.extend(found);
+                    }
+                    Err(e) => errors.push(e),
+                }
+            }
+            Mode::List => unreachable!(),
+        }
+    }
+
+    let mut n_diff = 0;
+    if !opts.skip_differential {
+        eprintln!("[differential] scalar vs batched CSR predictions, full model suite");
+        let (n, bad) = run_differential(&exp_args, &mut differential);
+        n_diff = n;
+        eprintln!("  {n} comparisons, {bad} with mismatches");
+    }
+
+    let mut report = runner::render_drift_report(opts.scale, &drifts, &errors, &differential);
+    if opts.mode == Mode::Update {
+        report = format!(
+            "goldens updated for {} experiment(s) at {} scale under {}\n{report}",
+            n_total,
+            opts.scale.name(),
+            opts.goldens.display()
+        );
+    }
+    if !opts.skip_differential {
+        report.push_str(&format!(
+            "differential oracle: {n_diff} model/variant comparisons checked.\n"
+        ));
+    }
+    print!("{report}");
+    if let Some(path) = &opts.report {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("repro: cannot write report {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if drifts.is_empty() && errors.is_empty() && differential.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

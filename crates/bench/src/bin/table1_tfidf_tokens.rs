@@ -1,63 +1,17 @@
-//! Table 1 — the top-5 TF-IDF tokens per category.
+//! Table 1 — the top-5 TF-IDF tokens per category (DESIGN.md §3 T1).
 //!
-//! Each category's messages are concatenated into one document and scored
-//! against the corpus of category-documents, exactly the construction of
-//! §4.3.1; the top tokens double as classifier explanations and LLM prompt
-//! material.
+//! Thin wrapper over [`bench::experiments::table1`]; the conformance
+//! runner (`repro`) executes the same code path.
 //!
 //! Run: `cargo run --release -p bench --bin table1_tfidf_tokens`
 
-use bench::{render_table, write_json, ExpArgs};
-use hetsyslog_core::{FeatureConfig, FeaturePipeline};
+use bench::{experiments, write_json, ExpArgs};
 
 fn main() {
     let args = ExpArgs::parse();
-    let corpus = args.corpus();
-    println!(
-        "Table 1 reproduction: top TF-IDF tokens per category ({} messages, scale {})\n",
-        corpus.len(),
-        args.scale
-    );
-
-    let mut pipeline = FeaturePipeline::new(FeatureConfig::default());
-    let messages: Vec<&str> = corpus.iter().map(|(m, _)| m.as_str()).collect();
-    pipeline.fit(&messages);
-    let table1 = pipeline.table1(&corpus, 5);
-
-    let rows: Vec<Vec<String>> = table1
-        .iter()
-        .map(|ct| {
-            vec![
-                ct.category.clone(),
-                ct.tokens
-                    .iter()
-                    .map(|(t, _)| t.as_str())
-                    .collect::<Vec<_>>()
-                    .join(", "),
-            ]
-        })
-        .collect();
-    println!("{}", render_table(&["Category", "Top Tokens"], &rows));
-
-    println!("Paper's Table 1 for comparison:");
-    println!("  Thermal Issue : processor, throttled, sensor, cpu, temperature");
-    println!("  SSH Connection: closed, preauth, connection, port, user");
-    println!("  USB Device    : usb, device, hub, number, new");
-    println!("  (the shape to check: category-discriminative vocabulary, not shared words)");
-
+    let out = experiments::table1(&args);
+    print!("{}", out.report);
     if let Some(path) = &args.json_path {
-        let value = serde_json::json!({
-            "experiment": "table1",
-            "scale": args.scale,
-            "seed": args.seed,
-            "n_messages": corpus.len(),
-            "categories": table1.iter().map(|ct| {
-                serde_json::json!({
-                    "category": ct.category,
-                    "tokens": ct.tokens.iter().map(|(t, s)| serde_json::json!({"token": t, "score": s})).collect::<Vec<_>>(),
-                })
-            }).collect::<Vec<_>>(),
-        });
-        write_json(path, &value);
+        write_json(path, &out.value);
     }
 }

@@ -1,67 +1,17 @@
-//! Table 2 — unique messages per category.
+//! Table 2 — dataset composition and the bucket economy (DESIGN.md §3 T2).
 //!
-//! Verifies the synthetic corpus reproduces the paper's class imbalance at
-//! the requested scale, and reports the bucket-exemplar economy of §4.4.1
-//! (the paper labeled 3 415 exemplars to cover 196k messages).
+//! Thin wrapper over [`bench::experiments::table2`]; the conformance
+//! runner (`repro`) executes the same code path.
 //!
 //! Run: `cargo run --release -p bench --bin table2_dataset`
 
-use bench::{render_table, write_json, ExpArgs};
-use datagen::corpus::target_count;
-use hetsyslog_core::{BucketBaseline, Category};
+use bench::{experiments, write_json, ExpArgs};
 
 fn main() {
     let args = ExpArgs::parse();
-    let corpus = args.corpus();
-    println!(
-        "Table 2 reproduction: dataset composition (scale {}, {} unique messages)\n",
-        args.scale,
-        corpus.len()
-    );
-
-    let config = args.corpus_config();
-    let rows: Vec<Vec<String>> = Category::ALL
-        .iter()
-        .map(|&c| {
-            let count = corpus.iter().filter(|(_, cat)| *cat == c).count();
-            vec![
-                c.label().to_string(),
-                count.to_string(),
-                c.paper_count().to_string(),
-                format!("{}", target_count(c, &config)),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(&["Category", "Ours", "Paper (scale 1.0)", "Target"], &rows)
-    );
-
-    // §4.4.1: the Levenshtein-bucket economy — how many exemplars must a
-    // human label to cover the whole corpus at threshold 7?
-    let baseline = BucketBaseline::train(7, &corpus);
-    let ratio = corpus.len() as f64 / baseline.n_buckets() as f64;
-    println!(
-        "Bucket economy at threshold 7: {} buckets cover {} messages ({ratio:.1} messages/exemplar).",
-        baseline.n_buckets(),
-        corpus.len(),
-    );
-    println!("Paper: 3 415 exemplars for ~196k messages (57.5 messages/exemplar).");
-
+    let out = experiments::table2(&args);
+    print!("{}", out.report);
     if let Some(path) = &args.json_path {
-        let value = serde_json::json!({
-            "experiment": "table2",
-            "scale": args.scale,
-            "seed": args.seed,
-            "total": corpus.len(),
-            "counts": Category::ALL.iter().map(|&c| serde_json::json!({
-                "category": c.label(),
-                "ours": corpus.iter().filter(|(_, cat)| *cat == c).count(),
-                "paper": c.paper_count(),
-            })).collect::<Vec<_>>(),
-            "buckets": baseline.n_buckets(),
-            "messages_per_exemplar": ratio,
-        });
-        write_json(path, &value);
+        write_json(path, &out.value);
     }
 }

@@ -1,182 +1,18 @@
-//! Table 3 — LLM inference time and messages/hour, plus the §5.2
-//! qualitative findings: classification accuracy of the simulated models,
-//! failure-mode rates, and the effect of the `max_new_tokens` mitigation.
+//! Table 3 — simulated LLM inference cost on the virtual clock, plus the
+//! §5.2 qualitative findings (DESIGN.md §3 T3).
+//!
+//! Thin wrapper over [`bench::experiments::table3`]; the conformance
+//! runner (`repro`) executes the same code path.
 //!
 //! Run: `cargo run --release -p bench --bin table3_llm`
 
-use bench::{render_table, write_json, ExpArgs};
-use hetsyslog_core::{Category, FeatureConfig, FeaturePipeline, TextClassifier};
-use llmsim::{GenerativeLlmClassifier, ModelPreset, PromptBuilder, ZeroShotLlmClassifier};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
-/// Evaluate an LLM classifier over a message sample; returns
-/// (accuracy, mean virtual seconds, messages/hour).
-fn eval_llm(
-    clf: &dyn TextClassifier,
-    sample: &[(String, Category)],
-    mean_seconds: impl Fn() -> f64,
-) -> (f64, f64, f64) {
-    let correct = sample
-        .iter()
-        .filter(|(m, c)| clf.classify(m).category == *c)
-        .count();
-    let accuracy = correct as f64 / sample.len().max(1) as f64;
-    let mean = mean_seconds();
-    (accuracy, mean, 3600.0 / mean.max(1e-9))
-}
+use bench::{experiments, write_json, ExpArgs};
 
 fn main() {
     let args = ExpArgs::parse();
-    let corpus = args.corpus();
-    // LLM evaluation is per-message expensive even in simulation; sample
-    // uniformly across the corpus like the authors did for timing runs.
-    let mut rng = ChaCha8Rng::seed_from_u64(args.seed ^ 0x7ab1e3);
-    let mut shuffled: Vec<(String, Category)> = corpus.clone();
-    shuffled.shuffle(&mut rng);
-    let n_sample = shuffled.len().min(400);
-    let sample = &shuffled[..n_sample];
-    println!(
-        "Table 3 reproduction: LLM classification cost ({} training messages, {} sampled test messages)\n",
-        corpus.len(),
-        n_sample
-    );
-
-    // TF-IDF top words feed the prompt (the paper's best recipe).
-    let mut pipeline = FeaturePipeline::new(FeatureConfig::default());
-    let messages: Vec<&str> = corpus.iter().map(|(m, _)| m.as_str()).collect();
-    pipeline.fit(&messages);
-    let top_words: Vec<Vec<String>> = pipeline
-        .table1(&corpus, 5)
-        .into_iter()
-        .map(|ct| ct.tokens.into_iter().map(|(t, _)| t).collect())
-        .collect();
-    let prompt = PromptBuilder::new().with_top_words(top_words);
-
-    let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
-
-    for preset in [ModelPreset::falcon_7b(), ModelPreset::falcon_40b()] {
-        let name = preset.name;
-        let clf =
-            GenerativeLlmClassifier::new(preset, &corpus, prompt.clone(), Some(24), args.seed);
-        let (acc, mean_s, mph) = eval_llm(&clf, sample, || clf.mean_inference_seconds());
-        let counters = clf.counters();
-        rows.push(vec![
-            name.to_string(),
-            format!("{mean_s:.3}"),
-            format!("{mph:.0}"),
-            format!("{acc:.3}"),
-            format!(
-                "novel={} truncated={}",
-                counters.novel_category, counters.truncated
-            ),
-        ]);
-        json_rows.push(serde_json::json!({
-            "model": name,
-            "inference_seconds": mean_s,
-            "messages_per_hour": mph,
-            "accuracy": acc,
-            "novel_category": counters.novel_category,
-            "truncated": counters.truncated,
-            "total": counters.total,
-        }));
-    }
-
-    let zs = ZeroShotLlmClassifier::new(&corpus);
-    let (acc, mean_s, mph) = eval_llm(&zs, sample, || zs.mean_inference_seconds());
-    rows.push(vec![
-        zs.name(),
-        format!("{mean_s:.5}"),
-        format!("{mph:.0}"),
-        format!("{acc:.3}"),
-        "always in-taxonomy".to_string(),
-    ]);
-    json_rows.push(serde_json::json!({
-        "model": zs.name(),
-        "inference_seconds": mean_s,
-        "messages_per_hour": mph,
-        "accuracy": acc,
-    }));
-
-    println!(
-        "{}",
-        render_table(
-            &[
-                "Model",
-                "Inference (s/msg)",
-                "Messages/hour",
-                "Accuracy",
-                "Failure modes"
-            ],
-            &rows
-        )
-    );
-    println!("Paper's Table 3: Falcon-7b 0.639s (5 633/h) · Falcon-40b 2.184s (1 648/h) · BART-MNLI 0.134s (26 948/h)");
-    println!("Shape: zero-shot ≫ 7b ≫ 40b in throughput; all orders of magnitude below the");
-    println!("traditional models (fig3) and below Darwin's >1M msgs/hour ingest rate.");
-
-    // The max_new_tokens ablation: unbounded generation costs more.
-    let unbounded = GenerativeLlmClassifier::new(
-        ModelPreset::falcon_7b(),
-        &corpus,
-        prompt.clone(),
-        None,
-        args.seed,
-    );
-    for (m, _) in sample.iter().take(100) {
-        let _ = unbounded.classify(m);
-    }
-    let capped = GenerativeLlmClassifier::new(
-        ModelPreset::falcon_7b(),
-        &corpus,
-        prompt,
-        Some(24),
-        args.seed,
-    );
-    for (m, _) in sample.iter().take(100) {
-        let _ = capped.classify(m);
-    }
-    println!(
-        "\nmax_new_tokens mitigation (Falcon-7b, 100 msgs): unbounded {:.2} virtual s, capped {:.2} virtual s",
-        unbounded.virtual_seconds(),
-        capped.virtual_seconds()
-    );
-
-    // Would batching save the LLMs? (An extension beyond the paper, with a
-    // deliberately generous Amdahl-style serving model.)
-    use llmsim::latency::{LatencyModel, PAPER_GENERATED_TOKENS, PAPER_PROMPT_TOKENS};
-    println!("\nbatched-serving extrapolation (msgs/hour at batch size b):");
-    for (name, model) in [
-        ("Falcon-7b", LatencyModel::falcon_7b()),
-        ("Falcon-40b", LatencyModel::falcon_40b()),
-    ] {
-        let mph = |b: usize| {
-            3600.0
-                / model.batched_seconds_per_message(b, PAPER_PROMPT_TOKENS, PAPER_GENERATED_TOKENS)
-        };
-        println!(
-            "  {name:<11} b=1: {:>7.0}  b=8: {:>7.0}  b=64: {:>7.0}  b=1024: {:>7.0}   (need >1,000,000)",
-            mph(1), mph(8), mph(64), mph(1024)
-        );
-    }
-    println!(
-        "  even a saturated ~12x batching speedup leaves both models an order of magnitude short."
-    );
-
+    let out = experiments::table3(&args);
+    print!("{}", out.report);
     if let Some(path) = &args.json_path {
-        let value = serde_json::json!({
-            "experiment": "table3",
-            "scale": args.scale,
-            "seed": args.seed,
-            "n_sample": n_sample,
-            "rows": json_rows,
-            "max_new_tokens_ablation": {
-                "unbounded_virtual_seconds": unbounded.virtual_seconds(),
-                "capped_virtual_seconds": capped.virtual_seconds(),
-            },
-        });
-        write_json(path, &value);
+        write_json(path, &out.value);
     }
 }

@@ -1,238 +1,18 @@
-//! Ablation studies over the design choices DESIGN.md calls out:
+//! Experiment XA — preprocessing / filter / oversampling ablations
+//! (DESIGN.md §3 XA).
 //!
-//! 1. lemmatization on/off before TF-IDF (§4.3.2's motivation),
-//! 2. TF-IDF vs raw term-frequency features,
-//! 3. the Unimportant pre-filter in front of the general classifier (the
-//!    paper's Conclusion recommendation),
-//! 4. random oversampling of minority classes (§4.4.2).
+//! Thin wrapper over [`bench::experiments::xp_ablation`]; the conformance
+//! runner (`repro`) executes the same code path.
 //!
 //! Run: `cargo run --release -p bench --bin xp_ablation`
 
-use bench::{fmt_seconds, render_table, write_json, ExpArgs};
-use datagen::{DriftConfig, DriftModel};
-use hetsyslog_core::eval::{evaluate_model, prepare_split, EvalConfig};
-use hetsyslog_core::{BucketBaseline, Category, FeatureConfig, NoiseFilter};
-use hetsyslog_ml::{Classifier, ComplementNaiveBayes, ComplementNbConfig, Dataset};
-use textproc::TfidfConfig;
-
-/// Train on the clean training half, then score the clean test half and a
-/// firmware-drifted copy of the *same* test half — robustness to rewording
-/// is exactly what lemmatization (§4.3.2) is for.
-fn run_variant(
-    corpus: &[(String, Category)],
-    features: FeatureConfig,
-    seed: u64,
-) -> (f64, f64, f64, f64) {
-    let config = EvalConfig {
-        seed,
-        features,
-        ..EvalConfig::default()
-    };
-    let split = prepare_split(corpus, &config);
-    let mut model = ComplementNaiveBayes::new(ComplementNbConfig::default());
-    let eval = evaluate_model(&mut model, &split);
-
-    let mut drift = DriftModel::new(DriftConfig {
-        seed: seed ^ 0xab1a,
-        ..DriftConfig::default()
-    });
-    let drifted_texts = drift.mutate_all(&split.test_texts);
-    let drifted_features: Vec<_> = drifted_texts
-        .iter()
-        .map(|t| split.pipeline.transform(t))
-        .collect();
-    let preds = model.predict_batch(&drifted_features);
-    let cm = hetsyslog_ml::ConfusionMatrix::from_predictions(
-        &split.test.class_names,
-        &split.test.labels,
-        &preds,
-    );
-    (
-        eval.report.weighted_f1,
-        cm.weighted_f1(),
-        eval.report.train_seconds,
-        eval.report.test_seconds,
-    )
-}
+use bench::{experiments, write_json, ExpArgs};
 
 fn main() {
     let args = ExpArgs::parse();
-    let corpus = args.corpus();
-    println!(
-        "Ablation studies (Complement NB probe, {} messages, scale {})\n",
-        corpus.len(),
-        args.scale
-    );
-
-    // --- 1 & 2: preprocessing variants, each scored on the clean test
-    // half and on a firmware-drifted copy of it (train set always clean).
-    let variants: Vec<(&str, FeatureConfig)> = vec![
-        ("lemmatize + tf-idf (paper)", FeatureConfig::default()),
-        (
-            "no lemmatization",
-            FeatureConfig {
-                lemmatize: false,
-                ..FeatureConfig::default()
-            },
-        ),
-        (
-            "word bigrams (ngram_range 1-2)",
-            FeatureConfig {
-                word_ngrams: 2,
-                ..FeatureConfig::default()
-            },
-        ),
-        (
-            "raw term frequency (no idf, no norm)",
-            FeatureConfig {
-                tfidf: TfidfConfig {
-                    min_df: 2,
-                    smooth_idf: true,
-                    l2_normalize: false,
-                    sublinear_tf: false,
-                    ..TfidfConfig::default()
-                },
-                ..FeatureConfig::default()
-            },
-        ),
-    ];
-    let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
-    for (label, features) in variants {
-        let (f1, f1_drift, train_s, test_s) = run_variant(&corpus, features, args.seed);
-        rows.push(vec![
-            label.to_string(),
-            format!("{f1:.5}"),
-            format!("{f1_drift:.5}"),
-            fmt_seconds(train_s),
-            fmt_seconds(test_s),
-        ]);
-        json_rows.push(serde_json::json!({
-            "variant": label,
-            "weighted_f1": f1,
-            "weighted_f1_drifted": f1_drift,
-            "train_seconds": train_s,
-            "test_seconds": test_s,
-        }));
-    }
-    println!(
-        "{}",
-        render_table(
-            &[
-                "Preprocessing",
-                "wF1 (clean test)",
-                "wF1 (drifted test)",
-                "Train",
-                "Test"
-            ],
-            &rows
-        )
-    );
-
-    // --- 3: the Unimportant pre-filter.
-    let filter = NoiseFilter::train(3, &corpus);
-    let noise_total = corpus
-        .iter()
-        .filter(|(_, c)| *c == Category::Unimportant)
-        .count();
-    let noise_texts: Vec<&str> = corpus
-        .iter()
-        .filter(|(_, c)| *c == Category::Unimportant)
-        .map(|(m, _)| m.as_str())
-        .collect();
-    let caught = noise_texts.iter().filter(|m| filter.is_noise(m)).count();
-    let signal_texts: Vec<&str> = corpus
-        .iter()
-        .filter(|(_, c)| *c != Category::Unimportant)
-        .map(|(m, _)| m.as_str())
-        .collect();
-    let false_positives = signal_texts.iter().filter(|m| filter.is_noise(m)).count();
-    println!(
-        "Unimportant pre-filter (threshold 3): {} patterns catch {caught}/{noise_total} noise \
-         messages with {false_positives}/{} false positives on signal.",
-        filter.n_patterns(),
-        signal_texts.len()
-    );
-
-    // --- 3b: variable masking in the bucket baseline (what makes
-    // threshold 7 workable on Darwin).
-    let masked = BucketBaseline::train(7, &corpus);
-    let raw = BucketBaseline::train_raw(7, &corpus);
-    println!(
-        "Bucket masking: {} exemplars masked vs {} raw ({:.1}x labeling-burden reduction)",
-        masked.n_buckets(),
-        raw.n_buckets(),
-        raw.n_buckets() as f64 / masked.n_buckets().max(1) as f64
-    );
-
-    // --- 4: oversampling (does balancing help the rare Slurm class?).
-    let config = EvalConfig {
-        seed: args.seed,
-        ..EvalConfig::default()
-    };
-    let split = prepare_split(&corpus, &config);
-    let mut plain = ComplementNaiveBayes::new(ComplementNbConfig::default());
-    plain.fit(&split.train);
-    let balanced: Dataset = split.train.random_oversample(args.seed);
-    let mut over = ComplementNaiveBayes::new(ComplementNbConfig::default());
-    over.fit(&balanced);
-    let slurm = Category::SlurmIssue.index();
-    let recall = |model: &ComplementNaiveBayes| -> f64 {
-        let preds = model.predict_batch(&split.test.features);
-        let mut hit = 0usize;
-        let mut total = 0usize;
-        for (p, &t) in preds.iter().zip(&split.test.labels) {
-            if t == slurm {
-                total += 1;
-                if *p == slurm {
-                    hit += 1;
-                }
-            }
-        }
-        if total == 0 {
-            1.0
-        } else {
-            hit as f64 / total as f64
-        }
-    };
-    let mut smoted = ComplementNaiveBayes::new(ComplementNbConfig::default());
-    smoted.fit(&hetsyslog_ml::smote_oversample(&split.train, 5, args.seed));
-    let mut adasyned = ComplementNaiveBayes::new(ComplementNbConfig::default());
-    adasyned.fit(&hetsyslog_ml::adasyn_oversample(&split.train, 5, args.seed));
-    println!(
-        "Oversampling: Slurm-Issues recall {:.3} (imbalanced) → {:.3} (random) → {:.3} (SMOTE) → {:.3} (ADASYN)",
-        recall(&plain),
-        recall(&over),
-        recall(&smoted),
-        recall(&adasyned)
-    );
-
+    let out = experiments::xp_ablation(&args);
+    print!("{}", out.report);
     if let Some(path) = &args.json_path {
-        write_json(
-            path,
-            &serde_json::json!({
-                "experiment": "xp_ablation",
-                "scale": args.scale,
-                "seed": args.seed,
-                "preprocessing": json_rows,
-                "prefilter": {
-                    "patterns": filter.n_patterns(),
-                    "caught": caught,
-                    "noise_total": noise_total,
-                    "false_positives": false_positives,
-                    "signal_total": signal_texts.len(),
-                },
-                "bucket_masking": {
-                    "masked_exemplars": masked.n_buckets(),
-                    "raw_exemplars": raw.n_buckets(),
-                },
-                "oversampling": {
-                    "slurm_recall_plain": recall(&plain),
-                    "slurm_recall_oversampled": recall(&over),
-                    "slurm_recall_smote": recall(&smoted),
-                    "slurm_recall_adasyn": recall(&adasyned),
-                },
-            }),
-        );
+        write_json(path, &out.value);
     }
 }

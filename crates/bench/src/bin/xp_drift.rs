@@ -1,130 +1,19 @@
-//! Experiment X1 — the firmware-drift study (Background §3, quantified).
+//! Experiment X1 — the firmware-drift study: rewording fractures the
+//! edit-distance bucket store while TF-IDF classifiers survive
+//! (DESIGN.md §3 X1).
 //!
-//! The paper's motivating pain: firmware updates reword messages, so the
-//! edit-distance bucket store fractures (new buckets ⇒ human re-labeling)
-//! while — the paper's hope — TF-IDF classifiers survive the rewording.
-//! This binary measures both sides on the same drifted stream:
-//!
-//! * bucket baseline: fraction of drifted messages landing in *new*
-//!   (unlabeled) buckets, and its classification accuracy before/after;
-//! * TF-IDF + Complement NB: accuracy before/after drift.
+//! Thin wrapper over [`bench::experiments::xp_drift`]; the conformance
+//! runner (`repro`) executes the same code path.
 //!
 //! Run: `cargo run --release -p bench --bin xp_drift`
 
-use bench::{render_table, write_json, ExpArgs};
-use datagen::{DriftConfig, DriftModel};
-use hetsyslog_core::{
-    BucketBaseline, Category, FeatureConfig, TextClassifier, TraditionalPipeline,
-};
-use hetsyslog_ml::{ComplementNaiveBayes, ComplementNbConfig};
-
-fn accuracy(clf: &dyn TextClassifier, data: &[(String, Category)]) -> f64 {
-    let texts: Vec<&str> = data.iter().map(|(m, _)| m.as_str()).collect();
-    let preds = clf.classify_batch(&texts);
-    let correct = preds
-        .iter()
-        .zip(data)
-        .filter(|(p, (_, c))| p.category == *c)
-        .count();
-    correct as f64 / data.len().max(1) as f64
-}
+use bench::{experiments, write_json, ExpArgs};
 
 fn main() {
     let args = ExpArgs::parse();
-    let corpus = args.corpus();
-    println!(
-        "Experiment X1: firmware drift vs. classifiers ({} messages, scale {})\n",
-        corpus.len(),
-        args.scale
-    );
-
-    // Drifted copy of the corpus (same labels, reworded text).
-    let mut drift = DriftModel::new(DriftConfig {
-        seed: args.seed ^ 0xd41f7,
-        ..DriftConfig::default()
-    });
-    let drifted: Vec<(String, Category)> =
-        corpus.iter().map(|(m, c)| (drift.mutate(m), *c)).collect();
-
-    // Bucket baseline trained pre-drift.
-    let bucket = BucketBaseline::train(7, &corpus);
-    let buckets_before = bucket.n_buckets();
-    let bucket_acc_before = accuracy(&bucket, &corpus);
-    let bucket_acc_after = accuracy(&bucket, &drifted);
-    // Retraining burden: how many drifted messages found *no* bucket?
-    let orphaned = drifted
-        .iter()
-        .filter(|(m, _)| bucket.find(m).is_none())
-        .count();
-    let orphan_rate = orphaned as f64 / drifted.len() as f64;
-
-    // TF-IDF pipeline trained pre-drift.
-    let tfidf = TraditionalPipeline::train(
-        FeatureConfig::default(),
-        Box::new(ComplementNaiveBayes::new(ComplementNbConfig::default())),
-        &corpus,
-    );
-    let tfidf_acc_before = accuracy(&tfidf, &corpus);
-    let tfidf_acc_after = accuracy(&tfidf, &drifted);
-
-    let rows = vec![
-        vec![
-            bucket.name(),
-            format!("{bucket_acc_before:.4}"),
-            format!("{bucket_acc_after:.4}"),
-            format!("{:.1}%", orphan_rate * 100.0),
-        ],
-        vec![
-            tfidf.name(),
-            format!("{tfidf_acc_before:.4}"),
-            format!("{tfidf_acc_after:.4}"),
-            "0.0% (no exemplars)".to_string(),
-        ],
-    ];
-    println!(
-        "{}",
-        render_table(
-            &[
-                "Classifier",
-                "Accuracy pre-drift",
-                "Accuracy post-drift",
-                "Orphaned msgs"
-            ],
-            &rows
-        )
-    );
-    println!(
-        "bucket store: {} exemplars pre-drift; {orphaned} of {} drifted messages would found NEW buckets",
-        buckets_before,
-        drifted.len()
-    );
-    println!("shape to check: TF-IDF degrades far less than bucketing, whose orphan rate IS the");
-    println!("retraining burden the paper complains about.");
-
-    assert!(
-        tfidf_acc_after >= bucket_acc_after,
-        "shape violation: TF-IDF should survive drift better than bucketing"
-    );
-
+    let out = experiments::xp_drift(&args);
+    print!("{}", out.report);
     if let Some(path) = &args.json_path {
-        let value = serde_json::json!({
-            "experiment": "xp_drift",
-            "scale": args.scale,
-            "seed": args.seed,
-            "bucket": {
-                "name": bucket.name(),
-                "exemplars": buckets_before,
-                "accuracy_before": bucket_acc_before,
-                "accuracy_after": bucket_acc_after,
-                "orphaned": orphaned,
-                "orphan_rate": orphan_rate,
-            },
-            "tfidf": {
-                "name": tfidf.name(),
-                "accuracy_before": tfidf_acc_before,
-                "accuracy_after": tfidf_acc_after,
-            },
-        });
-        write_json(path, &value);
+        write_json(path, &out.value);
     }
 }

@@ -1,372 +1,30 @@
-//! Experiment X2 — end-to-end pipeline throughput per technique.
+//! Experiment X2 — end-to-end classified-ingest throughput, the
+//! scalar-vs-batched CSR comparison, and the loopback TCP listener
+//! benchmark (DESIGN.md §3 X2).
 //!
-//! §5's framing: "techniques that … require so much computational power
-//! that we can only afford to classify a single message every 30 seconds"
-//! are useless against a stream that exceeds a million messages an hour.
-//! This binary pushes one synthetic Darwin hour through the full ingest
-//! path (parse → classify → index) for each classifier family and compares
-//! sustained messages/hour — real wall time for the traditional models,
-//! modeled GPU time for the LLMs.
+//! Thin wrapper over [`bench::experiments::xp_throughput`]; the
+//! conformance runner (`repro`) executes the same code path. The
+//! batch-vs-scalar comparison is additionally re-emitted to
+//! `BENCH_throughput.json` (committed as evidence that the CSR path
+//! clears its speedup floor).
 //!
 //! Run: `cargo run --release -p bench --bin xp_throughput`
 
-use bench::{render_table, write_json, ExpArgs};
-use datagen::{StreamConfig, StreamGenerator};
-use hetsyslog_core::{
-    FeatureConfig, MonitorService, NoiseFilter, TextClassifier, TraditionalPipeline,
-};
-use hetsyslog_ml::{
-    BatchClassifier, ComplementNaiveBayes, ComplementNbConfig, LinearSvc, LinearSvcConfig,
-    LogisticRegression, LogisticRegressionConfig, NearestCentroid, RandomForest,
-    RandomForestConfig, RidgeClassifier, RidgeConfig, SgdClassifier, SgdConfig,
-};
-use llmsim::{GenerativeLlmClassifier, ModelPreset, PromptBuilder, ZeroShotLlmClassifier};
-use logpipeline::{ClassifyingIngest, ListenerConfig, LogStore, OverloadPolicy, SyslogListener};
-use std::io::Write;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use bench::{experiments, write_json, ExpArgs};
 
-/// Path the batch-vs-scalar comparison is always written to (committed as
-/// the PR's evidence that the CSR path clears its speedup floor).
+/// Path the batch-vs-scalar comparison is always written to.
 const BENCH_JSON: &str = "BENCH_throughput.json";
-
-/// The linear-family suite for the batch-vs-scalar comparison. Linear SVC
-/// gets a reduced epoch budget — its dual coordinate descent is the
-/// paper's slowest trainer and this experiment measures inference, not
-/// training.
-fn linear_suite(seed: u64) -> Vec<(&'static str, Box<dyn BatchClassifier>)> {
-    vec![
-        (
-            "Logistic Regression",
-            Box::new(LogisticRegression::new(LogisticRegressionConfig::default())),
-        ),
-        (
-            "Ridge Classifier",
-            Box::new(RidgeClassifier::new(RidgeConfig::default())),
-        ),
-        (
-            "Linear SVC",
-            Box::new(LinearSvc::new(LinearSvcConfig {
-                max_epochs: 200,
-                tolerance: 1e-3,
-                ..LinearSvcConfig::default()
-            })),
-        ),
-        (
-            "Log-loss SGD",
-            Box::new(SgdClassifier::new(SgdConfig {
-                seed,
-                ..SgdConfig::default()
-            })),
-        ),
-        ("Nearest Centroid", Box::new(NearestCentroid::new())),
-        (
-            "Complement Naive Bayes",
-            Box::new(ComplementNaiveBayes::new(ComplementNbConfig::default())),
-        ),
-    ]
-}
-
-/// Result of the loopback listener run: final counters plus wall time.
-struct ListenerBench {
-    connections: usize,
-    report: hetsyslog_core::IngestSnapshot,
-    seconds: f64,
-}
-
-impl ListenerBench {
-    fn msgs_per_sec(&self) -> f64 {
-        self.report.ingested as f64 / self.seconds
-    }
-}
-
-/// Push `frames` through the loopback TCP listener over 4 concurrent
-/// octet-counted connections and report sustained wire-to-store ingest.
-fn bench_listener(frames: &[String]) -> ListenerBench {
-    const CONNECTIONS: usize = 4;
-    let store = Arc::new(LogStore::new());
-    let listener = SyslogListener::start(
-        store.clone(),
-        None,
-        ListenerConfig {
-            workers: 4,
-            queue_depth: 4096,
-            overload: OverloadPolicy::Block,
-            idle_timeout: Duration::from_secs(30),
-            ..ListenerConfig::default()
-        },
-    )
-    .expect("bind loopback listener");
-    let addr = listener.tcp_addr();
-
-    let started = Instant::now();
-    let senders: Vec<_> = (0..CONNECTIONS)
-        .map(|c| {
-            let shard: Vec<String> = frames
-                .iter()
-                .skip(c)
-                .step_by(CONNECTIONS)
-                .cloned()
-                .collect();
-            std::thread::spawn(move || {
-                let mut sock = std::net::TcpStream::connect(addr).expect("connect");
-                let mut wire = Vec::with_capacity(shard.iter().map(|f| f.len() + 8).sum());
-                for frame in &shard {
-                    wire.extend_from_slice(format!("{} {frame}", frame.len()).as_bytes());
-                }
-                sock.write_all(&wire).expect("write");
-            })
-        })
-        .collect();
-    for sender in senders {
-        sender.join().expect("sender thread");
-    }
-    let expected = frames.len() as u64;
-    let deadline = Instant::now() + Duration::from_secs(60);
-    while listener.stats().snapshot().ingested + listener.stats().snapshot().parse_errors < expected
-        && Instant::now() < deadline
-    {
-        std::thread::sleep(Duration::from_millis(2));
-    }
-    let seconds = started.elapsed().as_secs_f64();
-    let report = listener.shutdown();
-    ListenerBench {
-        connections: CONNECTIONS,
-        report,
-        seconds,
-    }
-}
 
 fn main() {
     let args = ExpArgs::parse();
-    let corpus = args.corpus();
-    // One synthetic stream sample (default ~30k frames ≈ 100 virtual
-    // seconds of Darwin load at 300 msg/s).
-    let n_frames = (30_000.0 * (args.scale / 0.05).clamp(0.2, 10.0)) as usize;
-    let frames: Vec<String> = StreamGenerator::new(StreamConfig {
-        seed: args.seed,
-        ..StreamConfig::default()
-    })
-    .take(n_frames)
-    .map(|t| t.to_frame())
-    .collect();
-    println!(
-        "Experiment X2: end-to-end classified-ingest throughput ({} frames, {} training messages)\n",
-        frames.len(),
-        corpus.len()
-    );
-
-    let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
-
-    // Traditional models measured end-to-end through the real pipeline.
-    let traditional: Vec<(&str, Box<dyn TextClassifier>)> = vec![
-        (
-            "TF-IDF + Complement NB",
-            Box::new(TraditionalPipeline::train(
-                FeatureConfig::default(),
-                Box::new(ComplementNaiveBayes::new(ComplementNbConfig::default())),
-                &corpus,
-            )),
-        ),
-        (
-            "TF-IDF + Random Forest",
-            Box::new(TraditionalPipeline::train(
-                FeatureConfig::default(),
-                Box::new(RandomForest::new(RandomForestConfig {
-                    seed: args.seed,
-                    n_trees: 20,
-                    ..RandomForestConfig::default()
-                })),
-                &corpus,
-            )),
-        ),
-    ];
-    for (label, clf) in traditional {
-        let store = Arc::new(LogStore::new());
-        let service = Arc::new(
-            MonitorService::new(Arc::from(clf)).with_prefilter(NoiseFilter::train(3, &corpus)),
-        );
-        let ingest = ClassifyingIngest::new(store.clone(), service, 4);
-        let report = ingest.run(frames.iter().cloned());
-        let mph = report.messages_per_second() * 3600.0;
-        rows.push(vec![
-            label.to_string(),
-            format!("{:.1}", report.seconds),
-            format!("{mph:.0}"),
-            "measured wall time".to_string(),
-        ]);
-        json_rows.push(serde_json::json!({
-            "technique": label,
-            "seconds": report.seconds,
-            "messages_per_hour": mph,
-            "kind": "measured",
-            "prefiltered": report.prefiltered,
-        }));
-    }
-
-    // LLMs: virtual GPU seconds over a sample, extrapolated.
-    let sample: Vec<&str> = frames.iter().take(300).map(|s| s.as_str()).collect();
-    let prompt = PromptBuilder::new();
-    for preset in [ModelPreset::falcon_7b(), ModelPreset::falcon_40b()] {
-        let name = preset.name;
-        let clf =
-            GenerativeLlmClassifier::new(preset, &corpus, prompt.clone(), Some(24), args.seed);
-        for m in &sample {
-            let _ = clf.classify(m);
-        }
-        let mean = clf.mean_inference_seconds();
-        rows.push(vec![
-            name.to_string(),
-            format!("{:.1}", mean * frames.len() as f64),
-            format!("{:.0}", 3600.0 / mean),
-            "modeled 4xA100 time".to_string(),
-        ]);
-        json_rows.push(serde_json::json!({
-            "technique": name,
-            "seconds": mean * frames.len() as f64,
-            "messages_per_hour": 3600.0 / mean,
-            "kind": "modeled",
-        }));
-    }
-    let zs = ZeroShotLlmClassifier::new(&corpus);
-    for m in &sample {
-        let _ = zs.classify(m);
-    }
-    let mean = zs.mean_inference_seconds();
-    rows.push(vec![
-        zs.name(),
-        format!("{:.1}", mean * frames.len() as f64),
-        format!("{:.0}", 3600.0 / mean),
-        "modeled 4xA100 time".to_string(),
-    ]);
-    json_rows.push(serde_json::json!({
-        "technique": zs.name(),
-        "seconds": mean * frames.len() as f64,
-        "messages_per_hour": 3600.0 / mean,
-        "kind": "modeled",
-    }));
-
-    println!(
-        "{}",
-        render_table(
-            &["Technique", "Time for stream (s)", "Messages/hour", "Basis"],
-            &rows
-        )
-    );
-    println!("Darwin's load: >1,000,000 messages/hour. Shape to check: traditional models clear");
-    println!("it comfortably; every LLM falls one to three orders of magnitude short (the");
-    println!("paper's central conclusion).");
-
-    // Batch CSR vs scalar ingest: the same MonitorService, fed one message
-    // at a time (per-message vectorize + predict + explanation) versus one
-    // `ingest_batch` call (matrix-at-a-time CSR scoring). Categories are
-    // cross-checked for agreement.
-    let bench_msgs: Vec<&str> = frames.iter().take(20_000).map(|s| s.as_str()).collect();
-    println!(
-        "\nBatch CSR vs scalar ingest over {} messages per linear classifier:\n",
-        bench_msgs.len()
-    );
-    let mut batch_rows = Vec::new();
-    let mut batch_json = Vec::new();
-    for (label, model) in linear_suite(args.seed) {
-        let clf: Arc<dyn TextClassifier> = Arc::new(TraditionalPipeline::train(
-            FeatureConfig::default(),
-            model,
-            &corpus,
-        ));
-        let scalar_svc =
-            MonitorService::new(clf.clone()).with_prefilter(NoiseFilter::train(3, &corpus));
-        let t0 = Instant::now();
-        let scalar_preds: Vec<_> = bench_msgs.iter().map(|m| scalar_svc.ingest(m)).collect();
-        let scalar_seconds = t0.elapsed().as_secs_f64();
-
-        let batch_svc = MonitorService::new(clf).with_prefilter(NoiseFilter::train(3, &corpus));
-        let t1 = Instant::now();
-        let batch_preds = batch_svc.ingest_batch(&bench_msgs);
-        let batch_seconds = t1.elapsed().as_secs_f64();
-
-        let agree = scalar_preds
-            .iter()
-            .zip(&batch_preds)
-            .all(|(a, b)| match (a, b) {
-                (Some(a), Some(b)) => a.category == b.category,
-                (None, None) => true,
-                _ => false,
-            });
-        let scalar_rate = bench_msgs.len() as f64 / scalar_seconds;
-        let batch_rate = bench_msgs.len() as f64 / batch_seconds;
-        batch_rows.push(vec![
-            label.to_string(),
-            format!("{scalar_rate:.0}"),
-            format!("{batch_rate:.0}"),
-            format!("{:.1}x", batch_rate / scalar_rate),
-            if agree {
-                "yes".to_string()
-            } else {
-                "NO".to_string()
-            },
-        ]);
-        batch_json.push(serde_json::json!({
-            "model": label,
-            "scalar_msgs_per_sec": scalar_rate,
-            "batch_msgs_per_sec": batch_rate,
-            "speedup": batch_rate / scalar_rate,
-            "predictions_agree": agree,
-        }));
-    }
-    println!(
-        "{}",
-        render_table(
-            &["Model", "Scalar msg/s", "Batch msg/s", "Speedup", "Agree"],
-            &batch_rows
-        )
-    );
-    // Socket-facing listener: the same frames delivered over loopback TCP
-    // (RFC 6587 octet counting, 4 concurrent connections) through the
-    // bounded-queue listener into the store — wire → decode → parse →
-    // index, measured end to end.
-    let listener = bench_listener(&frames.iter().take(20_000).cloned().collect::<Vec<_>>());
-    println!(
-        "\nLoopback listener ingest: {:.0} msg/s over {} TCP connections ({} frames, {} drops)",
-        listener.msgs_per_sec(),
-        listener.connections,
-        listener.report.frames,
-        listener.report.total_dropped(),
-    );
-    let listener_json = serde_json::json!({
-        "connections": listener.connections,
-        "frames": listener.report.frames,
-        "ingested": listener.report.ingested,
-        "dropped": listener.report.total_dropped(),
-        "bytes": listener.report.bytes,
-        "seconds": listener.seconds,
-        "msgs_per_sec": listener.msgs_per_sec(),
-    });
-
+    let out = experiments::xp_throughput(&args);
+    print!("{}", out.report);
     write_json(
         BENCH_JSON,
-        &serde_json::json!({
-            "experiment": "xp_throughput_batch_vs_scalar",
-            "scale": args.scale,
-            "seed": args.seed,
-            "n_messages": bench_msgs.len(),
-            "classifiers": batch_json,
-            "listener": listener_json,
-        }),
+        &experiments::xp_throughput_bench_json(&out.value),
     );
     println!("Batch comparison written to {BENCH_JSON}");
-
     if let Some(path) = &args.json_path {
-        write_json(
-            path,
-            &serde_json::json!({
-                "experiment": "xp_throughput",
-                "scale": args.scale,
-                "seed": args.seed,
-                "n_frames": frames.len(),
-                "rows": json_rows,
-            }),
-        );
+        write_json(path, &out.value);
     }
 }

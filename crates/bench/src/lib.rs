@@ -10,6 +10,9 @@ use hetsyslog_core::Category;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+pub mod experiments;
+pub mod runner;
+
 /// Common command-line options for experiment binaries.
 ///
 /// Recognized flags: `--scale <f64>`, `--seed <u64>`, `--json <path>`,
@@ -118,16 +121,16 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Write experiment results as pretty JSON to `path` (creating parents).
+/// Write experiment results as canonical JSON (recursively sorted keys,
+/// trailing newline) to `path`, creating parents. Canonical form keeps
+/// the committed goldens diffable and lets the conformance runner compare
+/// serializations byte for byte.
 pub fn write_json(path: &str, value: &serde_json::Value) {
     if let Some(parent) = std::path::Path::new(path).parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    std::fs::write(
-        path,
-        serde_json::to_string_pretty(value).expect("serializable"),
-    )
-    .unwrap_or_else(|e| panic!("failed writing {path}: {e}"));
+    std::fs::write(path, hetsyslog_core::to_canonical_json(value))
+        .unwrap_or_else(|e| panic!("failed writing {path}: {e}"));
     println!("(results written to {path})");
 }
 

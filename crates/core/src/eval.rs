@@ -60,6 +60,23 @@ pub struct PreparedSplit {
     pub preprocess_seconds: f64,
 }
 
+impl PreparedSplit {
+    /// Structural fingerprint of the split: sizes, per-class counts, and
+    /// the vocabulary digest. Fully deterministic for a given corpus and
+    /// config — no wall-clock fields — so conformance goldens pin every
+    /// field exactly.
+    pub fn signature(&self) -> serde_json::Value {
+        serde_json::json!({
+            "n_train": self.train.len(),
+            "n_test": self.test.len(),
+            "n_features": self.pipeline.n_features(),
+            "train_class_counts": self.train.class_counts(),
+            "test_class_counts": self.test.class_counts(),
+            "vocab_signature": format!("{:016x}", self.pipeline.vocab_signature()),
+        })
+    }
+}
+
 /// Stratified split of corpus indices by category.
 fn split_indices(
     corpus: &[(String, Category)],
@@ -269,5 +286,28 @@ mod tests {
         let b = prepare_split(&corpus, &config());
         assert_eq!(a.train.labels, b.train.labels);
         assert_eq!(a.test.labels, b.test.labels);
+    }
+
+    #[test]
+    fn signature_is_stable_and_sensitive() {
+        let corpus = corpus();
+        let a = prepare_split(&corpus, &config());
+        let b = prepare_split(&corpus, &config());
+        assert_eq!(
+            crate::persist::to_canonical_json(&a.signature()),
+            crate::persist::to_canonical_json(&b.signature())
+        );
+        let other = prepare_split(
+            &corpus,
+            &EvalConfig {
+                drop_unimportant: true,
+                ..config()
+            },
+        );
+        assert_ne!(
+            crate::persist::to_canonical_json(&a.signature()),
+            crate::persist::to_canonical_json(&other.signature()),
+            "a structurally different split must change the signature"
+        );
     }
 }

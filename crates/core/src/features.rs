@@ -171,6 +171,26 @@ impl FeaturePipeline {
         &self.vectorizer
     }
 
+    /// FNV-1a digest of the fitted vocabulary in id order. Two pipelines
+    /// fitted on the same corpus must agree on every (id, token) pair, so
+    /// this single u64 stands in for the whole vocabulary in conformance
+    /// goldens: any reordering, insertion, or rename changes it.
+    pub fn vocab_signature(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (id, token) in self.vectorizer.vocabulary().iter() {
+            eat(&id.to_le_bytes());
+            eat(token.as_bytes());
+            eat(&[0xff]);
+        }
+        h
+    }
+
     /// The tokens of `text` that scored highest in its TF-IDF vector —
     /// the per-decision explanation payload.
     pub fn top_contributing_tokens(&self, text: &str, k: usize) -> Vec<(String, f64)> {

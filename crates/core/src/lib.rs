@@ -32,6 +32,6 @@ pub use classify::{BucketBaseline, Prediction, TextClassifier, TraditionalPipeli
 pub use explain::Explanation;
 pub use features::{FeatureConfig, FeaturePipeline};
 pub use filter::NoiseFilter;
-pub use persist::{SavedModel, SavedPipeline};
+pub use persist::{canonicalize_json, to_canonical_json, SavedModel, SavedPipeline};
 pub use service::{Alert, HealthSnapshot, IngestSnapshot, MonitorService, MonitorStats};
 pub use taxonomy::Category;

@@ -206,6 +206,39 @@ impl TextClassifier for SavedPipeline {
     }
 }
 
+/// Recursively sort every object's keys (stable, lexicographic). Canonical
+/// form for every JSON artifact the experiments emit: two runs that compute
+/// the same values serialize to byte-identical text, which is what the
+/// conformance runner's golden diffs and the determinism tests compare.
+pub fn canonicalize_json(value: &mut serde_json::Value) {
+    use serde_json::Value;
+    match value {
+        Value::Object(entries) => {
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            for (_, v) in entries.iter_mut() {
+                canonicalize_json(v);
+            }
+        }
+        Value::Array(items) => {
+            for v in items.iter_mut() {
+                canonicalize_json(v);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Serialize in canonical form: keys sorted at every depth, two-space
+/// indentation, trailing newline. All committed `results/` goldens use
+/// exactly this encoding.
+pub fn to_canonical_json(value: &serde_json::Value) -> String {
+    let mut v = value.clone();
+    canonicalize_json(&mut v);
+    let mut s = serde_json::to_string_pretty(&v).expect("canonical JSON serialization");
+    s.push('\n');
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,5 +341,37 @@ mod tests {
         for (m, _) in &corpus {
             assert_eq!(saved.classify(m).category, live.classify(m).category);
         }
+    }
+
+    #[test]
+    fn canonical_json_sorts_keys_at_every_depth() {
+        let row_yx = serde_json::json!({"y": true, "x": false});
+        let row_xy = serde_json::json!({"x": false, "y": true});
+        let a = serde_json::json!({
+            "zeta": {"b": 1, "a": 2},
+            "alpha": [row_yx],
+            "mid": 3.5,
+        });
+        let b = serde_json::json!({
+            "mid": 3.5,
+            "alpha": [row_xy],
+            "zeta": {"a": 2, "b": 1},
+        });
+        assert_eq!(to_canonical_json(&a), to_canonical_json(&b));
+        let text = to_canonical_json(&a);
+        let alpha = text.find("\"alpha\"").unwrap();
+        let mid = text.find("\"mid\"").unwrap();
+        let zeta = text.find("\"zeta\"").unwrap();
+        assert!(alpha < mid && mid < zeta, "top-level keys must be sorted");
+        assert!(text.find("\"a\"").unwrap() < text.find("\"b\"").unwrap());
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn canonical_json_round_trips() {
+        let v = serde_json::json!({"n": 3, "f": 0.1, "s": "x", "arr": [1, 2]});
+        let text = to_canonical_json(&v);
+        let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(to_canonical_json(&back), text);
     }
 }

@@ -85,6 +85,34 @@ proptest! {
         prop_assert_eq!(total, msgs.len() as u64 * 2);
     }
 
+    /// The length-window + charmask prescreen never changes membership:
+    /// `contains` agrees with a naive full scan over every exemplar, and
+    /// with `find(..).is_some()`, for arbitrary stores and probes.
+    #[test]
+    fn prescreen_preserves_contains(
+        seeds in proptest::collection::vec("[a-d ]{0,12}", 1..16),
+        probes in proptest::collection::vec("[a-f ]{0,16}", 1..16),
+        threshold in 0usize..5,
+    ) {
+        let mut store = BucketStore::new(BucketingConfig { threshold, ..BucketingConfig::default() });
+        for m in &seeds {
+            store.assign(m);
+        }
+        for p in &probes {
+            let naive = store
+                .buckets()
+                .iter()
+                .any(|b| levenshtein(p, &b.exemplar) <= threshold);
+            prop_assert_eq!(
+                store.contains(p),
+                naive,
+                "prescreen changed membership for probe {:?}",
+                p
+            );
+            prop_assert_eq!(store.find(p).is_some(), naive);
+        }
+    }
+
     /// Every assignment distance respects the threshold.
     #[test]
     fn assignment_distance_within_threshold(

@@ -1,0 +1,107 @@
+//! Deterministic parallel gradient accumulation.
+//!
+//! The full-batch trainers (logistic regression, ridge) sum per-sample
+//! gradient contributions in parallel. Floating-point addition is not
+//! associative, so the summation *order* is part of the model definition:
+//! if chunk boundaries followed the worker count (as a plain
+//! `par_iter().fold().reduce()` does), the same corpus and seed would
+//! produce slightly different weights on different machines or under
+//! different `RAYON_NUM_THREADS` settings — breaking the conformance
+//! runner's byte-identical golden checks.
+//!
+//! The helper here fixes the order: samples are folded sequentially within
+//! fixed-size blocks, blocks run in parallel, and block results are merged
+//! sequentially in block order. The result depends only on [`GRAD_BLOCK`],
+//! never on how many threads executed the blocks.
+
+use rayon::prelude::*;
+
+/// Samples per accumulation block. Fixed (not derived from the worker
+/// count) so the float summation order is machine-invariant.
+const GRAD_BLOCK: usize = 512;
+
+/// Dense per-class gradient accumulator: one `n_features` row per class
+/// plus a bias entry per class.
+pub(crate) type GradPair = (Vec<Vec<f64>>, Vec<f64>);
+
+/// Sum per-sample contributions into `(weight_grad, bias_grad)` with a
+/// thread-count-invariant summation order.
+///
+/// `per_sample(i, grad, bias_grad)` adds sample `i`'s contribution into the
+/// block-local accumulator. Blocks of [`GRAD_BLOCK`] consecutive samples
+/// run in parallel; finished blocks are merged sequentially in block order.
+pub(crate) fn accumulate_gradients<F>(
+    n_samples: usize,
+    n_classes: usize,
+    n_features: usize,
+    per_sample: F,
+) -> GradPair
+where
+    F: Fn(usize, &mut [Vec<f64>], &mut [f64]) + Sync,
+{
+    let n_blocks = n_samples.div_ceil(GRAD_BLOCK).max(1);
+    let blocks: Vec<GradPair> = (0..n_blocks)
+        .into_par_iter()
+        .map(|b| {
+            let mut grad = vec![vec![0.0; n_features]; n_classes];
+            let mut bias = vec![0.0; n_classes];
+            let lo = b * GRAD_BLOCK;
+            let hi = (lo + GRAD_BLOCK).min(n_samples);
+            for i in lo..hi {
+                per_sample(i, &mut grad, &mut bias);
+            }
+            (grad, bias)
+        })
+        .collect();
+
+    let mut blocks = blocks.into_iter();
+    let (mut grad, mut bias) = blocks.next().expect("at least one block");
+    for (block_grad, block_bias) in blocks {
+        for (row, block_row) in grad.iter_mut().zip(&block_grad) {
+            for (acc, v) in row.iter_mut().zip(block_row) {
+                *acc += v;
+            }
+        }
+        for (acc, v) in bias.iter_mut().zip(&block_bias) {
+            *acc += v;
+        }
+    }
+    (grad, bias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(n_samples: usize) -> GradPair {
+        accumulate_gradients(n_samples, 2, 3, |i, grad, bias| {
+            let x = (i as f64).sin();
+            for c in 0..2 {
+                for (f, g) in grad[c].iter_mut().enumerate() {
+                    *g += x * (c as f64 + 1.0) * (f as f64 + 0.5);
+                }
+                bias[c] += x;
+            }
+        })
+    }
+
+    #[test]
+    fn invariant_under_thread_count() {
+        // Same fixed blocks regardless of how many workers execute them:
+        // the env override must not change a single bit.
+        let baseline = run(5000);
+        for threads in ["1", "2", "7"] {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            let got = run(5000);
+            std::env::remove_var("RAYON_NUM_THREADS");
+            assert_eq!(got, baseline, "drift at RAYON_NUM_THREADS={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_zeros() {
+        let (grad, bias) = accumulate_gradients(0, 2, 3, |_, _, _| unreachable!());
+        assert_eq!(grad, vec![vec![0.0; 3]; 2]);
+        assert_eq!(bias, vec![0.0; 2]);
+    }
+}

@@ -23,6 +23,7 @@ pub mod batch;
 pub mod centroid;
 pub mod dataset;
 pub mod forest;
+mod grad;
 pub mod knn;
 pub mod logreg;
 pub mod metrics;

@@ -7,8 +7,8 @@
 
 use crate::batch::{argmax, linear_predict_csr, BatchClassifier};
 use crate::dataset::Dataset;
+use crate::grad::accumulate_gradients;
 use crate::traits::Classifier;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use textproc::{CsrMatrix, SparseVec};
 
@@ -89,46 +89,29 @@ impl Classifier for LogisticRegression {
         self.bias = vec![0.0; n_classes];
 
         for _ in 0..self.config.epochs {
-            // Parallel gradient accumulation: map samples to (grad, bias
-            // grad) contributions, reduce by summation.
-            let (grad, bias_grad) = data
-                .features
-                .par_iter()
-                .zip(data.labels.par_iter())
-                .fold(
-                    || (vec![vec![0.0; n_features]; n_classes], vec![0.0; n_classes]),
-                    |(mut g, mut bg), (x, &label)| {
-                        let scores: Vec<f64> = self
-                            .weights
-                            .iter()
-                            .zip(&self.bias)
-                            .map(|(w, b)| x.dot_dense(w) + b)
-                            .collect();
-                        let probs = softmax(&scores);
-                        for c in 0..n_classes {
-                            let err = probs[c] - if c == label { 1.0 } else { 0.0 };
-                            if err != 0.0 {
-                                x.add_scaled_to_dense(&mut g[c], err);
-                                bg[c] += err;
-                            }
+            // Parallel gradient accumulation over fixed-size sample blocks
+            // (see `grad.rs`): the summation order — and therefore every
+            // bit of the trained weights — is independent of the worker
+            // count.
+            let (grad, bias_grad) =
+                accumulate_gradients(data.len(), n_classes, n_features, |i, g, bg| {
+                    let x = &data.features[i];
+                    let label = data.labels[i];
+                    let scores: Vec<f64> = self
+                        .weights
+                        .iter()
+                        .zip(&self.bias)
+                        .map(|(w, b)| x.dot_dense(w) + b)
+                        .collect();
+                    let probs = softmax(&scores);
+                    for c in 0..n_classes {
+                        let err = probs[c] - if c == label { 1.0 } else { 0.0 };
+                        if err != 0.0 {
+                            x.add_scaled_to_dense(&mut g[c], err);
+                            bg[c] += err;
                         }
-                        (g, bg)
-                    },
-                )
-                .reduce(
-                    || (vec![vec![0.0; n_features]; n_classes], vec![0.0; n_classes]),
-                    |(mut ga, mut bga), (gb, bgb)| {
-                        for (ra, rb) in ga.iter_mut().zip(&gb) {
-                            for (va, vb) in ra.iter_mut().zip(rb) {
-                                *va += vb;
-                            }
-                        }
-                        for (va, vb) in bga.iter_mut().zip(&bgb) {
-                            *va += vb;
-                        }
-                        (ga, bga)
-                    },
-                );
+                    }
+                });
 
             let lr = self.config.learning_rate / n as f64;
             let mut total_update = 0.0;

@@ -4,8 +4,8 @@
 
 use crate::batch::{argmax, linear_predict_csr, BatchClassifier};
 use crate::dataset::Dataset;
+use crate::grad::accumulate_gradients;
 use crate::traits::Classifier;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use textproc::{CsrMatrix, SparseVec};
 
@@ -62,37 +62,20 @@ impl Classifier for RidgeClassifier {
         self.bias = vec![0.0; n_classes];
 
         for _ in 0..self.config.epochs {
-            let (grad, bias_grad) = data
-                .features
-                .par_iter()
-                .zip(data.labels.par_iter())
-                .fold(
-                    || (vec![vec![0.0; n_features]; n_classes], vec![0.0; n_classes]),
-                    |(mut g, mut bg), (x, &label)| {
-                        for c in 0..n_classes {
-                            let y = if c == label { 1.0 } else { -1.0 };
-                            let pred = x.dot_dense(&self.weights[c]) + self.bias[c];
-                            let err = pred - y;
-                            x.add_scaled_to_dense(&mut g[c], err);
-                            bg[c] += err;
-                        }
-                        (g, bg)
-                    },
-                )
-                .reduce(
-                    || (vec![vec![0.0; n_features]; n_classes], vec![0.0; n_classes]),
-                    |(mut ga, mut bga), (gb, bgb)| {
-                        for (ra, rb) in ga.iter_mut().zip(&gb) {
-                            for (va, vb) in ra.iter_mut().zip(rb) {
-                                *va += vb;
-                            }
-                        }
-                        for (va, vb) in bga.iter_mut().zip(&bgb) {
-                            *va += vb;
-                        }
-                        (ga, bga)
-                    },
-                );
+            // Fixed-block parallel accumulation (see `grad.rs`): summation
+            // order, and so the trained weights, are thread-count invariant.
+            let (grad, bias_grad) =
+                accumulate_gradients(data.len(), n_classes, n_features, |i, g, bg| {
+                    let x = &data.features[i];
+                    let label = data.labels[i];
+                    for c in 0..n_classes {
+                        let y = if c == label { 1.0 } else { -1.0 };
+                        let pred = x.dot_dense(&self.weights[c]) + self.bias[c];
+                        let err = pred - y;
+                        x.add_scaled_to_dense(&mut g[c], err);
+                        bg[c] += err;
+                    }
+                });
             let lr = self.config.learning_rate / n;
             for c in 0..n_classes {
                 for (w, g) in self.weights[c].iter_mut().zip(&grad[c]) {

@@ -214,6 +214,70 @@ proptest! {
         }
     }
 
+    /// For arbitrary (truth, prediction) pairs: row sums equal per-class
+    /// support, column sums equal per-class prediction counts, and the
+    /// `rows()` export agrees with the scalar `get()` accessor.
+    #[test]
+    fn confusion_marginals(
+        truth in proptest::collection::vec(0usize..4, 1..60),
+        seed in 0u64..1000,
+    ) {
+        let predicted: Vec<usize> = truth
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t + (i + seed as usize)) % 4)
+            .collect();
+        let cm = ConfusionMatrix::from_predictions(&class_names(4), &truth, &predicted);
+        let rows = cm.row_sums();
+        let cols = cm.col_sums();
+        for c in 0..4 {
+            prop_assert_eq!(rows[c], cm.support(c));
+            prop_assert_eq!(rows[c], truth.iter().filter(|&&l| l == c).count() as u64);
+            prop_assert_eq!(cols[c], predicted.iter().filter(|&&l| l == c).count() as u64);
+        }
+        prop_assert_eq!(rows.iter().sum::<u64>(), cm.total());
+        for (t, row) in cm.rows().iter().enumerate() {
+            for (p, &cell) in row.iter().enumerate() {
+                prop_assert_eq!(cell, cm.get(t, p));
+            }
+        }
+    }
+
+    /// F1 scores are invariant under any consistent permutation of the
+    /// class labels (relabeling classes cannot change aggregate quality),
+    /// and per-class F1 permutes along with the labels.
+    #[test]
+    fn f1_invariant_under_label_permutation(
+        truth in proptest::collection::vec(0usize..4, 1..60),
+        noise in proptest::collection::vec(0usize..4, 1..60),
+        perm_seed in 0usize..24,
+    ) {
+        let n = truth.len().min(noise.len());
+        let truth = &truth[..n];
+        let predicted: Vec<usize> = (0..n).map(|i| (truth[i] + noise[i]) % 4).collect();
+        // Decode perm_seed into the perm_seed-th permutation of [0,1,2,3].
+        let mut items = vec![0usize, 1, 2, 3];
+        let mut k = perm_seed;
+        let mut perm = Vec::new();
+        for f in [6usize, 2, 1, 1] {
+            let idx = k / f;
+            k %= f;
+            perm.push(items.remove(idx));
+        }
+        let truth_p: Vec<usize> = truth.iter().map(|&t| perm[t]).collect();
+        let pred_p: Vec<usize> = predicted.iter().map(|&p| perm[p]).collect();
+        let cm = ConfusionMatrix::from_predictions(&class_names(4), truth, &predicted);
+        let cm_p = ConfusionMatrix::from_predictions(&class_names(4), &truth_p, &pred_p);
+        prop_assert!((cm.weighted_f1() - cm_p.weighted_f1()).abs() < 1e-12);
+        prop_assert!((cm.macro_f1() - cm_p.macro_f1()).abs() < 1e-12);
+        prop_assert!((cm.accuracy() - cm_p.accuracy()).abs() < 1e-12);
+        let f1 = cm.per_class_f1();
+        let f1_p = cm_p.per_class_f1();
+        for c in 0..4 {
+            prop_assert!((f1[c] - f1_p[perm[c]]).abs() < 1e-12);
+        }
+    }
+
     /// Oversampling yields perfectly balanced classes among non-empty ones.
     #[test]
     fn oversample_balances(

@@ -23,11 +23,29 @@ pub mod prelude {
 /// Below this many items per would-be worker, fall back to one thread.
 const MIN_ITEMS_PER_THREAD: usize = 8;
 
-fn worker_count(n_items: usize) -> usize {
-    let cores = std::thread::available_parallelism()
+/// Worker ceiling: `RAYON_NUM_THREADS` when set to a positive integer
+/// (mirroring real rayon's global-pool override, and letting determinism
+/// tests vary the thread count), otherwise the machine's parallelism.
+///
+/// Read per call rather than cached so tests can change the variable
+/// between parallel sections within one process.
+fn max_workers() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    cores.min(n_items.div_ceil(MIN_ITEMS_PER_THREAD)).max(1)
+        .unwrap_or(1)
+}
+
+fn worker_count(n_items: usize) -> usize {
+    max_workers()
+        .min(n_items.div_ceil(MIN_ITEMS_PER_THREAD))
+        .max(1)
 }
 
 /// Fold each chunk of the index space with `identity`/`fold_op`; returns the

@@ -121,6 +121,143 @@ fn classify_accepts_full_syslog_frames() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The conformance runner binary, built on demand: it lives in the bench
+/// crate, so a plain `cargo test -p hetsyslog` may not have produced it
+/// next to the hetsyslog binary yet.
+fn repro_bin() -> Command {
+    let path = std::path::Path::new(env!("CARGO_BIN_EXE_hetsyslog"))
+        .parent()
+        .expect("binary directory")
+        .join(format!("repro{}", std::env::consts::EXE_SUFFIX));
+    if !path.exists() {
+        let status = Command::new(env!("CARGO"))
+            .args(["build", "-p", "bench", "--bin", "repro"])
+            .status()
+            .expect("cargo build runs");
+        assert!(status.success(), "building repro failed");
+    }
+    Command::new(path)
+}
+
+#[test]
+fn repro_check_passes_clean_and_names_drifted_field() {
+    let dir = tmpdir("repro");
+
+    // Regenerate one fast experiment's golden into a scratch root.
+    let out = repro_bin()
+        .args([
+            "--update",
+            "--scale",
+            "ci",
+            "--only",
+            "T2",
+            "--skip-differential",
+            "--goldens",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("repro --update runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let golden = dir.join("ci/table2_dataset.json");
+    assert!(golden.exists(), "golden not written");
+
+    // A clean tree conforms: exit 0, no drift.
+    let out = repro_bin()
+        .args([
+            "--check",
+            "--scale",
+            "ci",
+            "--only",
+            "T2",
+            "--skip-differential",
+            "--goldens",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("repro --check runs");
+    assert!(
+        out.status.success(),
+        "clean check failed: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 drifted field(s)"));
+
+    // Perturb an exact-match field in the committed golden…
+    let text = std::fs::read_to_string(&golden).unwrap();
+    let mut value: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let serde_json::Value::Object(entries) = &mut value else {
+        panic!("golden is not an object");
+    };
+    let total = entries
+        .iter_mut()
+        .find(|(k, _)| k == "total")
+        .expect("table2 golden has a total field");
+    let perturbed = total.1.as_u64().unwrap() + 1;
+    total.1 = serde_json::json!(perturbed);
+    std::fs::write(&golden, serde_json::to_string_pretty(&value).unwrap()).unwrap();
+
+    // …and the check must fail, naming exactly that field in the report.
+    let out = repro_bin()
+        .args([
+            "--check",
+            "--scale",
+            "ci",
+            "--only",
+            "T2",
+            "--skip-differential",
+            "--goldens",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("repro --check runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "perturbed golden must exit 1, stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("DRIFT table2_dataset.total"),
+        "drift report must name the drifted field: {stdout}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repro_checks_committed_goldens_for_fast_experiments() {
+    // Against the repository's own committed results/ci goldens — the
+    // default goldens root — the fast experiments must conform.
+    let out = repro_bin()
+        .args([
+            "--check",
+            "--scale",
+            "ci",
+            "--only",
+            "T1,T2",
+            "--skip-differential",
+        ])
+        .output()
+        .expect("repro --check runs");
+    assert!(
+        out.status.success(),
+        "committed goldens drifted:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn repro_rejects_unknown_arguments() {
+    let out = repro_bin().arg("--frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
 #[test]
 fn unknown_command_fails_cleanly() {
     let out = bin().arg("frobnicate").output().unwrap();

@@ -1,0 +1,59 @@
+//! Determinism of the conformance experiments: a fixed seed must produce
+//! byte-identical canonical JSON across repeated runs and across rayon
+//! thread counts. Wall-clock fields are redacted first — everything else
+//! (scores, counts, vocabulary signatures, confusion matrices) has to
+//! reproduce exactly, or the goldens in `results/` could never be checked
+//! exactly either.
+
+use bench::runner::{redact_volatile, run_experiment};
+use bench::ExpArgs;
+use hetsyslog_core::to_canonical_json;
+
+fn canonical(stem: &str, args: &ExpArgs) -> String {
+    let out = run_experiment(stem, args).expect("known experiment stem");
+    let mut value = out.value;
+    redact_volatile(stem, &mut value);
+    to_canonical_json(&value)
+}
+
+fn ci_args() -> ExpArgs {
+    ExpArgs {
+        scale: 0.01,
+        seed: 42,
+        json_path: None,
+        flags: Vec::new(),
+    }
+}
+
+#[test]
+fn experiments_reproduce_across_runs_and_thread_counts() {
+    let args = ci_args();
+    // Repeated identical runs, default thread pool. fig3 exercises the
+    // parallel gradient accumulation in logistic regression and ridge —
+    // the paths where float-summation order once depended on thread count.
+    for stem in ["table1_tfidf_tokens", "table2_dataset", "xp_drift", "fig3"] {
+        let first = canonical(stem, &args);
+        assert_eq!(
+            first,
+            canonical(stem, &args),
+            "{stem}: two identical runs produced different canonical JSON"
+        );
+
+        // Same seed, forced single-threaded vs. forced 4 threads. Both env
+        // mutations happen inside this one test so no parallel test races
+        // on RAYON_NUM_THREADS.
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let single = canonical(stem, &args);
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let multi = canonical(stem, &args);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(
+            single, multi,
+            "{stem}: canonical JSON depends on the rayon thread count"
+        );
+        assert_eq!(
+            first, single,
+            "{stem}: pinned-thread run differs from the default pool"
+        );
+    }
+}
