@@ -725,6 +725,128 @@ fn bench_listener(frames: &[String]) -> ListenerBench {
     }
 }
 
+/// Result of one live micro-batching listener run: wire-to-prediction
+/// throughput plus the batching histograms and the classifier's final
+/// counters (for cross-setting agreement checks).
+struct LiveBatchBench {
+    max_batch: usize,
+    seconds: f64,
+    report: hetsyslog_core::IngestSnapshot,
+    batching: hetsyslog_core::BatchSnapshot,
+    per_category: [u64; 8],
+    prefiltered: u64,
+}
+
+impl LiveBatchBench {
+    fn msgs_per_sec(&self) -> f64 {
+        self.report.ingested as f64 / self.seconds
+    }
+}
+
+/// Push `frames` through the loopback listener with a classifier attached
+/// and the given `max_batch`, over 4 concurrent octet-counted TCP
+/// connections. Measures sustained wire-to-prediction throughput and the
+/// queue→prediction latency distribution.
+///
+/// No noise prefilter: its edit-distance scan is per-message in every
+/// mode (batching cannot amortize it), so the sweep isolates the part of
+/// the path micro-batching actually changes. Prefilter cost is measured
+/// separately by `xp_ablation`.
+fn bench_live_batching(
+    frames: &[String],
+    clf: Arc<dyn TextClassifier>,
+    max_batch: usize,
+) -> LiveBatchBench {
+    const CONNECTIONS: usize = 4;
+    // Each connection streams its frame shard three times over: a longer
+    // run drowns out scheduler noise that dominates sub-second timings.
+    const PASSES: usize = 3;
+    // Wire bytes are prepared before the clock starts: the benchmark
+    // times the pipeline, not the sender's buffer assembly.
+    let wires: Vec<Vec<u8>> = (0..CONNECTIONS)
+        .map(|c| {
+            let mut wire = Vec::new();
+            for frame in frames.iter().skip(c).step_by(CONNECTIONS) {
+                wire.extend_from_slice(format!("{} {frame}", frame.len()).as_bytes());
+            }
+            wire.repeat(PASSES)
+        })
+        .collect();
+    let expected = (frames.len() * PASSES) as u64;
+    // Best-of-3: loopback throughput on a shared host jitters by ±10%;
+    // the fastest run is the least-interfered estimate of each setting.
+    let mut best: Option<LiveBatchBench> = None;
+    for _ in 0..3 {
+        let run = live_batch_run(&wires, expected, clf.clone(), max_batch);
+        if best.as_ref().is_none_or(|b| run.seconds < b.seconds) {
+            best = Some(run);
+        }
+    }
+    best.expect("three runs completed")
+}
+
+/// One timed pass of [`bench_live_batching`]: stream the prebuilt wire
+/// buffers over concurrent TCP connections and wait for full ingest.
+fn live_batch_run(
+    wires: &[Vec<u8>],
+    expected: u64,
+    clf: Arc<dyn TextClassifier>,
+    max_batch: usize,
+) -> LiveBatchBench {
+    let store = Arc::new(LogStore::new());
+    let service = Arc::new(MonitorService::new(clf));
+    let listener = SyslogListener::start(
+        store,
+        Some(service.clone()),
+        ListenerConfig {
+            // Two parse workers: sized for the small benchmark hosts this
+            // runs on, where extra workers only add scheduler churn.
+            workers: 2,
+            queue_depth: 4096,
+            overload: OverloadPolicy::Block,
+            idle_timeout: Duration::from_secs(30),
+            max_batch,
+            max_delay: Duration::from_millis(2),
+            ..ListenerConfig::default()
+        },
+    )
+    .expect("bind loopback listener");
+    let addr = listener.tcp_addr();
+
+    let started = Instant::now();
+    let senders: Vec<_> = wires
+        .iter()
+        .map(|wire| {
+            let wire = wire.clone();
+            std::thread::spawn(move || {
+                let mut sock = std::net::TcpStream::connect(addr).expect("connect");
+                sock.write_all(&wire).expect("write");
+            })
+        })
+        .collect();
+    for sender in senders {
+        sender.join().expect("sender thread");
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while listener.stats().snapshot().ingested + listener.stats().snapshot().parse_errors < expected
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    let batch_stats = listener.batch_stats_handle();
+    let report = listener.shutdown();
+    let stats = service.stats();
+    LiveBatchBench {
+        max_batch,
+        seconds,
+        report,
+        batching: batch_stats.snapshot(),
+        per_category: stats.per_category,
+        prefiltered: stats.prefiltered,
+    }
+}
+
 /// Experiment X2 — end-to-end pipeline throughput per technique, the batch
 /// CSR vs scalar comparison, and the loopback-listener ingest benchmark.
 pub fn xp_throughput(args: &ExpArgs) -> ExperimentOutput {
@@ -934,6 +1056,81 @@ pub fn xp_throughput(args: &ExpArgs) -> ExperimentOutput {
         "msgs_per_sec": listener.msgs_per_sec(),
     });
 
+    // The live micro-batching sweep: the same 20k frames through the
+    // listener with a classifier in-path, varying only max_batch. The
+    // scalar setting (max_batch = 1) is the pre-batching classify path.
+    let live_frames: Vec<String> = frames.iter().take(20_000).cloned().collect();
+    let live_clf: Arc<dyn TextClassifier> = Arc::new(TraditionalPipeline::train(
+        FeatureConfig::default(),
+        Box::new(ComplementNaiveBayes::new(ComplementNbConfig::default())),
+        &corpus,
+    ));
+    let _ = writeln!(
+        r,
+        "\nLive micro-batched classify path over {} frames (4 TCP connections, CNB classifier):\n",
+        live_frames.len()
+    );
+    let mut live_runs = Vec::new();
+    for max_batch in [1usize, 16, 64, 256] {
+        live_runs.push(bench_live_batching(
+            &live_frames,
+            live_clf.clone(),
+            max_batch,
+        ));
+    }
+    let predictions_agree = live_runs.iter().all(|b| {
+        b.per_category == live_runs[0].per_category && b.prefiltered == live_runs[0].prefiltered
+    });
+    let rate_of = |mb: usize| {
+        live_runs
+            .iter()
+            .find(|b| b.max_batch == mb)
+            .map(|b| b.msgs_per_sec())
+            .unwrap_or(0.0)
+    };
+    let speedup_64_vs_1 = rate_of(64) / rate_of(1).max(f64::MIN_POSITIVE);
+    let mut live_rows = Vec::new();
+    let mut live_json = Vec::new();
+    for b in &live_runs {
+        live_rows.push(vec![
+            b.max_batch.to_string(),
+            format!("{:.0}", b.msgs_per_sec()),
+            format!("{:.1}", b.batching.mean_batch_size()),
+            format!("{}", b.batching.p99_queue_latency_us()),
+            b.report.ingested.to_string(),
+        ]);
+        live_json.push(serde_json::json!({
+            "max_batch": b.max_batch,
+            "msgs_per_sec": b.msgs_per_sec(),
+            "seconds": b.seconds,
+            "ingested": b.report.ingested,
+            "mean_batch_size": b.batching.mean_batch_size(),
+            "p99_queue_latency_us": b.batching.p99_queue_latency_us(),
+            "batches": b.batching.batches,
+            "full_flushes": b.batching.full_flushes,
+            "deadline_flushes": b.batching.deadline_flushes,
+            "drain_flushes": b.batching.drain_flushes,
+        }));
+    }
+    let _ = writeln!(
+        r,
+        "{}",
+        render_table(
+            &[
+                "max_batch",
+                "Msg/s",
+                "Mean batch",
+                "p99 queue->pred (us)",
+                "Ingested"
+            ],
+            &live_rows
+        )
+    );
+    let _ = writeln!(
+        r,
+        "max_batch=64 vs 1 speedup: {speedup_64_vs_1:.1}x; predictions agree across settings: {predictions_agree}"
+    );
+
     let value = serde_json::json!({
         "experiment": "xp_throughput",
         "scale": args.scale,
@@ -945,6 +1142,14 @@ pub fn xp_throughput(args: &ExpArgs) -> ExperimentOutput {
             "classifiers": batch_json,
         },
         "listener": listener_json,
+        "live_batching": {
+            "n_messages": live_frames.len(),
+            "connections": 4,
+            "max_delay_ms": 2,
+            "sweep": live_json,
+            "predictions_agree": predictions_agree,
+            "speedup_64_vs_1": speedup_64_vs_1,
+        },
     });
     ExperimentOutput { value, report: r }
 }
@@ -961,6 +1166,7 @@ pub fn xp_throughput_bench_json(value: &Value) -> Value {
         "n_messages": bvs.get("n_messages").cloned().unwrap_or(Value::Null),
         "classifiers": bvs.get("classifiers").cloned().unwrap_or(Value::Null),
         "listener": section("listener"),
+        "live_batching": section("live_batching"),
     })
 }
 

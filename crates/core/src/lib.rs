@@ -33,5 +33,9 @@ pub use explain::Explanation;
 pub use features::{FeatureConfig, FeaturePipeline};
 pub use filter::NoiseFilter;
 pub use persist::{canonicalize_json, to_canonical_json, SavedModel, SavedPipeline};
-pub use service::{Alert, HealthSnapshot, IngestSnapshot, MonitorService, MonitorStats};
+pub use service::{
+    batch_size_bucket, latency_bucket_upper_us, latency_bucket_us, latency_percentile_us, Alert,
+    BatchSnapshot, FrameOutcome, HealthSnapshot, IngestSnapshot, MonitorService, MonitorStats,
+    BATCH_SIZE_BUCKETS, LATENCY_BUCKETS,
+};
 pub use taxonomy::Category;

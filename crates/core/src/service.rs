@@ -13,6 +13,31 @@ use crate::taxonomy::Category;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use syslog_model::SyslogMessage;
+
+/// Per-frame outcome of [`MonitorService::ingest_frames`]: the raw frame
+/// either failed to parse, parsed but was dropped by the noise pre-filter,
+/// or parsed and was classified. The parsed message is handed back so the
+/// caller can build its stored record without re-parsing.
+#[derive(Debug, Clone)]
+pub enum FrameOutcome {
+    /// Parsed and classified.
+    Classified {
+        /// The parsed syslog message.
+        message: SyslogMessage,
+        /// The classifier's decision.
+        prediction: Prediction,
+    },
+    /// Parsed, but the noise pre-filter dropped it before classification
+    /// (callers typically store it uncategorized).
+    Prefiltered {
+        /// The parsed syslog message.
+        message: SyslogMessage,
+    },
+    /// The syslog parser rejected the frame (in practice only empty
+    /// frames; the free-form fallback absorbs everything else).
+    ParseError,
+}
 
 /// An alert emitted for an actionable classification.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -119,6 +144,118 @@ impl IngestSnapshot {
     }
 }
 
+/// Buckets in the [`BatchSnapshot`] batch-size histogram: sizes 1, 2–3,
+/// 4–7, …, 256+ (log₂ buckets).
+pub const BATCH_SIZE_BUCKETS: usize = 9;
+
+/// Buckets in the [`BatchSnapshot`] latency histograms: log₂ microsecond
+/// buckets `[2^i, 2^(i+1))` µs, with the last bucket open-ended.
+pub const LATENCY_BUCKETS: usize = 20;
+
+/// Histogram bucket index for a batch of `n` frames.
+pub fn batch_size_bucket(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - 1 - n.leading_zeros()).min(BATCH_SIZE_BUCKETS as u32 - 1) as usize
+    }
+}
+
+/// Histogram bucket index for a latency of `us` microseconds.
+pub fn latency_bucket_us(us: u64) -> usize {
+    if us <= 1 {
+        0
+    } else {
+        (u64::BITS - 1 - us.leading_zeros()).min(LATENCY_BUCKETS as u32 - 1) as usize
+    }
+}
+
+/// Inclusive upper bound (µs) of latency bucket `i`, used when estimating
+/// percentiles from a histogram. The open last bucket reports its lower
+/// bound (a floor, not a ceiling).
+pub fn latency_bucket_upper_us(i: usize) -> u64 {
+    if i + 1 >= LATENCY_BUCKETS {
+        1 << (LATENCY_BUCKETS - 1)
+    } else {
+        (1 << (i + 1)) - 1
+    }
+}
+
+/// Estimate the `p`-th percentile (0–100) of a latency histogram as the
+/// upper bound of the bucket holding that rank. Zero for an empty
+/// histogram.
+pub fn latency_percentile_us(hist: &[u64], p: f64) -> u64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &count) in hist.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return latency_bucket_upper_us(i);
+        }
+    }
+    latency_bucket_upper_us(hist.len().saturating_sub(1))
+}
+
+/// Point-in-time counters from a micro-batching stage between the ingest
+/// queue and the classifiers: how frames were grouped, why batches were
+/// dispatched, and how long frames waited. Owned by whichever worker loop
+/// does the drain-and-batch scheduling (the listener / ingest pipeline);
+/// reported here so one [`HealthSnapshot`] describes the whole service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchSnapshot {
+    /// Batches dispatched to the classify/store stage.
+    pub batches: u64,
+    /// Frames classified through dispatched batches (parse failures and
+    /// pre-filtered frames excluded).
+    pub classified: u64,
+    /// Frames that waited on the batching deadline: members of batches
+    /// dispatched because `max_delay` expired rather than because the
+    /// batch filled. Bounded staleness, made visible.
+    pub deferred: u64,
+    /// Batches dispatched full (`max_batch` frames).
+    pub full_flushes: u64,
+    /// Batches dispatched by the `max_delay` deadline.
+    pub deadline_flushes: u64,
+    /// Batches dispatched because the queue disconnected (graceful drain
+    /// flushing a partially filled batch).
+    pub drain_flushes: u64,
+    /// Frames by the size of the batch that carried them (log₂ buckets:
+    /// 1, 2–3, 4–7, …, 256+). Sums to the total frames batched.
+    pub batch_size_hist: [u64; BATCH_SIZE_BUCKETS],
+    /// Batches by how long they waited to fill after their first frame
+    /// (log₂ µs buckets). Sums to `batches`.
+    pub fill_latency_us_hist: [u64; LATENCY_BUCKETS],
+    /// Frames by queue→prediction latency: enqueue at the socket to batch
+    /// dispatch completion (log₂ µs buckets). Sums to the frames batched.
+    pub queue_latency_us_hist: [u64; LATENCY_BUCKETS],
+}
+
+impl BatchSnapshot {
+    /// Total frames that went through the batching stage (the batch-size
+    /// histogram total).
+    pub fn frames(&self) -> u64 {
+        self.batch_size_hist.iter().sum()
+    }
+
+    /// Mean frames per dispatched batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.frames() as f64 / self.batches as f64
+        }
+    }
+
+    /// Estimated p99 queue→prediction latency in microseconds.
+    pub fn p99_queue_latency_us(&self) -> u64 {
+        latency_percentile_us(&self.queue_latency_us_hist, 99.0)
+    }
+}
+
 /// One combined health view: classification counters plus the ingest-layer
 /// counters supplied by the transport feeding this service.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -127,6 +264,9 @@ pub struct HealthSnapshot {
     pub monitor: MonitorStats,
     /// Transport-side counters (owned by the listener / decoder).
     pub ingest: IngestSnapshot,
+    /// Micro-batching counters (owned by the batch-draining worker loop;
+    /// all zero when the transport classifies frame-at-a-time).
+    pub batching: BatchSnapshot,
 }
 
 /// The continuous classification service.
@@ -186,14 +326,15 @@ impl MonitorService {
     /// Process one message; returns the prediction unless the pre-filter
     /// dropped the message.
     pub fn ingest(&self, message: &str) -> Option<Prediction> {
+        // The edit-distance prefilter scan runs outside the stats lock so
+        // concurrent workers don't serialize on it.
+        let noise = self.prefilter.as_ref().is_some_and(|f| f.is_noise(message));
         {
             let mut stats = self.stats.lock();
             stats.total += 1;
-            if let Some(f) = &self.prefilter {
-                if f.is_noise(message) {
-                    stats.prefiltered += 1;
-                    return None;
-                }
+            if noise {
+                stats.prefiltered += 1;
+                return None;
             }
         }
         let prediction = self.classifier.classify(message);
@@ -261,6 +402,101 @@ impl MonitorService {
         out
     }
 
+    /// Process a batch of raw syslog frames: parse, pre-filter, then one
+    /// fused [`TextClassifier::classify_batch`] call over the survivors —
+    /// the parse → tokenize → CSR-transform → batch-predict hot path of
+    /// the live listener. Outcome `i` corresponds to `frames[i]`.
+    ///
+    /// Parse failures are reported as [`FrameOutcome::ParseError`] and
+    /// never touch the monitor counters (the transport owns drop
+    /// accounting), exactly as when the caller parses first and feeds
+    /// [`MonitorService::ingest`] per message. For the frames that do
+    /// parse, the stats/alert sequence is identical to calling `ingest`
+    /// on each `message` field in input order; predictions are identical
+    /// too (`classify_batch` is bit-identical to `classify` on category).
+    pub fn ingest_frames(&self, frames: &[&str]) -> Vec<FrameOutcome> {
+        // Pass 0: parse every frame (no locks held; parsing is pure).
+        let parsed: Vec<Option<SyslogMessage>> =
+            frames.iter().map(|f| syslog_model::parse(f).ok()).collect();
+        // Pass 1: totals + pre-filter in input order. The edit-distance
+        // scans run before the stats lock is taken, so concurrent batches
+        // prefilter in parallel and the critical section is counter
+        // arithmetic only.
+        let mut kept_indices = Vec::with_capacity(frames.len());
+        let noise: Vec<bool> = parsed
+            .iter()
+            .map(|msg| match (msg, &self.prefilter) {
+                (Some(msg), Some(f)) => f.is_noise(&msg.message),
+                _ => false,
+            })
+            .collect();
+        {
+            let mut stats = self.stats.lock();
+            for (i, msg) in parsed.iter().enumerate() {
+                if msg.is_none() {
+                    continue;
+                }
+                stats.total += 1;
+                if noise[i] {
+                    stats.prefiltered += 1;
+                } else {
+                    kept_indices.push(i);
+                }
+            }
+        }
+        // Pass 2: classify all survivors at once (the batched CSR path,
+        // sharing the token→id cache across the whole batch).
+        let kept_messages: Vec<&str> = kept_indices
+            .iter()
+            .map(|&i| {
+                parsed[i]
+                    .as_ref()
+                    .expect("kept index parsed")
+                    .message
+                    .as_str()
+            })
+            .collect();
+        let predictions = self.classifier.classify_batch(&kept_messages);
+        // Pass 3: merge counters and alerts back in input order, one lock
+        // acquisition for the whole batch (same stats → window_state lock
+        // order as the scalar path).
+        let mut slots: Vec<Option<Prediction>> = vec![None; frames.len()];
+        let mut stats = self.stats.lock();
+        for (&i, prediction) in kept_indices.iter().zip(predictions) {
+            stats.per_category[prediction.category.index()] += 1;
+            if prediction.category.is_actionable() {
+                if let Some(sink) = &self.sink {
+                    if self.alert_permitted(prediction.category) {
+                        stats.alerts += 1;
+                        sink.send(Alert {
+                            category: prediction.category,
+                            message: parsed[i]
+                                .as_ref()
+                                .expect("kept index parsed")
+                                .message
+                                .clone(),
+                            action: prediction.category.suggested_action().to_string(),
+                        });
+                    }
+                }
+            }
+            slots[i] = Some(prediction);
+        }
+        drop(stats);
+        parsed
+            .into_iter()
+            .zip(slots)
+            .map(|(msg, prediction)| match (msg, prediction) {
+                (Some(message), Some(prediction)) => FrameOutcome::Classified {
+                    message,
+                    prediction,
+                },
+                (Some(message), None) => FrameOutcome::Prefiltered { message },
+                (None, _) => FrameOutcome::ParseError,
+            })
+            .collect()
+    }
+
     /// Check and update the per-category alert budget.
     fn alert_permitted(&self, category: Category) -> bool {
         let Some(max) = self.throttle else {
@@ -288,11 +524,23 @@ impl MonitorService {
     }
 
     /// Combine this service's counters with the ingest-layer counters of
-    /// the transport feeding it into one health snapshot.
+    /// the transport feeding it into one health snapshot (no batching
+    /// stage: the `batching` section is zeroed).
     pub fn health(&self, ingest: IngestSnapshot) -> HealthSnapshot {
+        self.health_with_batching(ingest, BatchSnapshot::default())
+    }
+
+    /// [`MonitorService::health`] for a transport with a micro-batching
+    /// stage: its batch counters ride along in the same snapshot.
+    pub fn health_with_batching(
+        &self,
+        ingest: IngestSnapshot,
+        batching: BatchSnapshot,
+    ) -> HealthSnapshot {
         HealthSnapshot {
             monitor: self.stats(),
             ingest,
+            batching,
         }
     }
 
@@ -418,10 +666,115 @@ mod tests {
         let health = svc.health(ingest);
         assert_eq!(health.monitor.total, 1);
         assert_eq!(health.ingest.total_dropped(), 2);
+        assert_eq!(health.batching, BatchSnapshot::default());
         // The combined snapshot serializes as one document (the dashboard
         // wire format).
         let json = serde_json::to_string(&health).unwrap();
         assert!(json.contains("\"shed\""));
+        assert!(json.contains("\"batch_size_hist\""));
+    }
+
+    #[test]
+    fn ingest_frames_matches_scalar_ingest_sequence() {
+        let frames = [
+            "<13>Oct 11 22:14:15 cn0001 kernel: cpu is hot",
+            "", // the one frame the permissive parser rejects
+            "<13>Oct 11 22:14:16 cn0002 systemd: nothing going on",
+            "free-form line that is hot",
+        ];
+        let sink_b = Arc::new(CollectingSink::new());
+        let batch_svc = MonitorService::new(Arc::new(Stub)).with_alert_sink(sink_b.clone());
+        let outcomes = batch_svc.ingest_frames(&frames);
+        assert_eq!(outcomes.len(), 4);
+        assert!(matches!(outcomes[1], FrameOutcome::ParseError));
+
+        // Scalar reference: parse, then per-message ingest.
+        let sink_s = Arc::new(CollectingSink::new());
+        let scalar_svc = MonitorService::new(Arc::new(Stub)).with_alert_sink(sink_s.clone());
+        let mut scalar: Vec<Option<Prediction>> = Vec::new();
+        for f in &frames {
+            match syslog_model::parse(f) {
+                Ok(msg) => scalar.push(scalar_svc.ingest(&msg.message)),
+                Err(_) => scalar.push(None),
+            }
+        }
+        assert_eq!(batch_svc.stats(), scalar_svc.stats());
+        assert_eq!(sink_b.take(), sink_s.take());
+        for (outcome, reference) in outcomes.iter().zip(&scalar) {
+            match (outcome, reference) {
+                (FrameOutcome::Classified { prediction, .. }, Some(r)) => {
+                    assert_eq!(prediction.category, r.category)
+                }
+                (FrameOutcome::ParseError, None) => {}
+                other => panic!("outcome mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_frames_respects_prefilter_and_returns_message() {
+        let mut filter = NoiseFilter::empty(2);
+        filter.add_pattern("known noise line");
+        let svc = MonitorService::new(Arc::new(Stub)).with_prefilter(filter);
+        let outcomes = svc.ingest_frames(&[
+            "<13>Oct 11 22:14:15 cn0001 app: known noise line",
+            "<13>Oct 11 22:14:15 cn0001 app: cpu is hot",
+        ]);
+        match &outcomes[0] {
+            FrameOutcome::Prefiltered { message } => {
+                assert_eq!(message.message, "known noise line")
+            }
+            other => panic!("expected Prefiltered, got {other:?}"),
+        }
+        match &outcomes[1] {
+            FrameOutcome::Classified {
+                message,
+                prediction,
+            } => {
+                assert_eq!(message.hostname.as_deref(), Some("cn0001"));
+                assert_eq!(prediction.category, Category::ThermalIssue);
+            }
+            other => panic!("expected Classified, got {other:?}"),
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.total, 2);
+        assert_eq!(stats.prefiltered, 1);
+    }
+
+    #[test]
+    fn batch_histogram_bucket_edges() {
+        assert_eq!(batch_size_bucket(1), 0);
+        assert_eq!(batch_size_bucket(2), 1);
+        assert_eq!(batch_size_bucket(3), 1);
+        assert_eq!(batch_size_bucket(4), 2);
+        assert_eq!(batch_size_bucket(255), 7);
+        assert_eq!(batch_size_bucket(256), 8);
+        assert_eq!(batch_size_bucket(100_000), 8);
+        assert_eq!(latency_bucket_us(0), 0);
+        assert_eq!(latency_bucket_us(1), 0);
+        assert_eq!(latency_bucket_us(2), 1);
+        assert_eq!(latency_bucket_us(1 << 25), LATENCY_BUCKETS - 1);
+        // Upper bounds cover their buckets.
+        assert_eq!(latency_bucket_upper_us(0), 1);
+        assert_eq!(latency_bucket_upper_us(1), 3);
+    }
+
+    #[test]
+    fn latency_percentile_from_histogram() {
+        let mut hist = [0u64; LATENCY_BUCKETS];
+        assert_eq!(latency_percentile_us(&hist, 99.0), 0);
+        // 99 fast frames in bucket 0, one slow frame in bucket 10.
+        hist[0] = 99;
+        hist[10] = 1;
+        assert_eq!(latency_percentile_us(&hist, 50.0), 1);
+        assert_eq!(
+            latency_percentile_us(&hist, 99.0),
+            latency_bucket_upper_us(0)
+        );
+        assert_eq!(
+            latency_percentile_us(&hist, 100.0),
+            latency_bucket_upper_us(10)
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use listener::{
     DeadLetter, DeadLetterRing, DropReason, IngestStats, ListenerConfig, OverloadPolicy,
     SyslogListener,
 };
-pub use monitor::ClassifyingIngest;
+pub use monitor::{BatchStats, ClassifyingIngest, FlushReason};
 pub use query::Query;
 pub use record::LogRecord;
 pub use sensors::{compare_to_arch_peers, sensor_sweep, SensorReading, SensorVerdict};

@@ -4,11 +4,126 @@
 
 use crate::record::LogRecord;
 use crate::store::LogStore;
-use crossbeam::channel;
-use hetsyslog_core::{MonitorService, TextClassifier};
+use crossbeam::channel::{self, DrainStatus};
+use hetsyslog_core::{
+    batch_size_bucket, latency_bucket_us, BatchSnapshot, FrameOutcome, MonitorService,
+    TextClassifier, BATCH_SIZE_BUCKETS, LATENCY_BUCKETS,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Why a micro-batch left the assembly stage for the classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The batch reached `max_batch` frames.
+    Full,
+    /// `max_delay` expired with the batch partially filled.
+    Deadline,
+    /// The queue disconnected (graceful drain): the partial batch is
+    /// flushed on the way out, losing nothing.
+    Drain,
+}
+
+impl FlushReason {
+    /// Map the channel-level drain status to the accounting reason.
+    pub fn from_drain(status: DrainStatus) -> FlushReason {
+        match status {
+            DrainStatus::Filled => FlushReason::Full,
+            DrainStatus::DeadlineExpired => FlushReason::Deadline,
+            DrainStatus::Disconnected => FlushReason::Drain,
+        }
+    }
+}
+
+/// Shared, lock-free counters for a micro-batching stage: batch sizes,
+/// fill latencies, queue→prediction latencies, and flush reasons. Owned by
+/// the batch-draining worker loops ([`crate::listener::SyslogListener`],
+/// [`ClassifyingIngest`]); snapshots into the core wire format
+/// ([`BatchSnapshot`]) for [`hetsyslog_core::HealthSnapshot`].
+#[derive(Debug)]
+pub struct BatchStats {
+    batches: AtomicU64,
+    classified: AtomicU64,
+    deferred: AtomicU64,
+    full_flushes: AtomicU64,
+    deadline_flushes: AtomicU64,
+    drain_flushes: AtomicU64,
+    batch_size_hist: [AtomicU64; BATCH_SIZE_BUCKETS],
+    fill_latency_us_hist: [AtomicU64; LATENCY_BUCKETS],
+    queue_latency_us_hist: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for BatchStats {
+    fn default() -> BatchStats {
+        BatchStats {
+            batches: AtomicU64::new(0),
+            classified: AtomicU64::new(0),
+            deferred: AtomicU64::new(0),
+            full_flushes: AtomicU64::new(0),
+            deadline_flushes: AtomicU64::new(0),
+            drain_flushes: AtomicU64::new(0),
+            batch_size_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            fill_latency_us_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            queue_latency_us_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl BatchStats {
+    /// New zeroed counters.
+    pub fn new() -> BatchStats {
+        BatchStats::default()
+    }
+
+    /// Record one dispatched batch: its size (frames), how many of those
+    /// frames produced predictions, how long the batch waited to assemble
+    /// after its first frame, and why it was flushed.
+    pub fn record_flush(
+        &self,
+        size: usize,
+        classified: u64,
+        fill_latency: Duration,
+        reason: FlushReason,
+    ) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.classified.fetch_add(classified, Ordering::Relaxed);
+        self.batch_size_hist[batch_size_bucket(size)].fetch_add(size as u64, Ordering::Relaxed);
+        let fill_us = fill_latency.as_micros().min(u64::MAX as u128) as u64;
+        self.fill_latency_us_hist[latency_bucket_us(fill_us)].fetch_add(1, Ordering::Relaxed);
+        match reason {
+            FlushReason::Full => self.full_flushes.fetch_add(1, Ordering::Relaxed),
+            FlushReason::Deadline => {
+                self.deferred.fetch_add(size as u64, Ordering::Relaxed);
+                self.deadline_flushes.fetch_add(1, Ordering::Relaxed)
+            }
+            FlushReason::Drain => self.drain_flushes.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Record one frame's queue→prediction latency (submit at the socket
+    /// edge to batch dispatch completion).
+    pub fn record_queue_latency(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.queue_latency_us_hist[latency_bucket_us(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot in the core wire format.
+    pub fn snapshot(&self) -> BatchSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        BatchSnapshot {
+            batches: load(&self.batches),
+            classified: load(&self.classified),
+            deferred: load(&self.deferred),
+            full_flushes: load(&self.full_flushes),
+            deadline_flushes: load(&self.deadline_flushes),
+            drain_flushes: load(&self.drain_flushes),
+            batch_size_hist: std::array::from_fn(|i| load(&self.batch_size_hist[i])),
+            fill_latency_us_hist: std::array::from_fn(|i| load(&self.fill_latency_us_hist[i])),
+            queue_latency_us_hist: std::array::from_fn(|i| load(&self.queue_latency_us_hist[i])),
+        }
+    }
+}
 
 /// Ingest + classify report.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -35,11 +150,21 @@ impl ClassifyReport {
 /// An ingest pipeline that classifies every record in flight via a
 /// [`MonitorService`] (classifier + optional pre-filter + alerting) before
 /// storing it.
+///
+/// Workers drain the bounded frame queue with the same
+/// drain-up-to-`max_batch`-or-`max_delay` policy as the socket listener,
+/// then push each batch through one fused
+/// [`MonitorService::ingest_frames`] call — parse → tokenize → CSR
+/// transform → batch predict — instead of N scalar round-trips.
+/// `max_batch = 1` degenerates to the scalar per-frame path.
 pub struct ClassifyingIngest {
     store: Arc<LogStore>,
     service: Arc<MonitorService>,
     workers: usize,
     fallback_time: i64,
+    max_batch: usize,
+    max_delay: Duration,
+    batch_stats: Arc<BatchStats>,
 }
 
 impl ClassifyingIngest {
@@ -54,12 +179,24 @@ impl ClassifyingIngest {
             service,
             workers: workers.max(1),
             fallback_time: 0,
+            max_batch: 64,
+            max_delay: Duration::from_millis(2),
+            batch_stats: Arc::new(BatchStats::new()),
         }
     }
 
     /// Set the fallback event time.
     pub fn with_fallback_time(mut self, t: i64) -> ClassifyingIngest {
         self.fallback_time = t;
+        self
+    }
+
+    /// Tune the micro-batching knobs: at most `max_batch` frames per fused
+    /// classify call, assembled for at most `max_delay` past the first
+    /// frame. `max_batch = 1` is the scalar path.
+    pub fn with_batching(mut self, max_batch: usize, max_delay: Duration) -> ClassifyingIngest {
+        self.max_batch = max_batch.max(1);
+        self.max_delay = max_delay;
         self
     }
 
@@ -83,23 +220,56 @@ impl ClassifyingIngest {
                 let ingested = &ingested;
                 let prefiltered = &prefiltered;
                 let fallback_time = self.fallback_time;
+                let max_batch = self.max_batch;
+                let max_delay = self.max_delay;
+                let batch_stats = &self.batch_stats;
                 scope.spawn(move || {
-                    for frame in rx.iter() {
-                        let Ok(msg) = syslog_model::parse(&frame) else {
-                            continue;
+                    let mut batch: Vec<String> = Vec::with_capacity(max_batch);
+                    // First frame blocks; the rest of the batch fills
+                    // until max_batch frames or max_delay elapses.
+                    while let Ok(first) = rx.recv() {
+                        let fill_started = Instant::now();
+                        batch.clear();
+                        batch.push(first);
+                        let status = if max_batch > 1 {
+                            rx.drain_into(&mut batch, max_batch, fill_started + max_delay)
+                        } else {
+                            DrainStatus::Filled
                         };
-                        let mut record =
-                            LogRecord::from_message(store.allocate_id(), &msg, fallback_time);
-                        match service.ingest(&record.message) {
-                            Some(prediction) => {
-                                record.category = Some(prediction.category);
-                            }
-                            None => {
-                                prefiltered.fetch_add(1, Ordering::Relaxed);
-                            }
+                        let fill_latency = fill_started.elapsed();
+
+                        let texts: Vec<&str> = batch.iter().map(|f| f.as_str()).collect();
+                        let outcomes = service.ingest_frames(&texts);
+                        let mut classified = 0u64;
+                        for outcome in outcomes {
+                            let (msg, category) = match outcome {
+                                FrameOutcome::Classified {
+                                    message,
+                                    prediction,
+                                } => {
+                                    classified += 1;
+                                    (message, Some(prediction.category))
+                                }
+                                FrameOutcome::Prefiltered { message } => {
+                                    prefiltered.fetch_add(1, Ordering::Relaxed);
+                                    (message, None)
+                                }
+                                // Unparseable frames were never stored on
+                                // the scalar path either.
+                                FrameOutcome::ParseError => continue,
+                            };
+                            let mut record =
+                                LogRecord::from_message(store.allocate_id(), &msg, fallback_time);
+                            record.category = category;
+                            store.insert(record);
+                            ingested.fetch_add(1, Ordering::Relaxed);
                         }
-                        store.insert(record);
-                        ingested.fetch_add(1, Ordering::Relaxed);
+                        batch_stats.record_flush(
+                            batch.len(),
+                            classified,
+                            fill_latency,
+                            FlushReason::from_drain(status),
+                        );
                     }
                 });
             }
@@ -122,6 +292,11 @@ impl ClassifyingIngest {
     /// The monitor service (for stats / alert inspection).
     pub fn service(&self) -> &MonitorService {
         &self.service
+    }
+
+    /// Micro-batching counters accumulated across runs.
+    pub fn batch_stats(&self) -> BatchSnapshot {
+        self.batch_stats.snapshot()
     }
 }
 

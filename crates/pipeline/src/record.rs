@@ -50,6 +50,25 @@ impl LogRecord {
         }
     }
 
+    /// Build by consuming a parsed frame: the hostname, app, and message
+    /// strings move into the record instead of being cloned. Use on the
+    /// hot ingest path when the message is not needed afterwards.
+    pub fn from_message_owned(id: u64, msg: SyslogMessage, fallback_time: i64) -> LogRecord {
+        LogRecord {
+            id,
+            unix_seconds: msg
+                .timestamp
+                .map(|t| t.unix_seconds())
+                .unwrap_or(fallback_time),
+            node: msg.hostname.unwrap_or_else(|| "unknown".to_string()),
+            app: msg.app_name.unwrap_or_else(|| "unknown".to_string()),
+            severity: msg.severity,
+            facility: msg.facility,
+            message: msg.message,
+            category: None,
+        }
+    }
+
     /// JSON-lines representation (the persistence / wire format).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("LogRecord serializes")
@@ -85,6 +104,20 @@ mod tests {
         let rec = LogRecord::from_message(1, &msg, 12345);
         assert_eq!(rec.unix_seconds, 12345);
         assert_eq!(rec.node, "unknown");
+    }
+
+    #[test]
+    fn owned_constructor_matches_borrowed() {
+        for frame in [
+            "<34>Oct 11 22:14:15 cn0007 sshd[42]: Connection closed [preauth]",
+            "free-form text with no structure",
+        ] {
+            let msg = syslog_model::parse(frame)
+                .unwrap_or_else(|_| syslog_model::SyslogMessage::free_form(frame));
+            let borrowed = LogRecord::from_message(5, &msg, 777);
+            let owned = LogRecord::from_message_owned(5, msg, 777);
+            assert_eq!(borrowed, owned);
+        }
     }
 
     #[test]

@@ -299,6 +299,140 @@ fn udp_datagrams_ingest_and_empty_datagrams_dead_letter() {
 }
 
 #[test]
+fn partial_batch_flushed_on_graceful_drain_without_loss() {
+    let store = Arc::new(LogStore::new());
+    let service = Arc::new(MonitorService::new(Arc::new(SlowStub(Duration::ZERO))));
+    // max_batch 64 with a 5s fill deadline: 23 frames can never fill a
+    // batch, and the deadline cannot expire before the drain below — so
+    // every flush must come from the channel hanging up mid-fill.
+    let listener = SyslogListener::start(
+        store.clone(),
+        Some(service),
+        ListenerConfig {
+            workers: 2,
+            queue_depth: 256,
+            overload: OverloadPolicy::Block,
+            max_batch: 64,
+            max_delay: Duration::from_secs(5),
+            ..ListenerConfig::default()
+        },
+    )
+    .expect("bind loopback listener");
+
+    let addr = listener.tcp_addr();
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    for k in 0..23 {
+        sock.write_all(format!("<13>Oct 11 22:14:15 cn0001 app: partial {k}\n").as_bytes())
+            .expect("write");
+    }
+    drop(sock);
+
+    // Wait only for the frames to be decoded off the socket — NOT for
+    // them to be classified — then shut down while the workers still sit
+    // mid-fill on their partial batches.
+    assert!(
+        wait_until(5_000, || listener.stats().snapshot().frames == 23),
+        "frames never decoded: {:?}",
+        listener.stats().snapshot()
+    );
+    let batch_stats = listener.batch_stats_handle();
+    let report = listener.shutdown();
+
+    // Lossless under Block: the partial batches were flushed on the way
+    // out, not dropped.
+    assert_eq!(report.ingested, 23);
+    assert_eq!(report.shed, 0);
+    assert_eq!(store.len(), 23);
+
+    let batching = batch_stats.snapshot();
+    assert_eq!(
+        batching.frames(),
+        23,
+        "batch-size histogram must sum to the ingested count: {batching:?}"
+    );
+    assert_eq!(
+        batching.queue_latency_us_hist.iter().sum::<u64>(),
+        23,
+        "every frame gets a queue-latency sample"
+    );
+    assert_eq!(batching.classified, 23, "no prefilter: all frames classify");
+    assert!(
+        batching.drain_flushes >= 1,
+        "at least one partial batch flushed by the drain: {batching:?}"
+    );
+    assert_eq!(
+        batching.full_flushes + batching.deadline_flushes,
+        0,
+        "no batch could fill (23 < 64) or hit the 5s deadline: {batching:?}"
+    );
+}
+
+#[test]
+fn batched_and_scalar_listeners_agree_on_stored_categories() {
+    // The same traffic through max_batch = 1 (scalar path) and
+    // max_batch = 32 must store identical category multisets and counters.
+    let frames: Vec<String> = (0..120)
+        .map(|k| {
+            if k % 5 == 0 {
+                format!("<13>Oct 11 22:14:15 cn0001 kernel: cpu clock throttled {k}\n")
+            } else {
+                format!("<13>Oct 11 22:14:15 cn0001 app: routine event {k}\n")
+            }
+        })
+        .collect();
+
+    struct ByContent;
+    impl TextClassifier for ByContent {
+        fn name(&self) -> String {
+            "by-content".to_string()
+        }
+        fn classify(&self, message: &str) -> Prediction {
+            if message.contains("throttled") {
+                Prediction::bare(Category::ThermalIssue)
+            } else {
+                Prediction::bare(Category::Unimportant)
+            }
+        }
+    }
+
+    let mut results = Vec::new();
+    for max_batch in [1usize, 32] {
+        let store = Arc::new(LogStore::new());
+        let service = Arc::new(MonitorService::new(Arc::new(ByContent)));
+        let listener = SyslogListener::start(
+            store.clone(),
+            Some(service.clone()),
+            ListenerConfig {
+                workers: 2,
+                max_batch,
+                max_delay: Duration::from_millis(2),
+                ..ListenerConfig::default()
+            },
+        )
+        .expect("bind loopback listener");
+        let mut sock = TcpStream::connect(listener.tcp_addr()).expect("connect");
+        for frame in &frames {
+            sock.write_all(frame.as_bytes()).expect("write");
+        }
+        drop(sock);
+        assert!(
+            wait_until(10_000, || listener.stats().snapshot().ingested == 120),
+            "timed out at max_batch {max_batch}: {:?}",
+            listener.stats().snapshot()
+        );
+        let batch_stats = listener.batch_stats_handle();
+        let report = listener.shutdown();
+        assert_eq!(report.ingested, 120);
+        assert_eq!(batch_stats.snapshot().frames(), 120);
+        let thermal = store.search(0, i64::MAX / 2, &["throttled".to_string()]);
+        let stats = service.stats();
+        results.push((thermal.len(), stats.total, stats.per_category));
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[0].0, 24);
+}
+
+#[test]
 fn graceful_shutdown_flushes_tails_of_still_open_connections() {
     let store = Arc::new(LogStore::new());
     let listener =

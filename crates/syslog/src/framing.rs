@@ -24,26 +24,27 @@ pub struct FrameDecoder {
 /// swallowing the stream).
 pub const MAX_FRAME_LEN: usize = 64 * 1024;
 
+/// Outcome of one framing step at a buffer offset.
+enum Step {
+    /// A complete frame spanning `.1` input bytes was extracted.
+    Frame(String, usize),
+    /// `.0` bytes of non-payload input (blank lines, a corrupt count
+    /// token) were consumed without producing a frame.
+    Skip(usize),
+    /// The remaining bytes are an incomplete frame; wait for more input.
+    NeedMore,
+}
+
 /// Outcome of attempting octet-counted framing at the buffer head.
 enum OctetResult {
-    /// A complete frame was extracted.
-    Frame(String),
-    /// A corrupt length token was dropped; the buffer may hold more.
-    Dropped,
+    /// A complete frame spanning `.1` bytes was extracted.
+    Frame(String, usize),
+    /// A corrupt length token of `.0` bytes should be dropped.
+    Dropped(usize),
     /// A plausible count was seen but the payload has not fully arrived.
     Incomplete,
     /// The buffer head is not octet-counted framing.
     NotOctet,
-}
-
-/// Outcome of attempting non-transparent (LF-delimited) framing.
-enum LfResult {
-    /// A complete non-empty frame was extracted.
-    Frame(String),
-    /// One or more blank lines were swallowed; the buffer may hold more.
-    Blank,
-    /// No LF in the buffer yet.
-    NeedMore,
 }
 
 impl FrameDecoder {
@@ -63,11 +64,27 @@ impl FrameDecoder {
     }
 
     /// Feed bytes; returns every complete frame they unlocked.
+    ///
+    /// Frames are scanned with a cursor and the buffer compacted ONCE at
+    /// the end — draining per frame memmoves the whole remaining buffer
+    /// for every message and goes quadratic on a read that carries many
+    /// small frames (the common case for batched senders).
     pub fn push(&mut self, bytes: &[u8]) -> Vec<String> {
         self.buffer.extend_from_slice(bytes);
         let mut frames = Vec::new();
-        while let Some(frame) = self.try_take_frame() {
-            frames.push(frame);
+        let mut head = 0;
+        loop {
+            match Self::step(&self.buffer[head..], &mut self.dropped) {
+                Step::Frame(frame, consumed) => {
+                    frames.push(frame);
+                    head += consumed;
+                }
+                Step::Skip(consumed) => head += consumed,
+                Step::NeedMore => break,
+            }
+        }
+        if head > 0 {
+            self.buffer.drain(..head);
         }
         frames
     }
@@ -116,97 +133,88 @@ impl FrameDecoder {
         Some(frame)
     }
 
-    fn try_take_frame(&mut self) -> Option<String> {
-        // Iterative by design: a recursive rescan after every dropped count
-        // or blank line overflows the stack on hostile input (a single push
-        // of ~100k blank lines).
-        loop {
-            if self.buffer.is_empty() {
-                return None;
-            }
-            if self.buffer[0].is_ascii_digit() {
-                match self.try_octet_counted() {
-                    OctetResult::Frame(frame) => return Some(frame),
-                    // A corrupt count was dropped; rescan what remains.
-                    OctetResult::Dropped => continue,
-                    // Valid count, payload still arriving.
-                    OctetResult::Incomplete => return None,
-                    // Digits but not a count: fall through to LF framing.
-                    OctetResult::NotOctet => {}
+    /// One framing step over `buf` (the unconsumed buffer tail).
+    /// Iterative callers loop on `Skip` — a recursive rescan after every
+    /// dropped count or blank line overflows the stack on hostile input
+    /// (a single push of ~100k blank lines).
+    fn step(buf: &[u8], dropped: &mut u64) -> Step {
+        if buf.is_empty() {
+            return Step::NeedMore;
+        }
+        if buf[0].is_ascii_digit() {
+            match Self::try_octet_counted(buf) {
+                OctetResult::Frame(frame, consumed) => return Step::Frame(frame, consumed),
+                OctetResult::Dropped(consumed) => {
+                    // Corrupt count: drop the length token, resynchronize.
+                    *dropped += 1;
+                    return Step::Skip(consumed);
                 }
-            }
-            match self.try_non_transparent() {
-                LfResult::Frame(frame) => return Some(frame),
-                LfResult::Blank => continue,
-                LfResult::NeedMore => return None,
+                // Valid count, payload still arriving.
+                OctetResult::Incomplete => return Step::NeedMore,
+                // Digits but not a count: fall through to LF framing.
+                OctetResult::NotOctet => {}
             }
         }
+        Self::try_non_transparent(buf)
     }
 
-    fn try_octet_counted(&mut self) -> OctetResult {
+    fn try_octet_counted(buf: &[u8]) -> OctetResult {
         // Find the count terminator within the allowed digit width.
-        let window = &self.buffer[..self.buffer.len().min(7)];
+        let window = &buf[..buf.len().min(7)];
         let Some(space) = window.iter().position(|&b| b == b' ') else {
             // No space yet: either a short partial count (wait) or an LF
             // frame that happens to start with digits.
-            if self.buffer.len() <= 6 && self.buffer.iter().all(|b| b.is_ascii_digit()) {
+            if buf.len() <= 6 && buf.iter().all(|b| b.is_ascii_digit()) {
                 return OctetResult::Incomplete;
             }
             return OctetResult::NotOctet;
         };
-        if space == 0 || !self.buffer[..space].iter().all(|b| b.is_ascii_digit()) {
+        if space == 0 || !buf[..space].iter().all(|b| b.is_ascii_digit()) {
             return OctetResult::NotOctet;
         }
-        let len: usize = std::str::from_utf8(&self.buffer[..space])
+        let len: usize = std::str::from_utf8(&buf[..space])
             .expect("digits are utf8")
             .parse()
             .expect("digit run parses");
         if len == 0 || len > MAX_FRAME_LEN {
-            // Corrupt count: drop the length token and resynchronize.
-            self.buffer.drain(..=space);
-            self.dropped += 1;
-            return OctetResult::Dropped;
+            return OctetResult::Dropped(space + 1);
         }
-        if self.buffer.len() < space + 1 + len {
+        if buf.len() < space + 1 + len {
             return OctetResult::Incomplete;
         }
-        let frame_bytes: Vec<u8> = self.buffer[space + 1..space + 1 + len].to_vec();
-        self.buffer.drain(..space + 1 + len);
-        OctetResult::Frame(String::from_utf8_lossy(&frame_bytes).into_owned())
+        let frame = String::from_utf8_lossy(&buf[space + 1..space + 1 + len]).into_owned();
+        OctetResult::Frame(frame, space + 1 + len)
     }
 
-    fn try_non_transparent(&mut self) -> LfResult {
+    fn try_non_transparent(buf: &[u8]) -> Step {
         // Swallow the whole leading run of blank lines (`(\r*\n)+`) in one
-        // drain: removing them one at a time is quadratic on an LF flood.
+        // skip: consuming them one at a time is quadratic on an LF flood.
         let mut skip = 0;
         loop {
             let mut j = skip;
-            while j < self.buffer.len() && self.buffer[j] == b'\r' {
+            while j < buf.len() && buf[j] == b'\r' {
                 j += 1;
             }
-            if j < self.buffer.len() && self.buffer[j] == b'\n' {
+            if j < buf.len() && buf[j] == b'\n' {
                 skip = j + 1;
             } else {
                 break;
             }
         }
         if skip > 0 {
-            self.buffer.drain(..skip);
-            return LfResult::Blank;
+            return Step::Skip(skip);
         }
-        let Some(lf) = self.buffer.iter().position(|&b| b == b'\n') else {
-            return LfResult::NeedMore;
+        let Some(lf) = buf.iter().position(|&b| b == b'\n') else {
+            return Step::NeedMore;
         };
-        let frame_bytes: Vec<u8> = self.buffer[..lf].to_vec();
-        self.buffer.drain(..=lf);
-        let frame = String::from_utf8_lossy(&frame_bytes)
+        let frame = String::from_utf8_lossy(&buf[..lf])
             .trim_end_matches('\r')
             .to_string();
         if frame.is_empty() {
             // A line of pure '\r's trims to nothing: also a blank line.
-            LfResult::Blank
+            Step::Skip(lf + 1)
         } else {
-            LfResult::Frame(frame)
+            Step::Frame(frame, lf + 1)
         }
     }
 }

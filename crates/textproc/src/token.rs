@@ -67,6 +67,60 @@ impl Tokenizer {
     /// one scratch buffer — no per-token allocation. Tokens arrive in the
     /// same order and with the same content as [`Tokenizer::tokenize`].
     pub fn tokenize_each(&self, text: &str, mut f: impl FnMut(&str)) {
+        if text.is_ascii() {
+            // Syslog traffic is overwhelmingly ASCII; byte-wise scanning
+            // with borrowed token slices avoids the per-char Unicode
+            // case-mapping that dominates the generic path.
+            self.tokenize_each_ascii(text, &mut f)
+        } else {
+            self.tokenize_each_unicode(text, &mut f)
+        }
+    }
+
+    /// Byte-oriented fast path for pure-ASCII text: tokens that are
+    /// already lowercase are handed to `f` as borrowed slices of `text`
+    /// (zero copies); mixed-case tokens are lowercased into one reused
+    /// scratch buffer. Must produce exactly what the Unicode path would.
+    fn tokenize_each_ascii(&self, text: &str, f: &mut impl FnMut(&str)) {
+        let bytes = text.as_bytes();
+        let mut scratch = String::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            while i < bytes.len() && !self.is_ascii_word(bytes[i]) {
+                i += 1;
+            }
+            let start = i;
+            while i < bytes.len() && self.is_ascii_word(bytes[i]) {
+                i += 1;
+            }
+            if start == i {
+                break;
+            }
+            // ASCII: char count == byte count.
+            let len = i - start;
+            if len < self.config.min_len || len > self.config.max_len {
+                continue;
+            }
+            let token = &text[start..i];
+            if self.config.drop_pure_numbers && token.bytes().all(|b| b.is_ascii_digit()) {
+                continue;
+            }
+            if self.config.lowercase && token.bytes().any(|b| b.is_ascii_uppercase()) {
+                scratch.clear();
+                scratch.push_str(token);
+                scratch.make_ascii_lowercase();
+                f(&scratch);
+            } else {
+                f(token);
+            }
+        }
+    }
+
+    fn is_ascii_word(&self, b: u8) -> bool {
+        b.is_ascii_alphanumeric() || (self.config.keep_underscores && b == b'_')
+    }
+
+    fn tokenize_each_unicode(&self, text: &str, mut f: &mut impl FnMut(&str)) {
         let mut current = String::new();
         for c in text.chars() {
             if self.is_word_char(c) {
@@ -111,6 +165,44 @@ pub fn tokenize(text: &str) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ascii_fast_path_matches_unicode_path() {
+        let configs = [
+            TokenizerConfig::default(),
+            TokenizerConfig {
+                lowercase: false,
+                ..TokenizerConfig::default()
+            },
+            TokenizerConfig {
+                drop_pure_numbers: false,
+                min_len: 2,
+                max_len: 8,
+                keep_underscores: false,
+                ..TokenizerConfig::default()
+            },
+        ];
+        let inputs = [
+            "CPU temperature above threshold",
+            "error in slurm_rpc_node_registration for lpi_hbm_nn",
+            "port 22 open; retry=3  \t (code 0x7F)",
+            "ALLCAPS MiXeD lower 123 _ _x_ a",
+            "",
+            "!!! --- ...",
+            "trailing_token",
+        ];
+        for config in configs {
+            let t = Tokenizer::with_config(config);
+            for input in inputs {
+                assert!(input.is_ascii());
+                let mut fast = Vec::new();
+                t.tokenize_each_ascii(input, &mut |tok: &str| fast.push(tok.to_string()));
+                let mut slow = Vec::new();
+                t.tokenize_each_unicode(input, &mut |tok: &str| slow.push(tok.to_string()));
+                assert_eq!(fast, slow, "paths diverge on {input:?} with {:?}", t.config);
+            }
+        }
+    }
 
     #[test]
     fn basic_words() {

@@ -96,6 +96,38 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty (senders may still exist).
+        Empty,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
+
+    /// Why a [`Receiver::drain_into`] call stopped filling its batch.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum DrainStatus {
+        /// The batch reached `max` items before the deadline.
+        Filled,
+        /// The deadline passed first; the batch holds whatever arrived.
+        DeadlineExpired,
+        /// Every sender hung up; the batch holds everything that was left
+        /// in the queue (nothing is lost on the way out).
+        Disconnected,
+    }
+
     impl fmt::Display for RecvTimeoutError {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             match self {
@@ -159,6 +191,75 @@ pub mod channel {
             self.shared.not_empty.notify_one();
             Ok(())
         }
+
+        /// Enqueue every item, blocking whenever the buffer is full. The
+        /// producer-side mirror of [`Receiver::drain_into`]: each run of
+        /// free capacity is filled in ONE critical section with ONE
+        /// `not_empty` notification, instead of a lock + notify per item.
+        /// Errors once every receiver is gone; items pushed before the
+        /// hangup stay queued (and are lost with the channel, exactly as
+        /// with per-item `send`).
+        pub fn send_many(&self, items: impl IntoIterator<Item = T>) -> Result<(), SendError<()>> {
+            let mut items = items.into_iter().peekable();
+            if items.peek().is_none() {
+                return Ok(());
+            }
+            let mut state = self.shared.state.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(()));
+                }
+                let mut pushed = false;
+                while state.queue.len() < self.shared.capacity {
+                    match items.next() {
+                        Some(value) => {
+                            state.queue.push_back(value);
+                            pushed = true;
+                        }
+                        None => break,
+                    }
+                }
+                if pushed {
+                    // A bulk push can satisfy many parked receivers at once.
+                    self.shared.not_empty.notify_all();
+                }
+                if items.peek().is_none() {
+                    return Ok(());
+                }
+                state = self.shared.not_full.wait(state).unwrap();
+            }
+        }
+
+        /// Enqueue as many items as fit right now, without blocking, and
+        /// hand back the overflow. One critical section for the whole
+        /// batch. The load-shedding mirror of [`Sender::send_many`]: the
+        /// caller owns the rejected tail (for dead-letter accounting).
+        /// Errors with all items returned once every receiver is gone.
+        pub fn try_send_many(
+            &self,
+            items: impl IntoIterator<Item = T>,
+        ) -> Result<Vec<T>, SendError<Vec<T>>> {
+            let mut items = items.into_iter();
+            let mut state = self.shared.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(SendError(items.collect()));
+            }
+            let mut pushed = false;
+            while state.queue.len() < self.shared.capacity {
+                match items.next() {
+                    Some(value) => {
+                        state.queue.push_back(value);
+                        pushed = true;
+                    }
+                    None => break,
+                }
+            }
+            if pushed {
+                self.shared.not_empty.notify_all();
+            }
+            drop(state);
+            Ok(items.collect())
+        }
     }
 
     impl<T> Clone for Sender<T> {
@@ -198,9 +299,28 @@ pub mod channel {
             }
         }
 
+        /// Pop an item without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().unwrap();
+            if let Some(value) = state.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
         /// Block until an item arrives or `timeout` elapses.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            let deadline = Instant::now() + timeout;
+            self.recv_deadline(Instant::now() + timeout)
+        }
+
+        /// Block until an item arrives or `deadline` passes. Items already
+        /// queued are always delivered, even past the deadline or after
+        /// every sender hung up.
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
             let mut state = self.shared.state.lock().unwrap();
             loop {
                 if let Some(value) = state.queue.pop_front() {
@@ -229,6 +349,63 @@ pub mod channel {
                     }
                     return Err(RecvTimeoutError::Timeout);
                 }
+            }
+        }
+
+        /// Deadline-bounded batch drain: append received items to `buf`
+        /// until it holds `max` items, `deadline` passes, or every sender
+        /// hangs up — whichever comes first. The returned [`DrainStatus`]
+        /// says which. Items already queued at hangup are still drained
+        /// (up to `max`), so a graceful producer shutdown loses nothing.
+        ///
+        /// Everything already queued is moved in ONE critical section per
+        /// wakeup — not one lock acquisition per item — so a worker pulling
+        /// 64-frame batches touches the channel mutex ~64x less often than
+        /// a `recv` loop. This is where micro-batching's synchronization
+        /// win comes from.
+        ///
+        /// This is the fill stage of a drain-up-to-B-or-deadline-T
+        /// micro-batching loop: block on [`Receiver::recv`] for the first
+        /// item, then `drain_into` the rest of the batch.
+        pub fn drain_into(&self, buf: &mut Vec<T>, max: usize, deadline: Instant) -> DrainStatus {
+            let mut state = self.shared.state.lock().unwrap();
+            loop {
+                let before = buf.len();
+                while buf.len() < max {
+                    match state.queue.pop_front() {
+                        Some(value) => buf.push(value),
+                        None => break,
+                    }
+                }
+                if buf.len() > before {
+                    // Wake ONE parked sender: it will fill the freed run of
+                    // slots with its own bulk push, and the next drain wakes
+                    // the next sender. Waking every sender for every drain
+                    // is a thundering herd — all but one immediately find
+                    // the queue full again and re-park (a wasted context
+                    // switch each). Senders only park when the queue is
+                    // full, and the queue is only full when a drain is
+                    // imminent, so no sender can be stranded.
+                    self.shared.not_full.notify_one();
+                }
+                if buf.len() >= max {
+                    return DrainStatus::Filled;
+                }
+                if state.senders == 0 {
+                    return DrainStatus::Disconnected;
+                }
+                let Some(remaining) = deadline
+                    .checked_duration_since(Instant::now())
+                    .filter(|d| !d.is_zero())
+                else {
+                    return DrainStatus::DeadlineExpired;
+                };
+                let (guard, _timed_out) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(state, remaining)
+                    .unwrap();
+                state = guard;
             }
         }
 
@@ -337,6 +514,140 @@ mod tests {
             tx.try_send(4),
             Err(channel::TrySendError::Disconnected(4))
         ));
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_disconnected() {
+        let (tx, rx) = channel::bounded::<u8>(2);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        tx.send(5).unwrap();
+        assert_eq!(rx.try_recv(), Ok(5));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn drain_into_times_out_on_empty_queue() {
+        let (_tx, rx) = channel::bounded::<u8>(4);
+        let mut buf = Vec::new();
+        let t0 = std::time::Instant::now();
+        let status = rx.drain_into(
+            &mut buf,
+            4,
+            std::time::Instant::now() + std::time::Duration::from_millis(30),
+        );
+        assert_eq!(status, channel::DrainStatus::DeadlineExpired);
+        assert!(buf.is_empty());
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(25));
+    }
+
+    #[test]
+    fn drain_into_partial_fill_stops_at_deadline() {
+        let (tx, rx) = channel::bounded::<u8>(8);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let mut buf = Vec::new();
+        let status = rx.drain_into(
+            &mut buf,
+            8,
+            std::time::Instant::now() + std::time::Duration::from_millis(20),
+        );
+        assert_eq!(status, channel::DrainStatus::DeadlineExpired);
+        assert_eq!(buf, vec![1, 2]);
+    }
+
+    #[test]
+    fn drain_into_fills_to_max_and_leaves_the_rest() {
+        let (tx, rx) = channel::bounded::<u8>(8);
+        for v in 0..6 {
+            tx.send(v).unwrap();
+        }
+        let mut buf = Vec::new();
+        let status = rx.drain_into(
+            &mut buf,
+            4,
+            std::time::Instant::now() + std::time::Duration::from_secs(5),
+        );
+        assert_eq!(status, channel::DrainStatus::Filled);
+        assert_eq!(buf, vec![0, 1, 2, 3]);
+        assert_eq!(rx.recv(), Ok(4), "items beyond max stay queued");
+    }
+
+    #[test]
+    fn drain_into_disconnected_sender_flushes_backlog() {
+        let (tx, rx) = channel::bounded::<u8>(8);
+        tx.send(7).unwrap();
+        tx.send(8).unwrap();
+        drop(tx);
+        let mut buf = Vec::new();
+        // A far deadline: disconnection must end the drain, not the clock,
+        // and the queued backlog must be flushed first (lossless drain).
+        let t0 = std::time::Instant::now();
+        let status = rx.drain_into(
+            &mut buf,
+            8,
+            std::time::Instant::now() + std::time::Duration::from_secs(30),
+        );
+        assert_eq!(status, channel::DrainStatus::Disconnected);
+        assert_eq!(buf, vec![7, 8]);
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn drain_into_wakes_promptly_when_sender_hangs_up_mid_wait() {
+        let (tx, rx) = channel::bounded::<u8>(4);
+        let waiter = std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            let status = rx.drain_into(
+                &mut buf,
+                4,
+                std::time::Instant::now() + std::time::Duration::from_secs(30),
+            );
+            (status, buf)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        tx.send(3).unwrap();
+        drop(tx);
+        let (status, buf) = waiter.join().unwrap();
+        assert_eq!(status, channel::DrainStatus::Disconnected);
+        assert_eq!(buf, vec![3]);
+    }
+
+    #[test]
+    fn send_many_blocks_until_capacity_frees_and_delivers_in_order() {
+        let (tx, rx) = channel::bounded::<u8>(2);
+        let producer = std::thread::spawn(move || tx.send_many(0..6).is_ok());
+        let mut got = Vec::new();
+        for _ in 0..6 {
+            got.push(rx.recv().unwrap());
+        }
+        assert!(producer.join().unwrap());
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn send_many_errors_when_receivers_gone() {
+        let (tx, rx) = channel::bounded::<u8>(2);
+        drop(rx);
+        assert!(tx.send_many(0..3).is_err());
+        assert!(
+            tx.send_many(std::iter::empty()).is_ok(),
+            "empty batch is a no-op"
+        );
+    }
+
+    #[test]
+    fn try_send_many_returns_overflow_tail() {
+        let (tx, rx) = channel::bounded::<u8>(3);
+        let rejected = tx.try_send_many(0..5).unwrap();
+        assert_eq!(rejected, vec![3, 4], "first 3 fit, tail handed back");
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(tx.try_send_many(10..11).unwrap(), Vec::<u8>::new());
+        drop(rx);
+        assert_eq!(
+            tx.try_send_many(20..22),
+            Err(channel::SendError(vec![20, 21]))
+        );
     }
 
     #[test]

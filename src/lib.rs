@@ -63,8 +63,9 @@ pub mod prelude {
     pub use datagen::{generate_corpus, CorpusConfig, StreamConfig, StreamGenerator};
     pub use editdist::{levenshtein, BucketStore, BucketingConfig};
     pub use hetsyslog_core::{
-        BucketBaseline, Category, Explanation, FeatureConfig, FeaturePipeline, MonitorService,
-        NoiseFilter, Prediction, SavedModel, SavedPipeline, TextClassifier, TraditionalPipeline,
+        BatchSnapshot, BucketBaseline, Category, Explanation, FeatureConfig, FeaturePipeline,
+        FrameOutcome, MonitorService, NoiseFilter, Prediction, SavedModel, SavedPipeline,
+        TextClassifier, TraditionalPipeline,
     };
     pub use hetsyslog_ml::{
         paper_suite, BatchClassifier, Classifier, ComplementNaiveBayes, ConfusionMatrix, Dataset,

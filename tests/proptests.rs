@@ -99,6 +99,74 @@ proptest! {
         );
     }
 
+    /// Micro-batch partition invariance: splitting a frame stream into
+    /// batches of any size and feeding each batch through
+    /// `MonitorService::ingest_frames` yields outcome-for-outcome the same
+    /// result as the scalar parse-then-`ingest` path — for batch sizes 1,
+    /// 7 and 64, with parse failures and prefiltered noise in the mix.
+    #[test]
+    fn batched_ingest_partition_invariant(seed in 0u64..40, n in 30usize..150) {
+        let corpus = datagen::corpus::as_pairs(&generate_corpus(&CorpusConfig {
+            scale: 0.001,
+            seed: 42,
+            min_per_class: 4,
+        }));
+        let clf = std::sync::Arc::new(TraditionalPipeline::train(
+            FeatureConfig::default(),
+            Box::new(ComplementNaiveBayes::new(Default::default())),
+            &corpus,
+        ));
+
+        // Frame stream with an unparseable (empty) frame every 11th slot.
+        let stream = StreamGenerator::new(StreamConfig { seed, ..StreamConfig::default() });
+        let frames: Vec<String> = stream
+            .take(n)
+            .enumerate()
+            .map(|(i, tm)| if i % 11 == 10 { String::new() } else { tm.to_frame() })
+            .collect();
+
+        // Scalar reference: parse each frame, then per-message ingest.
+        // Project each outcome to (message text, category) — `None`
+        // category covers both prefiltered and unparseable frames, which
+        // are distinguished by the text being `None`.
+        let scalar_svc = MonitorService::new(clf.clone())
+            .with_prefilter(NoiseFilter::train(3, &corpus));
+        let scalar: Vec<(Option<String>, Option<Category>)> = frames
+            .iter()
+            .map(|f| match parse(f) {
+                Ok(msg) => {
+                    let category = scalar_svc.ingest(&msg.message).map(|p| p.category);
+                    (Some(msg.message), category)
+                }
+                Err(_) => (None, None),
+            })
+            .collect();
+
+        for batch in [1usize, 7, 64] {
+            let svc = MonitorService::new(clf.clone())
+                .with_prefilter(NoiseFilter::train(3, &corpus));
+            let mut outcomes = Vec::with_capacity(frames.len());
+            for chunk in frames.chunks(batch) {
+                let texts: Vec<&str> = chunk.iter().map(|f| f.as_str()).collect();
+                outcomes.extend(svc.ingest_frames(&texts));
+            }
+            prop_assert_eq!(outcomes.len(), frames.len());
+            for (outcome, expected) in outcomes.into_iter().zip(&scalar) {
+                let got = match outcome {
+                    FrameOutcome::Classified { message, prediction } => {
+                        (Some(message.message), Some(prediction.category))
+                    }
+                    FrameOutcome::Prefiltered { message } => (Some(message.message), None),
+                    FrameOutcome::ParseError => (None, None),
+                };
+                prop_assert_eq!(&got, expected, "batch size {} diverged", batch);
+            }
+            // The per-category counters agree with the scalar service too.
+            prop_assert_eq!(svc.stats().per_category, scalar_svc.stats().per_category);
+            prop_assert_eq!(svc.stats().prefiltered, scalar_svc.stats().prefiltered);
+        }
+    }
+
     /// The monitor service's counters always reconcile: total = prefiltered
     /// + classified.
     #[test]
