@@ -19,10 +19,29 @@ fn main() {
     let args = ExpArgs::parse();
     let out = experiments::xp_throughput(&args);
     print!("{}", out.report);
-    write_json(
-        BENCH_JSON,
-        &experiments::xp_throughput_bench_json(&out.value),
+    // The telemetry overhead gate rides along in the committed bench JSON
+    // but stays out of the conformance value (goldens never see timings).
+    let overhead = experiments::observability_overhead(&args);
+    println!(
+        "\nObservability overhead at max_batch=64: {:.0} msg/s uninstrumented vs {:.0} msg/s instrumented (ratio {:.3}, gate >= 0.95)",
+        overhead
+            .get("uninstrumented_msgs_per_sec")
+            .and_then(serde_json::Value::as_f64)
+            .unwrap_or(0.0),
+        overhead
+            .get("instrumented_msgs_per_sec")
+            .and_then(serde_json::Value::as_f64)
+            .unwrap_or(0.0),
+        overhead
+            .get("ratio")
+            .and_then(serde_json::Value::as_f64)
+            .unwrap_or(0.0),
     );
+    let mut bench = experiments::xp_throughput_bench_json(&out.value);
+    if let serde_json::Value::Object(entries) = &mut bench {
+        entries.push(("observability_overhead".to_string(), overhead));
+    }
+    write_json(BENCH_JSON, &bench);
     println!("Batch comparison written to {BENCH_JSON}");
     if let Some(path) = &args.json_path {
         write_json(path, &out.value);

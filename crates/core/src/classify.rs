@@ -13,8 +13,11 @@ use crate::features::{FeatureConfig, FeaturePipeline};
 use crate::taxonomy::Category;
 use editdist::bucketing::{BucketStore, BucketingConfig};
 use hetsyslog_ml::{BatchClassifier, Classifier, Dataset};
+use parking_lot::RwLock;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A classification decision.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,6 +53,23 @@ pub trait TextClassifier: Send + Sync {
     fn classify_batch(&self, messages: &[&str]) -> Vec<Prediction> {
         messages.par_iter().map(|m| self.classify(m)).collect()
     }
+
+    /// Register this classifier's internal stage instruments (per-stage
+    /// latency histograms, matrix counters) with a telemetry registry.
+    /// The default is a no-op: classifiers without internal stages have
+    /// nothing to report, and an un-attached classifier records nothing.
+    fn attach_telemetry(&self, _registry: &obs::Registry) {}
+}
+
+/// Registered handles for the two CSR stages of the batch classify path.
+/// Held behind an `RwLock<Option<..>>` so an un-attached pipeline pays one
+/// relaxed read-lock check and nothing else.
+struct CsrStageMetrics {
+    transform_us: Arc<obs::Histogram>,
+    predict_us: Arc<obs::Histogram>,
+    rows: Arc<obs::Counter>,
+    nnz: Arc<obs::Counter>,
+    matrix_bytes: Arc<obs::Counter>,
 }
 
 /// §4.3 preprocessing + a traditional ML model.
@@ -57,6 +77,7 @@ pub struct TraditionalPipeline {
     pipeline: FeaturePipeline,
     model: Box<dyn BatchClassifier>,
     explain_top_k: usize,
+    stage_metrics: RwLock<Option<CsrStageMetrics>>,
 }
 
 impl TraditionalPipeline {
@@ -76,6 +97,7 @@ impl TraditionalPipeline {
             pipeline,
             model,
             explain_top_k: 5,
+            stage_metrics: RwLock::new(None),
         }
     }
 
@@ -124,12 +146,57 @@ impl TextClassifier for TraditionalPipeline {
         // the model's batch kernel. Explanations are skipped on the batch
         // path (they are for interactive use); the predictions themselves
         // are bit-identical to per-message `classify`.
+        let metrics = self.stage_metrics.read();
+        let t0 = metrics.as_ref().map(|_| Instant::now());
         let matrix = self.pipeline.transform_batch_csr(messages);
+        let t1 = t0.map(|t0| {
+            let now = Instant::now();
+            if let Some(m) = metrics.as_ref() {
+                m.transform_us.record_duration_us(now - t0);
+                m.rows.add(matrix.n_rows() as u64);
+                m.nnz.add(matrix.nnz() as u64);
+                m.matrix_bytes.add(matrix.heap_bytes() as u64);
+            }
+            now
+        });
         let indices = self.model.predict_csr(&matrix);
+        if let (Some(t1), Some(m)) = (t1, metrics.as_ref()) {
+            m.predict_us.record_duration_us(t1.elapsed());
+        }
+        drop(metrics);
         indices
             .into_iter()
             .map(|i| Prediction::bare(Category::from_index(i).unwrap_or(Category::Unimportant)))
             .collect()
+    }
+
+    fn attach_telemetry(&self, registry: &obs::Registry) {
+        let stage = |name: &str| {
+            registry.histogram(
+                "hetsyslog_stage_duration_us",
+                "Per-stage batch processing time in microseconds",
+                &[("stage", name)],
+            )
+        };
+        *self.stage_metrics.write() = Some(CsrStageMetrics {
+            transform_us: stage("tokenize_transform"),
+            predict_us: stage("predict"),
+            rows: registry.counter(
+                "hetsyslog_transform_rows_total",
+                "Rows vectorized into CSR batch matrices",
+                &[],
+            ),
+            nnz: registry.counter(
+                "hetsyslog_transform_nnz_total",
+                "Non-zero entries across CSR batch matrices",
+                &[],
+            ),
+            matrix_bytes: registry.counter(
+                "hetsyslog_transform_matrix_bytes_total",
+                "Heap bytes allocated for CSR batch matrices (cumulative)",
+                &[],
+            ),
+        });
     }
 }
 

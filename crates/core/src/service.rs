@@ -10,9 +10,10 @@
 use crate::classify::{Prediction, TextClassifier};
 use crate::filter::NoiseFilter;
 use crate::taxonomy::Category;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::time::Instant;
 use syslog_model::SyslogMessage;
 
 /// Per-frame outcome of [`MonitorService::ingest_frames`]: the raw frame
@@ -109,6 +110,93 @@ impl MonitorStats {
     /// Count for one category.
     pub fn count(&self, c: Category) -> u64 {
         self.per_category[c.index()]
+    }
+}
+
+/// The monitor's live counters: `obs` instruments instead of a locked
+/// struct. A fresh service starts with *detached* instruments (recording
+/// works, nothing is exported); [`MonitorService::attach_telemetry`] swaps
+/// in registry-backed handles, carrying accumulated values over, so the
+/// same counters then feed both [`MonitorService::stats`] and `/metrics`.
+struct ServiceCounters {
+    total: Arc<obs::Counter>,
+    prefiltered: Arc<obs::Counter>,
+    per_category: [Arc<obs::Counter>; 8],
+    alerts: Arc<obs::Counter>,
+    parse_us: Arc<obs::Histogram>,
+}
+
+impl ServiceCounters {
+    fn detached() -> ServiceCounters {
+        ServiceCounters {
+            total: Arc::new(obs::Counter::new()),
+            prefiltered: Arc::new(obs::Counter::new()),
+            per_category: std::array::from_fn(|_| Arc::new(obs::Counter::new())),
+            alerts: Arc::new(obs::Counter::new()),
+            parse_us: Arc::new(obs::Histogram::new()),
+        }
+    }
+
+    fn registered(registry: &obs::Registry) -> ServiceCounters {
+        ServiceCounters {
+            total: registry.counter(
+                "hetsyslog_monitor_messages_total",
+                "Messages seen by the monitor (including prefiltered)",
+                &[],
+            ),
+            prefiltered: registry.counter(
+                "hetsyslog_monitor_prefiltered_total",
+                "Messages dropped by the noise pre-filter",
+                &[],
+            ),
+            per_category: std::array::from_fn(|i| {
+                let category = Category::from_index(i).expect("dense index");
+                registry.counter(
+                    "hetsyslog_monitor_classified_total",
+                    "Classifications by category",
+                    &[("category", category.label())],
+                )
+            }),
+            alerts: registry.counter(
+                "hetsyslog_monitor_alerts_total",
+                "Alerts emitted (post-throttle)",
+                &[],
+            ),
+            parse_us: registry.histogram(
+                "hetsyslog_stage_duration_us",
+                "Per-stage batch processing time in microseconds",
+                &[("stage", "parse")],
+            ),
+        }
+    }
+
+    /// Move accumulated values from `old` into `self`, skipping any
+    /// instrument that is already the same allocation (re-attaching the
+    /// same registry must not double-count).
+    fn carry_over(&self, old: &ServiceCounters) {
+        fn carry(new: &Arc<obs::Counter>, old: &Arc<obs::Counter>) {
+            if !Arc::ptr_eq(new, old) {
+                new.add(old.get());
+            }
+        }
+        carry(&self.total, &old.total);
+        carry(&self.prefiltered, &old.prefiltered);
+        for (new, old) in self.per_category.iter().zip(&old.per_category) {
+            carry(new, old);
+        }
+        carry(&self.alerts, &old.alerts);
+        if !Arc::ptr_eq(&self.parse_us, &old.parse_us) {
+            self.parse_us.merge_from(&old.parse_us);
+        }
+    }
+
+    fn snapshot(&self) -> MonitorStats {
+        MonitorStats {
+            total: self.total.get(),
+            prefiltered: self.prefiltered.get(),
+            per_category: std::array::from_fn(|i| self.per_category[i].get()),
+            alerts: self.alerts.get(),
+        }
     }
 }
 
@@ -274,7 +362,7 @@ pub struct MonitorService {
     classifier: Arc<dyn TextClassifier>,
     prefilter: Option<NoiseFilter>,
     sink: Option<Arc<dyn AlertSink>>,
-    stats: Mutex<MonitorStats>,
+    counters: RwLock<ServiceCounters>,
     /// Max alerts per category per throttle window (`None` = unthrottled).
     throttle: Option<u64>,
     /// Messages per throttle window.
@@ -290,7 +378,7 @@ impl MonitorService {
             classifier,
             prefilter: None,
             sink: None,
-            stats: Mutex::new(MonitorStats::default()),
+            counters: RwLock::new(ServiceCounters::detached()),
             throttle: None,
             throttle_window: 10_000,
             window_state: Mutex::new(([0; 8], 0)),
@@ -326,24 +414,19 @@ impl MonitorService {
     /// Process one message; returns the prediction unless the pre-filter
     /// dropped the message.
     pub fn ingest(&self, message: &str) -> Option<Prediction> {
-        // The edit-distance prefilter scan runs outside the stats lock so
-        // concurrent workers don't serialize on it.
         let noise = self.prefilter.as_ref().is_some_and(|f| f.is_noise(message));
-        {
-            let mut stats = self.stats.lock();
-            stats.total += 1;
-            if noise {
-                stats.prefiltered += 1;
-                return None;
-            }
+        let counters = self.counters.read();
+        counters.total.inc();
+        if noise {
+            counters.prefiltered.inc();
+            return None;
         }
         let prediction = self.classifier.classify(message);
-        let mut stats = self.stats.lock();
-        stats.per_category[prediction.category.index()] += 1;
+        counters.per_category[prediction.category.index()].inc();
         if prediction.category.is_actionable() {
             if let Some(sink) = &self.sink {
                 if self.alert_permitted(prediction.category) {
-                    stats.alerts += 1;
+                    counters.alerts.inc();
                     sink.send(Alert {
                         category: prediction.category,
                         message: message.to_string(),
@@ -365,16 +448,14 @@ impl MonitorService {
     /// sequential merge applying category counters and alert throttling in
     /// input order.
     pub fn ingest_batch(&self, messages: &[&str]) -> Vec<Option<Prediction>> {
+        let counters = self.counters.read();
         // Pass 1: totals + pre-filter, preserving input order.
         let mut kept_indices = Vec::with_capacity(messages.len());
-        {
-            let mut stats = self.stats.lock();
-            for (i, message) in messages.iter().enumerate() {
-                stats.total += 1;
-                match &self.prefilter {
-                    Some(f) if f.is_noise(message) => stats.prefiltered += 1,
-                    _ => kept_indices.push(i),
-                }
+        for (i, message) in messages.iter().enumerate() {
+            counters.total.inc();
+            match &self.prefilter {
+                Some(f) if f.is_noise(message) => counters.prefiltered.inc(),
+                _ => kept_indices.push(i),
             }
         }
         // Pass 2: classify all survivors at once.
@@ -383,12 +464,11 @@ impl MonitorService {
         // Pass 3: merge counters and alerts back in input order.
         let mut out: Vec<Option<Prediction>> = vec![None; messages.len()];
         for (&i, prediction) in kept_indices.iter().zip(predictions) {
-            let mut stats = self.stats.lock();
-            stats.per_category[prediction.category.index()] += 1;
+            counters.per_category[prediction.category.index()].inc();
             if prediction.category.is_actionable() {
                 if let Some(sink) = &self.sink {
                     if self.alert_permitted(prediction.category) {
-                        stats.alerts += 1;
+                        counters.alerts.inc();
                         sink.send(Alert {
                             category: prediction.category,
                             message: messages[i].to_string(),
@@ -415,13 +495,15 @@ impl MonitorService {
     /// on each `message` field in input order; predictions are identical
     /// too (`classify_batch` is bit-identical to `classify` on category).
     pub fn ingest_frames(&self, frames: &[&str]) -> Vec<FrameOutcome> {
+        let counters = self.counters.read();
         // Pass 0: parse every frame (no locks held; parsing is pure).
+        let parse_start = Instant::now();
         let parsed: Vec<Option<SyslogMessage>> =
             frames.iter().map(|f| syslog_model::parse(f).ok()).collect();
+        counters.parse_us.record_duration_us(parse_start.elapsed());
         // Pass 1: totals + pre-filter in input order. The edit-distance
-        // scans run before the stats lock is taken, so concurrent batches
-        // prefilter in parallel and the critical section is counter
-        // arithmetic only.
+        // scans run first so concurrent batches prefilter in parallel; the
+        // counting itself is wait-free atomics.
         let mut kept_indices = Vec::with_capacity(frames.len());
         let noise: Vec<bool> = parsed
             .iter()
@@ -430,18 +512,15 @@ impl MonitorService {
                 _ => false,
             })
             .collect();
-        {
-            let mut stats = self.stats.lock();
-            for (i, msg) in parsed.iter().enumerate() {
-                if msg.is_none() {
-                    continue;
-                }
-                stats.total += 1;
-                if noise[i] {
-                    stats.prefiltered += 1;
-                } else {
-                    kept_indices.push(i);
-                }
+        for (i, msg) in parsed.iter().enumerate() {
+            if msg.is_none() {
+                continue;
+            }
+            counters.total.inc();
+            if noise[i] {
+                counters.prefiltered.inc();
+            } else {
+                kept_indices.push(i);
             }
         }
         // Pass 2: classify all survivors at once (the batched CSR path,
@@ -457,17 +536,15 @@ impl MonitorService {
             })
             .collect();
         let predictions = self.classifier.classify_batch(&kept_messages);
-        // Pass 3: merge counters and alerts back in input order, one lock
-        // acquisition for the whole batch (same stats → window_state lock
-        // order as the scalar path).
+        // Pass 3: merge counters and alerts back in input order (same
+        // sequence as the scalar path).
         let mut slots: Vec<Option<Prediction>> = vec![None; frames.len()];
-        let mut stats = self.stats.lock();
         for (&i, prediction) in kept_indices.iter().zip(predictions) {
-            stats.per_category[prediction.category.index()] += 1;
+            counters.per_category[prediction.category.index()].inc();
             if prediction.category.is_actionable() {
                 if let Some(sink) = &self.sink {
                     if self.alert_permitted(prediction.category) {
-                        stats.alerts += 1;
+                        counters.alerts.inc();
                         sink.send(Alert {
                             category: prediction.category,
                             message: parsed[i]
@@ -482,7 +559,7 @@ impl MonitorService {
             }
             slots[i] = Some(prediction);
         }
-        drop(stats);
+        drop(counters);
         parsed
             .into_iter()
             .zip(slots)
@@ -520,7 +597,21 @@ impl MonitorService {
 
     /// Snapshot the counters.
     pub fn stats(&self) -> MonitorStats {
-        self.stats.lock().clone()
+        self.counters.read().snapshot()
+    }
+
+    /// Move this service's counters onto a shared telemetry registry: the
+    /// live instruments become registry-backed (visible on `/metrics`),
+    /// accumulated values carry over exactly, and the classifier gets the
+    /// chance to register its own stage instruments. Idempotent for a
+    /// given registry — re-attaching never double-counts.
+    pub fn attach_telemetry(&self, registry: &obs::Registry) {
+        let mut counters = self.counters.write();
+        let registered = ServiceCounters::registered(registry);
+        registered.carry_over(&counters);
+        *counters = registered;
+        drop(counters);
+        self.classifier.attach_telemetry(registry);
     }
 
     /// Combine this service's counters with the ingest-layer counters of
@@ -774,6 +865,39 @@ mod tests {
         assert_eq!(
             latency_percentile_us(&hist, 100.0),
             latency_bucket_upper_us(10)
+        );
+    }
+
+    #[test]
+    fn attach_telemetry_carries_counts_and_never_double_counts() {
+        let svc = MonitorService::new(Arc::new(Stub));
+        svc.ingest("cpu is hot");
+        svc.ingest("quiet");
+        let before = svc.stats();
+
+        let registry = obs::Registry::new();
+        svc.attach_telemetry(&registry);
+        // Accumulated values carried over onto the registry instruments…
+        assert_eq!(svc.stats(), before);
+        assert_eq!(
+            registry.counter_value("hetsyslog_monitor_messages_total", &[]),
+            Some(2)
+        );
+        assert_eq!(
+            registry.counter_value(
+                "hetsyslog_monitor_classified_total",
+                &[("category", Category::ThermalIssue.label())]
+            ),
+            Some(1)
+        );
+        // …re-attaching the same registry is a no-op…
+        svc.attach_telemetry(&registry);
+        assert_eq!(svc.stats(), before);
+        // …and new ingests hit the shared instruments directly.
+        svc.ingest("gpu also hot");
+        assert_eq!(
+            registry.counter_value("hetsyslog_monitor_messages_total", &[]),
+            Some(3)
         );
     }
 

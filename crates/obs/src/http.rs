@@ -1,0 +1,220 @@
+//! A minimal HTTP/1.1 responder for telemetry scrapes, plus the matching
+//! one-shot client used by `hetsyslog top` and the tests.
+//!
+//! This is not a web server: one accept thread, requests served inline,
+//! `GET` only, connection closed after every response. Scrapes are rare
+//! (a dashboard poll every few seconds) and tiny, so simplicity wins over
+//! concurrency — and the responder shares the listener runtime's
+//! poll-and-check-shutdown discipline so it never blocks a drain.
+
+use crate::Registry;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One additional route beyond the always-present `GET /metrics`.
+pub struct Route {
+    /// Absolute path, e.g. `"/health"`.
+    pub path: &'static str,
+    /// Response `Content-Type`.
+    pub content_type: &'static str,
+    /// Renders the response body at request time.
+    pub render: Box<dyn Fn() -> String + Send + Sync>,
+}
+
+impl Route {
+    /// Convenience constructor.
+    pub fn new(
+        path: &'static str,
+        content_type: &'static str,
+        render: impl Fn() -> String + Send + Sync + 'static,
+    ) -> Route {
+        Route {
+            path,
+            content_type,
+            render: Box::new(render),
+        }
+    }
+}
+
+/// The running scrape endpoint. Serves `GET /metrics` (Prometheus text
+/// format) from the registry plus any extra [`Route`]s; everything else is
+/// 404. Stop with [`MetricsServer::stop`] (dropping also stops it).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind an ephemeral loopback port and start serving.
+    pub fn start(registry: Arc<Registry>, routes: Vec<Route>) -> std::io::Result<MetricsServer> {
+        MetricsServer::bind("127.0.0.1:0", registry, routes)
+    }
+
+    /// Bind `addr` and start serving.
+    pub fn bind(
+        addr: &str,
+        registry: Arc<Registry>,
+        routes: Vec<Route>,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            // Served inline: a scrape is one small request
+                            // and one response; no per-connection thread.
+                            let _ = serve_request(stream, &registry, &routes);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(MetricsServer {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (scrape at `http://{addr}/metrics`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the serve thread.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_request(
+    mut stream: TcpStream,
+    registry: &Registry,
+    routes: &[Route],
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    // Read until the header terminator; a scrape request has no body.
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 16 * 1024 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only\n".to_string(),
+        )
+    } else if path == "/metrics" {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            registry.render_prometheus(),
+        )
+    } else if let Some(route) = routes.iter().find(|r| r.path == path) {
+        ("200 OK", route.content_type, (route.render)())
+    } else {
+        ("404 Not Found", "text/plain", "not found\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal one-shot HTTP GET: returns the response body, failing on any
+/// status other than 200. `addr` is `host:port`.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(std::io::Error::other(format!("HTTP error: {status}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_health_and_404() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("up_total", "liveness", &[]).add(3);
+        let server = MetricsServer::start(
+            registry.clone(),
+            vec![Route::new("/health", "application/json", || {
+                "{\"ok\":true}".to_string()
+            })],
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+
+        let metrics = http_get(&addr, "/metrics").unwrap();
+        assert!(metrics.contains("# TYPE up_total counter"));
+        assert!(metrics.contains("up_total 3"));
+
+        let health = http_get(&addr, "/health").unwrap();
+        assert_eq!(health, "{\"ok\":true}");
+
+        assert!(http_get(&addr, "/nope").is_err());
+    }
+
+    #[test]
+    fn stop_joins_the_serve_thread() {
+        let registry = Arc::new(Registry::new());
+        let mut server = MetricsServer::start(registry, Vec::new()).unwrap();
+        let addr = server.addr().to_string();
+        assert!(http_get(&addr, "/metrics").is_ok());
+        server.stop();
+        // Port is released: connects now fail or reset immediately.
+        // (Double-stop is a no-op.)
+        server.stop();
+    }
+}

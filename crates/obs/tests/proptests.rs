@@ -1,0 +1,127 @@
+//! Property tests for the telemetry primitives (issue satellite):
+//! histogram merge is associative and commutative, quantile estimates
+//! bracket the true order statistics to within bucket error, and
+//! concurrent counter increments sum exactly.
+
+use obs::metrics::{bucket_lower, bucket_upper};
+use obs::{Counter, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The true q-th percentile of `values` under the histogram's rank
+/// convention: the `ceil(q/100 × n)`-th smallest value (rank at least 1).
+fn true_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge(a, b) == merge(b, a), element for element.
+    #[test]
+    fn merge_is_commutative(
+        xs in collection::vec(0u64..1_000_000, 0..64),
+        ys in collection::vec(0u64..1_000_000, 0..64),
+    ) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// merge(merge(a, b), c) == merge(a, merge(b, c)), and both equal the
+    /// histogram of the concatenated inputs.
+    #[test]
+    fn merge_is_associative_and_exact(
+        xs in collection::vec(0u64..1_000_000, 0..48),
+        ys in collection::vec(0u64..1_000_000, 0..48),
+        zs in collection::vec(0u64..1_000_000, 0..48),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        let mut all = Vec::new();
+        all.extend_from_slice(&xs);
+        all.extend_from_slice(&ys);
+        all.extend_from_slice(&zs);
+        prop_assert_eq!(left, hist_of(&all));
+    }
+
+    /// The estimated quantile's bucket brackets the true order statistic:
+    /// bucket_lower ≤ true value ≤ bucket_upper (= the estimate). Values
+    /// span nine orders of magnitude to exercise many octaves.
+    #[test]
+    fn quantiles_bracket_true_values(
+        values in collection::vec(0u64..1_000_000_000, 1..128),
+        q in 0.0f64..=100.0,
+    ) {
+        let snapshot = hist_of(&values);
+        let truth = true_quantile(&values, q);
+        let bucket = snapshot.quantile_bucket(q).expect("non-empty");
+        prop_assert!(
+            bucket_lower(bucket) <= truth && truth <= bucket_upper(bucket),
+            "q={q}: true {truth} outside bucket [{}, {}]",
+            bucket_lower(bucket),
+            bucket_upper(bucket)
+        );
+        prop_assert_eq!(snapshot.quantile(q), bucket_upper(bucket));
+    }
+
+    /// N threads × M increments each lose nothing.
+    #[test]
+    fn concurrent_counter_increments_sum_exactly(
+        threads in 1usize..8,
+        per_thread in 1u64..2_000,
+    ) {
+        let counter = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let counter = counter.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        counter.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(counter.get(), threads as u64 * per_thread);
+    }
+
+    /// Weighted recording is equivalent to repeating the plain record.
+    #[test]
+    fn weighted_equals_repeated(
+        v in 0u64..100_000,
+        w in 1u64..200,
+    ) {
+        let weighted = Histogram::new();
+        weighted.record_weighted(v, w);
+        let repeated = Histogram::new();
+        for _ in 0..w {
+            repeated.record(v);
+        }
+        prop_assert_eq!(weighted.snapshot(), repeated.snapshot());
+    }
+}

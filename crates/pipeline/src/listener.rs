@@ -26,6 +26,7 @@ use crate::record::LogRecord;
 use crate::store::LogStore;
 use crossbeam::channel::{self, TrySendError};
 use hetsyslog_core::{BatchSnapshot, FrameOutcome, HealthSnapshot, IngestSnapshot, MonitorService};
+use obs::{Counter, Gauge, Histogram, Registry, Telemetry};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read};
@@ -90,22 +91,36 @@ pub struct DeadLetter {
 pub struct DeadLetterRing {
     capacity: usize,
     items: Mutex<VecDeque<DeadLetter>>,
-    total: AtomicU64,
+    total: Arc<Counter>,
 }
 
 impl DeadLetterRing {
-    /// New ring holding at most `capacity` letters.
+    /// New ring holding at most `capacity` letters (detached counter — use
+    /// [`DeadLetterRing::registered`] to export it).
     pub fn new(capacity: usize) -> DeadLetterRing {
         DeadLetterRing {
             capacity: capacity.max(1),
             items: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
-            total: AtomicU64::new(0),
+            total: Arc::new(Counter::default()),
+        }
+    }
+
+    /// A ring whose lifetime total is exported as
+    /// `hetsyslog_dead_letters_total` on `registry`.
+    pub fn registered(capacity: usize, registry: &Registry) -> DeadLetterRing {
+        DeadLetterRing {
+            total: registry.counter(
+                "hetsyslog_dead_letters_total",
+                "Frames dead-lettered (shed or unparseable), including evicted ones",
+                &[],
+            ),
+            ..DeadLetterRing::new(capacity)
         }
     }
 
     /// Record a dropped frame, evicting the oldest letter when full.
     pub fn push(&self, letter: DeadLetter) {
-        self.total.fetch_add(1, Ordering::Relaxed);
+        self.total.inc();
         let mut items = self.items.lock();
         if items.len() == self.capacity {
             items.pop_front();
@@ -130,7 +145,7 @@ impl DeadLetterRing {
 
     /// Total letters ever recorded (including evicted ones).
     pub fn total_recorded(&self) -> u64 {
-        self.total.load(Ordering::Relaxed)
+        self.total.get()
     }
 }
 
@@ -146,30 +161,120 @@ pub struct SourceCounters {
 /// Shared, lock-light counters for the whole listener. Snapshot with
 /// [`IngestStats::snapshot`] to thread through
 /// [`MonitorService::health`](hetsyslog_core::MonitorService::health).
-#[derive(Debug, Default)]
+///
+/// `Default` builds detached instruments (recording works, nothing is
+/// exported); [`IngestStats::registered`] builds the same counters backed
+/// by a shared [`Registry`], so a `/metrics` scrape sees them live.
+#[derive(Debug)]
 pub struct IngestStats {
     /// Frames decoded off the wire (before parse).
-    pub frames: AtomicU64,
+    pub frames: Arc<Counter>,
     /// Raw bytes received.
-    pub bytes: AtomicU64,
+    pub bytes: Arc<Counter>,
     /// Records parsed and stored.
-    pub ingested: AtomicU64,
+    pub ingested: Arc<Counter>,
     /// Frames rejected by the syslog parser.
-    pub parse_errors: AtomicU64,
+    pub parse_errors: Arc<Counter>,
     /// Frames shed because the queue was full.
-    pub shed: AtomicU64,
+    pub shed: Arc<Counter>,
     /// Corrupt octet counts dropped by the per-connection decoders.
-    pub decode_dropped: AtomicU64,
+    pub decode_dropped: Arc<Counter>,
     /// TCP connections accepted.
-    pub connections_opened: AtomicU64,
+    pub connections_opened: Arc<Counter>,
     /// TCP connections closed (any reason).
-    pub connections_closed: AtomicU64,
+    pub connections_closed: Arc<Counter>,
     /// Connections closed for exceeding the idle timeout.
-    pub idle_closed: AtomicU64,
+    pub idle_closed: Arc<Counter>,
+    /// Wall time spent in `FrameDecoder::push` per read(2).
+    decode_us: Arc<Histogram>,
+    /// Frames sitting in the bounded ingest queue (sampled by workers).
+    queue_depth: Arc<Gauge>,
     per_source: Mutex<HashMap<u64, SourceCounters>>,
 }
 
+impl Default for IngestStats {
+    fn default() -> IngestStats {
+        IngestStats {
+            frames: Arc::new(Counter::new()),
+            bytes: Arc::new(Counter::new()),
+            ingested: Arc::new(Counter::new()),
+            parse_errors: Arc::new(Counter::new()),
+            shed: Arc::new(Counter::new()),
+            decode_dropped: Arc::new(Counter::new()),
+            connections_opened: Arc::new(Counter::new()),
+            connections_closed: Arc::new(Counter::new()),
+            idle_closed: Arc::new(Counter::new()),
+            decode_us: Arc::new(Histogram::new()),
+            queue_depth: Arc::new(Gauge::new()),
+            per_source: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
 impl IngestStats {
+    /// Ingest counters registered on a shared telemetry registry. Per-drop
+    /// reasons share `hetsyslog_ingest_dropped_total` under a `reason`
+    /// label, matching [`DropReason::as_str`].
+    pub fn registered(registry: &Registry) -> IngestStats {
+        let dropped = |reason: DropReason| {
+            registry.counter(
+                "hetsyslog_ingest_dropped_total",
+                "Frames dropped at the ingest edge, by reason",
+                &[("reason", reason.as_str())],
+            )
+        };
+        IngestStats {
+            frames: registry.counter(
+                "hetsyslog_ingest_frames_total",
+                "Frames decoded off the wire, before parse",
+                &[],
+            ),
+            bytes: registry.counter(
+                "hetsyslog_ingest_bytes_total",
+                "Raw bytes received on the TCP and UDP sockets",
+                &[],
+            ),
+            ingested: registry.counter(
+                "hetsyslog_ingest_stored_total",
+                "Records parsed and inserted into the store",
+                &[],
+            ),
+            parse_errors: dropped(DropReason::ParseError),
+            shed: dropped(DropReason::QueueFull),
+            decode_dropped: registry.counter(
+                "hetsyslog_decoder_dropped_total",
+                "Corrupt octet-counted frames dropped by per-connection decoders",
+                &[],
+            ),
+            connections_opened: registry.counter(
+                "hetsyslog_ingest_connections_opened_total",
+                "TCP connections accepted",
+                &[],
+            ),
+            connections_closed: registry.counter(
+                "hetsyslog_ingest_connections_closed_total",
+                "TCP connections closed, any reason",
+                &[],
+            ),
+            idle_closed: registry.counter(
+                "hetsyslog_ingest_connections_idle_closed_total",
+                "TCP connections closed for exceeding the idle timeout",
+                &[],
+            ),
+            decode_us: registry.histogram(
+                "hetsyslog_stage_duration_us",
+                "Per-stage batch processing time in microseconds",
+                &[("stage", "decode")],
+            ),
+            queue_depth: registry.gauge(
+                "hetsyslog_ingest_queue_depth",
+                "Frames in the bounded ingest queue, sampled at batch pickup",
+                &[],
+            ),
+            per_source: Mutex::new(HashMap::new()),
+        }
+    }
+
     /// Fold `frames`/`bytes` deltas into one source's counters.
     fn add_source(&self, source: u64, frames: u64, bytes: u64) {
         let mut map = self.per_source.lock();
@@ -193,14 +298,14 @@ impl IngestStats {
     /// Point-in-time snapshot in the core wire format.
     pub fn snapshot(&self) -> IngestSnapshot {
         IngestSnapshot {
-            frames: self.frames.load(Ordering::Relaxed),
-            bytes: self.bytes.load(Ordering::Relaxed),
-            ingested: self.ingested.load(Ordering::Relaxed),
-            parse_errors: self.parse_errors.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            decode_dropped: self.decode_dropped.load(Ordering::Relaxed),
-            connections: self.connections_opened.load(Ordering::Relaxed),
-            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            frames: self.frames.get(),
+            bytes: self.bytes.get(),
+            ingested: self.ingested.get(),
+            parse_errors: self.parse_errors.get(),
+            shed: self.shed.get(),
+            decode_dropped: self.decode_dropped.get(),
+            connections: self.connections_opened.get(),
+            idle_closed: self.idle_closed.get(),
         }
     }
 }
@@ -230,6 +335,15 @@ pub struct ListenerConfig {
     /// Longest a worker waits past a batch's first frame before flushing
     /// a partial batch; bounds per-frame tail latency under light load.
     pub max_delay: Duration,
+    /// Shared telemetry context. When set, every listener counter and
+    /// histogram is registered on its registry (and the classifier / store
+    /// attach theirs), and batch-granularity spans feed its span log.
+    /// `None` keeps all instruments detached — zero export, same hot path.
+    pub telemetry: Option<Arc<Telemetry>>,
+    /// Serve `GET /metrics` (Prometheus text), `GET /health` (JSON), and
+    /// `GET /spans` (JSON) on an ephemeral loopback port. Requires
+    /// `telemetry`; see [`SyslogListener::metrics_addr`].
+    pub serve_metrics: bool,
 }
 
 impl Default for ListenerConfig {
@@ -244,6 +358,8 @@ impl Default for ListenerConfig {
             fallback_time: 0,
             max_batch: 64,
             max_delay: Duration::from_millis(2),
+            telemetry: None,
+            serve_metrics: false,
         }
     }
 }
@@ -268,14 +384,14 @@ struct FrameSink {
 impl FrameSink {
     /// Offer one frame; returns `false` once the pipeline is gone.
     fn submit(&self, source: u64, frame: String) -> bool {
-        self.stats.frames.fetch_add(1, Ordering::Relaxed);
+        self.stats.frames.inc();
         let at = Instant::now();
         match self.overload {
             OverloadPolicy::Block => self.tx.send(WireFrame { source, frame, at }).is_ok(),
             OverloadPolicy::Shed => match self.tx.try_send(WireFrame { source, frame, at }) {
                 Ok(()) => true,
                 Err(TrySendError::Full(wf)) => {
-                    self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    self.stats.shed.inc();
                     self.dead_letters.push(DeadLetter {
                         reason: DropReason::QueueFull,
                         source: wf.source,
@@ -297,9 +413,7 @@ impl FrameSink {
         if frames.is_empty() {
             return true;
         }
-        self.stats
-            .frames
-            .fetch_add(frames.len() as u64, Ordering::Relaxed);
+        self.stats.frames.add(frames.len() as u64);
         let at = Instant::now();
         let wired = frames
             .into_iter()
@@ -308,9 +422,7 @@ impl FrameSink {
             OverloadPolicy::Block => self.tx.send_many(wired).is_ok(),
             OverloadPolicy::Shed => match self.tx.try_send_many(wired) {
                 Ok(rejected) => {
-                    self.stats
-                        .shed
-                        .fetch_add(rejected.len() as u64, Ordering::Relaxed);
+                    self.stats.shed.add(rejected.len() as u64);
                     for wf in rejected {
                         self.dead_letters.push(DeadLetter {
                             reason: DropReason::QueueFull,
@@ -342,6 +454,7 @@ pub struct SyslogListener {
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     worker_threads: Vec<JoinHandle<()>>,
     tx: Option<channel::Sender<WireFrame>>,
+    metrics_server: Option<obs::MetricsServer>,
 }
 
 impl SyslogListener {
@@ -360,9 +473,32 @@ impl SyslogListener {
         let tcp_addr = tcp.local_addr()?;
         let udp_addr = udp.local_addr()?;
 
-        let stats = Arc::new(IngestStats::default());
-        let dead_letters = Arc::new(DeadLetterRing::new(config.dead_letter_capacity));
-        let batch_stats = Arc::new(BatchStats::new());
+        // With telemetry attached, every layer registers on the shared
+        // registry so one `/metrics` scrape sees the whole pipeline;
+        // without it, the exact same counters run detached.
+        let telemetry = config.telemetry.clone();
+        let (stats, dead_letters, batch_stats) = match &telemetry {
+            Some(t) => {
+                store.attach_telemetry(&t.registry);
+                if let Some(service) = &service {
+                    service.attach_telemetry(&t.registry);
+                }
+                (
+                    Arc::new(IngestStats::registered(&t.registry)),
+                    Arc::new(DeadLetterRing::registered(
+                        config.dead_letter_capacity,
+                        &t.registry,
+                    )),
+                    Arc::new(BatchStats::registered(&t.registry)),
+                )
+            }
+            None => (
+                Arc::new(IngestStats::default()),
+                Arc::new(DeadLetterRing::new(config.dead_letter_capacity)),
+                Arc::new(BatchStats::new()),
+            ),
+        };
+        let spans = telemetry.as_ref().map(|t| t.spans.clone());
         let shutdown = Arc::new(AtomicBool::new(false));
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let (tx, rx) = channel::bounded::<WireFrame>(config.queue_depth.max(1));
@@ -385,6 +521,7 @@ impl SyslogListener {
             let stats = stats.clone();
             let dead_letters = dead_letters.clone();
             let batch_stats = batch_stats.clone();
+            let spans = spans.clone();
             let fallback_time = config.fallback_time;
             worker_threads.push(std::thread::spawn(move || {
                 let batched_service = if max_batch > 1 {
@@ -413,10 +550,10 @@ impl SyslogListener {
                                     }
                                 }
                                 store.insert(record);
-                                stats.ingested.fetch_add(1, Ordering::Relaxed);
+                                stats.ingested.inc();
                             }
                             Err(_) => {
-                                stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                                stats.parse_errors.inc();
                                 dead_letters.push(DeadLetter {
                                     reason: DropReason::ParseError,
                                     source: wf.source,
@@ -432,15 +569,26 @@ impl SyslogListener {
 
                 let mut batch: Vec<WireFrame> = Vec::with_capacity(max_batch);
                 while let Ok(first) = rx.recv() {
+                    // One root span per batch (never per frame): tagged
+                    // with the batch size, with classify / store_insert
+                    // children. Only slow ones are retained by the ring.
+                    let mut root = spans.as_ref().map(|s| s.span("batch"));
                     let fill_started = Instant::now();
                     batch.clear();
                     batch.push(first);
                     let status = rx.drain_into(&mut batch, max_batch, fill_started + max_delay);
                     let fill_latency = fill_started.elapsed();
+                    stats.queue_depth.set(rx.len() as i64);
 
                     let texts: Vec<&str> = batch.iter().map(|wf| wf.frame.as_str()).collect();
-                    let outcomes = batched_service.ingest_frames(&texts);
+                    let outcomes = {
+                        let _classify = root.as_ref().map(|r| r.child("classify"));
+                        batched_service.ingest_frames(&texts)
+                    };
                     let size = batch.len();
+                    if let Some(root) = root.as_mut() {
+                        root.set_tag(format!("size={size}"));
+                    }
                     let mut classified = 0u64;
                     let mut records: Vec<LogRecord> = Vec::with_capacity(size);
                     for (wf, outcome) in batch.drain(..).zip(outcomes) {
@@ -466,7 +614,7 @@ impl SyslogListener {
                                 ));
                             }
                             FrameOutcome::ParseError => {
-                                stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                                stats.parse_errors.inc();
                                 dead_letters.push(DeadLetter {
                                     reason: DropReason::ParseError,
                                     source: wf.source,
@@ -479,8 +627,11 @@ impl SyslogListener {
                     // One shard-lock acquisition and one counter update for
                     // the whole batch.
                     let stored = records.len() as u64;
-                    store.insert_batch(records);
-                    stats.ingested.fetch_add(stored, Ordering::Relaxed);
+                    {
+                        let _insert = root.as_ref().map(|r| r.child("store_insert"));
+                        store.insert_batch(records);
+                    }
+                    stats.ingested.add(stored);
                     batch_stats.record_flush(
                         size,
                         classified,
@@ -506,7 +657,7 @@ impl SyslogListener {
                 while !shutdown.load(Ordering::Relaxed) {
                     match udp.recv_from(&mut buf) {
                         Ok((n, _peer)) => {
-                            sink.stats.bytes.fetch_add(n as u64, Ordering::Relaxed);
+                            sink.stats.bytes.add(n as u64);
                             sink.stats.add_source(UDP_SOURCE, 1, n as u64);
                             let frame = String::from_utf8_lossy(&buf[..n])
                                 .trim_end_matches(['\r', '\n'])
@@ -546,10 +697,7 @@ impl SyslogListener {
                     match tcp.accept() {
                         Ok((stream, _peer)) => {
                             let conn_id = next_conn_id.fetch_add(1, Ordering::Relaxed);
-                            sink_template
-                                .2
-                                .connections_opened
-                                .fetch_add(1, Ordering::Relaxed);
+                            sink_template.2.connections_opened.inc();
                             let sink = FrameSink {
                                 tx: sink_template.0.clone(),
                                 overload: sink_template.1,
@@ -578,6 +726,38 @@ impl SyslogListener {
             })
         };
 
+        // The scrape endpoint rides on the same runtime: `/metrics` is the
+        // registry's Prometheus rendering; `/health` serializes the same
+        // HealthSnapshot the API returns; `/spans` dumps recent slow spans.
+        let metrics_server = match (&telemetry, config.serve_metrics) {
+            (Some(t), true) => {
+                let health_stats = stats.clone();
+                let health_batches = batch_stats.clone();
+                let health_service = service.clone();
+                let health = obs::Route::new("/health", "application/json", move || {
+                    let ingest = health_stats.snapshot();
+                    let batching = health_batches.snapshot();
+                    let snapshot = match &health_service {
+                        Some(s) => s.health_with_batching(ingest, batching),
+                        None => HealthSnapshot {
+                            ingest,
+                            batching,
+                            ..HealthSnapshot::default()
+                        },
+                    };
+                    serde_json::to_string(&snapshot).unwrap_or_default()
+                });
+                let span_log = t.spans.clone();
+                let spans_route =
+                    obs::Route::new("/spans", "application/json", move || span_log.render_json());
+                Some(obs::MetricsServer::start(
+                    t.registry.clone(),
+                    vec![health, spans_route],
+                )?)
+            }
+            _ => None,
+        };
+
         Ok(SyslogListener {
             tcp_addr,
             udp_addr,
@@ -591,6 +771,7 @@ impl SyslogListener {
             conn_threads,
             worker_threads,
             tx: Some(tx),
+            metrics_server,
         })
     }
 
@@ -602,6 +783,12 @@ impl SyslogListener {
     /// Address of the UDP socket.
     pub fn udp_addr(&self) -> SocketAddr {
         self.udp_addr
+    }
+
+    /// Address of the metrics/health HTTP endpoint, when
+    /// [`ListenerConfig::serve_metrics`] was set alongside `telemetry`.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_server.as_ref().map(|s| s.addr())
     }
 
     /// Live ingest counters.
@@ -662,6 +849,9 @@ impl SyslogListener {
         for handle in self.worker_threads.drain(..) {
             let _ = handle.join();
         }
+        if let Some(server) = &mut self.metrics_server {
+            server.stop();
+        }
     }
 }
 
@@ -697,14 +887,16 @@ fn serve_connection(
             Ok(0) => break, // EOF: peer closed cleanly.
             Ok(n) => {
                 last_activity = Instant::now();
-                sink.stats.bytes.fetch_add(n as u64, Ordering::Relaxed);
+                sink.stats.bytes.add(n as u64);
+                let decode_started = Instant::now();
                 let frames = decoder.push(&buf[..n]);
+                sink.stats
+                    .decode_us
+                    .record_duration_us(decode_started.elapsed());
                 let dropped_now = decoder.dropped() - decoder_dropped;
                 if dropped_now > 0 {
                     decoder_dropped = decoder.dropped();
-                    sink.stats
-                        .decode_dropped
-                        .fetch_add(dropped_now, Ordering::Relaxed);
+                    sink.stats.decode_dropped.add(dropped_now);
                 }
                 sink.stats
                     .add_source(conn_id, frames.len() as u64, n as u64);
@@ -731,16 +923,12 @@ fn serve_connection(
     }
     let dropped_now = decoder.dropped() - decoder_dropped;
     if dropped_now > 0 {
-        sink.stats
-            .decode_dropped
-            .fetch_add(dropped_now, Ordering::Relaxed);
+        sink.stats.decode_dropped.add(dropped_now);
     }
     if idled_out {
-        sink.stats.idle_closed.fetch_add(1, Ordering::Relaxed);
+        sink.stats.idle_closed.inc();
     }
-    sink.stats
-        .connections_closed
-        .fetch_add(1, Ordering::Relaxed);
+    sink.stats.connections_closed.inc();
 }
 
 #[cfg(test)]
@@ -767,9 +955,9 @@ mod tests {
     #[test]
     fn stats_snapshot_maps_to_core_format() {
         let stats = IngestStats::default();
-        stats.frames.store(10, Ordering::Relaxed);
-        stats.shed.store(3, Ordering::Relaxed);
-        stats.parse_errors.store(1, Ordering::Relaxed);
+        stats.frames.add(10);
+        stats.shed.add(3);
+        stats.parse_errors.inc();
         stats.add_source(1, 6, 600);
         stats.add_source(1, 4, 400);
         let snap = stats.snapshot();

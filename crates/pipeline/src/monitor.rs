@@ -6,8 +6,8 @@ use crate::record::LogRecord;
 use crate::store::LogStore;
 use crossbeam::channel::{self, DrainStatus};
 use hetsyslog_core::{
-    batch_size_bucket, latency_bucket_us, BatchSnapshot, FrameOutcome, MonitorService,
-    TextClassifier, BATCH_SIZE_BUCKETS, LATENCY_BUCKETS,
+    BatchSnapshot, FrameOutcome, MonitorService, TextClassifier, BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,39 +41,97 @@ impl FlushReason {
 /// the batch-draining worker loops ([`crate::listener::SyslogListener`],
 /// [`ClassifyingIngest`]); snapshots into the core wire format
 /// ([`BatchSnapshot`]) for [`hetsyslog_core::HealthSnapshot`].
+///
+/// Internally the histograms are fine-grained `obs` log-linear histograms.
+/// [`BatchStats::snapshot`] folds them into the legacy log₂ arrays exactly
+/// (no `obs` bucket straddles a power of two), so the wire format is
+/// bit-identical to the old atomic-array implementation while
+/// [`BatchStats::registered`] exposes the same instruments — at full
+/// resolution — on a shared `/metrics` registry.
 #[derive(Debug)]
 pub struct BatchStats {
-    batches: AtomicU64,
-    classified: AtomicU64,
-    deferred: AtomicU64,
-    full_flushes: AtomicU64,
-    deadline_flushes: AtomicU64,
-    drain_flushes: AtomicU64,
-    batch_size_hist: [AtomicU64; BATCH_SIZE_BUCKETS],
-    fill_latency_us_hist: [AtomicU64; LATENCY_BUCKETS],
-    queue_latency_us_hist: [AtomicU64; LATENCY_BUCKETS],
+    batches: Arc<obs::Counter>,
+    classified: Arc<obs::Counter>,
+    deferred: Arc<obs::Counter>,
+    full_flushes: Arc<obs::Counter>,
+    deadline_flushes: Arc<obs::Counter>,
+    drain_flushes: Arc<obs::Counter>,
+    /// Weighted by batch size: a flush of N frames adds weight N to value
+    /// N, so totals count frames (matching the legacy array).
+    batch_size_frames: Arc<obs::Histogram>,
+    fill_latency_us: Arc<obs::Histogram>,
+    queue_latency_us: Arc<obs::Histogram>,
 }
 
 impl Default for BatchStats {
     fn default() -> BatchStats {
         BatchStats {
-            batches: AtomicU64::new(0),
-            classified: AtomicU64::new(0),
-            deferred: AtomicU64::new(0),
-            full_flushes: AtomicU64::new(0),
-            deadline_flushes: AtomicU64::new(0),
-            drain_flushes: AtomicU64::new(0),
-            batch_size_hist: std::array::from_fn(|_| AtomicU64::new(0)),
-            fill_latency_us_hist: std::array::from_fn(|_| AtomicU64::new(0)),
-            queue_latency_us_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            batches: Arc::new(obs::Counter::new()),
+            classified: Arc::new(obs::Counter::new()),
+            deferred: Arc::new(obs::Counter::new()),
+            full_flushes: Arc::new(obs::Counter::new()),
+            deadline_flushes: Arc::new(obs::Counter::new()),
+            drain_flushes: Arc::new(obs::Counter::new()),
+            batch_size_frames: Arc::new(obs::Histogram::new()),
+            fill_latency_us: Arc::new(obs::Histogram::new()),
+            queue_latency_us: Arc::new(obs::Histogram::new()),
         }
     }
 }
 
 impl BatchStats {
-    /// New zeroed counters.
+    /// New zeroed counters, detached from any registry (recording works,
+    /// nothing is exported).
     pub fn new() -> BatchStats {
         BatchStats::default()
+    }
+
+    /// Counters backed by shared registry instruments: every record lands
+    /// on `/metrics` as it happens. Two stages registering on the same
+    /// registry share the same series.
+    pub fn registered(registry: &obs::Registry) -> BatchStats {
+        let flush = |reason: &str| {
+            registry.counter(
+                "hetsyslog_batch_flushes_total",
+                "Batches dispatched, by flush reason",
+                &[("reason", reason)],
+            )
+        };
+        BatchStats {
+            batches: registry.counter(
+                "hetsyslog_batch_batches_total",
+                "Batches dispatched to the classify/store stage",
+                &[],
+            ),
+            classified: registry.counter(
+                "hetsyslog_batch_classified_total",
+                "Frames classified through dispatched batches",
+                &[],
+            ),
+            deferred: registry.counter(
+                "hetsyslog_batch_deferred_total",
+                "Frames that waited on the batching deadline",
+                &[],
+            ),
+            full_flushes: flush("full"),
+            deadline_flushes: flush("deadline"),
+            drain_flushes: flush("drain"),
+            batch_size_frames: registry.histogram(
+                "hetsyslog_batch_size_frames",
+                "Frames by the size of the batch that carried them",
+                &[],
+            ),
+            fill_latency_us: registry.histogram(
+                "hetsyslog_batch_fill_duration_us",
+                "Batch assembly time past the first frame, microseconds",
+                &[],
+            ),
+            queue_latency_us: registry.histogram(
+                "hetsyslog_batch_queue_delay_us",
+                "Frame queue->prediction latency, microseconds",
+                &[],
+            ),
+        }
     }
 
     /// Record one dispatched batch: its size (frames), how many of those
@@ -86,41 +144,49 @@ impl BatchStats {
         fill_latency: Duration,
         reason: FlushReason,
     ) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.classified.fetch_add(classified, Ordering::Relaxed);
-        self.batch_size_hist[batch_size_bucket(size)].fetch_add(size as u64, Ordering::Relaxed);
-        let fill_us = fill_latency.as_micros().min(u64::MAX as u128) as u64;
-        self.fill_latency_us_hist[latency_bucket_us(fill_us)].fetch_add(1, Ordering::Relaxed);
+        self.batches.inc();
+        self.classified.add(classified);
+        self.batch_size_frames
+            .record_weighted(size as u64, size as u64);
+        self.fill_latency_us.record_duration_us(fill_latency);
         match reason {
-            FlushReason::Full => self.full_flushes.fetch_add(1, Ordering::Relaxed),
+            FlushReason::Full => self.full_flushes.inc(),
             FlushReason::Deadline => {
-                self.deferred.fetch_add(size as u64, Ordering::Relaxed);
-                self.deadline_flushes.fetch_add(1, Ordering::Relaxed)
+                self.deferred.add(size as u64);
+                self.deadline_flushes.inc();
             }
-            FlushReason::Drain => self.drain_flushes.fetch_add(1, Ordering::Relaxed),
+            FlushReason::Drain => self.drain_flushes.inc(),
         };
     }
 
     /// Record one frame's queue→prediction latency (submit at the socket
     /// edge to batch dispatch completion).
     pub fn record_queue_latency(&self, latency: Duration) {
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        self.queue_latency_us_hist[latency_bucket_us(us)].fetch_add(1, Ordering::Relaxed);
+        self.queue_latency_us.record_duration_us(latency);
     }
 
-    /// Point-in-time snapshot in the core wire format.
+    /// Point-in-time snapshot in the core wire format: the fine-grained
+    /// histograms fold into the legacy log₂ arrays exactly.
     pub fn snapshot(&self) -> BatchSnapshot {
-        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         BatchSnapshot {
-            batches: load(&self.batches),
-            classified: load(&self.classified),
-            deferred: load(&self.deferred),
-            full_flushes: load(&self.full_flushes),
-            deadline_flushes: load(&self.deadline_flushes),
-            drain_flushes: load(&self.drain_flushes),
-            batch_size_hist: std::array::from_fn(|i| load(&self.batch_size_hist[i])),
-            fill_latency_us_hist: std::array::from_fn(|i| load(&self.fill_latency_us_hist[i])),
-            queue_latency_us_hist: std::array::from_fn(|i| load(&self.queue_latency_us_hist[i])),
+            batches: self.batches.get(),
+            classified: self.classified.get(),
+            deferred: self.deferred.get(),
+            full_flushes: self.full_flushes.get(),
+            deadline_flushes: self.deadline_flushes.get(),
+            drain_flushes: self.drain_flushes.get(),
+            batch_size_hist: self
+                .batch_size_frames
+                .snapshot()
+                .counts_log2::<BATCH_SIZE_BUCKETS>(),
+            fill_latency_us_hist: self
+                .fill_latency_us
+                .snapshot()
+                .counts_log2::<LATENCY_BUCKETS>(),
+            queue_latency_us_hist: self
+                .queue_latency_us
+                .snapshot()
+                .counts_log2::<LATENCY_BUCKETS>(),
         }
     }
 }
@@ -197,6 +263,16 @@ impl ClassifyingIngest {
     pub fn with_batching(mut self, max_batch: usize, max_delay: Duration) -> ClassifyingIngest {
         self.max_batch = max_batch.max(1);
         self.max_delay = max_delay;
+        self
+    }
+
+    /// Register this pipeline's instruments on a shared telemetry bundle:
+    /// the batch counters become registry-backed, and the monitor service
+    /// (plus its classifier and the store) attach theirs too.
+    pub fn with_telemetry(mut self, telemetry: &Arc<obs::Telemetry>) -> ClassifyingIngest {
+        self.batch_stats = Arc::new(BatchStats::registered(&telemetry.registry));
+        self.service.attach_telemetry(&telemetry.registry);
+        self.store.attach_telemetry(&telemetry.registry);
         self
     }
 
@@ -313,7 +389,92 @@ pub fn classifying_ingest(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hetsyslog_core::{Category, NoiseFilter, Prediction};
+    use hetsyslog_core::{batch_size_bucket, latency_bucket_us, Category, NoiseFilter, Prediction};
+
+    /// A recorded batching workload: (batch size, fill latency µs, queue
+    /// latencies µs, flush reason). Mixes every reason, size-0 and size-1
+    /// edge batches, bucket-boundary sizes/latencies, and values past the
+    /// legacy histograms' last bucket.
+    fn recorded_workload() -> Vec<(usize, u64, Vec<u64>, FlushReason)> {
+        let mut workload = vec![
+            (0, 0, vec![], FlushReason::Drain),
+            (1, 1, vec![0], FlushReason::Full),
+            (2, 2, vec![1, 2], FlushReason::Deadline),
+            (3, 3, vec![3, 4, 7], FlushReason::Full),
+            (64, 4095, vec![8, 100_000], FlushReason::Full),
+            (255, 1 << 19, vec![1 << 21], FlushReason::Deadline),
+            (256, 1 << 20, vec![1 << 25], FlushReason::Full),
+            (10_000, u64::MAX / 2, vec![u64::MAX / 2], FlushReason::Drain),
+        ];
+        for i in 0..200u64 {
+            workload.push((
+                (i as usize * 7 + 1) % 300,
+                i * i * 31,
+                vec![i * 13, i * 997],
+                match i % 3 {
+                    0 => FlushReason::Full,
+                    1 => FlushReason::Deadline,
+                    _ => FlushReason::Drain,
+                },
+            ));
+        }
+        workload
+    }
+
+    /// The issue's migration-parity gate: the obs-backed [`BatchStats`]
+    /// must reproduce the legacy atomic-array snapshot bit-for-bit —
+    /// identical counts and identical per-bucket sums — on a recorded
+    /// workload. The reference below is the old implementation's exact
+    /// arithmetic, inlined.
+    #[test]
+    fn obs_backed_snapshot_matches_legacy_arrays_exactly() {
+        let stats = BatchStats::new();
+        let mut legacy = BatchSnapshot::default();
+        for (size, fill_us, queue_us, reason) in recorded_workload() {
+            stats.record_flush(
+                size,
+                size as u64 / 2,
+                Duration::from_micros(fill_us),
+                reason,
+            );
+            legacy.batches += 1;
+            legacy.classified += size as u64 / 2;
+            legacy.batch_size_hist[batch_size_bucket(size)] += size as u64;
+            legacy.fill_latency_us_hist[latency_bucket_us(fill_us)] += 1;
+            match reason {
+                FlushReason::Full => legacy.full_flushes += 1,
+                FlushReason::Deadline => {
+                    legacy.deferred += size as u64;
+                    legacy.deadline_flushes += 1;
+                }
+                FlushReason::Drain => legacy.drain_flushes += 1,
+            }
+            for us in queue_us {
+                stats.record_queue_latency(Duration::from_micros(us));
+                legacy.queue_latency_us_hist[latency_bucket_us(us)] += 1;
+            }
+        }
+        assert_eq!(stats.snapshot(), legacy);
+        // Registered stats go through the same instruments: same parity.
+        let registry = obs::Registry::new();
+        let registered = BatchStats::registered(&registry);
+        for (size, fill_us, queue_us, reason) in recorded_workload() {
+            registered.record_flush(
+                size,
+                size as u64 / 2,
+                Duration::from_micros(fill_us),
+                reason,
+            );
+            for us in queue_us {
+                registered.record_queue_latency(Duration::from_micros(us));
+            }
+        }
+        assert_eq!(registered.snapshot(), legacy);
+        assert_eq!(
+            registry.counter_value("hetsyslog_batch_batches_total", &[]),
+            Some(legacy.batches)
+        );
+    }
 
     struct Stub;
     impl TextClassifier for Stub {

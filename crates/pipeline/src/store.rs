@@ -9,6 +9,8 @@ use crate::record::LogRecord;
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Width of one time shard, seconds (hourly, like a rotating index).
 pub const DEFAULT_SHARD_SECONDS: i64 = 3600;
@@ -71,12 +73,23 @@ impl Shard {
     }
 }
 
+/// Registered instrument handles for the insert path, present once
+/// [`LogStore::attach_telemetry`] has run. Un-attached stores pay one
+/// read-lock check per insert call and nothing else.
+#[derive(Debug)]
+struct StoreMetrics {
+    records: Arc<obs::Counter>,
+    shards: Arc<obs::Gauge>,
+    insert_us: Arc<obs::Histogram>,
+}
+
 /// The sharded store.
 #[derive(Debug, Default)]
 pub struct LogStore {
     shards: RwLock<BTreeMap<i64, RwLock<Shard>>>,
     shard_seconds: i64,
     next_id: AtomicU64,
+    metrics: RwLock<Option<StoreMetrics>>,
 }
 
 impl LogStore {
@@ -91,7 +104,34 @@ impl LogStore {
             shards: RwLock::new(BTreeMap::new()),
             shard_seconds: shard_seconds.max(1),
             next_id: AtomicU64::new(0),
+            metrics: RwLock::new(None),
         }
+    }
+
+    /// Register the store's instruments (record counter, shard gauge,
+    /// insert-stage latency) on a shared telemetry registry. Records
+    /// already stored are carried onto the counter so it always matches
+    /// [`LogStore::len`]; re-attaching never double-counts.
+    pub fn attach_telemetry(&self, registry: &obs::Registry) {
+        let mut slot = self.metrics.write();
+        let metrics = StoreMetrics {
+            records: registry.counter(
+                "hetsyslog_store_records_total",
+                "Records inserted into the time-sharded store",
+                &[],
+            ),
+            shards: registry.gauge("hetsyslog_store_shards", "Open time shards", &[]),
+            insert_us: registry.histogram(
+                "hetsyslog_stage_duration_us",
+                "Per-stage batch processing time in microseconds",
+                &[("stage", "store_insert")],
+            ),
+        };
+        if slot.is_none() {
+            metrics.records.add(self.len() as u64);
+        }
+        metrics.shards.set(self.n_shards() as i64);
+        *slot = Some(metrics);
     }
 
     /// Allocate the next document id.
@@ -111,11 +151,20 @@ impl LogStore {
             let shards = self.shards.read();
             if let Some(shard) = shards.get(&key) {
                 shard.write().insert(record);
+                if let Some(m) = self.metrics.read().as_ref() {
+                    m.records.inc();
+                }
                 return;
             }
         }
-        let mut shards = self.shards.write();
-        shards.entry(key).or_default().write().insert(record);
+        {
+            let mut shards = self.shards.write();
+            shards.entry(key).or_default().write().insert(record);
+        }
+        if let Some(m) = self.metrics.read().as_ref() {
+            m.records.inc();
+            m.shards.set(self.n_shards() as i64);
+        }
     }
 
     /// Insert a batch of records, acquiring each time shard's write lock
@@ -123,6 +172,9 @@ impl LogStore {
     /// live stream land overwhelmingly in the current shard, so a batch of
     /// N costs ~1 lock acquisition instead of N.
     pub fn insert_batch(&self, records: impl IntoIterator<Item = LogRecord>) {
+        let attached = self.metrics.read().is_some();
+        let start = attached.then(Instant::now);
+        let mut inserted: u64 = 0;
         let mut records = records.into_iter().peekable();
         while let Some(first) = records.next() {
             let key = self.shard_key(first.unix_seconds);
@@ -137,13 +189,24 @@ impl LogStore {
                 };
                 let mut shard = shard.write();
                 shard.insert(first);
+                inserted += 1;
                 while records
                     .peek()
                     .is_some_and(|r| self.shard_key(r.unix_seconds) == key)
                 {
                     shard.insert(records.next().expect("peeked"));
+                    inserted += 1;
                 }
                 break;
+            }
+        }
+        if attached {
+            if let Some(m) = self.metrics.read().as_ref() {
+                m.records.add(inserted);
+                m.shards.set(self.n_shards() as i64);
+                if let Some(start) = start {
+                    m.insert_us.record_duration_us(start.elapsed());
+                }
             }
         }
     }

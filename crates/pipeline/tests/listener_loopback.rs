@@ -432,6 +432,137 @@ fn batched_and_scalar_listeners_agree_on_stored_categories() {
     assert_eq!(results[0].0, 24);
 }
 
+/// Drop-accounting consistency sweep (telemetry edition): under both
+/// overload policies against hostile traffic, a SINGLE `/metrics` scrape
+/// must satisfy the conservation laws
+///
+/// ```text
+/// frames_received == stored + Σ dropped{reason}
+/// dead_letters    ==          Σ dropped{reason}
+/// ```
+///
+/// Corrupt octet counts are dropped by the decoder *before* a frame
+/// exists, so `hetsyslog_decoder_dropped_total` is deliberately outside
+/// the frame ledger.
+#[test]
+fn drop_accounting_is_consistent_from_a_single_scrape() {
+    for overload in [OverloadPolicy::Block, OverloadPolicy::Shed] {
+        let telemetry = obs::Telemetry::new_arc();
+        let store = Arc::new(LogStore::new());
+        // A slow classifier under Shed makes the 2-deep queue actually
+        // overflow; under Block it only delays the lossless drain.
+        let service = Arc::new(MonitorService::new(Arc::new(SlowStub(
+            Duration::from_millis(2),
+        ))));
+        let listener = SyslogListener::start(
+            store.clone(),
+            Some(service),
+            ListenerConfig {
+                workers: 1,
+                queue_depth: 2,
+                overload,
+                dead_letter_capacity: 8,
+                telemetry: Some(telemetry.clone()),
+                serve_metrics: true,
+                ..ListenerConfig::default()
+            },
+        )
+        .expect("bind loopback listener");
+        let metrics_addr = listener
+            .metrics_addr()
+            .expect("serve_metrics must expose an endpoint")
+            .to_string();
+
+        // Hostile mix: a flood of LF frames, a corrupt octet count (decoder
+        // drop, pre-frame), and an empty UDP datagram (parse error).
+        let mut sock = TcpStream::connect(listener.tcp_addr()).expect("connect");
+        let mut wire = Vec::new();
+        for k in 0..100 {
+            wire.extend_from_slice(
+                format!("<13>Oct 11 22:14:15 cn0001 app: hostile flood {k}\n").as_bytes(),
+            );
+        }
+        wire.extend_from_slice(b"999999 \n");
+        sock.write_all(&wire).expect("write");
+        drop(sock);
+        assert!(
+            wait_until(20_000, || {
+                let s = listener.stats().snapshot();
+                s.frames == 100 && s.ingested + s.shed == 100
+            }),
+            "flood never quiesced under {overload:?}: {:?}",
+            listener.stats().snapshot()
+        );
+        // Only after the queue drains, so the empty datagram reaches the
+        // parser even under Shed instead of being shed at the edge.
+        let udp = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+        udp.send_to(b"", listener.udp_addr()).expect("send empty");
+
+        // Quiesce: every received frame is accounted for somewhere.
+        assert!(
+            wait_until(20_000, || {
+                let s = listener.stats().snapshot();
+                s.frames == 101 && s.ingested + s.shed + s.parse_errors == s.frames
+            }),
+            "never quiesced under {overload:?}: {:?}",
+            listener.stats().snapshot()
+        );
+
+        // One scrape over real HTTP; every number below comes from it.
+        let body = obs::http_get(&metrics_addr, "/metrics").expect("scrape");
+        assert!(
+            body.contains("# TYPE hetsyslog_ingest_frames_total counter"),
+            "malformed exposition under {overload:?}"
+        );
+        let scrape = obs::parse_exposition(&body);
+        let frames = scrape.total("hetsyslog_ingest_frames_total");
+        let stored = scrape.total("hetsyslog_ingest_stored_total");
+        let queue_full = scrape
+            .value(
+                "hetsyslog_ingest_dropped_total",
+                &[("reason", "queue_full")],
+            )
+            .unwrap_or(0.0);
+        let parse_error = scrape
+            .value(
+                "hetsyslog_ingest_dropped_total",
+                &[("reason", "parse_error")],
+            )
+            .unwrap_or(0.0);
+        let dead_letters = scrape.total("hetsyslog_dead_letters_total");
+
+        assert_eq!(
+            frames,
+            stored + queue_full + parse_error,
+            "frame ledger must balance under {overload:?}: {body}"
+        );
+        assert_eq!(
+            dead_letters,
+            queue_full + parse_error,
+            "every drop must be dead-lettered under {overload:?}"
+        );
+        assert_eq!(parse_error, 1.0, "the empty datagram is the parse error");
+        assert_eq!(
+            scrape.total("hetsyslog_decoder_dropped_total"),
+            1.0,
+            "the corrupt octet count never became a frame"
+        );
+        match overload {
+            OverloadPolicy::Block => assert_eq!(queue_full, 0.0, "Block never sheds"),
+            OverloadPolicy::Shed => assert!(
+                queue_full > 0.0,
+                "a 2-deep queue against a 2ms/msg worker must shed"
+            ),
+        }
+        // The registry view and the legacy snapshot API agree exactly.
+        let snap = listener.stats().snapshot();
+        assert_eq!(snap.frames as f64, frames);
+        assert_eq!(snap.ingested as f64, stored);
+        assert_eq!(snap.shed as f64, queue_full);
+        listener.shutdown();
+    }
+}
+
 #[test]
 fn graceful_shutdown_flushes_tails_of_still_open_connections() {
     let store = Arc::new(LogStore::new());

@@ -341,6 +341,14 @@ impl CsrMatrix {
         self.indices.len()
     }
 
+    /// Bytes of heap storage behind this matrix (capacity, not length —
+    /// what the allocator is actually holding).
+    pub fn heap_bytes(&self) -> usize {
+        self.row_offsets.capacity() * std::mem::size_of::<usize>()
+            + self.indices.capacity() * std::mem::size_of::<u32>()
+            + self.values.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Borrow row `r` as `(indices, values)`.
     pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
         let (start, end) = (self.row_offsets[r], self.row_offsets[r + 1]);

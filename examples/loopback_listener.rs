@@ -7,7 +7,13 @@
 //! drains gracefully and prints the combined transport + classification
 //! health snapshot and the dead-letter ring.
 //!
-//! Run: `cargo run --release --example loopback_listener`
+//! The listener serves `GET /metrics` (Prometheus text), `/health` (JSON)
+//! and `/spans` (JSON) on an ephemeral loopback port; the example scrapes
+//! its own endpoint over real HTTP and prints the exposition. Pass
+//! `--hold` to keep the listener up for 60 s after the traffic so you can
+//! `curl` it yourself (the URL is printed at startup).
+//!
+//! Run: `cargo run --release --example loopback_listener [-- --hold]`
 
 use hetsyslog::prelude::*;
 use std::io::Write;
@@ -31,6 +37,7 @@ fn main() {
     let service = Arc::new(MonitorService::new(clf).with_prefilter(NoiseFilter::train(3, &corpus)));
 
     let store = Arc::new(LogStore::new());
+    let telemetry = Telemetry::new_arc();
     let listener = SyslogListener::start(
         store.clone(),
         Some(service),
@@ -39,14 +46,18 @@ fn main() {
             queue_depth: 256,
             overload: OverloadPolicy::Block,
             idle_timeout: Duration::from_secs(5),
+            telemetry: Some(telemetry.clone()),
+            serve_metrics: true,
             ..ListenerConfig::default()
         },
     )
     .expect("bind loopback listener");
+    let metrics_addr = listener.metrics_addr().expect("metrics endpoint");
     println!(
-        "listener up: tcp={} udp={}\n",
+        "listener up: tcp={} udp={} metrics=http://{}/metrics\n",
         listener.tcp_addr(),
-        listener.udp_addr()
+        listener.udp_addr(),
+        metrics_addr,
     );
 
     // Node 1: a well-behaved rsyslog sender using octet counting.
@@ -97,6 +108,16 @@ fn main() {
     while listener.stats().snapshot().ingested < expect && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(20));
     }
+    // Scrape our own endpoint over real loopback HTTP, exactly as a
+    // Prometheus server (or `hetsyslog top --addr`) would.
+    let exposition =
+        hetsyslog::obs::http_get(&metrics_addr.to_string(), "/metrics").expect("scrape /metrics");
+
+    if std::env::args().any(|a| a == "--hold") {
+        println!("holding for 60s — try: curl http://{metrics_addr}/metrics");
+        std::thread::sleep(Duration::from_secs(60));
+    }
+
     let health = listener.health().expect("service attached");
     let dead = listener.dead_letters().snapshot();
     let per_source = listener.stats().per_source();
@@ -132,4 +153,5 @@ fn main() {
         );
     }
     println!("\nstore holds {} records", store.len());
+    println!("\n--- /metrics scrape ---\n{exposition}");
 }

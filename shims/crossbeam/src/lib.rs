@@ -260,6 +260,21 @@ pub mod channel {
             drop(state);
             Ok(items.collect())
         }
+
+        /// Items currently queued (a snapshot; racy by nature).
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().queue.len()
+        }
+
+        /// True when no items are queued right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The channel's fixed capacity.
+        pub fn capacity(&self) -> usize {
+            self.shared.capacity
+        }
     }
 
     impl<T> Clone for Sender<T> {
@@ -413,6 +428,21 @@ pub mod channel {
         /// empty and disconnected.
         pub fn iter(&self) -> Iter<'_, T> {
             Iter { receiver: self }
+        }
+
+        /// Items currently queued (a snapshot; racy by nature).
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().queue.len()
+        }
+
+        /// True when no items are queued right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The channel's fixed capacity.
+        pub fn capacity(&self) -> usize {
+            self.shared.capacity
         }
     }
 

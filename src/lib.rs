@@ -18,7 +18,9 @@
 //!   noise filter, monitor service, evaluation harness;
 //! * [`datagen`] — the synthetic Darwin corpus, drift model and stream;
 //! * [`llm`] — the simulated generative / zero-shot LLM classifiers;
-//! * [`pipeline`] — the Tivan-like store, ingest and monitoring views.
+//! * [`pipeline`] — the Tivan-like store, ingest and monitoring views;
+//! * [`obs`] — metrics registry, pipeline spans and the Prometheus-style
+//!   scrape endpoint (see DESIGN §5b).
 //!
 //! # Quickstart
 //!
@@ -52,6 +54,7 @@ pub use hetsyslog_core as core;
 pub use hetsyslog_ml as ml;
 pub use llmsim as llm;
 pub use logpipeline as pipeline;
+pub use obs;
 pub use syslog_model as syslog;
 pub use textproc as text;
 
@@ -80,6 +83,7 @@ pub mod prelude {
         compare_to_arch_peers, sensor_sweep, ClassifyingIngest, ClusterTopology, IngestPipeline,
         ListenerConfig, LogStore, OverloadPolicy, Query, SensorVerdict, SyslogListener,
     };
+    pub use obs::{Registry, Telemetry};
     pub use syslog_model::{parse, split_stream, FrameDecoder, Severity, SyslogMessage};
 }
 

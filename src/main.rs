@@ -31,6 +31,7 @@ fn main() {
         "classify" => cmd_classify(&opts),
         "eval" => cmd_eval(&opts),
         "monitor" => cmd_monitor(&opts),
+        "top" => cmd_top(&opts),
         "summarize" => cmd_summarize(&opts),
         "--help" | "-h" | "help" => {
             usage_and_exit();
@@ -53,6 +54,7 @@ fn usage_and_exit() -> ! {
          \x20 classify   --model FILE [--explain]           classify stdin lines\n\
          \x20 eval       --scale F [--drop-unimportant]     run the Figure 3 evaluation\n\
          \x20 monitor    --frames N --workers N             simulate real-time monitoring\n\
+         \x20 top        --addr HOST:PORT [--interval-ms N] one-shot dashboard from a /metrics scrape\n\
          \x20 summarize  --scale F --window MIN             LLM status summary (future-work demo)\n\n\
          MODELS: lr ridge knn rf svc sgd nc cnb"
     );
@@ -269,6 +271,124 @@ fn cmd_monitor(opts: &Opts) -> Result<(), String> {
         println!("alert: [{}] {}", a.category, a.message);
     }
     Ok(())
+}
+
+/// `hetsyslog top` — a one-shot terminal dashboard rendered from two
+/// Prometheus scrapes of a live listener's `/metrics` endpoint (see
+/// [`ListenerConfig::serve_metrics`]). Counter deltas over the interval
+/// become rates; latency quantiles come from the second scrape's
+/// cumulative histograms.
+fn cmd_top(opts: &Opts) -> Result<(), String> {
+    let addr = opts
+        .get("addr")
+        .ok_or("--addr HOST:PORT of a /metrics endpoint is required")?;
+    let interval_ms = opts.get_u64("interval-ms", 1000)?.max(10);
+    let scrape = || -> Result<obs::Scrape, String> {
+        let body = obs::http_get(addr, "/metrics").map_err(|e| format!("{addr}: {e}"))?;
+        Ok(obs::parse_exposition(&body))
+    };
+    let first = scrape()?;
+    std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    let second = scrape()?;
+    let dt = interval_ms as f64 / 1000.0;
+
+    let rate = |name: &str| (second.total(name) - first.total(name)) / dt;
+    let count = |name: &str| second.total(name);
+    println!("hetsyslog top — {addr} (Δ {dt:.2}s)\n");
+    println!(
+        "ingest   frames {:>10}  ({:>8.0}/s)   bytes {:>12}  ({:>10.0}/s)",
+        count("hetsyslog_ingest_frames_total"),
+        rate("hetsyslog_ingest_frames_total"),
+        count("hetsyslog_ingest_bytes_total"),
+        rate("hetsyslog_ingest_bytes_total"),
+    );
+    println!(
+        "store    stored {:>10}  ({:>8.0}/s)   records {:>10}   shards {:>3}",
+        count("hetsyslog_ingest_stored_total"),
+        rate("hetsyslog_ingest_stored_total"),
+        count("hetsyslog_store_records_total"),
+        count("hetsyslog_store_shards"),
+    );
+    println!(
+        "queue    depth {:>6}    dead letters {:>6}    dropped: queue_full={} parse_error={}",
+        count("hetsyslog_ingest_queue_depth"),
+        count("hetsyslog_dead_letters_total"),
+        second
+            .value(
+                "hetsyslog_ingest_dropped_total",
+                &[("reason", "queue_full")]
+            )
+            .unwrap_or(0.0),
+        second
+            .value(
+                "hetsyslog_ingest_dropped_total",
+                &[("reason", "parse_error")]
+            )
+            .unwrap_or(0.0),
+    );
+    println!(
+        "batch    batches {:>9}  ({:>8.0}/s)   classified {:>10}  ({:>8.0}/s)\n",
+        count("hetsyslog_batch_batches_total"),
+        rate("hetsyslog_batch_batches_total"),
+        count("hetsyslog_batch_classified_total"),
+        rate("hetsyslog_batch_classified_total"),
+    );
+
+    println!(
+        "{:<20} {:>10} {:>10} {:>10} {:>12}",
+        "stage", "p50(µs)", "p90(µs)", "p99(µs)", "samples"
+    );
+    for stage in [
+        "decode",
+        "parse",
+        "tokenize_transform",
+        "predict",
+        "store_insert",
+    ] {
+        let buckets = second.histogram_buckets("hetsyslog_stage_duration_us", &[("stage", stage)]);
+        let samples: u64 = buckets.iter().map(|(_, c)| c).sum();
+        println!(
+            "{:<20} {:>10} {:>10} {:>10} {:>12}",
+            stage,
+            bucket_quantile(&buckets, 50.0),
+            bucket_quantile(&buckets, 90.0),
+            bucket_quantile(&buckets, 99.0),
+            samples,
+        );
+    }
+
+    let mut by_category: Vec<(String, f64)> = second
+        .samples
+        .iter()
+        .filter(|s| s.name == "hetsyslog_monitor_classified_total" && s.value > 0.0)
+        .filter_map(|s| s.label("category").map(|c| (c.to_string(), s.value)))
+        .collect();
+    by_category.sort_by(|a, b| b.1.total_cmp(&a.1));
+    if !by_category.is_empty() {
+        println!("\nclassified by category:");
+        for (category, n) in by_category {
+            println!("  {category:<28} {n}");
+        }
+    }
+    Ok(())
+}
+
+/// Upper bound of the bucket holding the `q`-th percentile sample of a
+/// `(upper_bound, count)` histogram; `0` when the histogram is empty.
+fn bucket_quantile(buckets: &[(u64, u64)], q: f64) -> u64 {
+    let total: u64 = buckets.iter().map(|(_, c)| c).sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q / 100.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (upper, c) in buckets {
+        seen += c;
+        if seen >= rank {
+            return *upper;
+        }
+    }
+    buckets.last().map(|(u, _)| *u).unwrap_or(0)
 }
 
 fn cmd_summarize(opts: &Opts) -> Result<(), String> {
