@@ -37,9 +37,28 @@ fn main() {
             .and_then(serde_json::Value::as_f64)
             .unwrap_or(0.0),
     );
+    // The shard-count sweep also stays out of the conformance value: the
+    // goldens must not change when the host's core count does.
+    let sharding = experiments::live_sharding(&args);
+    let rate = |shards: &str| {
+        sharding
+            .get(shards)
+            .and_then(serde_json::Value::as_f64)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "Live sharding at max_batch=64: x{:.2} at 2 shards, x{:.2} at 4 shards (gate enforced: {})",
+        rate("speedup_2_over_1"),
+        rate("speedup_4_over_1"),
+        sharding
+            .get("gate_enforced")
+            .and_then(serde_json::Value::as_bool)
+            .unwrap_or(false),
+    );
     let mut bench = experiments::xp_throughput_bench_json(&out.value);
     if let serde_json::Value::Object(entries) = &mut bench {
         entries.push(("observability_overhead".to_string(), overhead));
+        entries.push(("live_sharding".to_string(), sharding));
     }
     write_json(BENCH_JSON, &bench);
     println!("Batch comparison written to {BENCH_JSON}");

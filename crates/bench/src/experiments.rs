@@ -1225,6 +1225,165 @@ pub fn observability_overhead(args: &ExpArgs) -> Value {
     })
 }
 
+/// One timed pass of the sharded listener: stream the prebuilt wires over
+/// concurrent TCP connections into a `shards`-wide fabric (one worker per
+/// shard, store lanes matched) and wait for full ingest. Returns the run
+/// plus the fabric's steal counters.
+fn live_shard_run(
+    wires: &[Vec<u8>],
+    expected: u64,
+    clf: Arc<dyn TextClassifier>,
+    shards: usize,
+) -> (LiveBatchBench, u64, u64) {
+    let store = Arc::new(LogStore::with_lanes(shards));
+    let service = Arc::new(MonitorService::new(clf));
+    let listener = SyslogListener::start(
+        store,
+        Some(service.clone()),
+        ListenerConfig {
+            workers: shards,
+            shards,
+            queue_depth: 4096,
+            overload: OverloadPolicy::Block,
+            idle_timeout: Duration::from_secs(30),
+            max_batch: 64,
+            max_delay: Duration::from_millis(2),
+            ..ListenerConfig::default()
+        },
+    )
+    .expect("bind loopback listener");
+    let addr = listener.tcp_addr();
+
+    let started = Instant::now();
+    let senders: Vec<_> = wires
+        .iter()
+        .map(|wire| {
+            let wire = wire.clone();
+            std::thread::spawn(move || {
+                let mut sock = std::net::TcpStream::connect(addr).expect("connect");
+                sock.write_all(&wire).expect("write");
+            })
+        })
+        .collect();
+    for sender in senders {
+        sender.join().expect("sender thread");
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while listener.stats().snapshot().ingested < expected && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    let batch_stats = listener.batch_stats_handle();
+    let shard_stats = listener.shard_stats_handle();
+    let steals: u64 = shard_stats.iter().map(|s| s.steals.get()).sum();
+    let stolen: u64 = shard_stats.iter().map(|s| s.stolen_frames.get()).sum();
+    let report = listener.shutdown();
+    assert_eq!(report.ingested, expected, "lossless under Block");
+    let stats = service.stats();
+    (
+        LiveBatchBench {
+            max_batch: 64,
+            seconds,
+            report,
+            batching: batch_stats.snapshot(),
+            per_category: stats.per_category,
+            prefiltered: stats.prefiltered,
+        },
+        steals,
+        stolen,
+    )
+}
+
+/// Benchmark the sharded live pipeline (DESIGN.md §5a): wire-to-prediction
+/// throughput at `max_batch = 64` across shard counts {1, 2, 4}, eight
+/// concurrent TCP connections hash-partitioned over the fabric. Returned
+/// as a standalone JSON section for `BENCH_throughput.json` — deliberately
+/// NOT part of [`xp_throughput`]'s conformance value, so goldens never see
+/// timings or shard topology.
+///
+/// Classification results must be bit-identical at every width (asserted
+/// here, not just reported). The per-added-shard scaling gate (>= 0.7x per
+/// doubling up to 4 shards) is only meaningful on a >= 4-core host; the
+/// `cores` field records what this run actually had, and CI enforces the
+/// gate on its multi-core runners via the shard-scaling smoke test.
+pub fn live_sharding(args: &ExpArgs) -> Value {
+    let corpus = args.corpus();
+    let n_frames = (20_000.0 * (args.scale / 0.05).clamp(0.2, 10.0)) as usize;
+    let frames: Vec<String> = StreamGenerator::new(StreamConfig {
+        seed: args.seed,
+        ..StreamConfig::default()
+    })
+    .take(n_frames)
+    .map(|t| t.to_frame())
+    .collect();
+    let clf: Arc<dyn TextClassifier> = Arc::new(TraditionalPipeline::train(
+        FeatureConfig::default(),
+        Box::new(ComplementNaiveBayes::new(ComplementNbConfig::default())),
+        &corpus,
+    ));
+    // Eight connections so the hash partitioner has enough distinct keys
+    // to populate every ring at the widest setting.
+    const CONNECTIONS: usize = 8;
+    const PASSES: usize = 3;
+    let wires: Vec<Vec<u8>> = (0..CONNECTIONS)
+        .map(|c| {
+            let mut wire = Vec::new();
+            for frame in frames.iter().skip(c).step_by(CONNECTIONS) {
+                wire.extend_from_slice(format!("{} {frame}", frame.len()).as_bytes());
+            }
+            wire.repeat(PASSES)
+        })
+        .collect();
+    let expected = (frames.len() * PASSES) as u64;
+
+    let mut sweep = Vec::new();
+    let mut baseline_cats: Option<[u64; 8]> = None;
+    let mut rates = Vec::new();
+    for shards in [1usize, 2, 4] {
+        // Best-of-3 per width: the fastest run is the least-interfered
+        // estimate of each setting on a shared host.
+        let mut best: Option<(LiveBatchBench, u64, u64)> = None;
+        for _ in 0..3 {
+            let run = live_shard_run(&wires, expected, clf.clone(), shards);
+            if best
+                .as_ref()
+                .is_none_or(|(b, _, _)| run.0.seconds < b.seconds)
+            {
+                best = Some(run);
+            }
+        }
+        let (run, steals, stolen) = best.expect("three runs completed");
+        match &baseline_cats {
+            None => baseline_cats = Some(run.per_category),
+            Some(expect) => assert_eq!(
+                &run.per_category, expect,
+                "sharded predictions diverged from single-shard at shards={shards}"
+            ),
+        }
+        rates.push(run.msgs_per_sec());
+        sweep.push(serde_json::json!({
+            "shards": shards,
+            "msgs_per_sec": run.msgs_per_sec(),
+            "mean_batch_size": run.batching.mean_batch_size(),
+            "steals": steals,
+            "stolen_frames": stolen,
+        }));
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    serde_json::json!({
+        "n_messages": expected,
+        "max_batch": 64,
+        "connections": CONNECTIONS,
+        "cores": cores,
+        "sweep": sweep,
+        "speedup_2_over_1": rates[1] / rates[0].max(f64::MIN_POSITIVE),
+        "speedup_4_over_1": rates[2] / rates[0].max(f64::MIN_POSITIVE),
+        "predictions_agree": true,
+        "gate": "per added shard >= 0.7x per doubling, enforced on >= 4-core hosts",
+        "gate_enforced": cores >= 4,
+    })
+}
+
 /// Reassemble the standalone `BENCH_throughput.json` document (the PR 1
 /// speedup-floor evidence) from an [`xp_throughput`] result value.
 pub fn xp_throughput_bench_json(value: &Value) -> Value {

@@ -1,15 +1,17 @@
 //! The multi-threaded collector: rsyslogd → Fluentd → store, as a
-//! crossbeam-channel pipeline.
+//! sharded SPSC-ring pipeline.
 //!
-//! Stage 1 (this thread): feed raw frames into a bounded channel —
-//! backpressure stands in for the syslog server's queue. Stage 2 (N parser
-//! workers): parse frames into [`LogRecord`]s. Stage 3 (the workers,
-//! directly): insert into the shared [`LogStore`], whose sharded locks
-//! absorb the concurrency.
+//! Stage 1 (this thread): feed raw frames round-robin into one bounded
+//! SPSC ring per worker — backpressure stands in for the syslog server's
+//! queue. Stage 2 (N parser workers): each drains only its own ring and
+//! parses frames into [`LogRecord`]s, so workers never contend on a shared
+//! queue lock. Stage 3 (the workers, directly): insert into the shared
+//! [`LogStore`], whose sharded locks absorb the concurrency.
 
 use crate::record::LogRecord;
 use crate::store::LogStore;
-use crossbeam::channel;
+use crossbeam::spsc;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -41,6 +43,24 @@ impl IngestReport {
         } else {
             self.ingested as f64 / self.seconds
         }
+    }
+}
+
+/// The feed side of the sharded collector: owns every worker's ring
+/// producer and fans frames out round-robin. Dropping it hangs up every
+/// ring, which is the workers' drain-and-exit signal.
+struct ShardedFeeder {
+    producers: Vec<spsc::RingProducer<String>>,
+    next: Cell<usize>,
+}
+
+impl ShardedFeeder {
+    /// Bounded send to the next ring in rotation: blocks when that ring's
+    /// parser lags (backpressure). Errors once the worker is gone.
+    fn send(&self, frame: String) -> Result<(), spsc::SendError<String>> {
+        let shard = self.next.get();
+        self.next.set((shard + 1) % self.producers.len());
+        self.producers[shard].send(frame)
     }
 }
 
@@ -136,23 +156,33 @@ impl IngestPipeline {
         })
     }
 
-    /// Shared engine: spawn the parser workers, let `feed` drive frames
-    /// into the bounded channel from this thread, then drain and join.
-    /// `feed` returns the number of frames the decode stage dropped.
+    /// Shared engine: spawn one parser worker per shard ring, let `feed`
+    /// drive frames round-robin into the rings from this thread, then
+    /// drain and join. `feed` returns the number of frames the decode
+    /// stage dropped.
     fn run_with<F>(&self, feed: F) -> IngestReport
     where
-        F: FnOnce(&channel::Sender<String>) -> u64,
+        F: FnOnce(&ShardedFeeder) -> u64,
     {
         let started = Instant::now();
-        let (tx, rx) = channel::bounded::<String>(self.queue_depth);
+        // One SPSC ring per worker; the configured queue depth is the
+        // aggregate bound across rings, as with the single shared channel
+        // this replaces.
+        let per_shard = self.queue_depth.div_ceil(self.workers).max(1);
+        let (producers, consumers): (Vec<_>, Vec<_>) = (0..self.workers)
+            .map(|_| spsc::ring::<String>(per_shard))
+            .unzip();
+        let feeder = ShardedFeeder {
+            producers,
+            next: Cell::new(0),
+        };
         let ingested = AtomicU64::new(0);
         let free_form = AtomicU64::new(0);
         let dropped = AtomicU64::new(0);
         let mut decoder_dropped = 0;
 
         std::thread::scope(|scope| {
-            for _ in 0..self.workers {
-                let rx = rx.clone();
+            for rx in consumers {
                 let store = &self.store;
                 let ingested = &ingested;
                 let free_form = &free_form;
@@ -163,7 +193,7 @@ impl IngestPipeline {
                 scope.spawn(move || {
                     // Drain-and-batch: block for the first frame, then fill
                     // up to max_batch or until max_delay elapses, and parse
-                    // the batch in one pass. Amortizes channel wakeups;
+                    // the batch in one pass. Amortizes ring wakeups;
                     // counter semantics are identical to frame-at-a-time.
                     let mut batch: Vec<String> = Vec::with_capacity(max_batch);
                     while let Ok(first) = rx.recv() {
@@ -194,9 +224,8 @@ impl IngestPipeline {
                     }
                 });
             }
-            drop(rx);
-            decoder_dropped = feed(&tx);
-            drop(tx);
+            decoder_dropped = feed(&feeder);
+            drop(feeder);
         });
 
         IngestReport {

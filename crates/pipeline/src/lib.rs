@@ -16,6 +16,9 @@
 //! * [`listener`] — the socket-facing front end: fault-tolerant TCP/UDP
 //!   syslog listeners with bounded-queue overload policies, idle timeouts,
 //!   a dead-letter ring, and graceful drain;
+//! * [`shard`] — the sharded live-path fabric: hash-by-connection
+//!   partitioner, per-shard SPSC rings with work-stealing handles, and
+//!   per-shard instruments;
 //! * [`views`] — the §4.5 monitoring views: frequency/temporal analysis
 //!   with burst detection, positional (per-rack) analysis, and
 //!   per-architecture anomaly comparison;
@@ -28,6 +31,7 @@ pub mod monitor;
 pub mod query;
 pub mod record;
 pub mod sensors;
+pub mod shard;
 pub mod store;
 pub mod topology;
 pub mod views;
@@ -41,5 +45,6 @@ pub use monitor::{BatchStats, ClassifyingIngest, FlushReason};
 pub use query::Query;
 pub use record::LogRecord;
 pub use sensors::{compare_to_arch_peers, sensor_sweep, SensorReading, SensorVerdict};
+pub use shard::{Partitioner, ShardReceiver, ShardRouter, ShardStats};
 pub use store::LogStore;
 pub use topology::{Architecture, ClusterTopology, NodeInfo};

@@ -9,7 +9,13 @@
 //! * **Per-connection decoder state** — each TCP connection owns an RFC
 //!   6587 [`FrameDecoder`](syslog_model::FrameDecoder), so one sender's
 //!   corrupt framing never desynchronizes another's stream;
-//! * **Bounded ingest queue** with a configurable [`OverloadPolicy`]:
+//! * **Sharded ingest fabric** — frames are partitioned hash-by-connection
+//!   (round-robin for UDP) across N [`shard`](crate::shard)s, each with its
+//!   own bounded SPSC ring, micro-batch worker, and store write lane, so
+//!   throughput scales with cores instead of serializing on one queue
+//!   lock; idle workers steal whole batches from skewed siblings;
+//! * **Bounded ingest queue** (summed across the shard rings) with a
+//!   configurable [`OverloadPolicy`]:
 //!   `Block` applies lossless backpressure through the TCP window, `Shed`
 //!   drops frames at the edge and counts every drop by reason;
 //! * **Idle timeouts** — a connection that goes quiet past
@@ -23,8 +29,9 @@
 
 use crate::monitor::{BatchStats, FlushReason};
 use crate::record::LogRecord;
+use crate::shard::{ShardRouter, ShardStats};
 use crate::store::LogStore;
-use crossbeam::channel::{self, TrySendError};
+use crossbeam::channel::{RecvTimeoutError, TrySendError};
 use hetsyslog_core::{BatchSnapshot, FrameOutcome, HealthSnapshot, IngestSnapshot, MonitorService};
 use obs::{Counter, Gauge, Histogram, Registry, Telemetry};
 use parking_lot::Mutex;
@@ -313,10 +320,17 @@ impl IngestStats {
 /// Listener tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ListenerConfig {
-    /// Parser/store worker threads.
+    /// Parser/store worker threads. Each worker owns one pipeline shard
+    /// (its own SPSC ring and store lane), so this is also the default
+    /// shard count when [`ListenerConfig::shards`] is 0.
     pub workers: usize,
-    /// Bounded ingest-queue depth (frames in flight between decode and
-    /// parse).
+    /// Pipeline shards. `0` (the default) follows `workers` — one shard
+    /// per worker. Setting it explicitly decouples the two only in tests;
+    /// the live topology is always one worker per shard.
+    pub shards: usize,
+    /// Bounded ingest-queue depth, in frames, summed across every shard's
+    /// ring (each ring gets `queue_depth / shards`, rounded up), so the
+    /// aggregate in-flight bound is independent of the shard count.
     pub queue_depth: usize,
     /// What to do when the queue is full.
     pub overload: OverloadPolicy,
@@ -350,6 +364,7 @@ impl Default for ListenerConfig {
     fn default() -> ListenerConfig {
         ListenerConfig {
             workers: 2,
+            shards: 0,
             queue_depth: 1024,
             overload: OverloadPolicy::Block,
             idle_timeout: Duration::from_secs(30),
@@ -372,56 +387,97 @@ struct WireFrame {
     at: Instant,
 }
 
-/// The submit side shared by every socket thread: applies the overload
-/// policy and keeps the drop accounting in one place.
+/// The submit side shared by every socket thread: routes each frame to
+/// its pipeline shard, applies the overload policy against that shard's
+/// ring, and keeps the drop accounting in one place.
+#[derive(Clone)]
 struct FrameSink {
-    tx: channel::Sender<WireFrame>,
+    router: Arc<ShardRouter<WireFrame>>,
+    shard_stats: Arc<Vec<Arc<ShardStats>>>,
     overload: OverloadPolicy,
     stats: Arc<IngestStats>,
     dead_letters: Arc<DeadLetterRing>,
 }
 
 impl FrameSink {
+    /// The shard owning `source`'s frames: hash-by-connection for TCP (so
+    /// a connection's frames stay ordered on one ring), round-robin for
+    /// the connectionless UDP socket.
+    fn shard_for(&self, source: u64) -> usize {
+        if source == UDP_SOURCE {
+            self.router.partitioner().next_round_robin()
+        } else {
+            self.router.partitioner().shard_for_connection(source)
+        }
+    }
+
     /// Offer one frame; returns `false` once the pipeline is gone.
     fn submit(&self, source: u64, frame: String) -> bool {
         self.stats.frames.inc();
+        let shard = self.shard_for(source);
         let at = Instant::now();
         match self.overload {
-            OverloadPolicy::Block => self.tx.send(WireFrame { source, frame, at }).is_ok(),
-            OverloadPolicy::Shed => match self.tx.try_send(WireFrame { source, frame, at }) {
-                Ok(()) => true,
-                Err(TrySendError::Full(wf)) => {
-                    self.stats.shed.inc();
-                    self.dead_letters.push(DeadLetter {
-                        reason: DropReason::QueueFull,
-                        source: wf.source,
-                        frame: wf.frame,
-                    });
-                    true
+            OverloadPolicy::Block => {
+                let ok = self
+                    .router
+                    .send(shard, WireFrame { source, frame, at })
+                    .is_ok();
+                if ok {
+                    self.shard_stats[shard].routed.inc();
                 }
-                Err(TrySendError::Disconnected(_)) => false,
-            },
+                ok
+            }
+            OverloadPolicy::Shed => {
+                match self.router.try_send(shard, WireFrame { source, frame, at }) {
+                    Ok(()) => {
+                        self.shard_stats[shard].routed.inc();
+                        true
+                    }
+                    Err(TrySendError::Full(wf)) => {
+                        self.stats.shed.inc();
+                        self.dead_letters.push(DeadLetter {
+                            reason: DropReason::QueueFull,
+                            source: wf.source,
+                            frame: wf.frame,
+                        });
+                        true
+                    }
+                    Err(TrySendError::Disconnected(_)) => false,
+                }
+            }
         }
     }
 
     /// Offer every frame a read(2) produced in one bulk enqueue — one
-    /// channel lock per read instead of one per frame. Returns `false`
-    /// once the pipeline is gone. Under `Shed`, frames past the queue's
-    /// momentary capacity go to the dead-letter ring, exactly as with
-    /// per-frame `submit`.
+    /// ring lock per read instead of one per frame (all of a connection's
+    /// frames route to the same shard, so a read is still one enqueue).
+    /// Returns `false` once the pipeline is gone. Under `Shed`, frames
+    /// past the shard ring's momentary capacity go to the dead-letter
+    /// ring, exactly as with per-frame `submit`.
     fn submit_many(&self, source: u64, frames: Vec<String>) -> bool {
         if frames.is_empty() {
             return true;
         }
-        self.stats.frames.add(frames.len() as u64);
+        let offered = frames.len() as u64;
+        self.stats.frames.add(offered);
+        let shard = self.shard_for(source);
         let at = Instant::now();
         let wired = frames
             .into_iter()
             .map(|frame| WireFrame { source, frame, at });
         match self.overload {
-            OverloadPolicy::Block => self.tx.send_many(wired).is_ok(),
-            OverloadPolicy::Shed => match self.tx.try_send_many(wired) {
+            OverloadPolicy::Block => {
+                let ok = self.router.send_many(shard, wired).is_ok();
+                if ok {
+                    self.shard_stats[shard].routed.add(offered);
+                }
+                ok
+            }
+            OverloadPolicy::Shed => match self.router.try_send_many(shard, wired) {
                 Ok(rejected) => {
+                    self.shard_stats[shard]
+                        .routed
+                        .add(offered - rejected.len() as u64);
                     self.stats.shed.add(rejected.len() as u64);
                     for wf in rejected {
                         self.dead_letters.push(DeadLetter {
@@ -447,13 +503,14 @@ pub struct SyslogListener {
     stats: Arc<IngestStats>,
     dead_letters: Arc<DeadLetterRing>,
     batch_stats: Arc<BatchStats>,
+    shard_stats: Arc<Vec<Arc<ShardStats>>>,
     service: Option<Arc<MonitorService>>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     udp_thread: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     worker_threads: Vec<JoinHandle<()>>,
-    tx: Option<channel::Sender<WireFrame>>,
+    router: Option<Arc<ShardRouter<WireFrame>>>,
     metrics_server: Option<obs::MetricsServer>,
 }
 
@@ -501,93 +558,184 @@ impl SyslogListener {
         let spans = telemetry.as_ref().map(|t| t.spans.clone());
         let shutdown = Arc::new(AtomicBool::new(false));
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let (tx, rx) = channel::bounded::<WireFrame>(config.queue_depth.max(1));
 
-        // Parser/store workers: drain the queue until every sender is gone.
-        // With `max_batch > 1` and a classifier attached, each worker runs
-        // the drain-up-to-B-or-deadline-T loop: the first frame blocks on
-        // `recv`, the batch then fills until `max_batch` frames or
-        // `max_delay` elapses, and the whole batch goes through one fused
-        // `MonitorService::ingest_frames` call. The channel hanging up
-        // mid-fill flushes the partial batch, so a graceful drain loses
-        // nothing.
+        // The shard fabric: one SPSC ring + one micro-batch worker per
+        // shard (one shard per worker unless overridden), with the
+        // configured queue depth split across the rings. The store gets
+        // one write lane per shard when it has them; a single-lane store
+        // still works, shards just share lane 0.
+        let shards = if config.shards > 0 {
+            config.shards
+        } else {
+            config.workers.max(1)
+        };
+        let (router, receivers) = ShardRouter::<WireFrame>::build(shards, config.queue_depth);
+        let router = Arc::new(router);
+        let shard_stats: Arc<Vec<Arc<ShardStats>>> = Arc::new(match &telemetry {
+            Some(t) => (0..shards)
+                .map(|k| Arc::new(ShardStats::registered(k, &t.registry)))
+                .collect(),
+            None => (0..shards)
+                .map(|_| Arc::new(ShardStats::detached()))
+                .collect(),
+        });
+
+        // Per-shard workers: each drains its own ring until the producers
+        // are gone. With `max_batch > 1` and a classifier attached, the
+        // worker runs the drain-up-to-B-or-deadline-T loop: the first
+        // frame blocks on the ring, the batch then fills until `max_batch`
+        // frames or `max_delay` elapses, and the whole batch goes through
+        // one fused `MonitorService::ingest_frames` call and one
+        // lane-affine store insert. An idle worker whose poll times out
+        // steals a whole contiguous batch from the deepest sibling ring
+        // whose backlog reached a full batch, so one hot connection can't
+        // cap throughput at 1/N. The ring hanging up mid-fill flushes the
+        // partial batch, so a graceful drain loses nothing.
         let max_batch = config.max_batch.max(1);
         let max_delay = config.max_delay;
+        // A sibling is "skewed" once its backlog would fill a whole batch
+        // (or its ring, if the ring is smaller): stealing below that costs
+        // a lock to move frames the owner was about to drain anyway.
+        let steal_threshold = max_batch.min(router.shard_capacity()).max(1);
+        let idle_poll = max_delay.max(Duration::from_millis(1));
         let mut worker_threads = Vec::new();
-        for _ in 0..config.workers.max(1) {
-            let rx = rx.clone();
+        for receiver in receivers {
             let store = store.clone();
             let service = service.clone();
             let stats = stats.clone();
             let dead_letters = dead_letters.clone();
             let batch_stats = batch_stats.clone();
+            let my_stats = shard_stats[receiver.shard].clone();
             let spans = spans.clone();
             let fallback_time = config.fallback_time;
             worker_threads.push(std::thread::spawn(move || {
-                let batched_service = if max_batch > 1 {
-                    service.as_ref()
-                } else {
-                    None
-                };
-                let Some(batched_service) = batched_service else {
-                    // Scalar path: `max_batch = 1` (the honest bench
-                    // baseline) or no classifier attached. Per-frame parse
-                    // + classify, recorded as size-1 batches so the
-                    // histogram invariants hold for every configuration.
-                    for wf in rx.iter() {
-                        let mut classified = 0u64;
-                        match syslog_model::parse(&wf.frame) {
-                            Ok(msg) => {
-                                let mut record = LogRecord::from_message(
-                                    store.allocate_id(),
-                                    &msg,
-                                    fallback_time,
-                                );
-                                if let Some(service) = &service {
-                                    if let Some(prediction) = service.ingest(&record.message) {
-                                        record.category = Some(prediction.category);
-                                        classified = 1;
-                                    }
-                                }
-                                store.insert(record);
-                                stats.ingested.inc();
-                            }
-                            Err(_) => {
-                                stats.parse_errors.inc();
-                                dead_letters.push(DeadLetter {
-                                    reason: DropReason::ParseError,
-                                    source: wf.source,
-                                    frame: wf.frame,
-                                });
-                            }
-                        }
-                        batch_stats.record_flush(1, classified, Duration::ZERO, FlushReason::Full);
-                        batch_stats.record_queue_latency(wf.at.elapsed());
-                    }
-                    return;
-                };
-
+                let shard = receiver.shard;
+                let batched_service = if max_batch > 1 { service.clone() } else { None };
                 let mut batch: Vec<WireFrame> = Vec::with_capacity(max_batch);
-                while let Ok(first) = rx.recv() {
-                    // One root span per batch (never per frame): tagged
-                    // with the batch size, with classify / store_insert
-                    // children. Only slow ones are retained by the ring.
-                    let mut root = spans.as_ref().map(|s| s.span("batch"));
-                    let fill_started = Instant::now();
+                loop {
                     batch.clear();
-                    batch.push(first);
-                    let status = rx.drain_into(&mut batch, max_batch, fill_started + max_delay);
-                    let fill_latency = fill_started.elapsed();
-                    stats.queue_depth.set(rx.len() as i64);
+                    // Assemble one batch: drained from the own ring (with
+                    // the drain's flush reason) or stolen whole from a
+                    // skewed sibling.
+                    let (reason, fill_latency, stolen_from) =
+                        match receiver.own.recv_deadline(Instant::now() + idle_poll) {
+                            Ok(first) => {
+                                let fill_started = Instant::now();
+                                batch.push(first);
+                                let status = receiver.own.drain_into(
+                                    &mut batch,
+                                    max_batch,
+                                    fill_started + max_delay,
+                                );
+                                (
+                                    FlushReason::from_drain(status),
+                                    fill_started.elapsed(),
+                                    None,
+                                )
+                            }
+                            Err(RecvTimeoutError::Timeout) => {
+                                match receiver.steal_batch(&mut batch, max_batch, steal_threshold) {
+                                    Some((victim, stolen)) => {
+                                        my_stats.steals.inc();
+                                        my_stats.stolen_frames.add(stolen as u64);
+                                        // A steal is triggered by backlog,
+                                        // so a full claim reads as Full; a
+                                        // race with the owner's drain can
+                                        // leave less, which reads as a
+                                        // deadline flush (the frames were
+                                        // flushed because they waited).
+                                        let reason = if stolen >= max_batch {
+                                            FlushReason::Full
+                                        } else {
+                                            FlushReason::Deadline
+                                        };
+                                        (reason, Duration::ZERO, Some(victim))
+                                    }
+                                    None => continue,
+                                }
+                            }
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        };
 
+                    // Sample queue depths at batch pickup: this shard's
+                    // ring, and the aggregate across the whole fabric.
+                    let own_depth = receiver.own.len();
+                    my_stats.queue_depth.set(own_depth as i64);
+                    let total_depth: usize = own_depth
+                        + receiver
+                            .siblings
+                            .iter()
+                            .map(|(_, s)| s.len())
+                            .sum::<usize>();
+                    stats.queue_depth.set(total_depth as i64);
+
+                    let size = batch.len();
+                    my_stats.processed.add(size as u64);
+                    my_stats.batch_frames.record(size as u64);
+
+                    let Some(batched_service) = &batched_service else {
+                        // Scalar path: `max_batch = 1` (the honest bench
+                        // baseline) or no classifier attached. Per-frame
+                        // parse + classify, recorded as size-1 batches so
+                        // the histogram invariants hold for every
+                        // configuration.
+                        for wf in batch.drain(..) {
+                            let mut classified = 0u64;
+                            match syslog_model::parse(&wf.frame) {
+                                Ok(msg) => {
+                                    let mut record = LogRecord::from_message(
+                                        store.allocate_id(),
+                                        &msg,
+                                        fallback_time,
+                                    );
+                                    if let Some(service) = &service {
+                                        if let Some(prediction) = service.ingest(&record.message) {
+                                            record.category = Some(prediction.category);
+                                            classified = 1;
+                                        }
+                                    }
+                                    store.insert(record);
+                                    stats.ingested.inc();
+                                }
+                                Err(_) => {
+                                    stats.parse_errors.inc();
+                                    dead_letters.push(DeadLetter {
+                                        reason: DropReason::ParseError,
+                                        source: wf.source,
+                                        frame: wf.frame,
+                                    });
+                                }
+                            }
+                            batch_stats.record_flush(
+                                1,
+                                classified,
+                                Duration::ZERO,
+                                FlushReason::Full,
+                            );
+                            batch_stats.record_queue_latency(wf.at.elapsed());
+                        }
+                        continue;
+                    };
+
+                    // One root span per batch (never per frame): tagged
+                    // with the batch size (and steal provenance), with
+                    // classify / store_insert children. Only slow ones are
+                    // retained by the ring.
+                    let mut root = spans.as_ref().map(|s| s.span("batch"));
                     let texts: Vec<&str> = batch.iter().map(|wf| wf.frame.as_str()).collect();
+                    let classify_started = Instant::now();
                     let outcomes = {
                         let _classify = root.as_ref().map(|r| r.child("classify"));
                         batched_service.ingest_frames(&texts)
                     };
-                    let size = batch.len();
+                    my_stats
+                        .classify_us
+                        .record_duration_us(classify_started.elapsed());
                     if let Some(root) = root.as_mut() {
-                        root.set_tag(format!("size={size}"));
+                        root.set_tag(match stolen_from {
+                            Some(victim) => format!("size={size} stolen_from={victim}"),
+                            None => format!("size={size}"),
+                        });
                     }
                     let mut classified = 0u64;
                     let mut records: Vec<LogRecord> = Vec::with_capacity(size);
@@ -624,33 +772,35 @@ impl SyslogListener {
                         }
                         batch_stats.record_queue_latency(wf.at.elapsed());
                     }
-                    // One shard-lock acquisition and one counter update for
-                    // the whole batch.
+                    // One lane-lock acquisition and one counter update for
+                    // the whole batch: shard k writes lane k, which no
+                    // other pipeline shard ever locks (store affinity).
                     let stored = records.len() as u64;
                     {
                         let _insert = root.as_ref().map(|r| r.child("store_insert"));
-                        store.insert_batch(records);
+                        let insert_started = Instant::now();
+                        store.insert_batch_affine(shard, records);
+                        my_stats
+                            .insert_us
+                            .record_duration_us(insert_started.elapsed());
                     }
                     stats.ingested.add(stored);
-                    batch_stats.record_flush(
-                        size,
-                        classified,
-                        fill_latency,
-                        FlushReason::from_drain(status),
-                    );
+                    batch_stats.record_flush(size, classified, fill_latency, reason);
                 }
             }));
         }
-        drop(rx);
+
+        let sink = FrameSink {
+            router: router.clone(),
+            shard_stats: shard_stats.clone(),
+            overload: config.overload,
+            stats: stats.clone(),
+            dead_letters: dead_letters.clone(),
+        };
 
         // UDP: one datagram = one frame, no framing state to keep.
         let udp_thread = {
-            let sink = FrameSink {
-                tx: tx.clone(),
-                overload: config.overload,
-                stats: stats.clone(),
-                dead_letters: dead_letters.clone(),
-            };
+            let sink = sink.clone();
             let shutdown = shutdown.clone();
             std::thread::spawn(move || {
                 let mut buf = vec![0u8; 64 * 1024];
@@ -681,12 +831,7 @@ impl SyslogListener {
         // TCP accept loop: nonblocking + poll so shutdown never hangs in
         // accept(2).
         let accept_thread = {
-            let sink_template = (
-                tx.clone(),
-                config.overload,
-                stats.clone(),
-                dead_letters.clone(),
-            );
+            let sink_template = sink;
             let shutdown = shutdown.clone();
             let conn_threads = conn_threads.clone();
             let next_conn_id = AtomicU64::new(1);
@@ -697,13 +842,8 @@ impl SyslogListener {
                     match tcp.accept() {
                         Ok((stream, _peer)) => {
                             let conn_id = next_conn_id.fetch_add(1, Ordering::Relaxed);
-                            sink_template.2.connections_opened.inc();
-                            let sink = FrameSink {
-                                tx: sink_template.0.clone(),
-                                overload: sink_template.1,
-                                stats: sink_template.2.clone(),
-                                dead_letters: sink_template.3.clone(),
-                            };
+                            sink_template.stats.connections_opened.inc();
+                            let sink = sink_template.clone();
                             let shutdown = shutdown.clone();
                             let handle = std::thread::spawn(move || {
                                 serve_connection(
@@ -764,13 +904,14 @@ impl SyslogListener {
             stats,
             dead_letters,
             batch_stats,
+            shard_stats,
             service,
             shutdown,
             accept_thread: Some(accept_thread),
             udp_thread: Some(udp_thread),
             conn_threads,
             worker_threads,
-            tx: Some(tx),
+            router: Some(router),
             metrics_server,
         })
     }
@@ -814,6 +955,17 @@ impl SyslogListener {
         self.batch_stats.clone()
     }
 
+    /// Per-shard instruments, indexed by shard. The handle stays valid
+    /// across [`SyslogListener::shutdown`] for post-drain accounting.
+    pub fn shard_stats_handle(&self) -> Arc<Vec<Arc<ShardStats>>> {
+        self.shard_stats.clone()
+    }
+
+    /// Number of pipeline shards this listener runs.
+    pub fn n_shards(&self) -> usize {
+        self.shard_stats.len()
+    }
+
     /// Combined transport + classification health, when a
     /// [`MonitorService`] is attached.
     pub fn health(&self) -> Option<HealthSnapshot> {
@@ -843,9 +995,11 @@ impl SyslogListener {
         if let Some(handle) = self.udp_thread.take() {
             let _ = handle.join();
         }
-        // Every producer is gone; dropping the last sender lets the
-        // workers drain the queue and observe the hangup.
-        drop(self.tx.take());
+        // Every socket thread is gone; dropping the router drops every
+        // shard's producer, letting each worker drain its ring (and its
+        // siblings' leftovers stay with their own workers) before
+        // observing the hangup.
+        drop(self.router.take());
         for handle in self.worker_threads.drain(..) {
             let _ = handle.join();
         }

@@ -4,6 +4,16 @@
 //! plus an inverted index token → local doc offsets. Shards take a
 //! `parking_lot::RwLock` each, so concurrent ingest threads writing to
 //! different shards don't contend and queries proceed under read locks.
+//!
+//! Time sharding alone does not help the *live* path: a real-time stream
+//! lands every record in the current hour, so N pipeline shards writing
+//! concurrently would all serialize on one time shard's write lock. Each
+//! time slot is therefore split into [`LogStore::with_lanes`] independent
+//! **lanes** — one `RwLock<Shard>` each — and a pipeline shard passes its
+//! own index to [`LogStore::insert_batch_affine`] so its batches take a
+//! lane lock no other shard touches (store-shard affinity). Queries and
+//! retention see the union of lanes; a single-lane store (the default) is
+//! exactly the old layout.
 
 use crate::record::LogRecord;
 use parking_lot::RwLock;
@@ -83,29 +93,63 @@ struct StoreMetrics {
     insert_us: Arc<obs::Histogram>,
 }
 
+/// One time window: `lanes` independently locked shards whose union is
+/// the window's contents.
+type TimeSlot = Vec<RwLock<Shard>>;
+
 /// The sharded store.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LogStore {
-    shards: RwLock<BTreeMap<i64, RwLock<Shard>>>,
+    shards: RwLock<BTreeMap<i64, TimeSlot>>,
     shard_seconds: i64,
+    lanes: usize,
     next_id: AtomicU64,
     metrics: RwLock<Option<StoreMetrics>>,
 }
 
+impl Default for LogStore {
+    fn default() -> LogStore {
+        LogStore::new()
+    }
+}
+
 impl LogStore {
-    /// A store with hourly shards.
+    /// A store with hourly shards and a single lane.
     pub fn new() -> LogStore {
-        LogStore::with_shard_seconds(DEFAULT_SHARD_SECONDS)
+        LogStore::with_config(DEFAULT_SHARD_SECONDS, 1)
     }
 
-    /// A store with custom shard width.
+    /// A store with custom shard width and a single lane.
     pub fn with_shard_seconds(shard_seconds: i64) -> LogStore {
+        LogStore::with_config(shard_seconds, 1)
+    }
+
+    /// A store with hourly shards split into `lanes` write lanes — one per
+    /// pipeline shard, so concurrent live writers never share a lock.
+    pub fn with_lanes(lanes: usize) -> LogStore {
+        LogStore::with_config(DEFAULT_SHARD_SECONDS, lanes)
+    }
+
+    /// A store with custom shard width and lane count.
+    pub fn with_config(shard_seconds: i64, lanes: usize) -> LogStore {
         LogStore {
             shards: RwLock::new(BTreeMap::new()),
             shard_seconds: shard_seconds.max(1),
+            lanes: lanes.max(1),
             next_id: AtomicU64::new(0),
             metrics: RwLock::new(None),
         }
+    }
+
+    /// Write lanes per time slot.
+    pub fn n_lanes(&self) -> usize {
+        self.lanes
+    }
+
+    fn new_slot(&self) -> TimeSlot {
+        (0..self.lanes)
+            .map(|_| RwLock::new(Shard::default()))
+            .collect()
     }
 
     /// Register the store's instruments (record counter, shard gauge,
@@ -144,13 +188,15 @@ impl LogStore {
     }
 
     /// Insert a record (its `id` should come from [`LogStore::allocate_id`]).
+    /// Multi-lane stores spread scalar inserts by record id.
     pub fn insert(&self, record: LogRecord) {
         let key = self.shard_key(record.unix_seconds);
-        // Fast path: shard exists, take the read lock on the map only.
+        let lane = (record.id as usize) % self.lanes;
+        // Fast path: slot exists, take the read lock on the map only.
         {
             let shards = self.shards.read();
-            if let Some(shard) = shards.get(&key) {
-                shard.write().insert(record);
+            if let Some(slot) = shards.get(&key) {
+                slot[lane].write().insert(record);
                 if let Some(m) = self.metrics.read().as_ref() {
                     m.records.inc();
                 }
@@ -159,7 +205,13 @@ impl LogStore {
         }
         {
             let mut shards = self.shards.write();
-            shards.entry(key).or_default().write().insert(record);
+            shards
+                .entry(key)
+                .or_insert_with(|| self.new_slot())
+                .get(lane)
+                .expect("lane within slot")
+                .write()
+                .insert(record);
         }
         if let Some(m) = self.metrics.read().as_ref() {
             m.records.inc();
@@ -170,24 +222,44 @@ impl LogStore {
     /// Insert a batch of records, acquiring each time shard's write lock
     /// once per contiguous run instead of once per record. Records from a
     /// live stream land overwhelmingly in the current shard, so a batch of
-    /// N costs ~1 lock acquisition instead of N.
+    /// N costs ~1 lock acquisition instead of N. Multi-lane stores put
+    /// un-hinted batches in lane 0; sharded pipeline workers use
+    /// [`LogStore::insert_batch_affine`] instead.
     pub fn insert_batch(&self, records: impl IntoIterator<Item = LogRecord>) {
+        self.insert_batch_affine(0, records)
+    }
+
+    /// [`LogStore::insert_batch`] with store-shard affinity: the whole
+    /// batch lands in lane `lane_hint % lanes` of each time slot it spans.
+    /// Pipeline shard `k` passing `lane_hint = k` into a store with as
+    /// many lanes as shards makes the batched insert a single-shard fast
+    /// path — its lane lock is never contended by another pipeline shard,
+    /// only by readers.
+    pub fn insert_batch_affine(
+        &self,
+        lane_hint: usize,
+        records: impl IntoIterator<Item = LogRecord>,
+    ) {
+        let lane = lane_hint % self.lanes;
         let attached = self.metrics.read().is_some();
         let start = attached.then(Instant::now);
         let mut inserted: u64 = 0;
         let mut records = records.into_iter().peekable();
         while let Some(first) = records.next() {
             let key = self.shard_key(first.unix_seconds);
-            // Ensure the shard exists, then hold its write lock for the
-            // whole run of records mapping to the same key.
+            // Ensure the slot exists, then hold one lane's write lock for
+            // the whole run of records mapping to the same key.
             loop {
                 let shards = self.shards.read();
-                let Some(shard) = shards.get(&key) else {
+                let Some(slot) = shards.get(&key) else {
                     drop(shards);
-                    self.shards.write().entry(key).or_default();
+                    self.shards
+                        .write()
+                        .entry(key)
+                        .or_insert_with(|| self.new_slot());
                     continue;
                 };
-                let mut shard = shard.write();
+                let mut shard = slot[lane].write();
                 shard.insert(first);
                 inserted += 1;
                 while records
@@ -216,6 +288,7 @@ impl LogStore {
         self.shards
             .read()
             .values()
+            .flat_map(|slot| slot.iter())
             .map(|s| s.read().docs.len())
             .sum()
     }
@@ -235,12 +308,14 @@ impl LogStore {
     pub fn scan<F: FnMut(&LogRecord)>(&self, from: i64, to: i64, terms: &[String], mut f: F) {
         let (k_from, k_to) = (self.shard_key(from), self.shard_key(to - 1));
         let shards = self.shards.read();
-        for (_, shard) in shards.range(k_from..=k_to) {
-            let shard = shard.read();
-            for offset in shard.matching(terms) {
-                let rec = &shard.docs[offset as usize];
-                if rec.unix_seconds >= from && rec.unix_seconds < to {
-                    f(rec);
+        for (_, slot) in shards.range(k_from..=k_to) {
+            for shard in slot {
+                let shard = shard.read();
+                for offset in shard.matching(terms) {
+                    let rec = &shard.docs[offset as usize];
+                    if rec.unix_seconds >= from && rec.unix_seconds < to {
+                        f(rec);
+                    }
                 }
             }
         }
@@ -264,7 +339,11 @@ impl LogStore {
         let cutoff_shard = self.shard_key(cutoff_unix_seconds);
         let mut shards = self.shards.write();
         let keep = shards.split_off(&cutoff_shard);
-        let evicted: u64 = shards.values().map(|s| s.read().docs.len() as u64).sum();
+        let evicted: u64 = shards
+            .values()
+            .flat_map(|slot| slot.iter())
+            .map(|s| s.read().docs.len() as u64)
+            .sum();
         *shards = keep;
         evicted
     }
@@ -274,7 +353,7 @@ impl LogStore {
     pub fn export_jsonl<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<u64> {
         let mut count = 0u64;
         let shards = self.shards.read();
-        for shard in shards.values() {
+        for shard in shards.values().flat_map(|slot| slot.iter()) {
             let shard = shard.read();
             for record in &shard.docs {
                 serde_json::to_writer(&mut writer, record).map_err(std::io::Error::other)?;
@@ -458,6 +537,70 @@ mod tests {
             LogStore::import_jsonl(std::io::BufReader::new(&snapshot[..]), 60).unwrap();
         assert_eq!(restored.len(), 0);
         assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn lanes_are_query_transparent() {
+        let store = LogStore::with_config(60, 4);
+        assert_eq!(store.n_lanes(), 4);
+        // Affine batches from 4 "pipeline shards" into distinct lanes of
+        // the same time slot; queries must see the union.
+        for lane in 0..4usize {
+            let batch: Vec<LogRecord> = (0..5)
+                .map(|i| {
+                    rec(
+                        &store,
+                        30,
+                        &format!("cn{lane}"),
+                        &format!("lane marker {i}"),
+                    )
+                })
+                .collect();
+            store.insert_batch_affine(lane, batch);
+        }
+        assert_eq!(store.len(), 20);
+        assert_eq!(store.n_shards(), 1, "one time slot despite 4 lanes");
+        assert_eq!(store.search(0, 60, &["marker".to_string()]).len(), 20);
+        assert_eq!(store.search(0, 60, &["cn2".to_string()]).len(), 5);
+        // Retention and export see every lane.
+        let mut out = Vec::new();
+        assert_eq!(store.export_jsonl(&mut out).unwrap(), 20);
+        assert_eq!(store.evict_before(60), 20);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn concurrent_affine_ingest_into_one_time_slot_is_consistent() {
+        // The live-path shape: every writer hits the same time slot, each
+        // pins its own lane, so writes proceed without shared-lock
+        // serialization and nothing is lost or duplicated.
+        let store = std::sync::Arc::new(LogStore::with_config(3600, 4));
+        let mut handles = Vec::new();
+        for lane in 0..4usize {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for chunk in 0..10 {
+                    let batch: Vec<LogRecord> = (0..25)
+                        .map(|i| {
+                            let mut r = rec(
+                                &store,
+                                100,
+                                &format!("cn{lane}"),
+                                &format!("burst {chunk} msg {i} shared token"),
+                            );
+                            r.category = None;
+                            r
+                        })
+                        .collect();
+                    store.insert_batch_affine(lane, batch);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 1000);
+        assert_eq!(store.search(0, 3600, &["shared".to_string()]).len(), 1000);
     }
 
     #[test]

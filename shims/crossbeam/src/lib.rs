@@ -392,16 +392,23 @@ pub mod channel {
                         None => break,
                     }
                 }
-                if buf.len() > before {
-                    // Wake ONE parked sender: it will fill the freed run of
-                    // slots with its own bulk push, and the next drain wakes
-                    // the next sender. Waking every sender for every drain
-                    // is a thundering herd — all but one immediately find
-                    // the queue full again and re-park (a wasted context
-                    // switch each). Senders only park when the queue is
-                    // full, and the queue is only full when a drain is
-                    // imminent, so no sender can be stranded.
-                    self.shared.not_full.notify_one();
+                match buf.len() - before {
+                    0 => {}
+                    // One freed slot satisfies exactly one parked sender;
+                    // notify_all here would be a thundering herd (everyone
+                    // else finds the queue full again and re-parks).
+                    1 => {
+                        self.shared.not_full.notify_one();
+                    }
+                    // More than one slot freed must wake every parked
+                    // sender. notify_one strands the rest: a woken scalar
+                    // `send` pushes one item and notifies only `not_empty`,
+                    // so if the drainer goes off to process its batch (or
+                    // exits), senders 2..k sleep beside free capacity until
+                    // the next drain — a lost wakeup, not a herd. The herd
+                    // cost is bounded by the freed run: at most `freed`
+                    // senders find room, the rest re-park once.
+                    _ => self.shared.not_full.notify_all(),
                 }
                 if buf.len() >= max {
                     return DrainStatus::Filled;
@@ -488,6 +495,8 @@ pub mod channel {
         }
     }
 }
+
+pub mod spsc;
 
 #[cfg(test)]
 mod tests {
@@ -641,6 +650,66 @@ mod tests {
         let (status, buf) = waiter.join().unwrap();
         assert_eq!(status, channel::DrainStatus::Disconnected);
         assert_eq!(buf, vec![3]);
+    }
+
+    #[test]
+    fn drain_into_wakes_every_sender_the_freed_slots_can_satisfy() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        // Three scalar senders park on a full 3-deep channel. One drain
+        // frees all 3 slots at once; every parked sender must complete
+        // without another drain happening. Under the old notify_one wakeup
+        // only one sender woke (its push notifies not_empty, nobody else),
+        // leaving two asleep beside free capacity.
+        let (tx, rx) = channel::bounded::<u8>(3);
+        for v in 0..3 {
+            tx.send(v).unwrap();
+        }
+        let completed = Arc::new(AtomicUsize::new(0));
+        let senders: Vec<_> = (0..3)
+            .map(|v| {
+                let tx = tx.clone();
+                let completed = Arc::clone(&completed);
+                std::thread::spawn(move || {
+                    tx.send(10 + v).unwrap();
+                    completed.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        // Let all three senders reach the full queue and park.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            0,
+            "senders must be parked"
+        );
+
+        let mut buf = Vec::new();
+        let status = rx.drain_into(
+            &mut buf,
+            3,
+            std::time::Instant::now() + std::time::Duration::from_millis(200),
+        );
+        assert_eq!(status, channel::DrainStatus::Filled);
+        assert_eq!(buf, vec![0, 1, 2]);
+
+        // No further drains: the single notify round must be enough.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while completed.load(Ordering::SeqCst) < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            3,
+            "a drain freeing 3 slots must wake all 3 parked senders"
+        );
+        for s in senders {
+            s.join().unwrap();
+        }
+        let mut rest: Vec<u8> = (0..3).map(|_| rx.recv().unwrap()).collect();
+        rest.sort_unstable();
+        assert_eq!(rest, vec![10, 11, 12]);
     }
 
     #[test]

@@ -334,6 +334,38 @@ fn cmd_top(opts: &Opts) -> Result<(), String> {
         rate("hetsyslog_batch_classified_total"),
     );
 
+    // Per-pipeline-shard fabric view: one row per `shard=N` label seen on
+    // the routed-frames family (absent on pre-sharding or detached runs).
+    let mut shard_ids: Vec<String> = second
+        .samples
+        .iter()
+        .filter(|s| s.name == "hetsyslog_shard_frames_total")
+        .filter_map(|s| s.label("shard").map(str::to_string))
+        .collect();
+    shard_ids.sort_by_key(|s| s.parse::<u64>().unwrap_or(u64::MAX));
+    shard_ids.dedup();
+    if !shard_ids.is_empty() {
+        println!(
+            "{:<8} {:>10} {:>10} {:>8} {:>8} {:>14}",
+            "shard", "routed/s", "done/s", "depth", "steals", "stolen frames"
+        );
+        for id in &shard_ids {
+            let labels: &[(&str, &str)] = &[("shard", id.as_str())];
+            let svalue = |name: &str| second.value(name, labels).unwrap_or(0.0);
+            let srate = |name: &str| (svalue(name) - first.value(name, labels).unwrap_or(0.0)) / dt;
+            println!(
+                "{:<8} {:>10.0} {:>10.0} {:>8} {:>8} {:>14}",
+                id,
+                srate("hetsyslog_shard_frames_total"),
+                srate("hetsyslog_shard_processed_total"),
+                svalue("hetsyslog_shard_queue_depth"),
+                svalue("hetsyslog_shard_steals_total"),
+                svalue("hetsyslog_shard_stolen_frames_total"),
+            );
+        }
+        println!();
+    }
+
     println!(
         "{:<20} {:>10} {:>10} {:>10} {:>12}",
         "stage", "p50(µs)", "p90(µs)", "p99(µs)", "samples"
