@@ -55,10 +55,25 @@ fn main() {
             .and_then(serde_json::Value::as_bool)
             .unwrap_or(false),
     );
+    // The columnar-store sweep (compression ratio + template-query
+    // speedup) rides along the same way: committed evidence, never part
+    // of the conformance value.
+    let columnar = experiments::columnar_store(&args);
+    let field = |v: &serde_json::Value, key: &str| {
+        v.get(key)
+            .and_then(serde_json::Value::as_f64)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "Columnar store: {:.1}x compression, {:.0}x template-query speedup over raw scan (gate: ratio >= 5)",
+        field(&columnar, "compression_ratio"),
+        field(&columnar, "query_speedup"),
+    );
     let mut bench = experiments::xp_throughput_bench_json(&out.value);
     if let serde_json::Value::Object(entries) = &mut bench {
         entries.push(("observability_overhead".to_string(), overhead));
         entries.push(("live_sharding".to_string(), sharding));
+        entries.push(("columnar_store".to_string(), columnar));
     }
     write_json(BENCH_JSON, &bench);
     println!("Batch comparison written to {BENCH_JSON}");

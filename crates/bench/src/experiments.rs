@@ -1384,6 +1384,100 @@ pub fn live_sharding(args: &ExpArgs) -> Value {
     })
 }
 
+/// The template-mining columnar store sweep: seal a datagen stream into
+/// columnar segments and measure the compression ratio against the hot
+/// tier's at-rest JSONL bytes, plus the template-native query speedup
+/// (header-served [`LogStore::count_by_template`] vs a raw full scan
+/// that decodes every row). Returned as a standalone JSON section for
+/// `BENCH_throughput.json` — deliberately NOT part of any conformance
+/// value, so goldens never see timings or byte counts.
+///
+/// The CI gate is `compression_ratio >= 5.0` on the datagen corpus.
+pub fn columnar_store(args: &ExpArgs) -> Value {
+    let n = (30_000.0 * (args.scale / 0.05).clamp(0.2, 10.0)) as usize;
+    let records: Vec<logpipeline::LogRecord> = StreamGenerator::new(StreamConfig {
+        seed: args.seed,
+        ..StreamConfig::default()
+    })
+    .take(n)
+    .enumerate()
+    .map(|(i, t)| logpipeline::LogRecord {
+        id: i as u64,
+        unix_seconds: t.unix_seconds,
+        node: t.message.node.clone(),
+        app: t.message.app.clone(),
+        severity: if t.message.category.is_actionable() {
+            syslog_model::Severity::Warning
+        } else {
+            syslog_model::Severity::Informational
+        },
+        facility: syslog_model::Facility::Daemon,
+        message: t.message.text,
+        category: Some(t.message.category),
+    })
+    .collect();
+
+    let store = LogStore::new();
+    store.insert_batch(records.iter().cloned());
+    // The hot tier's at-rest format is the JSONL snapshot; that is the
+    // denominator a columnar tier has to beat.
+    let mut jsonl = Vec::new();
+    let exported = store.export_jsonl(&mut jsonl).expect("in-memory export");
+    assert_eq!(exported as usize, records.len());
+    let raw_bytes = jsonl.len() as u64;
+
+    let seal_start = Instant::now();
+    let sealed_rows = store.seal_all();
+    let seal_seconds = seal_start.elapsed().as_secs_f64();
+    assert_eq!(sealed_rows as usize, records.len());
+    let stats = store.segment_stats();
+
+    // Losslessness check: sealing must not change what queries see.
+    let decoded = store.search(i64::MIN, i64::MAX, &[]);
+    assert_eq!(decoded.len(), records.len(), "sealed scan lost rows");
+
+    // Query arms, best-of-3 each. The fast arm answers from segment
+    // headers; the raw arm decodes every row like a pre-columnar scan.
+    let mut fast_us = f64::MAX;
+    let mut raw_us = f64::MAX;
+    let mut n_templates = 0usize;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let counts = store.count_by_template(i64::MIN, i64::MAX);
+        fast_us = fast_us.min(t0.elapsed().as_secs_f64() * 1e6);
+        n_templates = counts.len();
+        assert_eq!(counts.values().sum::<u64>() as usize, records.len());
+
+        let t0 = Instant::now();
+        let mut by_message_head: std::collections::HashMap<String, u64> =
+            std::collections::HashMap::new();
+        store.scan(i64::MIN, i64::MAX, &[], |r| {
+            let head = r.message.split(' ').next().unwrap_or("").to_string();
+            *by_message_head.entry(head).or_default() += 1;
+        });
+        raw_us = raw_us.min(t0.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(
+            by_message_head.values().sum::<u64>() as usize,
+            records.len()
+        );
+    }
+    let ratio = raw_bytes as f64 / (stats.encoded_bytes.max(1)) as f64;
+    serde_json::json!({
+        "n_messages": records.len(),
+        "raw_jsonl_bytes": raw_bytes,
+        "encoded_bytes": stats.encoded_bytes,
+        "compression_ratio": ratio,
+        "n_segments": store.n_segments(),
+        "n_templates": n_templates,
+        "seal_seconds": seal_seconds,
+        "count_by_template_us": fast_us,
+        "full_scan_us": raw_us,
+        "query_speedup": raw_us / fast_us.max(f64::MIN_POSITIVE),
+        "lossless": true,
+        "gate": "compression_ratio >= 5.0 on the datagen corpus",
+    })
+}
+
 /// Reassemble the standalone `BENCH_throughput.json` document (the PR 1
 /// speedup-floor evidence) from an [`xp_throughput`] result value.
 pub fn xp_throughput_bench_json(value: &Value) -> Value {

@@ -1,0 +1,55 @@
+//! The columnar-store compression gate (release-only, run explicitly in
+//! CI): sealing the datagen stream into template-mined columnar segments
+//! must compress at least 5x against the hot tier's at-rest JSONL bytes,
+//! losslessly, and the header-served template count must beat a raw
+//! decoding scan.
+//!
+//! Run: `cargo test -p bench --release --test columnar_gate -- --ignored`
+//!
+//! The sweep JSON is also written to `target/columnar_sweep.json` so CI
+//! can upload it as an artifact.
+
+use bench::{experiments, write_json, ExpArgs};
+
+#[test]
+#[ignore = "release-mode compression sweep: run explicitly in CI"]
+fn columnar_store_compresses_at_least_5x_and_speeds_up_template_counts() {
+    let args = ExpArgs {
+        scale: 0.02,
+        seed: 42,
+        ..ExpArgs::default()
+    };
+    let sweep = experiments::columnar_store(&args);
+    // Workspace-root target dir (the test's cwd is the crate dir).
+    write_json(
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/columnar_sweep.json"
+        ),
+        &sweep,
+    );
+    let field = |key: &str| {
+        sweep
+            .get(key)
+            .and_then(serde_json::Value::as_f64)
+            .unwrap_or(0.0)
+    };
+    let ratio = field("compression_ratio");
+    let speedup = field("query_speedup");
+    assert!(
+        field("n_messages") > 0.0 && field("encoded_bytes") > 0.0,
+        "sweep must complete: {sweep:?}"
+    );
+    assert!(
+        ratio >= 5.0,
+        "columnar compression below the 5x floor: {:.0} raw JSONL bytes vs {:.0} encoded (ratio {ratio:.2})",
+        field("raw_jsonl_bytes"),
+        field("encoded_bytes"),
+    );
+    assert!(
+        speedup > 1.0,
+        "count_by_template must beat the raw decoding scan: {:.0}us vs {:.0}us (speedup {speedup:.2})",
+        field("count_by_template_us"),
+        field("full_scan_us"),
+    );
+}

@@ -9,7 +9,10 @@
 //!   architectures (Darwin's defining property);
 //! * [`record`] — the stored log record;
 //! * [`store`] — a time-sharded, inverted-index log store (the OpenSearch
-//!   stand-in) behind `parking_lot` locks;
+//!   stand-in) behind `parking_lot` locks, with a sealed columnar tier;
+//! * [`columnar`] — template-mined columnar segments (LogShrink-style):
+//!   per-segment template dictionary, delta/dictionary-encoded columns,
+//!   block compression, template-native queries;
 //! * [`query`] — boolean term + time-range + metadata queries;
 //! * [`ingest`] — the multi-threaded collector (the rsyslog/Fluentd
 //!   stand-in) built on crossbeam channels;
@@ -25,6 +28,7 @@
 //! * [`monitor`] — glue that runs a [`hetsyslog_core::TextClassifier`]
 //!   inside the ingest path for real-time classification.
 
+pub mod columnar;
 pub mod ingest;
 pub mod listener;
 pub mod monitor;
@@ -36,6 +40,7 @@ pub mod store;
 pub mod topology;
 pub mod views;
 
+pub use columnar::{Segment, SegmentStats};
 pub use ingest::{IngestPipeline, IngestReport};
 pub use listener::{
     DeadLetter, DeadLetterRing, DropReason, IngestStats, ListenerConfig, OverloadPolicy,

@@ -14,13 +14,38 @@
 //! lane lock no other shard touches (store-shard affinity). Queries and
 //! retention see the union of lanes; a single-lane store (the default) is
 //! exactly the old layout.
+//!
+//! # Sealed columnar tier
+//!
+//! Verbatim storage is the scaling wall at millions-of-users traffic, so
+//! hot shards **seal** into template-mined columnar segments
+//! ([`crate::columnar::Segment`], DESIGN.md §6): automatically when a
+//! lane shard reaches the [`LogStore::with_sealing`] document threshold,
+//! or explicitly via [`LogStore::seal_before`] / [`LogStore::seal_all`]
+//! (the hot-tier eviction path — records stay queryable, ~10–40×
+//! smaller). Sealed rows remain visible to every query
+//! ([`LogStore::scan`] decodes on demand), participate in
+//! [`LogStore::len`] / [`LogStore::export_jsonl`], and are dropped by
+//! [`LogStore::evict_before`] like hot rows. Template-native queries —
+//! [`LogStore::count_by_template`], [`LogStore::variable_histogram`],
+//! [`LogStore::template_scan`] — answer from segment dictionaries and
+//! single variable columns without decompressing whole segments.
+//!
+//! # Lock order
+//!
+//! `shards` map → lane `Shard` → `sealed` map → (no lock) metrics.
+//! Telemetry handles are only ever touched with no storage lock held,
+//! except the coherence rule documented on
+//! [`LogStore::attach_telemetry`].
 
+use crate::columnar::Segment;
 use crate::record::LogRecord;
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+use textproc::template::TemplateMiner;
 
 /// Width of one time shard, seconds (hourly, like a rotating index).
 pub const DEFAULT_SHARD_SECONDS: i64 = 3600;
@@ -83,6 +108,23 @@ impl Shard {
     }
 }
 
+/// The sealed-tier equivalent of the inverted-index match: `record`
+/// satisfies every term when each term equals the node, equals the app,
+/// or occurs among the message's tokens — exactly the postings the hot
+/// tier would have indexed for it.
+fn record_matches(record: &LogRecord, terms: &[String]) -> bool {
+    terms.iter().all(|term| {
+        if record.node == *term || record.app == *term {
+            return true;
+        }
+        let mut hit = false;
+        textproc::Tokenizer::default().tokenize_each(&record.message, |token| {
+            hit |= token == term;
+        });
+        hit
+    })
+}
+
 /// Registered instrument handles for the insert path, present once
 /// [`LogStore::attach_telemetry`] has run. Un-attached stores pay one
 /// read-lock check per insert call and nothing else.
@@ -91,19 +133,57 @@ struct StoreMetrics {
     records: Arc<obs::Counter>,
     shards: Arc<obs::Gauge>,
     insert_us: Arc<obs::Histogram>,
+    seal_us: Arc<obs::Histogram>,
+    segments_sealed: Arc<obs::Counter>,
+    segment_rows: Arc<obs::Counter>,
+    segments_live: Arc<obs::Gauge>,
+    segment_bytes: Arc<obs::Gauge>,
+    segment_raw_bytes: Arc<obs::Gauge>,
+    templates_mined: Arc<obs::Counter>,
+    templates_live: Arc<obs::Gauge>,
 }
 
 /// One time window: `lanes` independently locked shards whose union is
 /// the window's contents.
 type TimeSlot = Vec<RwLock<Shard>>;
 
+/// What one seal produced — metric updates are deferred until every
+/// storage lock is released (see the module lock-order note).
+struct SealOutcome {
+    rows: u64,
+    templates: u64,
+    seal_time: std::time::Duration,
+}
+
+/// Monotonic totals mirrored onto the telemetry counters. Kept on the
+/// store itself so [`LogStore::attach_telemetry`] can carry an exact
+/// snapshot: they are only ever bumped while the `metrics` read lock is
+/// held, and the attach path holds the write lock (see the race note
+/// there).
+#[derive(Debug, Default)]
+struct StoreTotals {
+    records: AtomicU64,
+    segments_sealed: AtomicU64,
+    segment_rows: AtomicU64,
+    templates_mined: AtomicU64,
+}
+
 /// The sharded store.
 #[derive(Debug)]
 pub struct LogStore {
     shards: RwLock<BTreeMap<i64, TimeSlot>>,
+    /// Sealed columnar segments, keyed by time-slot like `shards`; a slot
+    /// accumulates one segment per seal event.
+    sealed: RwLock<BTreeMap<i64, Vec<Arc<Segment>>>>,
     shard_seconds: i64,
     lanes: usize,
+    /// Documents per lane shard that trigger an automatic seal
+    /// (0 = never seal automatically).
+    seal_threshold: usize,
+    /// Mining similarity threshold for sealed segments.
+    template_threshold: f64,
     next_id: AtomicU64,
+    totals: StoreTotals,
     metrics: RwLock<Option<StoreMetrics>>,
 }
 
@@ -134,11 +214,31 @@ impl LogStore {
     pub fn with_config(shard_seconds: i64, lanes: usize) -> LogStore {
         LogStore {
             shards: RwLock::new(BTreeMap::new()),
+            sealed: RwLock::new(BTreeMap::new()),
             shard_seconds: shard_seconds.max(1),
             lanes: lanes.max(1),
+            seal_threshold: 0,
+            template_threshold: TemplateMiner::DEFAULT_THRESHOLD,
             next_id: AtomicU64::new(0),
+            totals: StoreTotals::default(),
             metrics: RwLock::new(None),
         }
+    }
+
+    /// Enable the sealed columnar tier: a lane shard reaching
+    /// `threshold` documents is sealed into a columnar segment during the
+    /// insert that crossed the threshold (builder-style; pass 0 to keep
+    /// sealing manual via [`LogStore::seal_before`]).
+    pub fn with_sealing(mut self, threshold: usize) -> LogStore {
+        self.seal_threshold = threshold;
+        self
+    }
+
+    /// Override the template-mining similarity threshold (builder-style;
+    /// default [`TemplateMiner::DEFAULT_THRESHOLD`]).
+    pub fn with_template_threshold(mut self, threshold: f64) -> LogStore {
+        self.template_threshold = threshold;
+        self
     }
 
     /// Write lanes per time slot.
@@ -153,9 +253,19 @@ impl LogStore {
     }
 
     /// Register the store's instruments (record counter, shard gauge,
-    /// insert-stage latency) on a shared telemetry registry. Records
-    /// already stored are carried onto the counter so it always matches
-    /// [`LogStore::len`]; re-attaching never double-counts.
+    /// insert/seal latency, `hetsyslog_segment_*` / `hetsyslog_template_*`
+    /// families) on a shared telemetry registry. Prior state is carried
+    /// onto the instruments so counters always match the store's ledger;
+    /// re-attaching never double-counts.
+    ///
+    /// Coherence with in-flight inserts: every insert/seal path bumps the
+    /// [`StoreTotals`] atomics and the instrument *while holding the
+    /// `metrics` read lock*; this method holds the write lock, so each
+    /// concurrent insert is either fully reflected in the carried totals
+    /// or lands entirely on the newly attached instruments — never both,
+    /// never neither. (Attaching used to carry `self.len()`, which let an
+    /// insert that was past its shard update but before its counter add
+    /// be counted twice.)
     pub fn attach_telemetry(&self, registry: &obs::Registry) {
         let mut slot = self.metrics.write();
         let metrics = StoreMetrics {
@@ -170,12 +280,88 @@ impl LogStore {
                 "Per-stage batch processing time in microseconds",
                 &[("stage", "store_insert")],
             ),
+            seal_us: registry.histogram(
+                "hetsyslog_stage_duration_us",
+                "Per-stage batch processing time in microseconds",
+                &[("stage", "segment_seal")],
+            ),
+            segments_sealed: registry.counter(
+                "hetsyslog_segment_sealed_total",
+                "Columnar segments sealed from the hot tier",
+                &[],
+            ),
+            segment_rows: registry.counter(
+                "hetsyslog_segment_rows_total",
+                "Records sealed into columnar segments",
+                &[],
+            ),
+            segments_live: registry.gauge(
+                "hetsyslog_segment_live",
+                "Columnar segments currently queryable",
+                &[],
+            ),
+            segment_bytes: registry.gauge(
+                "hetsyslog_segment_bytes",
+                "Encoded bytes across live columnar segments",
+                &[],
+            ),
+            segment_raw_bytes: registry.gauge(
+                "hetsyslog_segment_raw_bytes",
+                "JSONL-equivalent bytes of the rows in live columnar segments",
+                &[],
+            ),
+            templates_mined: registry.counter(
+                "hetsyslog_template_mined_total",
+                "Templates mined across all sealed segments (cumulative)",
+                &[],
+            ),
+            templates_live: registry.gauge(
+                "hetsyslog_template_live",
+                "Distinct template patterns across live segments",
+                &[],
+            ),
         };
         if slot.is_none() {
-            metrics.records.add(self.len() as u64);
+            metrics
+                .records
+                .add(self.totals.records.load(Ordering::Relaxed));
+            metrics
+                .segments_sealed
+                .add(self.totals.segments_sealed.load(Ordering::Relaxed));
+            metrics
+                .segment_rows
+                .add(self.totals.segment_rows.load(Ordering::Relaxed));
+            metrics
+                .templates_mined
+                .add(self.totals.templates_mined.load(Ordering::Relaxed));
         }
         metrics.shards.set(self.n_shards() as i64);
+        let (live, bytes, raw, patterns) = self.sealed_snapshot();
+        metrics.segments_live.set(live);
+        metrics.segment_bytes.set(bytes);
+        metrics.segment_raw_bytes.set(raw);
+        metrics.templates_live.set(patterns);
         *slot = Some(metrics);
+    }
+
+    /// Gauge inputs for the sealed tier: live segment count, encoded and
+    /// raw bytes, distinct template patterns.
+    fn sealed_snapshot(&self) -> (i64, i64, i64, i64) {
+        let sealed = self.sealed.read();
+        let mut segments = 0i64;
+        let mut bytes = 0i64;
+        let mut raw = 0i64;
+        let mut patterns = std::collections::BTreeSet::new();
+        for segment in sealed.values().flatten() {
+            let stats = segment.stats();
+            segments += 1;
+            bytes += stats.encoded_bytes as i64;
+            raw += stats.raw_bytes as i64;
+            for p in segment.template_patterns() {
+                patterns.insert(p.to_string());
+            }
+        }
+        (segments, bytes, raw, patterns.len() as i64)
     }
 
     /// Allocate the next document id.
@@ -187,23 +373,108 @@ impl LogStore {
         unix_seconds.div_euclid(self.shard_seconds)
     }
 
+    /// Record `n` inserted rows on the ledger and (if attached) the
+    /// telemetry counter. Must be called with **no storage lock held**;
+    /// takes the metrics read lock to stay coherent with
+    /// [`LogStore::attach_telemetry`].
+    fn note_inserted(&self, n: u64) {
+        let metrics = self.metrics.read();
+        self.totals.records.fetch_add(n, Ordering::Relaxed);
+        if let Some(m) = metrics.as_ref() {
+            m.records.add(n);
+        }
+    }
+
+    /// Refresh the open-shard gauge. `n_shards` is passed in (read from
+    /// whatever map guard the caller just released) so this never takes a
+    /// storage lock of its own.
+    fn note_shard_count(&self, n_shards: usize) {
+        if let Some(m) = self.metrics.read().as_ref() {
+            m.shards.set(n_shards as i64);
+        }
+    }
+
+    /// Record the outcome of one or more seals, with no storage lock
+    /// held. Counters get the exact deltas; gauges are refreshed from the
+    /// sealed tier.
+    fn note_sealed(&self, outcomes: &[SealOutcome]) {
+        if outcomes.is_empty() {
+            return;
+        }
+        let (live, bytes, raw, patterns) = self.sealed_snapshot();
+        let metrics = self.metrics.read();
+        for o in outcomes {
+            self.totals.segments_sealed.fetch_add(1, Ordering::Relaxed);
+            self.totals
+                .segment_rows
+                .fetch_add(o.rows, Ordering::Relaxed);
+            self.totals
+                .templates_mined
+                .fetch_add(o.templates, Ordering::Relaxed);
+        }
+        if let Some(m) = metrics.as_ref() {
+            for o in outcomes {
+                m.segments_sealed.inc();
+                m.segment_rows.add(o.rows);
+                m.templates_mined.add(o.templates);
+                m.seal_us.record_duration_us(o.seal_time);
+            }
+            m.segments_live.set(live);
+            m.segment_bytes.set(bytes);
+            m.segment_raw_bytes.set(raw);
+            m.templates_live.set(patterns);
+        }
+    }
+
+    /// Seal `docs` into a columnar segment under `key`. The caller
+    /// chooses what locks it is holding (threshold seals run under the
+    /// lane write lock so a concurrent scan never observes the rows
+    /// missing); the sealed-map write lock is taken here, last in the
+    /// lock order.
+    fn seal_docs(&self, key: i64, docs: Vec<LogRecord>) -> SealOutcome {
+        let started = Instant::now();
+        let segment = Segment::build(&docs, self.template_threshold);
+        let outcome = SealOutcome {
+            rows: segment.n_rows() as u64,
+            templates: segment.template_patterns().len() as u64,
+            seal_time: started.elapsed(),
+        };
+        self.sealed
+            .write()
+            .entry(key)
+            .or_default()
+            .push(Arc::new(segment));
+        outcome
+    }
+
     /// Insert a record (its `id` should come from [`LogStore::allocate_id`]).
     /// Multi-lane stores spread scalar inserts by record id.
     pub fn insert(&self, record: LogRecord) {
         let key = self.shard_key(record.unix_seconds);
         let lane = (record.id as usize) % self.lanes;
+        let mut record = Some(record);
+        let mut sealed: Option<SealOutcome> = None;
         // Fast path: slot exists, take the read lock on the map only.
         {
             let shards = self.shards.read();
             if let Some(slot) = shards.get(&key) {
-                slot[lane].write().insert(record);
-                if let Some(m) = self.metrics.read().as_ref() {
-                    m.records.inc();
+                let mut shard = slot[lane].write();
+                shard.insert(record.take().expect("unconsumed"));
+                if self.seal_threshold > 0 && shard.docs.len() >= self.seal_threshold {
+                    let docs = std::mem::take(&mut shard.docs);
+                    shard.index.clear();
+                    sealed = Some(self.seal_docs(key, docs));
                 }
-                return;
             }
         }
-        {
+        let Some(record) = record else {
+            self.note_inserted(1);
+            if let Some(outcome) = sealed {
+                self.note_sealed(&[outcome]);
+            }
+            return;
+        };
+        let n_shards = {
             let mut shards = self.shards.write();
             shards
                 .entry(key)
@@ -212,11 +483,13 @@ impl LogStore {
                 .expect("lane within slot")
                 .write()
                 .insert(record);
-        }
-        if let Some(m) = self.metrics.read().as_ref() {
-            m.records.inc();
-            m.shards.set(self.n_shards() as i64);
-        }
+            shards.len()
+        };
+        self.note_inserted(1);
+        // The slow path opened a new time slot (or raced another opener):
+        // refresh the gauge now, not lazily — scalar and batched inserts
+        // agree on when the gauge moves.
+        self.note_shard_count(n_shards);
     }
 
     /// Insert a batch of records, acquiring each time shard's write lock
@@ -241,9 +514,9 @@ impl LogStore {
         records: impl IntoIterator<Item = LogRecord>,
     ) {
         let lane = lane_hint % self.lanes;
-        let attached = self.metrics.read().is_some();
-        let start = attached.then(Instant::now);
+        let start = Instant::now();
         let mut inserted: u64 = 0;
+        let mut sealed: Vec<SealOutcome> = Vec::new();
         let mut records = records.into_iter().peekable();
         while let Some(first) = records.next() {
             let key = self.shard_key(first.unix_seconds);
@@ -253,10 +526,15 @@ impl LogStore {
                 let shards = self.shards.read();
                 let Some(slot) = shards.get(&key) else {
                     drop(shards);
-                    self.shards
-                        .write()
-                        .entry(key)
-                        .or_insert_with(|| self.new_slot());
+                    let n_shards = {
+                        let mut shards = self.shards.write();
+                        shards.entry(key).or_insert_with(|| self.new_slot());
+                        shards.len()
+                    };
+                    // Refresh the gauge the moment the slot opens — not
+                    // at end of batch — so a batch spanning a slot
+                    // boundary never leaves it stale between runs.
+                    self.note_shard_count(n_shards);
                     continue;
                 };
                 let mut shard = slot[lane].write();
@@ -269,22 +547,32 @@ impl LogStore {
                     shard.insert(records.next().expect("peeked"));
                     inserted += 1;
                 }
+                if self.seal_threshold > 0 && shard.docs.len() >= self.seal_threshold {
+                    let docs = std::mem::take(&mut shard.docs);
+                    shard.index.clear();
+                    sealed.push(self.seal_docs(key, docs));
+                }
                 break;
             }
         }
-        if attached {
-            if let Some(m) = self.metrics.read().as_ref() {
+        if inserted > 0 {
+            let metrics = self.metrics.read();
+            self.totals.records.fetch_add(inserted, Ordering::Relaxed);
+            if let Some(m) = metrics.as_ref() {
                 m.records.add(inserted);
-                m.shards.set(self.n_shards() as i64);
-                if let Some(start) = start {
-                    m.insert_us.record_duration_us(start.elapsed());
-                }
+                m.insert_us.record_duration_us(start.elapsed());
             }
         }
+        self.note_sealed(&sealed);
     }
 
-    /// Total stored records.
+    /// Total stored records (hot + sealed).
     pub fn len(&self) -> usize {
+        self.hot_len() + self.sealed_len()
+    }
+
+    /// Records in the hot inverted-index tier.
+    pub fn hot_len(&self) -> usize {
         self.shards
             .read()
             .values()
@@ -293,20 +581,79 @@ impl LogStore {
             .sum()
     }
 
+    /// Records in the sealed columnar tier.
+    pub fn sealed_len(&self) -> usize {
+        self.sealed
+            .read()
+            .values()
+            .flatten()
+            .map(|s| s.n_rows())
+            .sum()
+    }
+
     /// True when nothing is stored.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Number of time shards.
+    /// Number of open (hot) time shards.
     pub fn n_shards(&self) -> usize {
         self.shards.read().len()
     }
 
+    /// Number of sealed columnar segments.
+    pub fn n_segments(&self) -> usize {
+        self.sealed.read().values().map(Vec::len).sum()
+    }
+
+    /// Aggregate sealed-tier stats (rows, distinct patterns per segment
+    /// summed, encoded and raw bytes).
+    pub fn segment_stats(&self) -> crate::columnar::SegmentStats {
+        let sealed = self.sealed.read();
+        let mut out = crate::columnar::SegmentStats {
+            rows: 0,
+            templates: 0,
+            encoded_bytes: 0,
+            raw_bytes: 0,
+        };
+        for segment in sealed.values().flatten() {
+            let s = segment.stats();
+            out.rows += s.rows;
+            out.templates += s.templates;
+            out.encoded_bytes += s.encoded_bytes;
+            out.raw_bytes += s.raw_bytes;
+        }
+        out
+    }
+
+    /// Snapshot the live segments overlapping `[k_from, k_to]` slot keys.
+    fn segments_in_range(&self, k_from: i64, k_to: i64) -> Vec<Arc<Segment>> {
+        self.sealed
+            .read()
+            .range(k_from..=k_to)
+            .flat_map(|(_, segs)| segs.iter().cloned())
+            .collect()
+    }
+
     /// Run `f` over every record in `[from, to)` matching all `terms`,
-    /// in shard order. The callback form avoids cloning the result set.
+    /// in shard order — sealed segments first within each time slot
+    /// (sealed rows predate hot ones), then hot lanes. The callback form
+    /// avoids cloning the result set. Empty and reversed ranges return
+    /// immediately without walking the shard map (and `to == i64::MIN`
+    /// no longer overflows the shard-key computation).
     pub fn scan<F: FnMut(&LogRecord)>(&self, from: i64, to: i64, terms: &[String], mut f: F) {
+        if to <= from {
+            return;
+        }
         let (k_from, k_to) = (self.shard_key(from), self.shard_key(to - 1));
+        let sealed = self.segments_in_range(k_from, k_to);
+        for segment in sealed {
+            segment.scan_range(from, to, |rec| {
+                if record_matches(rec, terms) {
+                    f(rec);
+                }
+            });
+        }
         let shards = self.shards.read();
         for (_, slot) in shards.range(k_from..=k_to) {
             for shard in slot {
@@ -328,37 +675,215 @@ impl LogStore {
         out
     }
 
+    // ------------------------------------------------ template queries
+
+    /// Rows per template pattern over the sealed tier in `[from, to)`.
+    /// Segments fully inside the range are answered from their header
+    /// dictionaries — **zero blocks decompressed**; partially covered
+    /// segments decode only template-id + timestamp columns. The hot
+    /// tier is not mined (seal first, e.g. [`LogStore::seal_all`], to
+    /// cover everything).
+    pub fn count_by_template(&self, from: i64, to: i64) -> BTreeMap<String, u64> {
+        let mut counts = BTreeMap::new();
+        if to <= from {
+            return counts;
+        }
+        let (k_from, k_to) = (self.shard_key(from), self.shard_key(to - 1));
+        for segment in self.segments_in_range(k_from, k_to) {
+            segment.count_rows_by_template(from, to, &mut counts);
+        }
+        counts
+    }
+
+    /// Histogram of the values in variable slot `slot` of every sealed
+    /// template whose pattern equals `pattern`. Decompresses exactly one
+    /// variable column per matching segment.
+    pub fn variable_histogram(&self, pattern: &str, slot: usize) -> BTreeMap<String, u64> {
+        let mut hist = BTreeMap::new();
+        let segments: Vec<Arc<Segment>> = self
+            .sealed
+            .read()
+            .values()
+            .flat_map(|segs| segs.iter().cloned())
+            .collect();
+        for segment in segments {
+            let Some(idx) = segment
+                .template_patterns()
+                .iter()
+                .position(|p| *p == pattern)
+            else {
+                continue;
+            };
+            if let Some(values) = segment.variable_values(idx, slot) {
+                for v in values {
+                    *hist.entry(v).or_default() += 1;
+                }
+            }
+        }
+        hist
+    }
+
+    /// Run `f` over every sealed record whose template pattern equals
+    /// `pattern`, decoding only those templates' variable columns.
+    pub fn template_scan<F: FnMut(&LogRecord)>(&self, pattern: &str, mut f: F) {
+        let segments: Vec<Arc<Segment>> = self
+            .sealed
+            .read()
+            .values()
+            .flat_map(|segs| segs.iter().cloned())
+            .collect();
+        for segment in segments {
+            if let Some(idx) = segment
+                .template_patterns()
+                .iter()
+                .position(|p| *p == pattern)
+            {
+                segment.template_scan(idx, &mut f);
+            }
+        }
+    }
+
+    // ------------------------------------------------------ seal / evict
+
+    /// Seal every hot shard strictly older than `cutoff_unix_seconds`
+    /// into columnar segments (shard-granular, like eviction): the
+    /// hot-tier eviction path that keeps records queryable at a fraction
+    /// of the bytes. Returns the number of records sealed. Lanes of one
+    /// slot are merged into a single segment so the template dictionary
+    /// spans the whole window.
+    pub fn seal_before(&self, cutoff_unix_seconds: i64) -> u64 {
+        let cutoff_shard = self.shard_key(cutoff_unix_seconds);
+        self.seal_slots_below(cutoff_shard)
+    }
+
+    /// Seal every hot shard, regardless of age.
+    pub fn seal_all(&self) -> u64 {
+        self.seal_slots_below(i64::MAX)
+    }
+
+    fn seal_slots_below(&self, cutoff_shard: i64) -> u64 {
+        // Detach the eligible slots first so the expensive mining pass
+        // runs without the map write lock; the lane contents move out
+        // atomically, so no record is ever visible twice.
+        let (detached, n_shards) = {
+            let mut shards = self.shards.write();
+            let keep = if cutoff_shard == i64::MAX {
+                BTreeMap::new()
+            } else {
+                shards.split_off(&cutoff_shard)
+            };
+            let detached: Vec<(i64, TimeSlot)> =
+                std::mem::replace(&mut *shards, keep).into_iter().collect();
+            (detached, shards.len())
+        };
+        let mut outcomes = Vec::new();
+        let mut rows = 0u64;
+        for (key, slot) in detached {
+            let mut docs: Vec<LogRecord> = Vec::new();
+            for lane in slot {
+                docs.extend(lane.into_inner().docs);
+            }
+            if docs.is_empty() {
+                continue;
+            }
+            rows += docs.len() as u64;
+            outcomes.push(self.seal_docs(key, docs));
+        }
+        self.note_shard_count(n_shards);
+        self.note_sealed(&outcomes);
+        rows
+    }
+
     /// Drop whole shards older than `cutoff_unix_seconds` — the index
     /// lifecycle policy that let Tivan "store and search over thirty
     /// million log records a month" on eight servers without growing
-    /// forever. Returns the number of records evicted.
+    /// forever. Returns the number of records evicted, from both the hot
+    /// and the sealed tier; the open-shard gauge is refreshed (it used
+    /// to go stale here).
     ///
     /// Eviction is shard-granular (a shard is dropped only when its whole
     /// window is older than the cutoff), matching time-rotated indices.
     pub fn evict_before(&self, cutoff_unix_seconds: i64) -> u64 {
         let cutoff_shard = self.shard_key(cutoff_unix_seconds);
-        let mut shards = self.shards.write();
-        let keep = shards.split_off(&cutoff_shard);
-        let evicted: u64 = shards
-            .values()
-            .flat_map(|slot| slot.iter())
-            .map(|s| s.read().docs.len() as u64)
-            .sum();
-        *shards = keep;
-        evicted
+        let (evicted_hot, n_shards) = {
+            let mut shards = self.shards.write();
+            let keep = shards.split_off(&cutoff_shard);
+            let evicted: u64 = shards
+                .values()
+                .flat_map(|slot| slot.iter())
+                .map(|s| s.read().docs.len() as u64)
+                .sum();
+            *shards = keep;
+            (evicted, shards.len())
+        };
+        let evicted_sealed: u64 = {
+            let mut sealed = self.sealed.write();
+            let keep = sealed.split_off(&cutoff_shard);
+            let evicted = sealed.values().flatten().map(|s| s.n_rows() as u64).sum();
+            *sealed = keep;
+            evicted
+        };
+        self.note_shard_count(n_shards);
+        if evicted_sealed > 0 {
+            // Segment gauges shrink; counters (cumulative) stay.
+            let (live, bytes, raw, patterns) = self.sealed_snapshot();
+            if let Some(m) = self.metrics.read().as_ref() {
+                m.segments_live.set(live);
+                m.segment_bytes.set(bytes);
+                m.segment_raw_bytes.set(raw);
+                m.templates_live.set(patterns);
+            }
+        }
+        evicted_hot + evicted_sealed
     }
 
-    /// Snapshot every record as JSON lines, in shard order — the
+    /// Snapshot every record as JSON lines, in shard order (sealed rows
+    /// first within a slot, like [`LogStore::scan`]) — the
     /// OpenSearch-snapshot equivalent.
     pub fn export_jsonl<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<u64> {
         let mut count = 0u64;
-        let shards = self.shards.read();
-        for shard in shards.values().flat_map(|slot| slot.iter()) {
-            let shard = shard.read();
-            for record in &shard.docs {
-                serde_json::to_writer(&mut writer, record).map_err(std::io::Error::other)?;
-                writer.write_all(b"\n")?;
-                count += 1;
+        let keys: Vec<i64> = {
+            let shards = self.shards.read();
+            let sealed = self.sealed.read();
+            let mut keys: Vec<i64> = shards.keys().chain(sealed.keys()).copied().collect();
+            keys.sort_unstable();
+            keys.dedup();
+            keys
+        };
+        for key in keys {
+            for segment in self.segments_in_range(key, key) {
+                let mut err = None;
+                segment.scan_filtered(
+                    |_| true,
+                    |record| {
+                        if err.is_some() {
+                            return;
+                        }
+                        if let Err(e) = serde_json::to_writer(&mut writer, record)
+                            .map_err(std::io::Error::other)
+                            .and_then(|()| writer.write_all(b"\n"))
+                        {
+                            err = Some(e);
+                        } else {
+                            count += 1;
+                        }
+                    },
+                );
+                if let Some(e) = err {
+                    return Err(e);
+                }
+            }
+            let shards = self.shards.read();
+            let Some(slot) = shards.get(&key) else {
+                continue;
+            };
+            for shard in slot {
+                let shard = shard.read();
+                for record in &shard.docs {
+                    serde_json::to_writer(&mut writer, record).map_err(std::io::Error::other)?;
+                    writer.write_all(b"\n")?;
+                    count += 1;
+                }
             }
         }
         Ok(count)
@@ -608,5 +1133,280 @@ mod tests {
         let store = LogStore::new();
         store.insert(rec(&store, 1, "n", "cpu cpu cpu"));
         assert_eq!(store.search(0, 10, &["cpu".to_string()]).len(), 1);
+    }
+
+    // ----------------------------------------------- bugfix regressions
+
+    #[test]
+    fn scan_handles_empty_reversed_and_extreme_ranges() {
+        let store = LogStore::with_shard_seconds(60);
+        store.insert(rec(&store, 100, "n", "edge marker"));
+        let count = |from, to| store.search(from, to, &[]).len();
+        // `to == i64::MIN` used to compute `shard_key(i64::MIN - 1)` —
+        // a debug-build overflow panic. Now an early empty return.
+        assert_eq!(count(i64::MIN, i64::MIN), 0);
+        assert_eq!(count(0, i64::MIN), 0);
+        // Reversed and empty ranges return without walking the map.
+        assert_eq!(count(200, 100), 0);
+        assert_eq!(count(100, 100), 0);
+        // Extreme-but-valid ranges still work.
+        assert_eq!(count(i64::MIN, i64::MAX), 1);
+        // count_by_template applies the same guard.
+        assert!(store.count_by_template(0, i64::MIN).is_empty());
+    }
+
+    #[test]
+    fn attach_telemetry_concurrent_with_batch_inserts_keeps_counter_exact() {
+        // Regression: attach used to carry `self.len()` onto the counter
+        // while `insert_batch_affine` snapshotted attachment before its
+        // loop — attaching mid-batch double-counted (carry included rows
+        // whose batch then also added them) or undercounted. The carry is
+        // now taken from an internal ledger under the metrics write lock,
+        // which excludes in-flight adders.
+        for round in 0..20 {
+            let store = std::sync::Arc::new(LogStore::with_config(3600, 4));
+            let registry = std::sync::Arc::new(obs::Registry::new());
+            let mut handles = Vec::new();
+            for lane in 0..4usize {
+                let store = store.clone();
+                handles.push(std::thread::spawn(move || {
+                    for chunk in 0..20 {
+                        let batch: Vec<LogRecord> = (0..10)
+                            .map(|i| rec(&store, 100, "cn0", &format!("b {chunk} m {i}")))
+                            .collect();
+                        store.insert_batch_affine(lane, batch);
+                    }
+                }));
+            }
+            // Attach while batches are in flight, at a varying point.
+            for _ in 0..round {
+                std::thread::yield_now();
+            }
+            store.attach_telemetry(&registry);
+            for h in handles {
+                h.join().unwrap();
+            }
+            let counter = registry.counter("hetsyslog_store_records_total", "", &[]);
+            assert_eq!(store.len(), 800);
+            assert_eq!(
+                counter.get(),
+                800,
+                "counter must equal len() after concurrent attach (round {round})"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_gauge_tracks_slot_creation_eviction_and_sealing() {
+        let store = LogStore::with_shard_seconds(60);
+        let registry = obs::Registry::new();
+        store.attach_telemetry(&registry);
+        let gauge = registry.gauge("hetsyslog_store_shards", "", &[]);
+        assert_eq!(gauge.get(), 0);
+
+        // Regression: a single batch spanning a slot boundary only
+        // refreshed the gauge at end of batch; scalar inserts refreshed
+        // mid-stream. Both now update the moment a slot opens.
+        let batch: Vec<LogRecord> = [10, 70, 130]
+            .iter()
+            .map(|&t| rec(&store, t, "n", "span marker"))
+            .collect();
+        store.insert_batch(batch);
+        assert_eq!(gauge.get(), 3);
+        assert_eq!(store.n_shards(), 3);
+
+        // Regression: eviction used to leave the gauge stale.
+        store.evict_before(60);
+        assert_eq!(gauge.get(), 2);
+        assert_eq!(store.n_shards(), 2);
+
+        // Sealing closes hot shards too, and the gauge follows.
+        store.seal_all();
+        assert_eq!(gauge.get(), 0);
+        assert_eq!(store.n_shards(), 0);
+        assert_eq!(store.len(), 2, "sealed rows still stored");
+    }
+
+    // ------------------------------------------------- sealed-tier tests
+
+    #[test]
+    fn threshold_sealing_keeps_rows_queryable() {
+        let store = LogStore::with_shard_seconds(3600).with_sealing(10);
+        for i in 0..25 {
+            store.insert(rec(&store, 100 + i, "cn01", &format!("seal marker {i}")));
+        }
+        // Two automatic seals at 10 docs each; 5 rows stay hot.
+        assert_eq!(store.n_segments(), 2);
+        assert_eq!(store.sealed_len(), 20);
+        assert_eq!(store.hot_len(), 5);
+        assert_eq!(store.len(), 25);
+        // Term + time queries span both tiers.
+        assert_eq!(store.search(0, 4000, &["marker".to_string()]).len(), 25);
+        assert_eq!(store.search(100, 105, &[]).len(), 5);
+        // Sealed rows decode byte-identically.
+        let hits = store.search(100, 101, &[]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].message, "seal marker 0");
+        assert_eq!(hits[0].node, "cn01");
+    }
+
+    #[test]
+    fn seal_before_is_shard_granular_and_lossless() {
+        let store = LogStore::with_shard_seconds(60);
+        store.insert(rec(&store, 10, "a", "ancient marker"));
+        store.insert(rec(&store, 70, "b", "old marker"));
+        store.insert(rec(&store, 130, "c", "fresh marker"));
+        // Cutoff inside the second shard: only the first seals.
+        assert_eq!(store.seal_before(90), 1);
+        assert_eq!(store.n_shards(), 2);
+        assert_eq!(store.n_segments(), 1);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.search(0, 200, &["marker".to_string()]).len(), 3);
+        assert_eq!(store.search(0, 200, &["ancient".to_string()]).len(), 1);
+        // Export sees sealed and hot rows; import restores everything.
+        let mut out = Vec::new();
+        assert_eq!(store.export_jsonl(&mut out).unwrap(), 3);
+        let (restored, skipped) =
+            LogStore::import_jsonl(std::io::BufReader::new(&out[..]), 60).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(restored.len(), 3);
+        // Eviction drops sealed segments like hot shards.
+        assert_eq!(store.evict_before(120), 2);
+        assert_eq!(store.n_segments(), 0);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn template_queries_answer_from_sealed_segments() {
+        let store = LogStore::with_shard_seconds(3600);
+        for i in 0..30 {
+            store.insert(rec(
+                &store,
+                100 + i,
+                "cn01",
+                &format!("temperature {}C on node cn{:02}", 80 + i, i % 4),
+            ));
+        }
+        for i in 0..10 {
+            store.insert(rec(
+                &store,
+                200 + i,
+                "cn02",
+                &format!("usb device {i} attached"),
+            ));
+        }
+        assert!(
+            store.count_by_template(0, 4000).is_empty(),
+            "hot tier unmined"
+        );
+        store.seal_all();
+
+        let counts = store.count_by_template(0, 4000);
+        assert_eq!(counts.get("temperature <*> on node <*>"), Some(&30));
+        assert_eq!(counts.get("usb device <*> attached"), Some(&10));
+        // Partial range decodes timestamps: only the first 5 temperature rows.
+        let partial = store.count_by_template(100, 105);
+        assert_eq!(partial.get("temperature <*> on node <*>"), Some(&5));
+        assert_eq!(partial.get("usb device <*> attached"), None);
+
+        // Variable histogram over slot 1 (the node id).
+        let hist = store.variable_histogram("temperature <*> on node <*>", 1);
+        assert_eq!(hist.len(), 4);
+        assert_eq!(hist.get("cn00"), Some(&8));
+        assert_eq!(hist.get("cn01"), Some(&8));
+        assert_eq!(hist.get("cn03"), Some(&7));
+
+        // Template-filtered scan yields only matching rows, losslessly.
+        let mut n = 0;
+        store.template_scan("usb device <*> attached", |r| {
+            assert!(r.message.starts_with("usb device "));
+            n += 1;
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn sealed_tier_telemetry_updates_on_seal_and_attach_carry() {
+        let store = LogStore::with_shard_seconds(60);
+        for i in 0..20 {
+            store.insert(rec(&store, i, "n", &format!("carry marker {i}")));
+        }
+        store.seal_all();
+        // Attach AFTER sealing: counters carry the pre-attach history.
+        let registry = obs::Registry::new();
+        store.attach_telemetry(&registry);
+        assert_eq!(
+            registry
+                .counter("hetsyslog_store_records_total", "", &[])
+                .get(),
+            20
+        );
+        assert_eq!(
+            registry
+                .counter("hetsyslog_segment_sealed_total", "", &[])
+                .get(),
+            1
+        );
+        assert_eq!(
+            registry
+                .counter("hetsyslog_segment_rows_total", "", &[])
+                .get(),
+            20
+        );
+        assert!(
+            registry
+                .counter("hetsyslog_template_mined_total", "", &[])
+                .get()
+                >= 1
+        );
+        assert_eq!(registry.gauge("hetsyslog_segment_live", "", &[]).get(), 1);
+        assert!(registry.gauge("hetsyslog_segment_bytes", "", &[]).get() > 0);
+        let raw = registry.gauge("hetsyslog_segment_raw_bytes", "", &[]).get();
+        assert!(raw > 0);
+        assert!(registry.gauge("hetsyslog_template_live", "", &[]).get() >= 1);
+
+        // A second seal moves the counters live (no re-carry).
+        for i in 0..5 {
+            store.insert(rec(&store, 600 + i, "n", &format!("carry marker {i}")));
+        }
+        store.seal_all();
+        assert_eq!(
+            registry
+                .counter("hetsyslog_segment_sealed_total", "", &[])
+                .get(),
+            2
+        );
+        assert_eq!(
+            registry
+                .counter("hetsyslog_segment_rows_total", "", &[])
+                .get(),
+            25
+        );
+        assert_eq!(registry.gauge("hetsyslog_segment_live", "", &[]).get(), 2);
+        // Evicting everything zeroes the live gauges, not the counters.
+        store.evict_before(i64::MAX.div_euclid(60));
+        assert_eq!(registry.gauge("hetsyslog_segment_live", "", &[]).get(), 0);
+        assert_eq!(
+            registry
+                .counter("hetsyslog_segment_rows_total", "", &[])
+                .get(),
+            25
+        );
+    }
+
+    #[test]
+    fn reattach_does_not_double_count() {
+        let store = LogStore::new();
+        let registry = obs::Registry::new();
+        store.attach_telemetry(&registry);
+        store.insert(rec(&store, 1, "n", "m"));
+        store.attach_telemetry(&registry);
+        store.insert(rec(&store, 2, "n", "m"));
+        assert_eq!(
+            registry
+                .counter("hetsyslog_store_records_total", "", &[])
+                .get(),
+            2
+        );
     }
 }

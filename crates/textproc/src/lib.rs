@@ -15,7 +15,10 @@
 //!   (Table 1 of the paper),
 //! * [`hashing`] — a vocabulary-free hashing vectorizer (drift-immune
 //!   features for the X3 adaptation study),
-//! * [`ngram`] — word and character n-gram extraction.
+//! * [`ngram`] — word and character n-gram extraction,
+//! * [`template`] — a LogShrink-style log-template miner (bucket by word
+//!   count, similarity-cluster, variables → `<*>`) with lossless
+//!   message reconstruction — the codec behind the columnar log store.
 
 pub mod hash;
 pub mod hashing;
@@ -23,6 +26,7 @@ pub mod lemma;
 pub mod ngram;
 pub mod sparse;
 pub mod stopwords;
+pub mod template;
 pub mod tfidf;
 pub mod token;
 pub mod vocab;
@@ -30,6 +34,7 @@ pub mod vocab;
 pub use hashing::HashingVectorizer;
 pub use lemma::Lemmatizer;
 pub use sparse::{CsrMatrix, SparseVec};
+pub use template::{Template, TemplateMiner, TemplateToken};
 pub use tfidf::{TfidfConfig, TfidfVectorizer};
 pub use token::{tokenize, Tokenizer, TokenizerConfig};
 pub use vocab::Vocabulary;

@@ -32,6 +32,7 @@ fn main() {
         "eval" => cmd_eval(&opts),
         "monitor" => cmd_monitor(&opts),
         "top" => cmd_top(&opts),
+        "templates" => cmd_templates(&opts),
         "summarize" => cmd_summarize(&opts),
         "--help" | "-h" | "help" => {
             usage_and_exit();
@@ -55,6 +56,7 @@ fn usage_and_exit() -> ! {
          \x20 eval       --scale F [--drop-unimportant]     run the Figure 3 evaluation\n\
          \x20 monitor    --frames N --workers N             simulate real-time monitoring\n\
          \x20 top        --addr HOST:PORT [--interval-ms N] one-shot dashboard from a /metrics scrape\n\
+         \x20 templates  --frames N [--top K] [--histogram PATTERN --slot N]  mine the stream into a columnar store\n\
          \x20 summarize  --scale F --window MIN             LLM status summary (future-work demo)\n\n\
          MODELS: lr ridge knn rf svc sgd nc cnb"
     );
@@ -421,6 +423,91 @@ fn bucket_quantile(buckets: &[(u64, u64)], q: f64) -> u64 {
         }
     }
     buckets.last().map(|(u, _)| *u).unwrap_or(0)
+}
+
+/// `hetsyslog templates` — run the synthetic stream into the log store,
+/// seal it into template-mined columnar segments (DESIGN.md §6), and show
+/// what the sealed tier knows without decompressing anything: rows per
+/// template pattern, plus compression figures. With `--histogram PATTERN
+/// --slot N` also prints the value distribution of one variable slot
+/// (decompresses exactly one column per segment).
+fn cmd_templates(opts: &Opts) -> Result<(), String> {
+    let frames = opts.get_u64("frames", 20_000)? as usize;
+    let seed = opts.get_u64("seed", 42)?;
+    let top = opts.get_u64("top", 15)? as usize;
+    let store = LogStore::new();
+    let records = StreamGenerator::new(StreamConfig {
+        seed,
+        ..StreamConfig::default()
+    })
+    .take(frames)
+    .enumerate()
+    .map(|(i, tm)| hetsyslog::pipeline::LogRecord {
+        id: i as u64,
+        unix_seconds: tm.unix_seconds,
+        node: tm.message.node.clone(),
+        app: tm.message.app.clone(),
+        severity: if tm.message.category.is_actionable() {
+            Severity::Warning
+        } else {
+            Severity::Informational
+        },
+        facility: hetsyslog::syslog::Facility::Daemon,
+        message: tm.message.text,
+        category: Some(tm.message.category),
+    });
+    store.insert_batch(records);
+    let mut jsonl = Vec::new();
+    store.export_jsonl(&mut jsonl).map_err(|e| e.to_string())?;
+    store.seal_all();
+    let stats = store.segment_stats();
+
+    let mut counts: Vec<(String, u64)> = store
+        .count_by_template(i64::MIN, i64::MAX)
+        .into_iter()
+        .collect();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    println!(
+        "{} records → {} segment(s), {} templates",
+        store.len(),
+        store.n_segments(),
+        counts.len(),
+    );
+    println!(
+        "{} JSONL bytes → {} encoded ({:.1}x compression)\n",
+        jsonl.len(),
+        stats.encoded_bytes,
+        jsonl.len() as f64 / stats.encoded_bytes.max(1) as f64,
+    );
+    println!("{:>10}  template", "rows");
+    for (pattern, n) in counts.iter().take(top) {
+        println!("{n:>10}  {pattern}");
+    }
+    if counts.len() > top {
+        println!("{:>10}  … {} more", "", counts.len() - top);
+    }
+
+    if let Some(pattern) = opts.get("histogram") {
+        let slot = opts.get_u64("slot", 0)? as usize;
+        let mut hist: Vec<(String, u64)> = store
+            .variable_histogram(pattern, slot)
+            .into_iter()
+            .collect();
+        if hist.is_empty() {
+            return Err(format!(
+                "no values for slot {slot} of template {pattern:?} (check `--top` output for exact patterns)"
+            ));
+        }
+        hist.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        println!("\nslot {slot} of {pattern:?}:");
+        for (value, n) in hist.iter().take(top) {
+            println!("{n:>10}  {value}");
+        }
+        if hist.len() > top {
+            println!("{:>10}  … {} more distinct values", "", hist.len() - top);
+        }
+    }
+    Ok(())
 }
 
 fn cmd_summarize(opts: &Opts) -> Result<(), String> {
