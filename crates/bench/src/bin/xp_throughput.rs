@@ -69,11 +69,26 @@ fn main() {
         field(&columnar, "compression_ratio"),
         field(&columnar, "query_speedup"),
     );
+    // The sink fan-out sweep (healthy / 5% errors / outage + spill replay)
+    // follows the same rule: committed evidence, never a conformance value.
+    let fanout = experiments::sink_fanout(&args);
+    println!(
+        "Sink fan-out: {:.0} msg/s healthy, {:.0} msg/s at 5% errors, recovery in {:.2}s after a {:.0} ms outage (lossless: {})",
+        field(&fanout, "healthy_msgs_per_sec"),
+        field(&fanout, "errors_5pct_msgs_per_sec"),
+        field(&fanout, "recovery_seconds"),
+        field(&fanout, "outage_ms"),
+        fanout
+            .get("lossless_under_outage")
+            .and_then(serde_json::Value::as_bool)
+            .unwrap_or(false),
+    );
     let mut bench = experiments::xp_throughput_bench_json(&out.value);
     if let serde_json::Value::Object(entries) = &mut bench {
         entries.push(("observability_overhead".to_string(), overhead));
         entries.push(("live_sharding".to_string(), sharding));
         entries.push(("columnar_store".to_string(), columnar));
+        entries.push(("sink_fanout".to_string(), fanout));
     }
     write_json(BENCH_JSON, &bench);
     println!("Batch comparison written to {BENCH_JSON}");

@@ -1478,6 +1478,108 @@ pub fn columnar_store(args: &ExpArgs) -> Value {
     })
 }
 
+/// Sink fan-out sweep: delivered throughput under a healthy sink, a 5%
+/// error-rate sink, and an outage + spill-replay arm, plus the recovery
+/// time (outage end → spill drained). Rides along in the committed bench
+/// JSON; deliberately NOT a conformance value (timings vary per host).
+pub fn sink_fanout(args: &ExpArgs) -> Value {
+    use logpipeline::{BulkSink, FanOut, FaultPlan, SinkLaneConfig, SinkSpec, SpillConfig};
+
+    let n = (20_000.0 * (args.scale / 0.05).clamp(0.2, 10.0)) as u64;
+    let records = logpipeline::testsupport::sample_records(0, n);
+    let chunk = 512;
+    let outage = Duration::from_millis(400);
+
+    // One arm: run `n` records through a single-lane fan-out and report
+    // (delivered/s, snapshot, seconds from outage end to fully drained).
+    let run = |plan: FaultPlan, spill: Option<&str>| {
+        let spill_dir = spill.map(|tag| {
+            let dir = std::path::PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../target/tmp-bench-sink"
+            ))
+            .join(format!("{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        });
+        let sink = Arc::new(BulkSink::new("bench", plan));
+        sink.start_clock();
+        let mut lane = SinkLaneConfig::default().with_retry(
+            6,
+            Duration::from_millis(1),
+            Duration::from_millis(25),
+        );
+        if let Some(dir) = &spill_dir {
+            lane = lane.with_spill(SpillConfig::new(dir));
+        }
+        let fan_out = FanOut::open(vec![SinkSpec::with_config(sink.clone(), lane)], None)
+            .expect("open fan-out");
+        let start = Instant::now();
+        for batch in records.chunks(chunk) {
+            fan_out.submit(batch);
+        }
+        let deadline = start + Duration::from_secs(120);
+        let mut drained_at = None;
+        while Instant::now() < deadline {
+            let s = &fan_out.snapshots()[0];
+            if s.in_flight == 0 && s.spilled_pending == 0 && s.delivered + s.dropped == n {
+                drained_at = Some(Instant::now());
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let elapsed = drained_at.unwrap_or_else(Instant::now) - start;
+        fan_out.shutdown(Duration::from_secs(5));
+        let snap = fan_out.snapshots().remove(0);
+        if let Some(dir) = &spill_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        let recovery = drained_at
+            .map(|t| (t - start).saturating_sub(outage).as_secs_f64())
+            .unwrap_or(f64::NAN);
+        (
+            snap.delivered as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+            snap,
+            recovery,
+        )
+    };
+
+    let (healthy_rate, healthy, _) = run(FaultPlan::healthy().with_seed(args.seed), None);
+    let (errors_rate, errors, _) = run(
+        FaultPlan::healthy()
+            .with_seed(args.seed)
+            .with_error_rate(0.05),
+        None,
+    );
+    let (outage_rate, outaged, recovery_seconds) = run(
+        FaultPlan::healthy()
+            .with_seed(args.seed)
+            .with_outage(Duration::ZERO, outage),
+        Some("outage"),
+    );
+    assert!(healthy.ledger_balanced(), "{healthy:?}");
+    assert!(errors.ledger_balanced(), "{errors:?}");
+    assert!(outaged.ledger_balanced(), "{outaged:?}");
+    assert_eq!(
+        outaged.dropped, 0,
+        "spill-backed outage arm must be lossless"
+    );
+
+    serde_json::json!({
+        "n_messages": n,
+        "healthy_msgs_per_sec": healthy_rate,
+        "errors_5pct_msgs_per_sec": errors_rate,
+        "errors_5pct_retries": errors.retries,
+        "outage_msgs_per_sec": outage_rate,
+        "outage_ms": outage.as_millis() as u64,
+        "outage_spilled_records": outaged.spilled,
+        "outage_replayed_records": outaged.replayed,
+        "recovery_seconds": recovery_seconds,
+        "lossless_under_outage": outaged.dropped == 0,
+        "gate": "ledger balanced in every arm; outage arm lossless",
+    })
+}
+
 /// Reassemble the standalone `BENCH_throughput.json` document (the PR 1
 /// speedup-floor evidence) from an [`xp_throughput`] result value.
 pub fn xp_throughput_bench_json(value: &Value) -> Value {

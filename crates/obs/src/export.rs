@@ -162,6 +162,20 @@ impl Scrape {
             .sum()
     }
 
+    /// Distinct values of label `key` across every sample named `name`,
+    /// in first-appearance order (e.g. every `sink=` a scrape mentions).
+    pub fn label_values(&self, name: &str, key: &str) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in self.samples.iter().filter(|s| s.name == name) {
+            if let Some(v) = s.label(key) {
+                if !out.iter().any(|seen| seen == v) {
+                    out.push(v.to_string());
+                }
+            }
+        }
+        out
+    }
+
     /// The single sample with this exact name and a matching label, if any.
     pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
         self.samples

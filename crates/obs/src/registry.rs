@@ -187,6 +187,16 @@ impl Registry {
         }
     }
 
+    /// Look up a gauge's current value by name + labels (same contract as
+    /// [`Registry::counter_value`]).
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        let families = self.families.lock();
+        match families.get(name)?.series.get(&labels_of(labels))? {
+            Instrument::Gauge(g) => Some(g.get()),
+            _ => None,
+        }
+    }
+
     /// Render the whole registry in Prometheus text exposition format
     /// (version 0.0.4). Histograms emit cumulative `_bucket{le=...}` lines
     /// for each non-empty bucket plus `+Inf`, then `_sum` and `_count`.

@@ -22,6 +22,12 @@
 //! * [`shard`] — the sharded live-path fabric: hash-by-connection
 //!   partitioner, per-shard SPSC rings with work-stealing handles, and
 //!   per-shard instruments;
+//! * [`sink`] — the post-classification delivery stage (the
+//!   OpenSearch/Grafana hand-off): a `Sink` trait with ack/nack, file /
+//!   simulated-bulk / log-to-metric sinks, and a [`FanOut`] router with
+//!   per-sink windows, retry/backoff, and spill-then-replay;
+//! * [`spill`] — the durable disk buffer behind the sinks: CRC-framed,
+//!   size-capped segment files with crash recovery and quarantine;
 //! * [`views`] — the §4.5 monitoring views: frequency/temporal analysis
 //!   with burst detection, positional (per-rack) analysis, and
 //!   per-architecture anomaly comparison;
@@ -36,7 +42,10 @@ pub mod query;
 pub mod record;
 pub mod sensors;
 pub mod shard;
+pub mod sink;
+pub mod spill;
 pub mod store;
+pub mod testsupport;
 pub mod topology;
 pub mod views;
 
@@ -51,5 +60,10 @@ pub use query::Query;
 pub use record::LogRecord;
 pub use sensors::{compare_to_arch_peers, sensor_sweep, SensorReading, SensorVerdict};
 pub use shard::{Partitioner, ShardReceiver, ShardRouter, ShardStats};
+pub use sink::{
+    BulkSink, FanOut, FaultPlan, FileSink, MetricSink, Sink, SinkBatch, SinkError, SinkLaneConfig,
+    SinkSnapshot, SinkSpec,
+};
+pub use spill::{RecoveryReport, SpillBuffer, SpillConfig, SpillFrame};
 pub use store::LogStore;
 pub use topology::{Architecture, ClusterTopology, NodeInfo};

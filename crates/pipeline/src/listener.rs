@@ -358,6 +358,11 @@ pub struct ListenerConfig {
     /// `GET /spans` (JSON) on an ephemeral loopback port. Requires
     /// `telemetry`; see [`SyslogListener::metrics_addr`].
     pub serve_metrics: bool,
+    /// Post-classification delivery: every stored batch is also fanned
+    /// out to these sinks (see [`crate::sink::FanOut`]). Graceful drain
+    /// extends to the sinks — `shutdown` waits for their acks or spills
+    /// the remainder durably. `None` ends the pipeline at the store.
+    pub fan_out: Option<Arc<crate::sink::FanOut>>,
 }
 
 impl Default for ListenerConfig {
@@ -375,6 +380,7 @@ impl Default for ListenerConfig {
             max_delay: Duration::from_millis(2),
             telemetry: None,
             serve_metrics: false,
+            fan_out: None,
         }
     }
 }
@@ -512,6 +518,7 @@ pub struct SyslogListener {
     worker_threads: Vec<JoinHandle<()>>,
     router: Option<Arc<ShardRouter<WireFrame>>>,
     metrics_server: Option<obs::MetricsServer>,
+    fan_out: Option<Arc<crate::sink::FanOut>>,
 }
 
 impl SyslogListener {
@@ -608,6 +615,7 @@ impl SyslogListener {
             let my_stats = shard_stats[receiver.shard].clone();
             let spans = spans.clone();
             let fallback_time = config.fallback_time;
+            let fan_out = config.fan_out.clone();
             worker_threads.push(std::thread::spawn(move || {
                 let shard = receiver.shard;
                 let batched_service = if max_batch > 1 { service.clone() } else { None };
@@ -694,6 +702,9 @@ impl SyslogListener {
                                             classified = 1;
                                         }
                                     }
+                                    if let Some(fan_out) = &fan_out {
+                                        fan_out.submit(std::slice::from_ref(&record));
+                                    }
                                     store.insert(record);
                                     stats.ingested.inc();
                                 }
@@ -776,6 +787,12 @@ impl SyslogListener {
                     // the whole batch: shard k writes lane k, which no
                     // other pipeline shard ever locks (store affinity).
                     let stored = records.len() as u64;
+                    // Fan the classified batch out to the sink lanes
+                    // before the store consumes it (each lane clones its
+                    // own copy; overload is handled per lane).
+                    if let Some(fan_out) = &fan_out {
+                        fan_out.submit(&records);
+                    }
                     {
                         let _insert = root.as_ref().map(|r| r.child("store_insert"));
                         let insert_started = Instant::now();
@@ -913,6 +930,7 @@ impl SyslogListener {
             worker_threads,
             router: Some(router),
             metrics_server,
+            fan_out: config.fan_out,
         })
     }
 
@@ -966,6 +984,13 @@ impl SyslogListener {
         self.shard_stats.len()
     }
 
+    /// Per-sink delivery ledgers, when a fan-out is attached. The handle
+    /// inside [`ListenerConfig::fan_out`] stays valid across
+    /// [`SyslogListener::shutdown`] for post-drain accounting.
+    pub fn sink_snapshots(&self) -> Option<Vec<crate::sink::SinkSnapshot>> {
+        self.fan_out.as_ref().map(|f| f.snapshots())
+    }
+
     /// Combined transport + classification health, when a
     /// [`MonitorService`] is attached.
     pub fn health(&self) -> Option<HealthSnapshot> {
@@ -1002,6 +1027,14 @@ impl SyslogListener {
         drop(self.router.take());
         for handle in self.worker_threads.drain(..) {
             let _ = handle.join();
+        }
+        // Workers are gone, so every stored batch has been fanned out.
+        // The drain now extends downstream: wait for sink acks or spill
+        // the remainder durably, so shutdown never strands an in-flight
+        // sink batch (idempotent — a caller-owned FanOut may already be
+        // shut down).
+        if let Some(fan_out) = &self.fan_out {
+            fan_out.shutdown(Duration::from_secs(5));
         }
         if let Some(server) = &mut self.metrics_server {
             server.stop();

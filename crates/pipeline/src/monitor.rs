@@ -231,6 +231,7 @@ pub struct ClassifyingIngest {
     max_batch: usize,
     max_delay: Duration,
     batch_stats: Arc<BatchStats>,
+    fan_out: Option<Arc<crate::sink::FanOut>>,
 }
 
 impl ClassifyingIngest {
@@ -248,6 +249,7 @@ impl ClassifyingIngest {
             max_batch: 64,
             max_delay: Duration::from_millis(2),
             batch_stats: Arc::new(BatchStats::new()),
+            fan_out: None,
         }
     }
 
@@ -263,6 +265,15 @@ impl ClassifyingIngest {
     pub fn with_batching(mut self, max_batch: usize, max_delay: Duration) -> ClassifyingIngest {
         self.max_batch = max_batch.max(1);
         self.max_delay = max_delay;
+        self
+    }
+
+    /// Fan every stored batch out to the given sink router as well (see
+    /// [`crate::sink::FanOut`]): each classified micro-batch is submitted
+    /// to the sinks right before the store insert, with per-lane overload
+    /// and spill semantics.
+    pub fn with_fan_out(mut self, fan_out: Arc<crate::sink::FanOut>) -> ClassifyingIngest {
+        self.fan_out = Some(fan_out);
         self
     }
 
@@ -299,6 +310,7 @@ impl ClassifyingIngest {
                 let max_batch = self.max_batch;
                 let max_delay = self.max_delay;
                 let batch_stats = &self.batch_stats;
+                let fan_out = &self.fan_out;
                 scope.spawn(move || {
                     let mut batch: Vec<String> = Vec::with_capacity(max_batch);
                     // First frame blocks; the rest of the batch fills
@@ -317,6 +329,7 @@ impl ClassifyingIngest {
                         let texts: Vec<&str> = batch.iter().map(|f| f.as_str()).collect();
                         let outcomes = service.ingest_frames(&texts);
                         let mut classified = 0u64;
+                        let mut records: Vec<LogRecord> = Vec::with_capacity(batch.len());
                         for outcome in outcomes {
                             let (msg, category) = match outcome {
                                 FrameOutcome::Classified {
@@ -337,8 +350,16 @@ impl ClassifyingIngest {
                             let mut record =
                                 LogRecord::from_message(store.allocate_id(), &msg, fallback_time);
                             record.category = category;
+                            records.push(record);
+                        }
+                        // Sinks see the classified batch before the store
+                        // consumes it (each lane clones its own copy).
+                        if let Some(fan_out) = fan_out {
+                            fan_out.submit(&records);
+                        }
+                        ingested.fetch_add(records.len() as u64, Ordering::Relaxed);
+                        for record in records {
                             store.insert(record);
-                            ingested.fetch_add(1, Ordering::Relaxed);
                         }
                         batch_stats.record_flush(
                             batch.len(),
@@ -373,6 +394,16 @@ impl ClassifyingIngest {
     /// Micro-batching counters accumulated across runs.
     pub fn batch_stats(&self) -> BatchSnapshot {
         self.batch_stats.snapshot()
+    }
+
+    /// Per-sink delivery ledgers, when a fan-out is attached.
+    pub fn sink_snapshots(&self) -> Option<Vec<crate::sink::SinkSnapshot>> {
+        self.fan_out.as_ref().map(|f| f.snapshots())
+    }
+
+    /// The attached sink router, when any.
+    pub fn fan_out(&self) -> Option<&Arc<crate::sink::FanOut>> {
+        self.fan_out.as_ref()
     }
 }
 

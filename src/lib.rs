@@ -80,8 +80,9 @@ pub mod prelude {
         ZeroShotLlmClassifier,
     };
     pub use logpipeline::{
-        compare_to_arch_peers, sensor_sweep, ClassifyingIngest, ClusterTopology, IngestPipeline,
-        ListenerConfig, LogStore, OverloadPolicy, Query, SensorVerdict, SyslogListener,
+        compare_to_arch_peers, sensor_sweep, BulkSink, ClassifyingIngest, ClusterTopology, FanOut,
+        FaultPlan, FileSink, IngestPipeline, ListenerConfig, LogStore, MetricSink, OverloadPolicy,
+        Query, SensorVerdict, Sink, SinkLaneConfig, SinkSpec, SpillConfig, SyslogListener,
     };
     pub use obs::{Registry, Telemetry};
     pub use syslog_model::{parse, split_stream, FrameDecoder, Severity, SyslogMessage};

@@ -54,41 +54,63 @@ fn usage_and_exit() -> ! {
          \x20 train      --corpus FILE --model NAME --out FILE   train and save a pipeline\n\
          \x20 classify   --model FILE [--explain]           classify stdin lines\n\
          \x20 eval       --scale F [--drop-unimportant]     run the Figure 3 evaluation\n\
-         \x20 monitor    --frames N --workers N             simulate real-time monitoring\n\
+         \x20 monitor    --frames N --workers N [--sink SPEC]... [--spill DIR]  simulate real-time monitoring\n\
          \x20 top        --addr HOST:PORT [--interval-ms N] one-shot dashboard from a /metrics scrape\n\
          \x20 templates  --frames N [--top K] [--histogram PATTERN --slot N]  mine the stream into a columnar store\n\
          \x20 summarize  --scale F --window MIN             LLM status summary (future-work demo)\n\n\
+         SINKS (repeatable --sink SPEC; --spill DIR adds durable spill-then-replay per sink):\n\
+         \x20 file:DIR            append-only CRC-framed segment files\n\
+         \x20 bulk[:k=v,...]      simulated bulk indexer (error=F stall_ms=N outage=START+DUR seed=N)\n\
+         \x20 metrics             per-category log-to-metric counters\n\n\
          MODELS: lr ridge knn rf svc sgd nc cnb"
     );
     std::process::exit(2);
 }
 
-/// Minimal `--key value` / `--flag` option bag.
+/// Minimal `--key value` / `--flag` option bag. Repeated `--key` values
+/// are all kept, in order (`--sink file:out --sink bulk` yields both).
 struct Opts {
     values: BTreeMap<String, String>,
+    repeated: Vec<(String, String)>,
     flags: Vec<String>,
 }
 
 impl Opts {
     fn parse(args: &[String]) -> Opts {
         let mut values = BTreeMap::new();
+        let mut repeated = Vec::new();
         let mut flags = Vec::new();
         let mut it = args.iter().peekable();
         while let Some(arg) = it.next() {
             if let Some(key) = arg.strip_prefix("--") {
                 match it.peek() {
                     Some(next) if !next.starts_with("--") => {
-                        values.insert(key.to_string(), it.next().unwrap().clone());
+                        let value = it.next().unwrap().clone();
+                        values.insert(key.to_string(), value.clone());
+                        repeated.push((key.to_string(), value));
                     }
                     _ => flags.push(key.to_string()),
                 }
             }
         }
-        Opts { values, flags }
+        Opts {
+            values,
+            repeated,
+            flags,
+        }
     }
 
     fn get(&self, key: &str) -> Option<&str> {
         self.values.get(key).map(String::as_str)
+    }
+
+    /// Every value a repeated `--key` was given, in command-line order.
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.repeated
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
@@ -227,6 +249,87 @@ fn cmd_eval(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse the repeated `--sink` specs into fan-out lanes:
+///
+/// * `file:DIR` — append-only CRC-framed segment files under `DIR`;
+/// * `bulk[:k=v,…]` — simulated bulk indexer; options `error=F` (nack
+///   rate), `stall_ms=N`, `outage=START+DUR` (seconds from first request),
+///   `seed=N`;
+/// * `metrics` — log-to-metric sink on the shared registry.
+///
+/// With `--spill DIR`, every lane gets a durable spill directory
+/// `DIR/<sink-name>` (overload and outages become spill-then-replay
+/// instead of drops).
+fn parse_sink_specs(opts: &Opts, registry: &Registry) -> Result<Vec<SinkSpec>, String> {
+    use std::time::Duration;
+    let spill_root = opts.get("spill");
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    let mut specs = Vec::new();
+    for raw in opts.get_all("sink") {
+        let (kind, arg) = match raw.split_once(':') {
+            Some((k, a)) => (k, Some(a)),
+            None => (raw, None),
+        };
+        let nth = *seen
+            .entry(kind.to_string())
+            .and_modify(|n| *n += 1)
+            .or_insert(0);
+        let name = if nth == 0 {
+            kind.to_string()
+        } else {
+            format!("{kind}-{nth}")
+        };
+        let sink: Arc<dyn Sink> = match kind {
+            "file" => {
+                let dir = arg.ok_or("--sink file:DIR needs a directory")?;
+                Arc::new(FileSink::new(name.clone(), dir).map_err(|e| format!("{dir}: {e}"))?)
+            }
+            "bulk" => {
+                let mut plan = FaultPlan::healthy();
+                for kv in arg.unwrap_or("").split(',').filter(|s| !s.is_empty()) {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad bulk option {kv:?} (want key=value)"))?;
+                    let num = || -> Result<f64, String> {
+                        v.parse()
+                            .map_err(|_| format!("bulk {k}={v:?}: not a number"))
+                    };
+                    plan = match k {
+                        "error" => plan.with_error_rate(num()?),
+                        "stall_ms" => plan.with_stall(Duration::from_millis(num()? as u64)),
+                        "seed" => plan.with_seed(num()? as u64),
+                        "outage" => {
+                            let (start, dur) = v.split_once('+').ok_or_else(|| {
+                                format!("bulk outage={v:?}: want START+DUR seconds")
+                            })?;
+                            let secs = |s: &str| -> Result<Duration, String> {
+                                s.parse::<f64>()
+                                    .map(Duration::from_secs_f64)
+                                    .map_err(|_| format!("bulk outage={v:?}: not numbers"))
+                            };
+                            plan.with_outage(secs(start)?, secs(dur)?)
+                        }
+                        other => return Err(format!("unknown bulk option {other:?}")),
+                    };
+                }
+                Arc::new(BulkSink::new(name.clone(), plan))
+            }
+            "metrics" => Arc::new(MetricSink::new(name.clone(), registry)),
+            other => {
+                return Err(format!(
+                    "unknown sink kind {other:?} (want file:DIR, bulk[:opts], or metrics)"
+                ))
+            }
+        };
+        let mut config = SinkLaneConfig::default();
+        if let Some(root) = spill_root {
+            config = config.with_spill(SpillConfig::new(std::path::Path::new(root).join(&name)));
+        }
+        specs.push(SinkSpec::with_config(sink, config));
+    }
+    Ok(specs)
+}
+
 fn cmd_monitor(opts: &Opts) -> Result<(), String> {
     let frames = opts.get_u64("frames", 20_000)? as usize;
     let workers = opts.get_u64("workers", 4)? as usize;
@@ -244,7 +347,17 @@ fn cmd_monitor(opts: &Opts) -> Result<(), String> {
             .with_alert_sink(sink.clone()),
     );
     let store = Arc::new(LogStore::new());
-    let ingest = ClassifyingIngest::new(store.clone(), service.clone(), workers);
+    let registry = Registry::new();
+    let sink_specs = parse_sink_specs(opts, &registry)?;
+    let fan_out = if sink_specs.is_empty() {
+        None
+    } else {
+        Some(FanOut::open(sink_specs, Some(&registry)).map_err(|e| e.to_string())?)
+    };
+    let mut ingest = ClassifyingIngest::new(store.clone(), service.clone(), workers);
+    if let Some(fan_out) = &fan_out {
+        ingest = ingest.with_fan_out(fan_out.clone());
+    }
     let stream: Vec<String> = StreamGenerator::new(StreamConfig {
         seed,
         ..StreamConfig::default()
@@ -271,6 +384,28 @@ fn cmd_monitor(opts: &Opts) -> Result<(), String> {
     }
     for a in sink.take().iter().take(3) {
         println!("alert: [{}] {}", a.category, a.message);
+    }
+    if let Some(fan_out) = &fan_out {
+        // Graceful drain: wait for sink acks (or spill the remainder),
+        // then print each lane's delivery ledger.
+        fan_out.shutdown(std::time::Duration::from_secs(10));
+        println!(
+            "\n{:<12} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "sink", "submitted", "delivered", "dropped", "spilled", "pending", "retries", "ledger"
+        );
+        for s in fan_out.snapshots() {
+            println!(
+                "{:<12} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                s.sink,
+                s.submitted,
+                s.delivered,
+                s.dropped,
+                s.spilled,
+                s.spilled_pending,
+                s.retries,
+                if s.ledger_balanced() { "OK" } else { "BROKEN" },
+            );
+        }
     }
     Ok(())
 }
@@ -363,6 +498,41 @@ fn cmd_top(opts: &Opts) -> Result<(), String> {
                 svalue("hetsyslog_shard_queue_depth"),
                 svalue("hetsyslog_shard_steals_total"),
                 svalue("hetsyslog_shard_stolen_frames_total"),
+            );
+        }
+        println!();
+    }
+
+    // Per-sink delivery ledger: one row per `sink=` label on the sink
+    // stage's instruments (absent when no fan-out is attached).
+    let sink_names = second.label_values("hetsyslog_sink_submitted_total", "sink");
+    if !sink_names.is_empty() {
+        println!(
+            "{:<12} {:>12} {:>12} {:>9} {:>9} {:>9} {:>8}",
+            "sink", "submitted/s", "delivered/s", "dropped", "inflight", "pending", "nacks"
+        );
+        for name in &sink_names {
+            let labels: &[(&str, &str)] = &[("sink", name.as_str())];
+            let svalue = |n: &str| second.value(n, labels).unwrap_or(0.0);
+            let srate = |n: &str| (svalue(n) - first.value(n, labels).unwrap_or(0.0)) / dt;
+            // Dropped is further split by `reason`; fold it per sink.
+            let dropped: f64 = second
+                .samples
+                .iter()
+                .filter(|s| {
+                    s.name == "hetsyslog_sink_dropped_total" && s.label("sink") == Some(name)
+                })
+                .map(|s| s.value)
+                .sum();
+            println!(
+                "{:<12} {:>12.0} {:>12.0} {:>9} {:>9} {:>9} {:>8}",
+                name,
+                srate("hetsyslog_sink_submitted_total"),
+                srate("hetsyslog_sink_delivered_total"),
+                dropped,
+                svalue("hetsyslog_sink_inflight"),
+                svalue("hetsyslog_spill_pending"),
+                svalue("hetsyslog_sink_nacks_total"),
             );
         }
         println!();
