@@ -55,6 +55,30 @@ fn main() {
             .and_then(serde_json::Value::as_bool)
             .unwrap_or(false),
     );
+    // The ingest front-end sweep (thread-per-connection vs epoll reactor
+    // across connection counts and shard widths) stays out of the
+    // conformance value for the same reason: host topology must never
+    // move a golden.
+    let frontends = experiments::ingest_frontend(&args);
+    println!(
+        "Ingest front end: reactor x{:.2} over threads at 256 conns/1 shard, x{:.2} at 256 conns/4 shards, x{:.2} at 1024 conns/4 shards (gate enforced: {})",
+        frontends
+            .get("reactor_speedup_256conns_1shard")
+            .and_then(serde_json::Value::as_f64)
+            .unwrap_or(0.0),
+        frontends
+            .get("reactor_speedup_256conns_4shards")
+            .and_then(serde_json::Value::as_f64)
+            .unwrap_or(0.0),
+        frontends
+            .get("reactor_speedup_1024conns_4shards")
+            .and_then(serde_json::Value::as_f64)
+            .unwrap_or(0.0),
+        frontends
+            .get("gate_enforced")
+            .and_then(serde_json::Value::as_bool)
+            .unwrap_or(false),
+    );
     // The columnar-store sweep (compression ratio + template-query
     // speedup) rides along the same way: committed evidence, never part
     // of the conformance value.
@@ -87,6 +111,7 @@ fn main() {
     if let serde_json::Value::Object(entries) = &mut bench {
         entries.push(("observability_overhead".to_string(), overhead));
         entries.push(("live_sharding".to_string(), sharding));
+        entries.push(("ingest_frontend".to_string(), frontends));
         entries.push(("columnar_store".to_string(), columnar));
         entries.push(("sink_fanout".to_string(), fanout));
     }

@@ -22,7 +22,9 @@ use hetsyslog_ml::{
     RandomForest, RandomForestConfig, RidgeClassifier, RidgeConfig, SgdClassifier, SgdConfig,
 };
 use llmsim::{GenerativeLlmClassifier, ModelPreset, PromptBuilder, ZeroShotLlmClassifier};
-use logpipeline::{ClassifyingIngest, ListenerConfig, LogStore, OverloadPolicy, SyslogListener};
+use logpipeline::{
+    ClassifyingIngest, Frontend, ListenerConfig, LogStore, OverloadPolicy, SyslogListener,
+};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -1380,6 +1382,204 @@ pub fn live_sharding(args: &ExpArgs) -> Value {
         "speedup_4_over_1": rates[2] / rates[0].max(f64::MIN_POSITIVE),
         "predictions_agree": true,
         "gate": "per added shard >= 0.7x per doubling, enforced on >= 4-core hosts",
+        "gate_enforced": cores >= 4,
+    })
+}
+
+/// One loopback run of `wires` (one wire per connection) through the
+/// given TCP front end at `shards` pipeline shards. Returns (seconds,
+/// p99 queue→prediction latency in µs, per-category counters, front-end
+/// thread count) after asserting lossless ingest and a balanced
+/// connection ledger.
+fn live_frontend_run(
+    wires: &[Vec<u8>],
+    expected: u64,
+    clf: Arc<dyn TextClassifier>,
+    frontend: Frontend,
+    shards: usize,
+) -> (f64, u64, [u64; 8], usize) {
+    let store = Arc::new(LogStore::with_lanes(shards));
+    let service = Arc::new(MonitorService::new(clf));
+    let listener = SyslogListener::start(
+        store,
+        Some(service.clone()),
+        ListenerConfig {
+            frontend,
+            workers: shards,
+            shards,
+            queue_depth: 4096,
+            overload: OverloadPolicy::Block,
+            idle_timeout: Duration::from_secs(30),
+            max_batch: 64,
+            max_delay: Duration::from_millis(2),
+            ..ListenerConfig::default()
+        },
+    )
+    .expect("bind loopback listener");
+    let addr = listener.tcp_addr();
+    // Threads the front end itself costs: the reactor pool, or (at peak)
+    // one OS thread per connection.
+    let frontend_threads = match frontend {
+        Frontend::Threads => wires.len(),
+        Frontend::Reactor { .. } => listener.n_reactors(),
+    };
+
+    let started = Instant::now();
+    let senders: Vec<_> = wires
+        .iter()
+        .map(|wire| {
+            let wire = wire.clone();
+            std::thread::spawn(move || {
+                let mut sock = std::net::TcpStream::connect(addr).expect("connect");
+                sock.write_all(&wire).expect("write");
+            })
+        })
+        .collect();
+    for sender in senders {
+        sender.join().expect("sender thread");
+    }
+    // Wait for the drain with a stall detector rather than a fixed cap:
+    // on a loaded single-core host an arm can legitimately take a while,
+    // but 30 s of zero ingest progress means something is wedged, and
+    // the lossless assert below should see it rather than hang forever.
+    let mut last_progress = (Instant::now(), 0u64);
+    loop {
+        let ingested = listener.stats().snapshot().ingested;
+        if ingested >= expected {
+            break;
+        }
+        if ingested > last_progress.1 {
+            last_progress = (Instant::now(), ingested);
+        } else if last_progress.0.elapsed() > Duration::from_secs(30) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    let batch_stats = listener.batch_stats_handle();
+    let opened = listener.stats().connections_opened.clone();
+    let closed = listener.stats().connections_closed.clone();
+    let report = listener.shutdown();
+    assert_eq!(report.ingested, expected, "lossless under Block");
+    assert_eq!(
+        opened.get(),
+        closed.get(),
+        "connection ledger must balance after the drain ({frontend:?})"
+    );
+    let stats = service.stats();
+    (
+        seconds,
+        batch_stats.snapshot().p99_queue_latency_us(),
+        stats.per_category,
+        frontend_threads,
+    )
+}
+
+/// Benchmark the TCP ingest front ends (DESIGN.md §5a): thread-per-
+/// connection vs the epoll reactor at {16, 256, 1024} concurrent
+/// connections × {1, 4} pipeline shards, recording msg/s, p99
+/// queue→prediction latency, and the front-end thread count. Returned as
+/// a standalone JSON section for `BENCH_throughput.json` — deliberately
+/// NOT part of [`xp_throughput`]'s conformance value, so goldens never
+/// see timings or host topology.
+///
+/// Classification results must be bit-identical across front ends
+/// (asserted here, not just reported). The scaling gate (reactor ≥ 1.3×
+/// threads at 256 connections) is only meaningful on a ≥ 4-core host;
+/// the `cores` field records what this run actually had, and CI enforces
+/// the gate on its multi-core runners via the frontend-scaling smoke
+/// test.
+pub fn ingest_frontend(args: &ExpArgs) -> Value {
+    let corpus = args.corpus();
+    let n_frames = (20_000.0 * (args.scale / 0.05).clamp(0.2, 10.0)) as usize;
+    let frames: Vec<String> = StreamGenerator::new(StreamConfig {
+        seed: args.seed,
+        ..StreamConfig::default()
+    })
+    .take(n_frames)
+    .map(|t| t.to_frame())
+    .collect();
+    let clf: Arc<dyn TextClassifier> = Arc::new(TraditionalPipeline::train(
+        FeatureConfig::default(),
+        Box::new(ComplementNaiveBayes::new(ComplementNbConfig::default())),
+        &corpus,
+    ));
+    let expected = frames.len() as u64;
+
+    let mut sweep = Vec::new();
+    let mut baseline_cats: Option<[u64; 8]> = None;
+    let rate_at = |frontend: Frontend, connections: usize, shards: usize,
+                   baseline: &mut Option<[u64; 8]>| {
+        // One octet-counted wire per connection, frames dealt round-robin.
+        let wires: Vec<Vec<u8>> = (0..connections)
+            .map(|c| {
+                let mut wire = Vec::new();
+                for frame in frames.iter().skip(c).step_by(connections) {
+                    wire.extend_from_slice(format!("{} {frame}", frame.len()).as_bytes());
+                }
+                wire
+            })
+            .collect();
+        // Best-of-2: the faster run is the less-interfered estimate on a
+        // shared host (12 configurations keep the sweep affordable).
+        let mut best: Option<(f64, u64, [u64; 8], usize)> = None;
+        for _ in 0..2 {
+            let run = live_frontend_run(&wires, expected, clf.clone(), frontend, shards);
+            if best.as_ref().is_none_or(|(s, ..)| run.0 < *s) {
+                best = Some(run);
+            }
+        }
+        let (seconds, p99_us, cats, frontend_threads) = best.expect("two runs completed");
+        match baseline {
+            None => *baseline = Some(cats),
+            Some(expect) => assert_eq!(
+                &cats, expect,
+                "front-end predictions diverged at {frontend:?} conns={connections}"
+            ),
+        }
+        (expected as f64 / seconds, p99_us, frontend_threads)
+    };
+
+    let mut rates: std::collections::HashMap<(bool, usize, usize), f64> =
+        std::collections::HashMap::new();
+    for shards in [1usize, 4] {
+        for connections in [16usize, 256, 1024] {
+            for frontend in [Frontend::Threads, Frontend::Reactor { threads: 2 }] {
+                let (msgs_per_sec, p99_us, frontend_threads) =
+                    rate_at(frontend, connections, shards, &mut baseline_cats);
+                let is_reactor = matches!(frontend, Frontend::Reactor { .. });
+                eprintln!(
+                    "  ingest_frontend: {} conns={connections} shards={shards}: {msgs_per_sec:.0} msg/s",
+                    if is_reactor { "reactor" } else { "threads" },
+                );
+                rates.insert((is_reactor, connections, shards), msgs_per_sec);
+                sweep.push(serde_json::json!({
+                    "frontend": if is_reactor { "reactor" } else { "threads" },
+                    "connections": connections,
+                    "shards": shards,
+                    "msgs_per_sec": msgs_per_sec,
+                    "p99_queue_latency_us": p99_us,
+                    "frontend_threads": frontend_threads,
+                }));
+            }
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup = |connections: usize, shards: usize| {
+        rates[&(true, connections, shards)]
+            / rates[&(false, connections, shards)].max(f64::MIN_POSITIVE)
+    };
+    serde_json::json!({
+        "n_messages": expected,
+        "max_batch": 64,
+        "cores": cores,
+        "reactor_threads": 2,
+        "sweep": sweep,
+        "reactor_speedup_256conns_1shard": speedup(256, 1),
+        "reactor_speedup_256conns_4shards": speedup(256, 4),
+        "reactor_speedup_1024conns_4shards": speedup(1024, 4),
+        "predictions_agree": true,
+        "gate": "reactor >= 1.3x threads at 256 connections, enforced on >= 4-core hosts",
         "gate_enforced": cores >= 4,
     })
 }

@@ -19,6 +19,9 @@
 //! * [`listener`] — the socket-facing front end: fault-tolerant TCP/UDP
 //!   syslog listeners with bounded-queue overload policies, idle timeouts,
 //!   a dead-letter ring, and graceful drain;
+//! * [`reactor`] — the event-driven TCP front end: a pool of epoll
+//!   reactor threads multiplexing hundreds of nonblocking connections
+//!   (the default; thread-per-connection remains the escape hatch);
 //! * [`shard`] — the sharded live-path fabric: hash-by-connection
 //!   partitioner, per-shard SPSC rings with work-stealing handles, and
 //!   per-shard instruments;
@@ -39,6 +42,7 @@ pub mod ingest;
 pub mod listener;
 pub mod monitor;
 pub mod query;
+pub mod reactor;
 pub mod record;
 pub mod sensors;
 pub mod shard;
@@ -52,11 +56,12 @@ pub mod views;
 pub use columnar::{Segment, SegmentStats};
 pub use ingest::{IngestPipeline, IngestReport};
 pub use listener::{
-    DeadLetter, DeadLetterRing, DropReason, IngestStats, ListenerConfig, OverloadPolicy,
+    DeadLetter, DeadLetterRing, DropReason, Frontend, IngestStats, ListenerConfig, OverloadPolicy,
     SyslogListener,
 };
 pub use monitor::{BatchStats, ClassifyingIngest, FlushReason};
 pub use query::Query;
+pub use reactor::ReactorStats;
 pub use record::LogRecord;
 pub use sensors::{compare_to_arch_peers, sensor_sweep, SensorReading, SensorVerdict};
 pub use shard::{Partitioner, ShardReceiver, ShardRouter, ShardStats};

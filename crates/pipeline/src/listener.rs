@@ -43,6 +43,45 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Which TCP front end feeds the shard fabric. Both produce bit-identical
+/// pipeline semantics (same per-connection FIFO order into the rings, same
+/// overload and dead-letter accounting, same decoder-tail flush on close);
+/// they differ only in how socket readiness is discovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frontend {
+    /// One OS thread per accepted connection, blocking reads with a short
+    /// poll timeout. Simple and portable; kept as the escape hatch and as
+    /// the baseline the reactor is benchmarked against.
+    Threads,
+    /// Event-driven: `threads` reactor threads (`0` = auto), each
+    /// multiplexing its share of the connections over level-triggered
+    /// epoll — see [`crate::reactor`]. Shutdown wakes the reactors through
+    /// an eventfd, so `stop()` never waits out a poll interval.
+    Reactor {
+        /// Reactor thread count; `0` picks a small default.
+        threads: usize,
+    },
+}
+
+impl Default for Frontend {
+    fn default() -> Frontend {
+        Frontend::Reactor { threads: 0 }
+    }
+}
+
+impl Frontend {
+    /// Reactor threads this front end runs (0 for the thread-per-conn
+    /// front end). Two reactors by default: enough to overlap accept
+    /// with reads, without claiming cores the parser workers need.
+    pub fn reactor_threads(&self) -> usize {
+        match self {
+            Frontend::Threads => 0,
+            Frontend::Reactor { threads: 0 } => 2,
+            Frontend::Reactor { threads } => *threads,
+        }
+    }
+}
+
 /// What to do when the bounded ingest queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OverloadPolicy {
@@ -283,11 +322,16 @@ impl IngestStats {
     }
 
     /// Fold `frames`/`bytes` deltas into one source's counters.
-    fn add_source(&self, source: u64, frames: u64, bytes: u64) {
+    pub(crate) fn add_source(&self, source: u64, frames: u64, bytes: u64) {
         let mut map = self.per_source.lock();
         let entry = map.entry(source).or_default();
         entry.frames += frames;
         entry.bytes += bytes;
+    }
+
+    /// Record one read(2)'s `FrameDecoder::push` wall time.
+    pub(crate) fn record_decode(&self, elapsed: Duration) {
+        self.decode_us.record_duration_us(elapsed);
     }
 
     /// Per-source counters, sorted by source id.
@@ -320,6 +364,9 @@ impl IngestStats {
 /// Listener tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ListenerConfig {
+    /// TCP front end: event-driven reactor (the default) or
+    /// thread-per-connection ([`Frontend::Threads`], the escape hatch).
+    pub frontend: Frontend,
     /// Parser/store worker threads. Each worker owns one pipeline shard
     /// (its own SPSC ring and store lane), so this is also the default
     /// shard count when [`ListenerConfig::shards`] is 0.
@@ -368,6 +415,7 @@ pub struct ListenerConfig {
 impl Default for ListenerConfig {
     fn default() -> ListenerConfig {
         ListenerConfig {
+            frontend: Frontend::default(),
             workers: 2,
             shards: 0,
             queue_depth: 1024,
@@ -397,7 +445,7 @@ struct WireFrame {
 /// its pipeline shard, applies the overload policy against that shard's
 /// ring, and keeps the drop accounting in one place.
 #[derive(Clone)]
-struct FrameSink {
+pub(crate) struct FrameSink {
     router: Arc<ShardRouter<WireFrame>>,
     shard_stats: Arc<Vec<Arc<ShardStats>>>,
     overload: OverloadPolicy,
@@ -406,6 +454,12 @@ struct FrameSink {
 }
 
 impl FrameSink {
+    /// The shared ingest counters (the reactor front end accounts reads
+    /// through the exact instruments `serve_connection` uses).
+    pub(crate) fn ingest_stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
     /// The shard owning `source`'s frames: hash-by-connection for TCP (so
     /// a connection's frames stay ordered on one ring), round-robin for
     /// the connectionless UDP socket.
@@ -418,7 +472,7 @@ impl FrameSink {
     }
 
     /// Offer one frame; returns `false` once the pipeline is gone.
-    fn submit(&self, source: u64, frame: String) -> bool {
+    pub(crate) fn submit(&self, source: u64, frame: String) -> bool {
         self.stats.frames.inc();
         let shard = self.shard_for(source);
         let at = Instant::now();
@@ -460,7 +514,7 @@ impl FrameSink {
     /// Returns `false` once the pipeline is gone. Under `Shed`, frames
     /// past the shard ring's momentary capacity go to the dead-letter
     /// ring, exactly as with per-frame `submit`.
-    fn submit_many(&self, source: u64, frames: Vec<String>) -> bool {
+    pub(crate) fn submit_many(&self, source: u64, frames: Vec<String>) -> bool {
         if frames.is_empty() {
             return true;
         }
@@ -513,6 +567,8 @@ pub struct SyslogListener {
     service: Option<Arc<MonitorService>>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    reactor: Option<crate::reactor::ReactorFrontend>,
+    reactor_stats: Arc<Vec<Arc<crate::reactor::ReactorStats>>>,
     udp_thread: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     worker_threads: Vec<JoinHandle<()>>,
@@ -531,6 +587,16 @@ impl SyslogListener {
         config: ListenerConfig,
     ) -> std::io::Result<SyslogListener> {
         let tcp = TcpListener::bind("127.0.0.1:0")?;
+        // The standard library listens with a backlog of 128; a
+        // high-fanout connect storm (hundreds of forwarders reconnecting
+        // at once) overflows that, and with `tcp_syncookies` the
+        // overflow is silent: clients believe they connected while the
+        // kernel dropped their handshake ACKs, so their first frames
+        // crawl in on retransmit backoff. Resize the accept queue to
+        // match the connection counts the front end is built for (the
+        // kernel clamps to `net.core.somaxconn`). Best-effort: a kernel
+        // that refuses leaves the default backlog in place.
+        let _ = netpoll::set_listen_backlog(&tcp, 1024);
         tcp.set_nonblocking(true)?;
         let udp = UdpSocket::bind("127.0.0.1:0")?;
         udp.set_read_timeout(Some(config.poll_interval))?;
@@ -845,42 +911,91 @@ impl SyslogListener {
             })
         };
 
-        // TCP accept loop: nonblocking + poll so shutdown never hangs in
-        // accept(2).
-        let accept_thread = {
-            let sink_template = sink;
-            let shutdown = shutdown.clone();
-            let conn_threads = conn_threads.clone();
-            let next_conn_id = AtomicU64::new(1);
-            let idle_timeout = config.idle_timeout;
-            let poll_interval = config.poll_interval;
-            std::thread::spawn(move || {
-                while !shutdown.load(Ordering::Relaxed) {
-                    match tcp.accept() {
-                        Ok((stream, _peer)) => {
-                            let conn_id = next_conn_id.fetch_add(1, Ordering::Relaxed);
-                            sink_template.stats.connections_opened.inc();
-                            let sink = sink_template.clone();
-                            let shutdown = shutdown.clone();
-                            let handle = std::thread::spawn(move || {
-                                serve_connection(
-                                    stream,
-                                    conn_id,
-                                    sink,
-                                    shutdown,
-                                    idle_timeout,
-                                    poll_interval,
-                                );
-                            });
-                            conn_threads.lock().push(handle);
+        // The TCP front end: event-driven reactor pool by default, with
+        // the thread-per-connection loop kept as the escape hatch. Both
+        // feed the exact same FrameSink, so everything downstream of the
+        // socket — shard routing, overload policy, dead letters, the
+        // drain — is front-end agnostic.
+        let reactor_stats: Arc<Vec<Arc<crate::reactor::ReactorStats>>> = Arc::new(
+            match &telemetry {
+                Some(t) => (0..config.frontend.reactor_threads())
+                    .map(|k| Arc::new(crate::reactor::ReactorStats::registered(k, &t.registry)))
+                    .collect(),
+                None => (0..config.frontend.reactor_threads())
+                    .map(|_| Arc::new(crate::reactor::ReactorStats::detached()))
+                    .collect(),
+            },
+        );
+        let (accept_thread, reactor) = match config.frontend {
+            Frontend::Reactor { .. } => {
+                let frontend = crate::reactor::ReactorFrontend::start(
+                    tcp,
+                    sink,
+                    shutdown.clone(),
+                    config.idle_timeout,
+                    reactor_stats.iter().cloned().collect(),
+                )?;
+                (None, Some(frontend))
+            }
+            Frontend::Threads => {
+                // TCP accept loop: nonblocking + poll so shutdown never
+                // hangs in accept(2).
+                let sink_template = sink;
+                let shutdown = shutdown.clone();
+                let conn_threads = conn_threads.clone();
+                let next_conn_id = AtomicU64::new(1);
+                let idle_timeout = config.idle_timeout;
+                let poll_interval = config.poll_interval;
+                let handle = std::thread::spawn(move || {
+                    while !shutdown.load(Ordering::Relaxed) {
+                        match tcp.accept() {
+                            Ok((stream, _peer)) => {
+                                let conn_id = next_conn_id.fetch_add(1, Ordering::Relaxed);
+                                sink_template.stats.connections_opened.inc();
+                                let sink = sink_template.clone();
+                                let shutdown = shutdown.clone();
+                                let handle = std::thread::spawn(move || {
+                                    serve_connection(
+                                        stream,
+                                        conn_id,
+                                        sink,
+                                        shutdown,
+                                        idle_timeout,
+                                        poll_interval,
+                                    );
+                                });
+                                // Reap finished connection threads before
+                                // tracking the new one, so the vec stays
+                                // bounded by the number of live
+                                // connections under churn instead of
+                                // growing for the listener's lifetime.
+                                let mut conns = conn_threads.lock();
+                                let mut i = 0;
+                                while i < conns.len() {
+                                    if conns[i].is_finished() {
+                                        let finished = conns.swap_remove(i);
+                                        let _ = finished.join();
+                                    } else {
+                                        i += 1;
+                                    }
+                                }
+                                conns.push(handle);
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                                std::thread::sleep(poll_interval);
+                            }
+                            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                            // Transient accept failures (ECONNABORTED when
+                            // a queued peer resets before accept(2) under a
+                            // connect storm, fd-limit pressure) must not
+                            // kill the accept loop and strand every later
+                            // connection; back off briefly and keep going.
+                            Err(_) => std::thread::sleep(poll_interval),
                         }
-                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                            std::thread::sleep(poll_interval);
-                        }
-                        Err(_) => break,
                     }
-                }
-            })
+                });
+                (Some(handle), None)
+            }
         };
 
         // The scrape endpoint rides on the same runtime: `/metrics` is the
@@ -924,7 +1039,9 @@ impl SyslogListener {
             shard_stats,
             service,
             shutdown,
-            accept_thread: Some(accept_thread),
+            accept_thread,
+            reactor,
+            reactor_stats,
             udp_thread: Some(udp_thread),
             conn_threads,
             worker_threads,
@@ -984,6 +1101,27 @@ impl SyslogListener {
         self.shard_stats.len()
     }
 
+    /// Reactor threads serving TCP (0 when the thread-per-connection
+    /// front end is active).
+    pub fn n_reactors(&self) -> usize {
+        self.reactor_stats.len()
+    }
+
+    /// Per-reactor instruments, indexed by reactor. Empty for the
+    /// thread-per-connection front end; stays valid across
+    /// [`SyslogListener::shutdown`] for post-drain accounting.
+    pub fn reactor_stats_handle(&self) -> Arc<Vec<Arc<crate::reactor::ReactorStats>>> {
+        self.reactor_stats.clone()
+    }
+
+    /// Connection-thread handles currently tracked by the
+    /// thread-per-connection front end (always 0 under the reactor).
+    /// Finished handles are reaped opportunistically at every accept, so
+    /// under churn this stays bounded by the live connection count.
+    pub fn conn_thread_count(&self) -> usize {
+        self.conn_threads.lock().len()
+    }
+
     /// Per-sink delivery ledgers, when a fan-out is attached. The handle
     /// inside [`ListenerConfig::fan_out`] stays valid across
     /// [`SyslogListener::shutdown`] for post-drain accounting.
@@ -1009,6 +1147,12 @@ impl SyslogListener {
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        // Reactor front end: the eventfd wake interrupts epoll_wait
+        // immediately (no poll-interval latency); each reactor flushes
+        // its connections' decoder tails before joining.
+        if let Some(mut reactor) = self.reactor.take() {
+            reactor.stop();
+        }
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }

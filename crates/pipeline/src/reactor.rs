@@ -1,0 +1,454 @@
+//! Event-driven TCP ingest front end: a small pool of reactor threads,
+//! each multiplexing hundreds of nonblocking connections over one
+//! level-triggered epoll instance (see the vendored [`netpoll`] shim).
+//!
+//! The thread-per-connection front end ([`frontend =
+//! threads`](crate::listener::Frontend::Threads)) burns one OS thread and
+//! one 10ms poll loop per peer; at the connection counts a test-bed
+//! cluster produces (hundreds of rsyslogd forwarders) that is thousands
+//! of mostly-idle threads waking on timers. The reactor inverts it: each
+//! of N threads owns
+//!
+//! * one [`netpoll::Poller`] (level-triggered epoll),
+//! * one [`netpoll::EventFd`] so shutdown and connection handoff
+//!   interrupt `epoll_wait` *immediately* — `stop()` never waits out a
+//!   poll interval,
+//! * a map of per-connection state: the nonblocking [`TcpStream`], its
+//!   RFC 6587 [`FrameDecoder`](syslog_model::FrameDecoder) (one per
+//!   connection, so a corrupt sender never desyncs a neighbor), drop
+//!   accounting, and the idle deadline.
+//!
+//! Reactor 0 additionally owns the listening socket: accepted
+//! connections are assigned round-robin across the pool, handed to their
+//! reactor through a mutex-guarded inbox plus an eventfd wake.
+//!
+//! Semantics are bit-identical to the thread front end by construction:
+//! every read goes through the same [`FrameSink`] (same per-connection
+//! FIFO order — a connection lives on exactly one reactor and all its
+//! frames route to one shard ring), the same Block/Shed overload
+//! accounting, the same dead-letter ring, and the same decoder-tail
+//! flush on close, idle timeout, or drain.
+
+use crate::listener::FrameSink;
+use netpoll::{EventFd, Poller};
+use obs::{Counter, Gauge, Histogram, Registry};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Token for a reactor's own eventfd (shutdown / connection handoff).
+const WAKE_TOKEN: u64 = u64::MAX;
+/// Token for the listening socket, registered on reactor 0 only.
+const ACCEPT_TOKEN: u64 = u64::MAX - 1;
+/// Reads per connection per wakeup. Level-triggered readiness re-reports
+/// a still-backlogged connection on the next `wait`, so capping read
+/// work here bounds how long one heavy sender can starve its neighbors
+/// without any re-arm bookkeeping.
+const MAX_READS_PER_WAKEUP: usize = 4;
+
+/// Per-reactor instruments, one series per reactor under a `reactor`
+/// label (mirroring [`ShardStats`](crate::shard::ShardStats)).
+#[derive(Debug)]
+pub struct ReactorStats {
+    /// Connections currently registered on this reactor's poller.
+    pub connections: Arc<Gauge>,
+    /// `epoll_wait` returns (including timeouts — the idle sweep rides
+    /// on them).
+    pub wakeups: Arc<Counter>,
+    /// Bytes read off sockets per wakeup that moved data.
+    pub read_bytes: Arc<Histogram>,
+    /// Ready events per wakeup: the depth of the kernel's ready queue
+    /// each time the reactor came back from `epoll_wait`.
+    pub ready_events: Arc<Histogram>,
+}
+
+impl ReactorStats {
+    /// Detached instruments: recording works, nothing is exported.
+    pub fn detached() -> ReactorStats {
+        ReactorStats {
+            connections: Arc::new(Gauge::new()),
+            wakeups: Arc::new(Counter::new()),
+            read_bytes: Arc::new(Histogram::new()),
+            ready_events: Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Instruments for reactor `reactor` registered on `registry`.
+    pub fn registered(reactor: usize, registry: &Registry) -> ReactorStats {
+        let reactor_label = reactor.to_string();
+        let labeled: &[(&str, &str)] = &[("reactor", reactor_label.as_str())];
+        ReactorStats {
+            connections: registry.gauge(
+                "hetsyslog_reactor_connections",
+                "TCP connections currently registered on each reactor's poller",
+                labeled,
+            ),
+            wakeups: registry.counter(
+                "hetsyslog_reactor_wakeups_total",
+                "epoll_wait returns per reactor, timeouts included",
+                labeled,
+            ),
+            read_bytes: registry.histogram(
+                "hetsyslog_reactor_read_bytes",
+                "Bytes read off sockets per reactor wakeup that moved data",
+                labeled,
+            ),
+            ready_events: registry.histogram(
+                "hetsyslog_reactor_ready_events",
+                "Ready events per epoll_wait return (kernel ready-queue depth)",
+                labeled,
+            ),
+        }
+    }
+}
+
+/// Handoff slot for connections accepted on reactor 0 but owned by
+/// another reactor: push under the lock, wake the eventfd, and the
+/// owner registers them on its own poller.
+struct Inbox {
+    wake: EventFd,
+    pending: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+/// The running reactor pool. Built by
+/// [`SyslogListener::start`](crate::listener::SyslogListener::start)
+/// when the configured [`Frontend`](crate::listener::Frontend) is
+/// `Reactor`; stopped (eventfd wake + join, no poll-interval wait) from
+/// the listener's shutdown path.
+pub(crate) struct ReactorFrontend {
+    inboxes: Vec<Arc<Inbox>>,
+    threads: Vec<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ReactorFrontend {
+    /// Spawn one reactor thread per entry in `stats`; reactor 0 takes
+    /// ownership of the (nonblocking) listening socket.
+    pub(crate) fn start(
+        tcp: TcpListener,
+        sink: FrameSink,
+        shutdown: Arc<AtomicBool>,
+        idle_timeout: Duration,
+        stats: Vec<Arc<ReactorStats>>,
+    ) -> std::io::Result<ReactorFrontend> {
+        let n = stats.len().max(1);
+        let mut inboxes = Vec::with_capacity(n);
+        for _ in 0..n {
+            inboxes.push(Arc::new(Inbox {
+                wake: EventFd::new()?,
+                pending: Mutex::new(Vec::new()),
+            }));
+        }
+        let next_conn_id = Arc::new(AtomicU64::new(1));
+        let round_robin = Arc::new(AtomicUsize::new(0));
+        let mut acceptor = Some(tcp);
+        let mut threads = Vec::with_capacity(n);
+        for (index, stats) in stats.into_iter().enumerate() {
+            let reactor = Reactor {
+                index,
+                acceptor: acceptor.take(),
+                inboxes: inboxes.clone(),
+                sink: sink.clone(),
+                shutdown: shutdown.clone(),
+                idle_timeout,
+                next_conn_id: next_conn_id.clone(),
+                round_robin: round_robin.clone(),
+                stats,
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("reactor-{index}"))
+                    .spawn(move || reactor.run())?,
+            );
+        }
+        Ok(ReactorFrontend {
+            inboxes,
+            threads,
+            shutdown,
+        })
+    }
+
+    /// Stop every reactor: set the flag, wake each eventfd (cutting any
+    /// in-flight `epoll_wait` short), and join. Each thread flushes the
+    /// decoder tail of every connection it still owns on the way out.
+    pub(crate) fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for inbox in &self.inboxes {
+            let _ = inbox.wake.wake();
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReactorFrontend {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// State a connection carries between wakeups.
+struct Conn {
+    stream: TcpStream,
+    decoder: syslog_model::FrameDecoder,
+    decoder_dropped: u64,
+    last_activity: Instant,
+}
+
+/// One reactor thread's context; `run` consumes it on the thread.
+struct Reactor {
+    index: usize,
+    acceptor: Option<TcpListener>,
+    inboxes: Vec<Arc<Inbox>>,
+    sink: FrameSink,
+    shutdown: Arc<AtomicBool>,
+    idle_timeout: Duration,
+    next_conn_id: Arc<AtomicU64>,
+    round_robin: Arc<AtomicUsize>,
+    stats: Arc<ReactorStats>,
+}
+
+impl Reactor {
+    fn run(self) {
+        let Ok(mut poller) = Poller::new() else {
+            return;
+        };
+        let own = self.inboxes[self.index].clone();
+        if poller.add(&own.wake, WAKE_TOKEN).is_err() {
+            return;
+        }
+        if let Some(listener) = &self.acceptor {
+            if poller.add(listener, ACCEPT_TOKEN).is_err() {
+                return;
+            }
+        }
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        // One read buffer per reactor (not per connection): frames are
+        // copied out by the decoder, so the buffer is scratch.
+        let mut buf = vec![0u8; 64 * 1024];
+        let mut events = Vec::with_capacity(256);
+        // Sweep cadence: a fraction of the idle timeout, bounded so the
+        // short timeouts tests use still sweep promptly and long
+        // production ones don't spin.
+        let tick = (self.idle_timeout / 4)
+            .clamp(Duration::from_millis(5), Duration::from_millis(500));
+        let tick_ms = tick.as_millis() as i32;
+        let mut last_sweep = Instant::now();
+
+        'run: loop {
+            if poller.wait(&mut events, Some(tick_ms)).is_err() {
+                break;
+            }
+            self.stats.wakeups.inc();
+            self.stats.ready_events.record(events.len() as u64);
+            if self.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            for k in 0..events.len() {
+                match events[k].token {
+                    WAKE_TOKEN => {
+                        own.wake.drain();
+                        let injected: Vec<(u64, TcpStream)> =
+                            std::mem::take(&mut *own.pending.lock());
+                        for (conn_id, stream) in injected {
+                            self.register(&poller, &mut conns, conn_id, stream);
+                        }
+                    }
+                    ACCEPT_TOKEN => self.accept_ready(&poller, &mut conns),
+                    conn_id => {
+                        if !self.service(conn_id, &poller, &mut conns, &mut buf) {
+                            break 'run; // pipeline gone
+                        }
+                    }
+                }
+            }
+            if last_sweep.elapsed() >= tick {
+                last_sweep = Instant::now();
+                self.sweep_idle(&poller, &mut conns);
+            }
+        }
+
+        // Graceful drain: flush every owned decoder tail and balance the
+        // opened/closed ledger, including connections that were handed
+        // to us but never made it out of the inbox.
+        for (conn_id, conn) in conns.drain() {
+            self.retire(conn_id, conn, false);
+        }
+        self.stats.connections.set(0);
+        for (_conn_id, stream) in own.pending.lock().drain(..) {
+            drop(stream);
+            self.sink.ingest_stats().connections_closed.inc();
+        }
+    }
+
+    /// Put an accepted connection under this reactor's poller.
+    fn register(
+        &self,
+        poller: &Poller,
+        conns: &mut HashMap<u64, Conn>,
+        conn_id: u64,
+        stream: TcpStream,
+    ) {
+        if stream.set_nonblocking(true).is_err() || poller.add(&stream, conn_id).is_err() {
+            // Registration failed: the open was already counted, so
+            // account the close to keep the ledger balanced.
+            drop(stream);
+            self.sink.ingest_stats().connections_closed.inc();
+            return;
+        }
+        conns.insert(
+            conn_id,
+            Conn {
+                stream,
+                decoder: syslog_model::FrameDecoder::new(),
+                decoder_dropped: 0,
+                last_activity: Instant::now(),
+            },
+        );
+        self.stats.connections.set(conns.len() as i64);
+    }
+
+    /// Accept every pending connection (reactor 0 only) and assign each
+    /// to a reactor round-robin.
+    fn accept_ready(&self, poller: &Poller, conns: &mut HashMap<u64, Conn>) {
+        let Some(listener) = &self.acceptor else {
+            return;
+        };
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let conn_id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                    self.sink.ingest_stats().connections_opened.inc();
+                    let target =
+                        self.round_robin.fetch_add(1, Ordering::Relaxed) % self.inboxes.len();
+                    if target == self.index {
+                        self.register(poller, conns, conn_id, stream);
+                    } else {
+                        self.inboxes[target].pending.lock().push((conn_id, stream));
+                        let _ = self.inboxes[target].wake.wake();
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Service one readable connection. Returns `false` once the
+    /// pipeline is gone (shard rings disconnected).
+    fn service(
+        &self,
+        conn_id: u64,
+        poller: &Poller,
+        conns: &mut HashMap<u64, Conn>,
+        buf: &mut [u8],
+    ) -> bool {
+        let Some(conn) = conns.get_mut(&conn_id) else {
+            // Stale event for a connection retired earlier in this batch.
+            return true;
+        };
+        let stats = self.sink.ingest_stats();
+        let mut close = false;
+        let mut alive = true;
+        let mut total = 0u64;
+        for _ in 0..MAX_READS_PER_WAKEUP {
+            match (&conn.stream).read(buf) {
+                Ok(0) => {
+                    close = true; // EOF: peer closed cleanly.
+                    break;
+                }
+                Ok(n) => {
+                    total += n as u64;
+                    conn.last_activity = Instant::now();
+                    stats.bytes.add(n as u64);
+                    let decode_started = Instant::now();
+                    let frames = conn.decoder.push(&buf[..n]);
+                    stats.record_decode(decode_started.elapsed());
+                    let dropped_now = conn.decoder.dropped() - conn.decoder_dropped;
+                    if dropped_now > 0 {
+                        conn.decoder_dropped = conn.decoder.dropped();
+                        stats.decode_dropped.add(dropped_now);
+                    }
+                    stats.add_source(conn_id, frames.len() as u64, n as u64);
+                    if !self.sink.submit_many(conn_id, frames) {
+                        alive = false;
+                        break;
+                    }
+                    if n < buf.len() {
+                        break; // short read: the socket is drained
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    close = true;
+                    break;
+                }
+            }
+        }
+        if total > 0 {
+            self.stats.read_bytes.record(total);
+        }
+        if close {
+            if let Some(conn) = conns.remove(&conn_id) {
+                let _ = poller.delete(&conn.stream);
+                self.retire(conn_id, conn, false);
+                self.stats.connections.set(conns.len() as i64);
+            }
+        }
+        alive
+    }
+
+    /// Close connections quiet past the idle timeout (decoder tails
+    /// flushed, `idle_closed` accounted — same as the thread front end).
+    fn sweep_idle(&self, poller: &Poller, conns: &mut HashMap<u64, Conn>) {
+        let expired: Vec<u64> = conns
+            .iter()
+            .filter(|(_, c)| c.last_activity.elapsed() >= self.idle_timeout)
+            .map(|(id, _)| *id)
+            .collect();
+        if expired.is_empty() {
+            return;
+        }
+        for conn_id in expired {
+            if let Some(conn) = conns.remove(&conn_id) {
+                let _ = poller.delete(&conn.stream);
+                self.retire(conn_id, conn, true);
+            }
+        }
+        self.stats.connections.set(conns.len() as i64);
+    }
+
+    /// Account a connection's close exactly like the tail of
+    /// `serve_connection`: flush the decoder tail, fold residual decoder
+    /// drops, bump `idle_closed`/`connections_closed`.
+    fn retire(&self, conn_id: u64, conn: Conn, idled: bool) {
+        let Conn {
+            stream,
+            mut decoder,
+            decoder_dropped,
+            ..
+        } = conn;
+        drop(stream);
+        let stats = self.sink.ingest_stats();
+        if let Some(tail) = decoder.finish() {
+            stats.add_source(conn_id, 1, 0);
+            self.sink.submit(conn_id, tail);
+        }
+        let dropped_now = decoder.dropped() - decoder_dropped;
+        if dropped_now > 0 {
+            stats.decode_dropped.add(dropped_now);
+        }
+        if idled {
+            stats.idle_closed.inc();
+        }
+        stats.connections_closed.inc();
+    }
+}

@@ -7,7 +7,9 @@
 //! keep socket-heavy tests from contending for the accept backlog.
 
 use hetsyslog_core::{Category, MonitorService, Prediction, TextClassifier};
-use logpipeline::{DropReason, ListenerConfig, LogStore, OverloadPolicy, SyslogListener};
+use logpipeline::{
+    DropReason, Frontend, ListenerConfig, LogStore, OverloadPolicy, SyslogListener,
+};
 use std::io::Write;
 use std::net::{TcpStream, UdpSocket};
 use std::sync::Arc;
@@ -561,6 +563,130 @@ fn drop_accounting_is_consistent_from_a_single_scrape() {
         assert_eq!(snap.shed as f64, queue_full);
         listener.shutdown();
     }
+}
+
+/// Regression: the thread-per-connection accept loop used to push every
+/// connection handle into a vec it never pruned, so a long-lived listener
+/// leaked one JoinHandle per connection. Finished handles are now reaped
+/// at every accept, keeping the vec bounded by live connections.
+#[test]
+fn conn_thread_handles_are_reaped_under_churn() {
+    let store = Arc::new(LogStore::new());
+    let listener = SyslogListener::start(
+        store,
+        None,
+        ListenerConfig {
+            frontend: Frontend::Threads,
+            ..ListenerConfig::default()
+        },
+    )
+    .expect("bind loopback listener");
+    let addr = listener.tcp_addr();
+
+    const CHURN: u64 = 60;
+    for k in 0..CHURN {
+        let mut sock = TcpStream::connect(addr).expect("connect");
+        sock.write_all(format!("<13>Oct 11 22:14:15 cn0001 app: churn {k}\n").as_bytes())
+            .expect("write");
+        // Close and wait for the frame so each connection fully retires
+        // (thread exit may lag the close by a scheduler tick).
+        drop(sock);
+        assert!(
+            wait_until(5_000, || listener.stats().snapshot().ingested == k + 1),
+            "frame {k} never ingested: {:?}",
+            listener.stats().snapshot()
+        );
+    }
+    assert!(
+        listener.conn_thread_count() < CHURN as usize,
+        "handle vec grew monotonically: {} handles after {CHURN} connections",
+        listener.conn_thread_count()
+    );
+
+    // Probe connections trigger reaps of the (by now finished) churn
+    // threads; the tracked count must drop to just-live handles.
+    assert!(
+        wait_until(5_000, || {
+            let sock = TcpStream::connect(addr).expect("probe connect");
+            drop(sock);
+            listener.conn_thread_count() <= 3
+        }),
+        "reap never converged: {} handles tracked",
+        listener.conn_thread_count()
+    );
+
+    let report = listener.shutdown();
+    assert_eq!(report.ingested, CHURN);
+}
+
+/// The reactor and thread front ends must be interchangeable: the same
+/// hostile traffic produces identical ingest ledgers and stored content
+/// through both.
+#[test]
+fn reactor_and_thread_frontends_produce_identical_ledgers() {
+    let mut reports = Vec::new();
+    for frontend in [Frontend::Threads, Frontend::Reactor { threads: 2 }] {
+        let store = Arc::new(LogStore::new());
+        let listener = SyslogListener::start(
+            store.clone(),
+            None,
+            ListenerConfig {
+                frontend,
+                workers: 2,
+                ..ListenerConfig::default()
+            },
+        )
+        .expect("bind loopback listener");
+        match frontend {
+            Frontend::Threads => assert_eq!(listener.n_reactors(), 0),
+            Frontend::Reactor { threads } => assert_eq!(listener.n_reactors(), threads),
+        }
+        let addr = listener.tcp_addr();
+        let clients: Vec<_> = (0..3)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let mut sock = TcpStream::connect(addr).expect("connect");
+                    let mut wire = Vec::new();
+                    for k in 0..20 {
+                        let frame =
+                            format!("<13>Oct 11 22:14:{:02} cn{c:04} app: parity {k}", k % 60);
+                        if k % 2 == 0 {
+                            wire.extend_from_slice(format!("{} {frame}", frame.len()).as_bytes());
+                        } else {
+                            wire.extend_from_slice(frame.as_bytes());
+                            wire.push(b'\n');
+                        }
+                    }
+                    wire.extend_from_slice(b"999999 \n"); // corrupt count
+                    for chunk in wire.chunks(17) {
+                        sock.write_all(chunk).expect("write");
+                    }
+                })
+            })
+            .collect();
+        for client in clients {
+            client.join().expect("client thread");
+        }
+        assert!(
+            wait_until(10_000, || listener.stats().snapshot().ingested == 60),
+            "timed out under {frontend:?}: {:?}",
+            listener.stats().snapshot()
+        );
+        let report = listener.shutdown();
+        assert_eq!(store.len(), 60);
+        reports.push((
+            report.frames,
+            report.ingested,
+            report.shed,
+            report.parse_errors,
+            report.decode_dropped,
+            report.connections,
+        ));
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "thread and reactor front ends must account identically"
+    );
 }
 
 #[test]

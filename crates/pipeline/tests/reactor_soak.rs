@@ -1,0 +1,175 @@
+//! High-fanout soak for the epoll reactor front end: 512 short-lived
+//! concurrent connections multiplexed onto a 2-thread reactor pool, with
+//! the full conservation ledger asserted after the drain:
+//!
+//! ```text
+//! frames == stored + Σ dropped{reason}
+//! connections_opened == connections_closed
+//! ```
+//!
+//! This is the workload shape the reactor exists for — far more
+//! connections than threads — and the one the thread-per-connection
+//! front end handles by spawning 512 OS threads.
+
+use logpipeline::{Frontend, ListenerConfig, LogStore, OverloadPolicy, SyslogListener};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Poll `cond` until it holds or `deadline_ms` passes.
+fn wait_until(deadline_ms: u64, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+/// 512 connections (32 writer threads × 16 sequential connections each),
+/// every connection sending a handful of frames — the last one left as an
+/// unterminated tail the close must flush.
+#[test]
+fn reactor_soak_512_connections_conserves_ledger() {
+    const WRITERS: usize = 32;
+    const CONNS_PER_WRITER: usize = 16;
+    const FRAMES_PER_CONN: u64 = 4; // 3 LF-framed + 1 flushed tail
+    const CONNECTIONS: u64 = (WRITERS * CONNS_PER_WRITER) as u64;
+    const EXPECTED: u64 = CONNECTIONS * FRAMES_PER_CONN;
+
+    let store = Arc::new(LogStore::new());
+    let listener = SyslogListener::start(
+        store.clone(),
+        None,
+        ListenerConfig {
+            frontend: Frontend::Reactor { threads: 2 },
+            workers: 2,
+            queue_depth: 1024,
+            overload: OverloadPolicy::Block,
+            ..ListenerConfig::default()
+        },
+    )
+    .expect("bind loopback listener");
+    assert_eq!(listener.n_reactors(), 2);
+    let addr = listener.tcp_addr();
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            std::thread::spawn(move || {
+                for c in 0..CONNS_PER_WRITER {
+                    let mut sock = TcpStream::connect(addr).expect("connect");
+                    let mut wire = Vec::new();
+                    for k in 0..FRAMES_PER_CONN - 1 {
+                        wire.extend_from_slice(
+                            format!("<13>Oct 11 22:14:15 cn{w:02}{c:02} app: soak {k}\n")
+                                .as_bytes(),
+                        );
+                    }
+                    // Unterminated tail: only the close flushes it.
+                    wire.extend_from_slice(
+                        format!("<13>Oct 11 22:14:15 cn{w:02}{c:02} app: soak tail").as_bytes(),
+                    );
+                    sock.write_all(&wire).expect("write");
+                    drop(sock); // short-lived: close immediately
+                }
+            })
+        })
+        .collect();
+    for writer in writers {
+        writer.join().expect("writer thread");
+    }
+
+    assert!(
+        wait_until(60_000, || {
+            let s = listener.stats().snapshot();
+            s.ingested == EXPECTED && s.connections == CONNECTIONS
+        }),
+        "soak never quiesced: {:?}",
+        listener.stats().snapshot()
+    );
+
+    let reactor_stats = listener.reactor_stats_handle();
+    let opened = listener.stats().connections_opened.clone();
+    let closed = listener.stats().connections_closed.clone();
+    let report = listener.shutdown();
+
+    // Conservation: every decoded frame is stored or dropped by reason.
+    assert_eq!(
+        report.frames,
+        report.ingested + report.shed + report.parse_errors,
+        "frame ledger must balance: {report:?}"
+    );
+    assert_eq!(report.frames, EXPECTED, "every frame decoded, tails included");
+    assert_eq!(report.ingested, EXPECTED, "lossless under Block");
+    assert_eq!(report.connections, CONNECTIONS);
+    assert_eq!(store.len() as u64, EXPECTED);
+
+    // Connection ledger: after the drain every accept has a matching
+    // close, and no reactor still holds a registered connection.
+    assert_eq!(opened.get(), CONNECTIONS);
+    assert_eq!(
+        closed.get(),
+        opened.get(),
+        "every accepted connection must be closed after the drain"
+    );
+    let registered: i64 = reactor_stats.iter().map(|r| r.connections.get()).sum();
+    assert_eq!(registered, 0, "drain must deregister every connection");
+    let wakeups: u64 = reactor_stats.iter().map(|r| r.wakeups.get()).sum();
+    assert!(wakeups > 0, "reactors must actually have run");
+}
+
+/// The connection ledger balances even when peers vanish mid-frame: every
+/// opened connection is closed by EOF, idle sweep, or the drain.
+#[test]
+fn reactor_balances_opened_and_closed_across_abrupt_disconnects() {
+    let store = Arc::new(LogStore::new());
+    let listener = SyslogListener::start(
+        store,
+        None,
+        ListenerConfig {
+            frontend: Frontend::Reactor { threads: 2 },
+            workers: 1,
+            ..ListenerConfig::default()
+        },
+    )
+    .expect("bind loopback listener");
+    let addr = listener.tcp_addr();
+
+    // 64 peers connect, write half a frame, and vanish without closing
+    // cleanly in order (socket drop sends RST or FIN mid-decode).
+    let socks: Vec<TcpStream> = (0..64)
+        .map(|k| {
+            let mut sock = TcpStream::connect(addr).expect("connect");
+            sock.write_all(format!("<13>Oct 11 22:14:15 cn{k:04} app: abrupt").as_bytes())
+                .expect("write");
+            sock
+        })
+        .collect();
+    assert!(
+        wait_until(10_000, || {
+            listener.stats().snapshot().connections == 64
+        }),
+        "connects never landed: {:?}",
+        listener.stats().snapshot()
+    );
+    drop(socks);
+
+    // Every tail flushes and every close is accounted without a drain.
+    assert!(
+        wait_until(10_000, || listener.stats().snapshot().ingested == 64),
+        "tails never flushed: {:?}",
+        listener.stats().snapshot()
+    );
+    let closed = listener.stats().connections_closed.clone();
+    assert!(
+        wait_until(10_000, || closed.get() == 64),
+        "closes never accounted: {}",
+        closed.get()
+    );
+    let report = listener.shutdown();
+    assert_eq!(report.connections, 64);
+    assert_eq!(report.ingested, 64);
+}

@@ -41,7 +41,7 @@ pub mod timestamp;
 
 pub use dialect::{detect_dialect, Dialect};
 pub use error::ParseError;
-pub use framing::{split_stream, FrameDecoder};
+pub use framing::{find_byte_scalar, find_byte_swar, split_stream, FrameDecoder};
 pub use message::{Protocol, SyslogMessage};
 pub use normalize::{mask_variables, normalize_message, NormalizeOptions};
 pub use pri::{Facility, Severity};

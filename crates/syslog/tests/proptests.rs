@@ -3,7 +3,26 @@
 
 use proptest::prelude::*;
 use syslog_model::pri::{decode_pri, encode_pri};
-use syslog_model::{mask_variables, parse, FrameDecoder, NormalizeOptions, Timestamp};
+use syslog_model::{
+    find_byte_scalar, find_byte_swar, mask_variables, parse, FrameDecoder, NormalizeOptions,
+    Timestamp,
+};
+
+/// Drive the same chunked byte stream through the SWAR decoder and the
+/// scalar oracle, asserting byte-exact agreement at every step: emitted
+/// frames, buffered bytes, drop accounting, and the flushed tail.
+fn assert_swar_scalar_parity(wire: &[u8], chunk: usize) -> Result<(), TestCaseError> {
+    let mut swar = FrameDecoder::new();
+    let mut scalar = FrameDecoder::scalar_oracle();
+    for piece in wire.chunks(chunk.max(1)) {
+        prop_assert_eq!(swar.push(piece), scalar.push(piece));
+        prop_assert_eq!(swar.pending(), scalar.pending());
+        prop_assert_eq!(swar.dropped(), scalar.dropped());
+    }
+    prop_assert_eq!(swar.finish(), scalar.finish());
+    prop_assert_eq!(swar.dropped(), scalar.dropped());
+    Ok(())
+}
 
 proptest! {
     /// The permissive entry point must accept any non-empty string without
@@ -139,6 +158,62 @@ proptest! {
         // A second finish is a no-op.
         prop_assert_eq!(decoder.finish(), None);
         let _ = emitted;
+    }
+
+    /// SWAR boundary scanner vs the naive byte loop: identical on
+    /// arbitrary haystack/needle pairs, including needles absent, repeated,
+    /// and sitting in high-bit bytes.
+    #[test]
+    fn swar_find_byte_matches_scalar(
+        hay in proptest::collection::vec(0u8..=255u8, 0..128),
+        needle in 0u8..=255u8,
+    ) {
+        prop_assert_eq!(find_byte_swar(&hay, needle), find_byte_scalar(&hay, needle));
+    }
+
+    /// SWAR vs scalar framing on arbitrary byte soup (invalid UTF-8, NULs,
+    /// digit runs, embedded LFs) under arbitrary chunking: same frames,
+    /// same pending bytes, same dead-letter (dropped) accounting.
+    #[test]
+    fn swar_framing_parity_on_byte_soup(
+        soup in proptest::collection::vec(0u8..=255u8, 0..2048),
+        chunk in 1usize..64,
+    ) {
+        assert_swar_scalar_parity(&soup, chunk)?;
+    }
+
+    /// Parity on adversarial structured wire: octet-counted frames whose
+    /// `LEN ` headers split across pushes, blank-line floods, corrupt
+    /// counts, and NUL-bearing payloads — the inputs where the boundary
+    /// scan actually steers framing decisions.
+    #[test]
+    fn swar_framing_parity_on_hostile_wire(
+        payloads in proptest::collection::vec("[ -~]{1,80}", 1..8),
+        blanks in 0usize..300,
+        corrupt in 0u8..2,
+        chunk in 1usize..8,
+    ) {
+        let corrupt = corrupt == 1;
+        let mut wire = Vec::new();
+        wire.extend(std::iter::repeat_n(b'\n', blanks));
+        for (k, p) in payloads.iter().enumerate() {
+            match k % 3 {
+                // Octet-counted; the tiny chunk size splits its header.
+                0 => wire.extend_from_slice(format!("{} {p}", p.len()).as_bytes()),
+                // LF-framed with a NUL spliced in.
+                1 => {
+                    wire.extend_from_slice(p.as_bytes());
+                    wire.push(0);
+                    wire.push(b'\n');
+                }
+                // CRLF-framed.
+                _ => wire.extend_from_slice(format!("{p}\r\n").as_bytes()),
+            }
+            if corrupt {
+                wire.extend_from_slice(b"999999 ");
+            }
+        }
+        assert_swar_scalar_parity(&wire, chunk)?;
     }
 
     /// Timestamp parsers never panic on arbitrary bytes (lossy-converted),

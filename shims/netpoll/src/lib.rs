@@ -1,0 +1,367 @@
+//! Offline shim: a minimal epoll + eventfd readiness API.
+//!
+//! This build environment has no registry access, so instead of `mio` or
+//! `libc` the workspace vendors the thin slice of the Linux readiness
+//! interface the reactor front end actually needs: one [`Poller`] per
+//! reactor thread (level-triggered `epoll`), plus an [`EventFd`] each so a
+//! shutdown can interrupt `epoll_wait` immediately instead of waiting out
+//! a poll interval. The `extern "C"` declarations below bind straight to
+//! the glibc symbols every Rust binary already links — no new dependency.
+//!
+//! The API mirrors the shape of `mio::Poll`/`polling` closely enough that
+//! swapping a real crate in later is mechanical: register file descriptors
+//! with a `u64` token, wait for a batch of [`Event`]s, re-arm nothing
+//! (level-triggered readiness re-reports until the fd is drained).
+//!
+//! Everything here is Linux-specific by design — the workspace targets
+//! Linux (see CI), and the listener keeps a portable thread-per-connection
+//! front end (`frontend = threads`) as the escape hatch for anything else.
+
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+
+/// `epoll_event.events` flag: the fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// `epoll_event.events` flag: an error condition is pending.
+pub const EPOLLERR: u32 = 0x008;
+/// `epoll_event.events` flag: the peer hung up.
+pub const EPOLLHUP: u32 = 0x010;
+/// `epoll_event.events` flag: the peer shut down the write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel ABI
+/// predates alignment-friendly layouts), so reads of `data` must go
+/// through a copy rather than a reference.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct RawEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut RawEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut RawEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+    fn listen(fd: i32, backlog: i32) -> i32;
+}
+
+/// Re-issue `listen(2)` on an already-listening socket to resize its
+/// accept backlog. The standard library hardwires a backlog of 128,
+/// which a high-fanout connect storm overflows; with `tcp_syncookies`
+/// enabled the kernel then silently drops handshake-completing ACKs and
+/// the stragglers crawl in on client retransmit backoff (seconds to
+/// minutes). Linux explicitly permits a second `listen` to update
+/// `sk_max_ack_backlog`; the kernel clamps to `net.core.somaxconn`.
+pub fn set_listen_backlog(sock: &impl AsRawFd, backlog: i32) -> io::Result<()> {
+    // SAFETY: plain syscall on a borrowed fd, no pointers.
+    if unsafe { listen(sock.as_raw_fd(), backlog) } < 0 {
+        return Err(last_os_error());
+    }
+    Ok(())
+}
+
+fn last_os_error() -> io::Error {
+    io::Error::last_os_error()
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Raw `EPOLL*` readiness bits.
+    pub readiness: u32,
+}
+
+impl Event {
+    /// The fd has bytes to read (or a pending hangup that a read will
+    /// surface as EOF — callers treat both as "go read").
+    pub fn readable(&self) -> bool {
+        self.readiness & (EPOLLIN | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0
+    }
+
+    /// The peer hung up or the fd errored; no more data will arrive.
+    pub fn closed(&self) -> bool {
+        self.readiness & (EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0
+    }
+}
+
+/// A level-triggered epoll instance.
+///
+/// Level-triggered is the deliberate choice here: a connection whose
+/// buffered bytes were only partially read is re-reported on the next
+/// `wait`, so the reactor can cap per-wakeup read work for fairness
+/// without bookkeeping re-arm state (edge-triggered would require
+/// draining every fd to `EWOULDBLOCK` on every event).
+pub struct Poller {
+    epfd: RawFd,
+    /// Kernel-facing event buffer, reused across waits so the hot loop
+    /// never allocates.
+    raw: Vec<RawEvent>,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller").field("epfd", &self.epfd).finish()
+    }
+}
+
+impl Poller {
+    /// A new epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: plain syscall, no pointers.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(last_os_error());
+        }
+        Ok(Poller {
+            epfd,
+            raw: Vec::new(),
+        })
+    }
+
+    /// Register `fd` for level-triggered readable interest under `token`.
+    /// The caller keeps ownership of the fd and must keep it open while
+    /// registered.
+    pub fn add(&self, fd: &impl AsRawFd, token: u64) -> io::Result<()> {
+        let mut ev = RawEvent {
+            events: EPOLLIN | EPOLLRDHUP,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd.as_raw_fd(), &mut ev) };
+        if rc < 0 {
+            return Err(last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Deregister `fd`. Harmless to call for an fd the kernel already
+    /// dropped from the interest list (closing an fd deregisters it).
+    pub fn delete(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        let mut ev = RawEvent { events: 0, data: 0 };
+        // SAFETY: `ev` is ignored for DEL on modern kernels but must be
+        // non-null for pre-2.6.9 compatibility per epoll_ctl(2).
+        let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd.as_raw_fd(), &mut ev) };
+        if rc < 0 {
+            return Err(last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Block until at least one registered fd is ready or `timeout_ms`
+    /// elapses (`None` = wait forever). Ready events are appended to
+    /// `events` (cleared first) up to its capacity; returns the count.
+    /// EINTR is retried internally.
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: Option<i32>) -> io::Result<usize> {
+        events.clear();
+        let cap = events.capacity().max(1).min(1024) as i32;
+        self.raw.resize(cap as usize, RawEvent { events: 0, data: 0 });
+        let timeout = timeout_ms.unwrap_or(-1);
+        loop {
+            // SAFETY: `self.raw` holds `cap` writable events for the kernel.
+            let n = unsafe { epoll_wait(self.epfd, self.raw.as_mut_ptr(), cap, timeout) };
+            if n < 0 {
+                let err = last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            }
+            for e in &self.raw[..n as usize] {
+                let e = *e; // copy out of the packed struct
+                events.push(Event {
+                    token: e.data,
+                    readiness: e.events,
+                });
+            }
+            return Ok(n as usize);
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: we own the fd.
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// A nonblocking eventfd used as a cross-thread wakeup: any thread may
+/// [`EventFd::wake`], the owning reactor registers it on its [`Poller`]
+/// and [`EventFd::drain`]s on readiness.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// A new nonblocking, close-on-exec eventfd with counter 0.
+    pub fn new() -> io::Result<EventFd> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(last_os_error());
+        }
+        Ok(EventFd { fd })
+    }
+
+    /// Make the fd readable (adds 1 to the counter). Multiple wakes before
+    /// a drain coalesce into one readiness event.
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        // SAFETY: writes exactly 8 bytes from a stack value.
+        let rc = unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+        if rc < 0 {
+            let err = last_os_error();
+            // A full counter still wakes the poller; not an error here.
+            if err.kind() == io::ErrorKind::WouldBlock {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Reset the counter so the fd stops reporting readable.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        // SAFETY: reads at most 8 bytes into a stack buffer. EAGAIN (the
+        // counter was already 0) is fine — drained is drained.
+        unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+    }
+}
+
+impl AsRawFd for EventFd {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        // SAFETY: we own the fd.
+        unsafe { close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod backlog_tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn listen_backlog_can_be_resized() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        set_listen_backlog(&listener, 1024).expect("re-listen with a larger backlog");
+        // The socket still accepts after the resize.
+        let addr = listener.local_addr().unwrap();
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let (_conn, _peer) = listener.accept().unwrap();
+        drop(client);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn eventfd_wakes_poller_and_drains() {
+        let mut poller = Poller::new().unwrap();
+        let efd = EventFd::new().unwrap();
+        poller.add(&efd, 7).unwrap();
+        let mut events = Vec::with_capacity(8);
+
+        // Nothing pending: a short wait times out empty.
+        assert_eq!(poller.wait(&mut events, Some(10)).unwrap(), 0);
+
+        efd.wake().unwrap();
+        efd.wake().unwrap(); // coalesces with the first
+        assert_eq!(poller.wait(&mut events, Some(1000)).unwrap(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable());
+
+        efd.drain();
+        assert_eq!(poller.wait(&mut events, Some(10)).unwrap(), 0);
+    }
+
+    #[test]
+    fn wake_from_another_thread_interrupts_wait() {
+        let mut poller = Poller::new().unwrap();
+        let efd = std::sync::Arc::new(EventFd::new().unwrap());
+        poller.add(&*efd, 1).unwrap();
+        let waker = efd.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.wake().unwrap();
+        });
+        let started = Instant::now();
+        let mut events = Vec::with_capacity(4);
+        // A 10s timeout that the wake must cut short.
+        poller.wait(&mut events, Some(10_000)).unwrap();
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert_eq!(events[0].token, 1);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_readiness_reports_data_and_hangup() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller.add(&server, 42).unwrap();
+        let mut events = Vec::with_capacity(8);
+
+        client.write_all(b"hello").unwrap();
+        assert!(poller.wait(&mut events, Some(2000)).unwrap() >= 1);
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].readable());
+        let mut buf = [0u8; 16];
+        let mut server_read = &server;
+        assert_eq!(server_read.read(&mut buf).unwrap(), 5);
+
+        // Level-triggered: drained fd goes quiet again.
+        assert_eq!(poller.wait(&mut events, Some(10)).unwrap(), 0);
+
+        drop(client);
+        assert!(poller.wait(&mut events, Some(2000)).unwrap() >= 1);
+        assert!(events[0].closed());
+        poller.delete(&server).unwrap();
+    }
+
+    #[test]
+    fn delete_stops_reporting() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(&server, 9).unwrap();
+        client.write_all(b"x").unwrap();
+        let mut events = Vec::with_capacity(4);
+        assert!(poller.wait(&mut events, Some(2000)).unwrap() >= 1);
+        poller.delete(&server).unwrap();
+        assert_eq!(poller.wait(&mut events, Some(10)).unwrap(), 0);
+    }
+}

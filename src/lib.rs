@@ -81,8 +81,9 @@ pub mod prelude {
     };
     pub use logpipeline::{
         compare_to_arch_peers, sensor_sweep, BulkSink, ClassifyingIngest, ClusterTopology, FanOut,
-        FaultPlan, FileSink, IngestPipeline, ListenerConfig, LogStore, MetricSink, OverloadPolicy,
-        Query, SensorVerdict, Sink, SinkLaneConfig, SinkSpec, SpillConfig, SyslogListener,
+        FaultPlan, FileSink, Frontend, IngestPipeline, ListenerConfig, LogStore, MetricSink,
+        OverloadPolicy, Query, SensorVerdict, Sink, SinkLaneConfig, SinkSpec, SpillConfig,
+        SyslogListener,
     };
     pub use obs::{Registry, Telemetry};
     pub use syslog_model::{parse, split_stream, FrameDecoder, Severity, SyslogMessage};

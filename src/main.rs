@@ -5,7 +5,7 @@
 //! hetsyslog train    --corpus corpus.jsonl --model cnb --out model.json
 //! hetsyslog classify --model model.json [--explain]   (messages on stdin)
 //! hetsyslog eval     --scale 0.02 [--drop-unimportant]
-//! hetsyslog monitor  --frames 20000 --workers 4
+//! hetsyslog monitor  --frames 20000 --workers 4 [--frontend reactor:threads=2]
 //! hetsyslog summarize --scale 0.01 --window 60
 //! ```
 //!
@@ -55,6 +55,7 @@ fn usage_and_exit() -> ! {
          \x20 classify   --model FILE [--explain]           classify stdin lines\n\
          \x20 eval       --scale F [--drop-unimportant]     run the Figure 3 evaluation\n\
          \x20 monitor    --frames N --workers N [--sink SPEC]... [--spill DIR]  simulate real-time monitoring\n\
+         \x20            [--frontend threads|reactor[:threads=N] [--conns N]]   replay over a live TCP listener\n\
          \x20 top        --addr HOST:PORT [--interval-ms N] one-shot dashboard from a /metrics scrape\n\
          \x20 templates  --frames N [--top K] [--histogram PATTERN --slot N]  mine the stream into a columnar store\n\
          \x20 summarize  --scale F --window MIN             LLM status summary (future-work demo)\n\n\
@@ -330,10 +331,30 @@ fn parse_sink_specs(opts: &Opts, registry: &Registry) -> Result<Vec<SinkSpec>, S
     Ok(specs)
 }
 
+/// Parse a `--frontend` spec: `threads`, `reactor`, or `reactor:threads=N`.
+fn parse_frontend(spec: &str) -> Result<Frontend, String> {
+    match spec.split_once(':') {
+        None if spec == "threads" => Ok(Frontend::Threads),
+        None if spec == "reactor" => Ok(Frontend::Reactor { threads: 0 }),
+        Some(("reactor", arg)) => {
+            let n = arg
+                .strip_prefix("threads=")
+                .ok_or_else(|| format!("--frontend reactor:{arg}: want reactor:threads=N"))?
+                .parse()
+                .map_err(|_| format!("--frontend reactor:{arg}: thread count must be a number"))?;
+            Ok(Frontend::Reactor { threads: n })
+        }
+        _ => Err(format!(
+            "unknown front end {spec:?} (want threads, reactor, or reactor:threads=N)"
+        )),
+    }
+}
+
 fn cmd_monitor(opts: &Opts) -> Result<(), String> {
     let frames = opts.get_u64("frames", 20_000)? as usize;
     let workers = opts.get_u64("workers", 4)? as usize;
     let seed = opts.get_u64("seed", 42)?;
+    let frontend = opts.get("frontend").map(parse_frontend).transpose()?;
     let corpus = load_corpus(opts)?;
     let clf: Arc<dyn TextClassifier> = Arc::new(TraditionalPipeline::train(
         FeatureConfig::default(),
@@ -354,10 +375,6 @@ fn cmd_monitor(opts: &Opts) -> Result<(), String> {
     } else {
         Some(FanOut::open(sink_specs, Some(&registry)).map_err(|e| e.to_string())?)
     };
-    let mut ingest = ClassifyingIngest::new(store.clone(), service.clone(), workers);
-    if let Some(fan_out) = &fan_out {
-        ingest = ingest.with_fan_out(fan_out.clone());
-    }
     let stream: Vec<String> = StreamGenerator::new(StreamConfig {
         seed,
         ..StreamConfig::default()
@@ -365,13 +382,31 @@ fn cmd_monitor(opts: &Opts) -> Result<(), String> {
     .take(frames)
     .map(|t| t.to_frame())
     .collect();
-    let report = ingest.run(stream);
+    let (ingested, seconds) = if let Some(frontend) = frontend {
+        // Replay the stream over loopback TCP through the real listener,
+        // exercising the chosen front end (epoll reactor or one thread
+        // per connection) end to end: framing, shard routing, batched
+        // classification, store, and sink fan-out.
+        run_monitor_listener(opts, frontend, workers, &stream, &store, &service, &fan_out)?
+    } else {
+        let mut ingest = ClassifyingIngest::new(store.clone(), service.clone(), workers);
+        if let Some(fan_out) = &fan_out {
+            ingest = ingest.with_fan_out(fan_out.clone());
+        }
+        let report = ingest.run(stream);
+        (report.ingested, report.seconds)
+    };
     let stats = service.stats();
+    let rate = if seconds > 0.0 {
+        ingested as f64 / seconds
+    } else {
+        0.0
+    };
     println!(
         "ingested {} frames in {:.2}s ({:.2}M msgs/hour sustained)",
-        report.ingested,
-        report.seconds,
-        report.messages_per_second() * 3600.0 / 1e6
+        ingested,
+        seconds,
+        rate * 3600.0 / 1e6
     );
     println!(
         "pre-filtered {} noise messages, {} alerts",
@@ -408,6 +443,76 @@ fn cmd_monitor(opts: &Opts) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// The `--frontend` monitor path: start a real [`SyslogListener`] on
+/// loopback with the requested TCP front end, split the frame stream
+/// across `--conns` octet-counting senders, wait for the drain, and
+/// return `(ingested, seconds)`. The listener's graceful shutdown also
+/// drains the sink fan-out, so the caller's `FanOut::shutdown` is a no-op.
+fn run_monitor_listener(
+    opts: &Opts,
+    frontend: Frontend,
+    workers: usize,
+    stream: &[String],
+    store: &Arc<LogStore>,
+    service: &Arc<MonitorService>,
+    fan_out: &Option<Arc<FanOut>>,
+) -> Result<(u64, f64), String> {
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+    let conns = (opts.get_u64("conns", 8)? as usize).max(1);
+    let listener = SyslogListener::start(
+        store.clone(),
+        Some(service.clone()),
+        ListenerConfig {
+            frontend,
+            workers,
+            queue_depth: 4096,
+            overload: OverloadPolicy::Block,
+            fan_out: fan_out.clone(),
+            ..ListenerConfig::default()
+        },
+    )
+    .map_err(|e| format!("start listener: {e}"))?;
+    let addr = listener.tcp_addr();
+    println!(
+        "listener up: tcp={addr}, front end {frontend:?} ({} reactor thread(s)), {conns} connection(s)",
+        listener.n_reactors(),
+    );
+
+    let started = Instant::now();
+    let senders: Vec<_> = (0..conns)
+        .map(|c| {
+            let share: Vec<String> = stream.iter().skip(c).step_by(conns).cloned().collect();
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut sock =
+                    TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                let mut wire = Vec::with_capacity(share.iter().map(|f| f.len() + 8).sum());
+                for frame in &share {
+                    wire.extend_from_slice(format!("{} {frame}", frame.len()).as_bytes());
+                }
+                sock.write_all(&wire).map_err(|e| format!("write: {e}"))
+            })
+        })
+        .collect();
+    for sender in senders {
+        sender.join().map_err(|_| "sender thread panicked".to_string())??;
+    }
+    let expected = stream.len() as u64;
+    let deadline = Instant::now() + Duration::from_secs(300);
+    while listener.stats().snapshot().ingested < expected && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    let report = listener.shutdown();
+    if report.ingested < expected {
+        return Err(format!(
+            "listener drained only {} of {expected} frames: {report:?}",
+            report.ingested
+        ));
+    }
+    Ok((report.ingested, seconds))
 }
 
 /// `hetsyslog top` — a one-shot terminal dashboard rendered from two
