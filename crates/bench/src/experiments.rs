@@ -812,9 +812,26 @@ fn live_batch_run(
             max_batch,
             max_delay: Duration::from_millis(2),
             // The overhead gate's "instrumented" arm: full registry-backed
-            // telemetry with the scrape endpoint up (nobody scraping).
+            // telemetry with the scrape endpoint up (nobody scraping), the
+            // flight-recorder sampler ticking at its default cadence, and a
+            // representative alert rule evaluated on every sample — the gate
+            // measures the whole observability stack, not just counters.
             telemetry: instrumented.then(obs::Telemetry::new_arc),
             serve_metrics: instrumented,
+            record_flight: instrumented,
+            alert_rules: if instrumented {
+                vec![obs::Rule::threshold(
+                    "ingest_stall",
+                    "hetsyslog_ingest_frames_total",
+                    obs::RuleInput::Rate,
+                    obs::Cmp::Lt,
+                    1.0,
+                )
+                .over_ms(2_000)
+                .for_ms(1_000)]
+            } else {
+                Vec::new()
+            },
             ..ListenerConfig::default()
         },
     )
@@ -1165,7 +1182,8 @@ pub fn xp_throughput(args: &ExpArgs) -> ExperimentOutput {
 
 /// The telemetry overhead gate: the live micro-batched listener path at
 /// `max_batch = 64`, with all instruments detached vs. registered on a
-/// live registry (spans on, scrape endpoint up). Returned as a standalone
+/// live registry (spans on, scrape endpoint up, flight-recorder sampler
+/// ticking, one alert rule evaluated per sample). Returned as a standalone
 /// JSON section for `BENCH_throughput.json` — deliberately NOT part of
 /// [`xp_throughput`]'s conformance value, so goldens never see it.
 ///
@@ -1508,37 +1526,37 @@ pub fn ingest_frontend(args: &ExpArgs) -> Value {
 
     let mut sweep = Vec::new();
     let mut baseline_cats: Option<[u64; 8]> = None;
-    let rate_at = |frontend: Frontend, connections: usize, shards: usize,
-                   baseline: &mut Option<[u64; 8]>| {
-        // One octet-counted wire per connection, frames dealt round-robin.
-        let wires: Vec<Vec<u8>> = (0..connections)
-            .map(|c| {
-                let mut wire = Vec::new();
-                for frame in frames.iter().skip(c).step_by(connections) {
-                    wire.extend_from_slice(format!("{} {frame}", frame.len()).as_bytes());
+    let rate_at =
+        |frontend: Frontend, connections: usize, shards: usize, baseline: &mut Option<[u64; 8]>| {
+            // One octet-counted wire per connection, frames dealt round-robin.
+            let wires: Vec<Vec<u8>> = (0..connections)
+                .map(|c| {
+                    let mut wire = Vec::new();
+                    for frame in frames.iter().skip(c).step_by(connections) {
+                        wire.extend_from_slice(format!("{} {frame}", frame.len()).as_bytes());
+                    }
+                    wire
+                })
+                .collect();
+            // Best-of-2: the faster run is the less-interfered estimate on a
+            // shared host (12 configurations keep the sweep affordable).
+            let mut best: Option<(f64, u64, [u64; 8], usize)> = None;
+            for _ in 0..2 {
+                let run = live_frontend_run(&wires, expected, clf.clone(), frontend, shards);
+                if best.as_ref().is_none_or(|(s, ..)| run.0 < *s) {
+                    best = Some(run);
                 }
-                wire
-            })
-            .collect();
-        // Best-of-2: the faster run is the less-interfered estimate on a
-        // shared host (12 configurations keep the sweep affordable).
-        let mut best: Option<(f64, u64, [u64; 8], usize)> = None;
-        for _ in 0..2 {
-            let run = live_frontend_run(&wires, expected, clf.clone(), frontend, shards);
-            if best.as_ref().is_none_or(|(s, ..)| run.0 < *s) {
-                best = Some(run);
             }
-        }
-        let (seconds, p99_us, cats, frontend_threads) = best.expect("two runs completed");
-        match baseline {
-            None => *baseline = Some(cats),
-            Some(expect) => assert_eq!(
-                &cats, expect,
-                "front-end predictions diverged at {frontend:?} conns={connections}"
-            ),
-        }
-        (expected as f64 / seconds, p99_us, frontend_threads)
-    };
+            let (seconds, p99_us, cats, frontend_threads) = best.expect("two runs completed");
+            match baseline {
+                None => *baseline = Some(cats),
+                Some(expect) => assert_eq!(
+                    &cats, expect,
+                    "front-end predictions diverged at {frontend:?} conns={connections}"
+                ),
+            }
+            (expected as f64 / seconds, p99_us, frontend_threads)
+        };
 
     let mut rates: std::collections::HashMap<(bool, usize, usize), f64> =
         std::collections::HashMap::new();

@@ -70,6 +70,11 @@ struct CsrStageMetrics {
     rows: Arc<obs::Counter>,
     nnz: Arc<obs::Counter>,
     matrix_bytes: Arc<obs::Counter>,
+    /// Per-prediction confidence margin (winner's decision-score gap to
+    /// the runner-up) in thousandths, labeled by model. Shrinking margins
+    /// are the serving-time symptom of a model drifting off its training
+    /// distribution.
+    margin_milli: Arc<obs::Histogram>,
 }
 
 /// §4.3 preprocessing + a traditional ML model.
@@ -159,9 +164,22 @@ impl TextClassifier for TraditionalPipeline {
             }
             now
         });
-        let indices = self.model.predict_csr(&matrix);
+        // The scored kernel reuses the plain kernel's accumulation and
+        // decision rule, so predictions stay bit-identical; the margins
+        // only exist to feed the telemetry histogram, so an un-attached
+        // pipeline takes the plain path.
+        let (indices, margins) = if metrics.is_some() {
+            self.model.predict_csr_scored(&matrix)
+        } else {
+            (self.model.predict_csr(&matrix), None)
+        };
         if let (Some(t1), Some(m)) = (t1, metrics.as_ref()) {
             m.predict_us.record_duration_us(t1.elapsed());
+            if let Some(margins) = &margins {
+                for &margin in margins {
+                    m.margin_milli.record((margin * 1000.0) as u64);
+                }
+            }
         }
         drop(metrics);
         indices
@@ -195,6 +213,12 @@ impl TextClassifier for TraditionalPipeline {
                 "hetsyslog_transform_matrix_bytes_total",
                 "Heap bytes allocated for CSR batch matrices (cumulative)",
                 &[],
+            ),
+            margin_milli: registry.histogram(
+                "hetsyslog_model_confidence_margin_milli",
+                "Winner-vs-runner-up decision-score gap per batch prediction, \
+                 in thousandths",
+                &[("model", self.model.name())],
             ),
         });
     }
@@ -392,6 +416,40 @@ mod tests {
         for (m, b) in msgs.iter().zip(&batch) {
             assert_eq!(clf.classify(m).category, b.category);
         }
+    }
+
+    #[test]
+    fn attached_telemetry_records_margins_without_changing_predictions() {
+        let corpus = tiny_corpus();
+        let model = Box::new(ComplementNaiveBayes::new(ComplementNbConfig::default()));
+        let clf = TraditionalPipeline::train(feature_cfg(), model, &corpus);
+        let msgs = ["cpu temperature throttled", "sshd connection closed"];
+        let plain: Vec<_> = clf
+            .classify_batch(&msgs)
+            .iter()
+            .map(|p| p.category)
+            .collect();
+
+        let registry = obs::Registry::new();
+        clf.attach_telemetry(&registry);
+        let attached: Vec<_> = clf
+            .classify_batch(&msgs)
+            .iter()
+            .map(|p| p.category)
+            .collect();
+        assert_eq!(plain, attached);
+
+        let series = registry.gather();
+        let margins = series
+            .iter()
+            .find(|s| s.name == "hetsyslog_model_confidence_margin_milli")
+            .expect("margin histogram registered");
+        let hist = margins.histogram.as_ref().expect("histogram kind");
+        assert_eq!(hist.count, msgs.len() as u64);
+        assert!(margins
+            .labels
+            .iter()
+            .any(|(k, v)| k == "model" && v.contains("Naive Bayes")));
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! 5. [`explain`] — per-decision explanations (top contributing tokens).
 //! 6. [`service`] — the monitoring front end: category counters, alert
 //!    hooks for actionable categories.
-//! 7. [`eval`] — the evaluation harness that produces the paper's
+//! 7. [`model_quality`] — serving-time model health: prediction-share
+//!    counters and the PSI drift gauge comparing recent predictions to a
+//!    frozen startup baseline.
+//! 8. [`eval`] — the evaluation harness that produces the paper's
 //!    Figure 2/Figure 3 artifacts.
 
 pub mod classify;
@@ -24,6 +27,7 @@ pub mod eval;
 pub mod explain;
 pub mod features;
 pub mod filter;
+pub mod model_quality;
 pub mod persist;
 pub mod service;
 pub mod taxonomy;
@@ -32,6 +36,7 @@ pub use classify::{BucketBaseline, Prediction, TextClassifier, TraditionalPipeli
 pub use explain::Explanation;
 pub use features::{FeatureConfig, FeaturePipeline};
 pub use filter::NoiseFilter;
+pub use model_quality::ModelQuality;
 pub use persist::{canonicalize_json, to_canonical_json, SavedModel, SavedPipeline};
 pub use service::{
     batch_size_bucket, latency_bucket_upper_us, latency_bucket_us, latency_percentile_us, Alert,

@@ -9,6 +9,7 @@
 
 use crate::classify::{Prediction, TextClassifier};
 use crate::filter::NoiseFilter;
+use crate::model_quality::ModelQuality;
 use crate::taxonomy::Category;
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
@@ -369,6 +370,9 @@ pub struct MonitorService {
     throttle_window: u64,
     /// Alerts sent per category within the current window.
     window_state: Mutex<([u64; 8], u64)>,
+    /// Prediction-share counters + PSI drift gauge (always on; detached
+    /// instruments until [`MonitorService::attach_telemetry`]).
+    quality: ModelQuality,
 }
 
 impl MonitorService {
@@ -382,7 +386,19 @@ impl MonitorService {
             throttle: None,
             throttle_window: 10_000,
             window_state: Mutex::new(([0; 8], 0)),
+            quality: ModelQuality::new(),
         }
+    }
+
+    /// Replace the model-quality accounting (baseline / window sizing).
+    pub fn with_model_quality(mut self, quality: ModelQuality) -> MonitorService {
+        self.quality = quality;
+        self
+    }
+
+    /// The serving-time model-quality instruments.
+    pub fn model_quality(&self) -> &ModelQuality {
+        &self.quality
     }
 
     /// Cap alert volume: at most `max_per_category` alerts per category per
@@ -423,6 +439,7 @@ impl MonitorService {
         }
         let prediction = self.classifier.classify(message);
         counters.per_category[prediction.category.index()].inc();
+        self.quality.record(&[prediction.category]);
         if prediction.category.is_actionable() {
             if let Some(sink) = &self.sink {
                 if self.alert_permitted(prediction.category) {
@@ -463,8 +480,10 @@ impl MonitorService {
         let predictions = self.classifier.classify_batch(&kept_messages);
         // Pass 3: merge counters and alerts back in input order.
         let mut out: Vec<Option<Prediction>> = vec![None; messages.len()];
+        let mut categories = Vec::with_capacity(kept_indices.len());
         for (&i, prediction) in kept_indices.iter().zip(predictions) {
             counters.per_category[prediction.category.index()].inc();
+            categories.push(prediction.category);
             if prediction.category.is_actionable() {
                 if let Some(sink) = &self.sink {
                     if self.alert_permitted(prediction.category) {
@@ -479,6 +498,9 @@ impl MonitorService {
             }
             out[i] = Some(prediction);
         }
+        // Same category sequence as the scalar path → identical quality
+        // accounting (one batched record call).
+        self.quality.record(&categories);
         out
     }
 
@@ -539,8 +561,10 @@ impl MonitorService {
         // Pass 3: merge counters and alerts back in input order (same
         // sequence as the scalar path).
         let mut slots: Vec<Option<Prediction>> = vec![None; frames.len()];
+        let mut categories = Vec::with_capacity(kept_indices.len());
         for (&i, prediction) in kept_indices.iter().zip(predictions) {
             counters.per_category[prediction.category.index()].inc();
+            categories.push(prediction.category);
             if prediction.category.is_actionable() {
                 if let Some(sink) = &self.sink {
                     if self.alert_permitted(prediction.category) {
@@ -559,6 +583,7 @@ impl MonitorService {
             }
             slots[i] = Some(prediction);
         }
+        self.quality.record(&categories);
         drop(counters);
         parsed
             .into_iter()
@@ -611,6 +636,7 @@ impl MonitorService {
         registered.carry_over(&counters);
         *counters = registered;
         drop(counters);
+        self.quality.attach_telemetry(registry);
         self.classifier.attach_telemetry(registry);
     }
 
@@ -800,6 +826,44 @@ mod tests {
                 other => panic!("outcome mismatch: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn model_quality_accounting_matches_between_scalar_and_batch() {
+        use crate::model_quality::ModelQuality;
+        let messages: Vec<String> = (0..60)
+            .map(|i| {
+                if i % 3 == 0 {
+                    format!("cpu {i} hot")
+                } else {
+                    format!("nothing {i}")
+                }
+            })
+            .collect();
+        let refs: Vec<&str> = messages.iter().map(String::as_str).collect();
+        let scalar_svc = MonitorService::new(Arc::new(Stub))
+            .with_model_quality(ModelQuality::with_config(20, 20));
+        let batch_svc = MonitorService::new(Arc::new(Stub))
+            .with_model_quality(ModelQuality::with_config(20, 20));
+        for m in &refs {
+            scalar_svc.ingest(m);
+        }
+        batch_svc.ingest_batch(&refs);
+        assert!(scalar_svc.model_quality().baseline_frozen());
+        assert_eq!(
+            scalar_svc.model_quality().psi(),
+            batch_svc.model_quality().psi()
+        );
+        // The counters land on a registry via attach_telemetry.
+        let registry = obs::Registry::new();
+        batch_svc.attach_telemetry(&registry);
+        assert_eq!(
+            registry.counter_value(
+                "hetsyslog_model_predictions_total",
+                &[("category", Category::ThermalIssue.label())]
+            ),
+            Some(20)
+        );
     }
 
     #[test]

@@ -33,6 +33,19 @@ pub trait BatchClassifier: Classifier {
     fn predict_csr(&self, m: &CsrMatrix) -> Vec<usize> {
         map_row_chunks(m.n_rows(), |r| self.predict(&m.row_vec(r)))
     }
+
+    /// [`BatchClassifier::predict_csr`] plus a per-row confidence margin:
+    /// the winner's decision-score gap to the closest runner-up (in the
+    /// model's own score space), `0.0` when fewer than two classes compete.
+    ///
+    /// Predictions MUST be bit-identical to `predict_csr` — the linear
+    /// family derives the margin from the very score vector the decision
+    /// rule already reduced. Models without a meaningful margin (kNN's
+    /// vote counts, the default per-row fallback) return `None` and their
+    /// predictions stay on the plain path.
+    fn predict_csr_scored(&self, m: &CsrMatrix) -> (Vec<usize>, Option<Vec<f64>>) {
+        (self.predict_csr(m), None)
+    }
 }
 
 /// Run `per_row` over `0..n_rows` parallel in contiguous chunks, preserving
@@ -85,11 +98,29 @@ pub(crate) fn linear_predict_csr<D>(
 where
     D: Fn(&[f64]) -> usize + Sync,
 {
+    linear_map_csr(m, weights, bias, decide)
+}
+
+/// [`linear_predict_csr`] generalized to an arbitrary per-row reduction:
+/// `decide` sees the fully accumulated (bias-applied) score vector and may
+/// return any value — a class index, or a `(class, margin)` pair for the
+/// scored path. The accumulation loop is shared, so every caller gets the
+/// same floats in the same order.
+pub(crate) fn linear_map_csr<T, D>(
+    m: &CsrMatrix,
+    weights: &[Vec<f64>],
+    bias: Option<&[f64]>,
+    decide: D,
+) -> Vec<T>
+where
+    T: Send,
+    D: Fn(&[f64]) -> T + Sync,
+{
     let n_classes = weights.len();
     let n_features = weights.first().map(Vec::len).unwrap_or(0);
     let n_rows = m.n_rows();
     let n_chunks = n_rows.div_ceil(ROW_CHUNK).max(1);
-    let chunks: Vec<Vec<usize>> = (0..n_chunks)
+    let chunks: Vec<Vec<T>> = (0..n_chunks)
         .into_par_iter()
         .map(|chunk| {
             let lo = chunk * ROW_CHUNK;
@@ -118,7 +149,55 @@ where
             preds
         })
         .collect();
-    chunks.concat()
+    chunks.into_iter().flatten().collect()
+}
+
+/// The scored companion of [`linear_predict_csr`]: same kernel, but
+/// `decide` also reports the winner's confidence margin. Returns the
+/// predictions and margins as parallel vectors.
+pub(crate) fn linear_predict_csr_scored<D>(
+    m: &CsrMatrix,
+    weights: &[Vec<f64>],
+    bias: Option<&[f64]>,
+    decide: D,
+) -> (Vec<usize>, Vec<f64>)
+where
+    D: Fn(&[f64]) -> (usize, f64) + Sync,
+{
+    linear_map_csr(m, weights, bias, decide).into_iter().unzip()
+}
+
+/// The winner's gap to the closest competitor: `min_{c ≠ winner}
+/// |scores[c] − scores[winner]|`, or `0.0` when no competitor exists.
+pub(crate) fn margin_about(scores: &[f64], winner: usize) -> f64 {
+    let mut margin = f64::INFINITY;
+    for (c, &s) in scores.iter().enumerate() {
+        if c != winner {
+            let gap = (s - scores[winner]).abs();
+            if gap < margin {
+                margin = gap;
+            }
+        }
+    }
+    if margin.is_finite() {
+        margin
+    } else {
+        0.0
+    }
+}
+
+/// [`argmax`] plus the winner's margin — the scored decision rule for
+/// argmax-family linear models. The winner is computed by the *same*
+/// `argmax` call, so predictions cannot drift from the plain path.
+pub(crate) fn argmax_scored(scores: &[f64]) -> (usize, f64) {
+    let winner = argmax(scores);
+    (winner, margin_about(scores, winner))
+}
+
+/// [`argmin`] plus the winner's margin.
+pub(crate) fn argmin_scored(scores: &[f64]) -> (usize, f64) {
+    let winner = argmin(scores);
+    (winner, margin_about(scores, winner))
 }
 
 /// Index of the strictly greatest score, first winner on ties — the exact
@@ -222,6 +301,37 @@ mod tests {
                 .collect();
             assert_eq!(preds[r], argmax(&scores));
         }
+    }
+
+    #[test]
+    fn scored_kernel_agrees_with_plain_and_reports_runner_up_gap() {
+        let rows = vec![
+            SparseVec::from_pairs(vec![(0, 1.0), (2, 0.5), (9, 4.0)]),
+            SparseVec::new(),
+            SparseVec::from_pairs(vec![(1, -2.0), (3, 1.5)]),
+        ];
+        let m = CsrMatrix::from_rows(&rows, 4);
+        let weights = vec![vec![1.0, 2.0, 3.0, 4.0], vec![-1.0, 0.5, 0.0, 2.0]];
+        let bias = vec![0.25, -0.5];
+        let plain = linear_predict_csr(&m, &weights, Some(&bias), argmax);
+        let (scored, margins) = linear_predict_csr_scored(&m, &weights, Some(&bias), argmax_scored);
+        assert_eq!(scored, plain);
+        for (r, row) in rows.iter().enumerate() {
+            let scores: Vec<f64> = weights
+                .iter()
+                .zip(&bias)
+                .map(|(w, b)| row.dot_dense(w) + b)
+                .collect();
+            assert_eq!(margins[r], (scores[0] - scores[1]).abs());
+        }
+    }
+
+    #[test]
+    fn margin_is_zero_without_a_competitor() {
+        assert_eq!(margin_about(&[3.0], 0), 0.0);
+        assert_eq!(margin_about(&[], 0), 0.0);
+        assert_eq!(argmax_scored(&[2.0, 5.0, 4.0]), (1, 1.0));
+        assert_eq!(argmin_scored(&[2.0, 5.0, 4.0]), (0, 2.0));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! to train and test, at the cost of the lowest F1 in the paper's table
 //! (0.9523).
 
-use crate::batch::{linear_predict_csr, BatchClassifier};
+use crate::batch::{linear_map_csr, linear_predict_csr, BatchClassifier};
 use crate::dataset::Dataset;
 use crate::traits::Classifier;
 use serde::{Deserialize, Serialize};
@@ -102,6 +102,39 @@ impl BatchClassifier for NearestCentroid {
             }
             best
         })
+    }
+
+    fn predict_csr_scored(&self, m: &CsrMatrix) -> (Vec<usize>, Option<Vec<f64>>) {
+        assert!(!self.centroids.is_empty(), "predict before fit");
+        // Same reduced-distance rule as `predict_csr`; the margin is the
+        // winner's gap to the nearest *non-empty* competitor centroid, in
+        // the same reduced-distance space the decision was made in.
+        let scored: Vec<(usize, f64)> = linear_map_csr(m, &self.centroids, None, |dots| {
+            let mut best = 0;
+            let mut best_dist = f64::INFINITY;
+            let mut runner_up = f64::INFINITY;
+            for (c, (&dot, &c_sq)) in dots.iter().zip(&self.norm_sq).enumerate() {
+                if self.empty[c] {
+                    continue;
+                }
+                let dist = c_sq - 2.0 * dot;
+                if dist < best_dist {
+                    runner_up = best_dist;
+                    best_dist = dist;
+                    best = c;
+                } else if dist < runner_up {
+                    runner_up = dist;
+                }
+            }
+            let margin = if runner_up.is_finite() {
+                runner_up - best_dist
+            } else {
+                0.0
+            };
+            (best, margin)
+        });
+        let (preds, margins) = scored.into_iter().unzip();
+        (preds, Some(margins))
     }
 }
 

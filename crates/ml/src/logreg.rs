@@ -5,7 +5,9 @@
 //! the paper's Figure 3: a well-converged but not cheap linear model —
 //! slower to train than SGD, faster than Linear SVC.
 
-use crate::batch::{argmax, linear_predict_csr, BatchClassifier};
+use crate::batch::{
+    argmax, argmax_scored, linear_predict_csr, linear_predict_csr_scored, BatchClassifier,
+};
 use crate::dataset::Dataset;
 use crate::grad::accumulate_gradients;
 use crate::traits::Classifier;
@@ -152,6 +154,13 @@ impl BatchClassifier for LogisticRegression {
     fn predict_csr(&self, m: &CsrMatrix) -> Vec<usize> {
         assert!(!self.weights.is_empty(), "predict before fit");
         linear_predict_csr(m, &self.weights, Some(&self.bias), argmax)
+    }
+
+    fn predict_csr_scored(&self, m: &CsrMatrix) -> (Vec<usize>, Option<Vec<f64>>) {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        let (preds, margins) =
+            linear_predict_csr_scored(m, &self.weights, Some(&self.bias), argmax_scored);
+        (preds, Some(margins))
     }
 }
 

@@ -12,7 +12,9 @@
 //! predict(d) = argmin_c  Σ_i f_di * w_ci
 //! ```
 
-use crate::batch::{argmin, linear_predict_csr, BatchClassifier};
+use crate::batch::{
+    argmin, argmin_scored, linear_predict_csr, linear_predict_csr_scored, BatchClassifier,
+};
 use crate::dataset::Dataset;
 use crate::traits::Classifier;
 use serde::{Deserialize, Serialize};
@@ -163,6 +165,12 @@ impl BatchClassifier for ComplementNaiveBayes {
     fn predict_csr(&self, m: &CsrMatrix) -> Vec<usize> {
         assert!(!self.weights.is_empty(), "predict before fit");
         linear_predict_csr(m, &self.weights, None, argmin)
+    }
+
+    fn predict_csr_scored(&self, m: &CsrMatrix) -> (Vec<usize>, Option<Vec<f64>>) {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        let (preds, margins) = linear_predict_csr_scored(m, &self.weights, None, argmin_scored);
+        (preds, Some(margins))
     }
 }
 

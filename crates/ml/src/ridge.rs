@@ -2,7 +2,9 @@
 //! trained by full-batch gradient descent on ±1 targets — the standard
 //! `RidgeClassifier` formulation.
 
-use crate::batch::{argmax, linear_predict_csr, BatchClassifier};
+use crate::batch::{
+    argmax, argmax_scored, linear_predict_csr, linear_predict_csr_scored, BatchClassifier,
+};
 use crate::dataset::Dataset;
 use crate::grad::accumulate_gradients;
 use crate::traits::Classifier;
@@ -109,6 +111,13 @@ impl BatchClassifier for RidgeClassifier {
     fn predict_csr(&self, m: &CsrMatrix) -> Vec<usize> {
         assert!(!self.weights.is_empty(), "predict before fit");
         linear_predict_csr(m, &self.weights, Some(&self.bias), argmax)
+    }
+
+    fn predict_csr_scored(&self, m: &CsrMatrix) -> (Vec<usize>, Option<Vec<f64>>) {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        let (preds, margins) =
+            linear_predict_csr_scored(m, &self.weights, Some(&self.bias), argmax_scored);
+        (preds, Some(margins))
     }
 }
 

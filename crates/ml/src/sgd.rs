@@ -3,7 +3,9 @@
 //! trading a little F1 (0.9878 in the paper, the lowest of the linear
 //! models) for near-instant training.
 
-use crate::batch::{argmax, linear_predict_csr, BatchClassifier};
+use crate::batch::{
+    argmax, argmax_scored, linear_predict_csr, linear_predict_csr_scored, BatchClassifier,
+};
 use crate::dataset::Dataset;
 use crate::traits::Classifier;
 use rand::seq::SliceRandom;
@@ -166,6 +168,13 @@ impl BatchClassifier for SgdClassifier {
     fn predict_csr(&self, m: &CsrMatrix) -> Vec<usize> {
         assert!(!self.weights.is_empty(), "predict before fit");
         linear_predict_csr(m, &self.weights, Some(&self.bias), argmax)
+    }
+
+    fn predict_csr_scored(&self, m: &CsrMatrix) -> (Vec<usize>, Option<Vec<f64>>) {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        let (preds, margins) =
+            linear_predict_csr_scored(m, &self.weights, Some(&self.bias), argmax_scored);
+        (preds, Some(margins))
     }
 }
 

@@ -6,7 +6,9 @@
 //! the slowest trainer (211.8 s vs 15.4 s for logistic regression); dual CD
 //! run to a tight tolerance reproduces that cost profile.
 
-use crate::batch::{argmax, linear_predict_csr, BatchClassifier};
+use crate::batch::{
+    argmax, argmax_scored, linear_predict_csr, linear_predict_csr_scored, BatchClassifier,
+};
 use crate::dataset::Dataset;
 use crate::traits::Classifier;
 use rand::seq::SliceRandom;
@@ -138,6 +140,12 @@ impl BatchClassifier for LinearSvc {
     fn predict_csr(&self, m: &CsrMatrix) -> Vec<usize> {
         assert!(!self.weights.is_empty(), "predict before fit");
         linear_predict_csr(m, &self.weights, None, argmax)
+    }
+
+    fn predict_csr_scored(&self, m: &CsrMatrix) -> (Vec<usize>, Option<Vec<f64>>) {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        let (preds, margins) = linear_predict_csr_scored(m, &self.weights, None, argmax_scored);
+        (preds, Some(margins))
     }
 }
 

@@ -157,6 +157,52 @@ proptest! {
         }
     }
 
+    /// The scored batch path returns the *same* predictions as the plain
+    /// batch path (and hence the scalar path), and every reported
+    /// confidence margin is finite and non-negative.
+    #[test]
+    fn predict_csr_scored_matches_predict_csr(
+        n_per_class in 2usize..6,
+        n_classes in 2usize..5,
+        scale in 0.5f64..3.0,
+        seed in 0u64..100,
+    ) {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..n_classes {
+            for r in 0..n_per_class {
+                let base = (c * 4) as u32;
+                features.push(SparseVec::from_pairs(vec![
+                    (base, scale),
+                    (base + 1, scale * 0.5 + r as f64 * 0.01),
+                ]));
+                labels.push(c);
+            }
+        }
+        let mut queries = features.clone();
+        queries.push(SparseVec::from_pairs(vec![]));
+        queries.push(SparseVec::from_pairs(vec![(0, scale * 0.3), (4, scale * 0.3)]));
+        let matrix = CsrMatrix::from_rows(&queries, 0);
+
+        let data = Dataset::new(features, labels, class_names(n_classes));
+        for mut model in fast_suite(seed) {
+            model.fit(&data);
+            let plain = model.predict_csr(&matrix);
+            let (scored, margins) = model.predict_csr_scored(&matrix);
+            prop_assert_eq!(&scored, &plain, "scored/plain divergence in {}", model.name());
+            if let Some(margins) = margins {
+                prop_assert_eq!(margins.len(), scored.len());
+                for &m in &margins {
+                    prop_assert!(
+                        m.is_finite() && m >= 0.0,
+                        "bad margin {m} from {}",
+                        model.name()
+                    );
+                }
+            }
+        }
+    }
+
     /// Stratified splits partition the data and never lose samples, for
     /// arbitrary ratios and seeds.
     #[test]

@@ -14,9 +14,39 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 fn escape_label(v: &str) -> String {
-    v.replace('\\', "\\\\")
-        .replace('"', "\\\"")
-        .replace('\n', "\\n")
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Undo [`escape_label`] in one left-to-right pass. Sequential
+/// `str::replace` passes corrupt adjacent escapes — a literal
+/// backslash-then-`n` value escapes to `\\n`, which a later
+/// `replace("\\n", "\n")` pass would wrongly rewrite into a newline —
+/// so each `\` consumes exactly the one character that follows it.
+fn unescape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some(c) => out.push(c),
+            // A trailing lone backslash is kept as written.
+            None => out.push('\\'),
+        }
+    }
+    out
 }
 
 fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
@@ -263,12 +293,7 @@ fn parse_sample(line: &str) -> Option<Sample> {
             for pair in split_label_pairs(body) {
                 let (k, v) = pair.split_once('=')?;
                 let v = v.strip_prefix('"')?.strip_suffix('"')?;
-                labels.push((
-                    k.trim().to_string(),
-                    v.replace("\\\"", "\"")
-                        .replace("\\n", "\n")
-                        .replace("\\\\", "\\"),
-                ));
+                labels.push((k.trim().to_string(), unescape_label(v)));
             }
             (name, labels)
         }
@@ -362,6 +387,34 @@ mod tests {
         assert_eq!(s.label("k"), Some("a,b"));
         assert_eq!(s.label("j"), Some("q\"c"));
         assert_eq!(s.value, 7.0);
+    }
+
+    #[test]
+    fn control_characters_in_label_values_round_trip() {
+        // The regression case: a literal backslash-then-n value escapes to
+        // `\\n`, which the old sequential-replace unescape corrupted into
+        // backslash + newline. The single-pass unescape keeps it intact.
+        let hostile = [
+            "\\n",          // literal backslash, then 'n'
+            "a\nb",         // real newline
+            "\\",           // lone backslash
+            "\\\\n",        // two backslashes, then 'n'
+            "say \"hi\"",   // quotes
+            "tab\there",    // raw tab survives mid-line
+            "mix\\n\"\n\\", // everything at once
+            "a,b=c}{d",     // label-syntax lookalikes inside quotes
+        ];
+        for value in hostile {
+            let reg = Registry::new();
+            reg.counter("m_total", "", &[("k", value)]).add(7);
+            let scrape = parse_exposition(&reg.render_prometheus());
+            assert_eq!(scrape.samples.len(), 1, "value {value:?} lost the sample");
+            assert_eq!(
+                scrape.samples[0].label("k"),
+                Some(value),
+                "round-trip corrupted {value:?}"
+            );
+        }
     }
 
     #[test]

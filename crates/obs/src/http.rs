@@ -206,6 +206,90 @@ mod tests {
         assert!(http_get(&addr, "/nope").is_err());
     }
 
+    /// Send raw bytes and return the full response (status line included),
+    /// for the error paths `http_get` deliberately hides.
+    fn raw_request(addr: &str, request: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(request).unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn unknown_path_is_a_404_not_a_hang() {
+        let registry = Arc::new(Registry::new());
+        let server = MetricsServer::start(registry, Vec::new()).unwrap();
+        let addr = server.addr().to_string();
+        let response = raw_request(&addr, b"GET /definitely-not-a-route HTTP/1.1\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+        assert!(response.contains("not found"));
+        // The server is still alive for the next scrape.
+        assert!(http_get(&addr, "/metrics").is_ok());
+    }
+
+    #[test]
+    fn malformed_request_lines_get_an_error_response() {
+        let registry = Arc::new(Registry::new());
+        let server = MetricsServer::start(registry, Vec::new()).unwrap();
+        let addr = server.addr().to_string();
+        // No method/path at all, binary junk, and a bodyless POST — each
+        // must produce a well-formed error response and leave the server
+        // serving.
+        for junk in [
+            &b"\r\n\r\n"[..],
+            &b"\x00\x01\x02\xff\r\n\r\n"[..],
+            &b"POST /metrics HTTP/1.1\r\n\r\n"[..],
+        ] {
+            let response = raw_request(&addr, junk);
+            assert!(response.starts_with("HTTP/1.1 405"), "{response:?}");
+        }
+        assert!(http_get(&addr, "/metrics").is_ok());
+    }
+
+    #[test]
+    fn concurrent_scrapes_each_see_a_consistent_snapshot() {
+        let registry = Arc::new(Registry::new());
+        let counter = registry.counter("scrapes_total", "", &[]);
+        counter.add(5);
+        let server = MetricsServer::start(registry.clone(), Vec::new()).unwrap();
+        let addr = server.addr().to_string();
+        // Writers keep incrementing while N clients scrape concurrently;
+        // every scrape must parse cleanly and report a value within the
+        // live counter's range at the time of the scrape.
+        let writer = {
+            let counter = counter.clone();
+            std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    counter.inc();
+                }
+            })
+        };
+        let scrapers: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || http_get(&addr, "/metrics").unwrap())
+            })
+            .collect();
+        let bodies: Vec<String> = scrapers.into_iter().map(|h| h.join().unwrap()).collect();
+        writer.join().unwrap();
+        for body in bodies {
+            let scrape = crate::parse_exposition(&body);
+            let sample = scrape
+                .samples
+                .iter()
+                .find(|s| s.name == "scrapes_total")
+                .expect("counter present in every scrape");
+            let v = sample.value as u64;
+            assert!((5..=1_005).contains(&v), "out-of-range snapshot: {v}");
+        }
+        assert_eq!(counter.get(), 1_005);
+    }
+
     #[test]
     fn stop_joins_the_serve_thread() {
         let registry = Arc::new(Registry::new());

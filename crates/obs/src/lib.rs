@@ -13,18 +13,26 @@
 //! - [`export`] / [`http`]: Prometheus text exposition (render *and*
 //!   parse), a JSON rendering, and a minimal scrape endpoint
 //!   ([`MetricsServer`]) plus the matching [`http_get`] client.
+//! - [`timeseries`] / [`alert`]: the flight recorder — a background
+//!   [`Sampler`] scraping the registry into per-series ring buffers with
+//!   delta-aware windowed aggregates, and a rule-based [`AlertEngine`]
+//!   (threshold / absence / burn-rate with `for`-duration hysteresis)
+//!   evaluated on every sweep.
 //!
 //! The pipeline crates hold a shared [`Telemetry`] bundle (registry +
 //! span log) and register their instruments at construction time;
 //! everything else — scrape endpoint, `hetsyslog top`, conformance
 //! invariant checks — reads from the same bundle.
 
+pub mod alert;
 pub mod export;
 pub mod http;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod timeseries;
 
+pub use alert::{AlertEngine, AlertEvent, AlertState, AlertStatus, Cmp, Rule, RuleInput, RuleKind};
 pub use export::{parse_exposition, render_json, render_prometheus, Sample, Scrape};
 pub use http::{http_get, MetricsServer, Route};
 pub use metrics::{
@@ -33,6 +41,7 @@ pub use metrics::{
 };
 pub use registry::{Instrument, Labels, Registry, SeriesSnapshot};
 pub use span::{Span, SpanLog, SpanRecord};
+pub use timeseries::{Point, Sampler, SamplerConfig, TimeSeriesStore, WindowAggregate};
 
 use std::sync::Arc;
 use std::time::Duration;

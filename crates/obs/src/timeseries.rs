@@ -1,0 +1,643 @@
+//! The flight recorder: an in-process time-series store fed by a
+//! background [`Sampler`] thread.
+//!
+//! `/metrics` answers "what is the value this instant"; this module keeps
+//! *history*. The sampler scrapes the live [`Registry`] on a fixed cadence
+//! (default 250 ms) into fixed-size per-series ring buffers. Each point
+//! keeps the raw cumulative value — and for histograms the full cumulative
+//! [`HistogramSnapshot`] — so windowed aggregates are *delta-aware*:
+//! counters become rates, histogram quantiles are computed over exactly
+//! the observations that landed inside the window (end snapshot minus
+//! start snapshot, exact because buckets are monotone cumulative).
+//!
+//! The same store also ingests a parsed remote [`Scrape`]
+//! ([`TimeSeriesStore::ingest_scrape`]), which is how `hetsyslog top
+//! --watch` reuses every aggregate client-side: the renderer emits bucket
+//! upper bounds as `le` values, so [`bucket_index`] maps them back to the
+//! exact fine-grained bucket.
+
+use crate::export::Scrape;
+use crate::metrics::{bucket_index, HistogramSnapshot, HIST_BUCKETS};
+use crate::registry::{Labels, SeriesSnapshot};
+use crate::Registry;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime};
+
+/// Default sampling cadence.
+pub const DEFAULT_SAMPLE_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Default per-series ring capacity: 240 points = one minute of history at
+/// the default cadence.
+pub const DEFAULT_RING_CAPACITY: usize = 240;
+
+/// One recorded observation of one series.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Milliseconds since the store's epoch (monotonic).
+    pub at_ms: u64,
+    /// Wall-clock milliseconds since the Unix epoch (for export).
+    pub unix_ms: u64,
+    /// Cumulative counter / gauge value (histograms report their count).
+    pub value: f64,
+    /// Full cumulative histogram snapshot (histograms only).
+    pub hist: Option<HistogramSnapshot>,
+}
+
+#[derive(Debug)]
+struct SeriesRing {
+    kind: &'static str,
+    points: VecDeque<Point>,
+}
+
+/// Windowed aggregate over one series, delta-aware by instrument kind.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WindowAggregate {
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: String,
+    /// Points inside the window.
+    pub points: usize,
+    /// Time actually covered (first to last point in the window), ms.
+    pub span_ms: u64,
+    /// First and last raw values in the window.
+    pub first: f64,
+    /// Last raw value in the window.
+    pub last: f64,
+    /// Counter: increase/sec over the window. Histogram: observations/sec.
+    /// Gauge: net change/sec.
+    pub rate_per_sec: f64,
+    /// Gauge: mean of sampled values. Histogram: mean of the observations
+    /// recorded inside the window. Counter: mean of sampled values.
+    pub mean: f64,
+    /// Minimum sampled value in the window.
+    pub min: f64,
+    /// Maximum sampled value in the window.
+    pub max: f64,
+    /// Histogram only: p50 of observations recorded inside the window.
+    pub p50: u64,
+    /// Histogram only: p99 of observations recorded inside the window.
+    pub p99: u64,
+    /// Histogram only: observations recorded inside the window.
+    pub delta_count: u64,
+}
+
+/// The ring store: `(name, labels)` → bounded point history.
+#[derive(Debug)]
+pub struct TimeSeriesStore {
+    capacity: usize,
+    epoch: Instant,
+    series: Mutex<BTreeMap<(String, Labels), SeriesRing>>,
+}
+
+impl TimeSeriesStore {
+    /// A store retaining up to `capacity` points per series.
+    pub fn new(capacity: usize) -> TimeSeriesStore {
+        TimeSeriesStore {
+            capacity: capacity.max(2),
+            epoch: Instant::now(),
+            series: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Milliseconds since this store was created (the sampler's clock).
+    pub fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis().min(u64::MAX as u128) as u64
+    }
+
+    fn unix_now_ms() -> u64 {
+        SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+            .unwrap_or(0)
+    }
+
+    fn push(&self, key: (String, Labels), kind: &'static str, point: Point) {
+        let mut series = self.series.lock();
+        let ring = series.entry(key).or_insert_with(|| SeriesRing {
+            kind,
+            points: VecDeque::with_capacity(self.capacity),
+        });
+        if ring.points.len() == self.capacity {
+            ring.points.pop_front();
+        }
+        ring.points.push_back(point);
+    }
+
+    /// Record one registry sweep (from [`Registry::gather`]) at `at_ms`.
+    pub fn observe(&self, at_ms: u64, unix_ms: u64, series: &[SeriesSnapshot]) {
+        for s in series {
+            let (value, hist) = match &s.histogram {
+                None => (s.value as f64, None),
+                Some(h) => (h.count as f64, Some(h.clone())),
+            };
+            self.push(
+                (s.name.clone(), s.labels.clone()),
+                s.kind,
+                Point {
+                    at_ms,
+                    unix_ms,
+                    value,
+                    hist,
+                },
+            );
+        }
+    }
+
+    /// Scrape the registry right now and record the sweep.
+    pub fn sample(&self, registry: &Registry) {
+        self.observe(self.now_ms(), Self::unix_now_ms(), &registry.gather());
+    }
+
+    /// Record one parsed remote scrape at `at_ms` — the client-side path
+    /// `hetsyslog top --watch` uses. Histogram families are reassembled
+    /// from their cumulative `le` samples into exact fine-grained
+    /// snapshots (the renderer emits bucket upper bounds as `le`).
+    pub fn ingest_scrape(&self, scrape: &Scrape, at_ms: u64, unix_ms: u64) {
+        for (family, kind) in &scrape.types {
+            if kind == "histogram" {
+                self.ingest_scrape_histograms(scrape, family, at_ms, unix_ms);
+                continue;
+            }
+            for s in scrape.samples.iter().filter(|s| &s.name == family) {
+                let kind: &'static str = if kind == "gauge" { "gauge" } else { "counter" };
+                self.push(
+                    (s.name.clone(), sorted_labels(&s.labels)),
+                    kind,
+                    Point {
+                        at_ms,
+                        unix_ms,
+                        value: s.value,
+                        hist: None,
+                    },
+                );
+            }
+        }
+    }
+
+    fn ingest_scrape_histograms(&self, scrape: &Scrape, family: &str, at_ms: u64, unix_ms: u64) {
+        let bucket_name = format!("{family}_bucket");
+        let sum_name = format!("{family}_sum");
+        // Group bucket samples by their non-`le` label set.
+        let mut groups: BTreeMap<Labels, Vec<(u64, u64)>> = BTreeMap::new();
+        for s in scrape.samples.iter().filter(|s| s.name == bucket_name) {
+            let Some(le) = s.label("le") else { continue };
+            if le == "+Inf" {
+                continue;
+            }
+            let Ok(upper) = le.parse::<u64>() else {
+                continue;
+            };
+            let labels: Labels = sorted_labels(
+                &s.labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .cloned()
+                    .collect::<Vec<_>>(),
+            );
+            groups
+                .entry(labels)
+                .or_default()
+                .push((upper, s.value as u64));
+        }
+        for (labels, mut rows) in groups {
+            rows.sort_unstable();
+            let mut snapshot = HistogramSnapshot::empty();
+            let mut prev = 0u64;
+            for (upper, cumulative) in rows {
+                let c = cumulative.saturating_sub(prev);
+                prev = cumulative;
+                snapshot.buckets[bucket_index(upper).min(HIST_BUCKETS - 1)] += c;
+            }
+            let label_refs: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            snapshot.count = prev;
+            snapshot.sum = scrape.value(&sum_name, &label_refs).unwrap_or(0.0) as u64;
+            self.push(
+                (family.to_string(), labels),
+                "histogram",
+                Point {
+                    at_ms,
+                    unix_ms,
+                    value: snapshot.count as f64,
+                    hist: Some(snapshot),
+                },
+            );
+        }
+    }
+
+    /// Every stored series key, sorted.
+    pub fn series_keys(&self) -> Vec<(String, Labels)> {
+        self.series.lock().keys().cloned().collect()
+    }
+
+    /// The most recent point of a series.
+    pub fn latest(&self, name: &str, labels: &[(&str, &str)]) -> Option<Point> {
+        let series = self.series.lock();
+        let ring = series.get(&(name.to_string(), sorted_ref_labels(labels)))?;
+        ring.points.back().cloned()
+    }
+
+    /// Aggregate the last `window_ms` of a series, ending at its newest
+    /// point. `None` if the series is unknown or has no point in range.
+    pub fn window(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        window_ms: u64,
+    ) -> Option<WindowAggregate> {
+        let series = self.series.lock();
+        let ring = series.get(&(name.to_string(), sorted_ref_labels(labels)))?;
+        let end = ring.points.back()?.at_ms;
+        let start = end.saturating_sub(window_ms);
+        let window: Vec<&Point> = ring.points.iter().filter(|p| p.at_ms >= start).collect();
+        aggregate(ring.kind, &window)
+    }
+
+    /// Like [`TimeSeriesStore::window`], but the window ends `now_ms`
+    /// (so a series that stopped updating shows an empty/stale window —
+    /// what `Absence` alert rules key on).
+    pub fn window_ending_now(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        window_ms: u64,
+        now_ms: u64,
+    ) -> Option<WindowAggregate> {
+        let series = self.series.lock();
+        let ring = series.get(&(name.to_string(), sorted_ref_labels(labels)))?;
+        let start = now_ms.saturating_sub(window_ms);
+        let window: Vec<&Point> = ring.points.iter().filter(|p| p.at_ms >= start).collect();
+        aggregate(ring.kind, &window)
+    }
+
+    /// Dump the whole ring as a JSON timeline, one entry per series with
+    /// its points (histograms summarized as count/sum/p50/p99) — the
+    /// `hetsyslog flight export` post-mortem format.
+    pub fn export_json(&self) -> String {
+        let series = self.series.lock();
+        let mut entries: Vec<serde_json::Value> = Vec::new();
+        for ((name, labels), ring) in series.iter() {
+            let labels_json = serde_json::Value::Object(
+                labels
+                    .iter()
+                    .map(|(k, v)| (k.clone(), serde_json::json!(v)))
+                    .collect(),
+            );
+            let points: Vec<serde_json::Value> = ring
+                .points
+                .iter()
+                .map(|p| match &p.hist {
+                    None => serde_json::json!({
+                        "at_ms": p.at_ms,
+                        "unix_ms": p.unix_ms,
+                        "value": p.value,
+                    }),
+                    Some(h) => serde_json::json!({
+                        "at_ms": p.at_ms,
+                        "unix_ms": p.unix_ms,
+                        "count": h.count,
+                        "sum": h.sum,
+                        "p50": h.quantile(50.0),
+                        "p99": h.quantile(99.0),
+                    }),
+                })
+                .collect();
+            entries.push(serde_json::json!({
+                "name": name,
+                "labels": labels_json,
+                "kind": ring.kind,
+                "points": points,
+            }));
+        }
+        serde_json::to_string(&serde_json::json!({ "series": entries })).unwrap_or_default()
+    }
+}
+
+impl Default for TimeSeriesStore {
+    fn default() -> TimeSeriesStore {
+        TimeSeriesStore::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+fn sorted_labels(labels: &[(String, String)]) -> Labels {
+    let mut out: Labels = labels.to_vec();
+    out.sort();
+    out
+}
+
+fn sorted_ref_labels(labels: &[(&str, &str)]) -> Labels {
+    let mut out: Labels = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    out.sort();
+    out
+}
+
+fn aggregate(kind: &'static str, window: &[&Point]) -> Option<WindowAggregate> {
+    let (first, last) = (window.first()?, window.last()?);
+    let span_ms = last.at_ms.saturating_sub(first.at_ms);
+    let span_secs = span_ms as f64 / 1000.0;
+    let values: Vec<f64> = window.iter().map(|p| p.value).collect();
+    let mut agg = WindowAggregate {
+        kind: kind.to_string(),
+        points: window.len(),
+        span_ms,
+        first: first.value,
+        last: last.value,
+        rate_per_sec: if span_ms > 0 {
+            (last.value - first.value) / span_secs
+        } else {
+            0.0
+        },
+        mean: values.iter().sum::<f64>() / values.len() as f64,
+        min: values.iter().copied().fold(f64::INFINITY, f64::min),
+        max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        ..WindowAggregate::default()
+    };
+    if kind == "histogram" {
+        if let (Some(start), Some(end)) = (&first.hist, &last.hist) {
+            // Exact windowed distribution: cumulative buckets are
+            // monotone, so end − start is the observations inside the
+            // window. A single-point window has no delta.
+            let mut delta = HistogramSnapshot::empty();
+            for (i, d) in delta.buckets.iter_mut().enumerate() {
+                *d = end.buckets[i].saturating_sub(start.buckets[i]);
+            }
+            delta.count = end.count.saturating_sub(start.count);
+            delta.sum = end.sum.saturating_sub(start.sum);
+            agg.delta_count = delta.count;
+            agg.p50 = delta.quantile(50.0);
+            agg.p99 = delta.quantile(99.0);
+            agg.mean = delta.mean();
+        }
+    }
+    Some(agg)
+}
+
+/// Sampler configuration.
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Scrape cadence (default 250 ms).
+    pub interval: Duration,
+    /// Per-series ring capacity (default 240 points ≈ 1 min of history).
+    pub capacity: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> SamplerConfig {
+        SamplerConfig {
+            interval: DEFAULT_SAMPLE_INTERVAL,
+            capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+}
+
+/// The background sampler: scrapes the registry into a
+/// [`TimeSeriesStore`] every `interval`, then (when attached) evaluates
+/// the alert engine against the fresh window. Stop with
+/// [`Sampler::stop`]; dropping also stops it.
+pub struct Sampler {
+    store: Arc<TimeSeriesStore>,
+    registry: Arc<Registry>,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Start sampling `registry`; alert rules in `engine` (if any) are
+    /// evaluated after every sweep.
+    pub fn start(
+        registry: Arc<Registry>,
+        config: SamplerConfig,
+        engine: Option<Arc<crate::alert::AlertEngine>>,
+    ) -> Sampler {
+        let store = Arc::new(TimeSeriesStore::new(config.capacity));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let store = store.clone();
+            let registry = registry.clone();
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    store.sample(&registry);
+                    if let Some(engine) = &engine {
+                        engine.evaluate(&store, store.now_ms());
+                    }
+                    // Sleep in small slices so stop() never waits a full
+                    // interval.
+                    let deadline = Instant::now() + config.interval;
+                    while Instant::now() < deadline && !shutdown.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(
+                            (config.interval.as_millis() as u64).clamp(1, 10),
+                        ));
+                    }
+                }
+            })
+        };
+        Sampler {
+            store,
+            registry,
+            shutdown,
+            thread: Some(thread),
+        }
+    }
+
+    /// The ring store the sampler writes into.
+    pub fn store(&self) -> Arc<TimeSeriesStore> {
+        self.store.clone()
+    }
+
+    /// Stop sampling, join the thread, and take one last sweep so the
+    /// registry's final values are in the timeline (a drain's last counter
+    /// updates would otherwise race the final periodic sample).
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+            self.store.sample(&self.registry);
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::parse_exposition;
+
+    fn snap(name: &str, kind: &'static str, value: i64) -> SeriesSnapshot {
+        SeriesSnapshot {
+            name: name.to_string(),
+            help: String::new(),
+            kind,
+            labels: Vec::new(),
+            value,
+            histogram: None,
+        }
+    }
+
+    #[test]
+    fn counter_window_becomes_a_rate() {
+        let store = TimeSeriesStore::new(16);
+        for (t, v) in [(0u64, 0i64), (250, 100), (500, 200), (750, 300)] {
+            store.observe(t, t, &[snap("frames_total", "counter", v)]);
+        }
+        let w = store.window("frames_total", &[], 1_000).unwrap();
+        assert_eq!(w.points, 4);
+        assert_eq!(w.span_ms, 750);
+        // 300 frames over 0.75 s = 400/s.
+        assert!((w.rate_per_sec - 400.0).abs() < 1e-9, "{w:?}");
+        assert_eq!(w.first, 0.0);
+        assert_eq!(w.last, 300.0);
+        // A narrower window only sees the tail.
+        let w = store.window("frames_total", &[], 250).unwrap();
+        assert_eq!(w.points, 2);
+        assert!((w.rate_per_sec - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_capacity_evicts_oldest() {
+        let store = TimeSeriesStore::new(4);
+        for t in 0..10u64 {
+            store.observe(t * 100, 0, &[snap("g", "gauge", t as i64)]);
+        }
+        let w = store.window("g", &[], u64::MAX).unwrap();
+        assert_eq!(w.points, 4);
+        assert_eq!(w.first, 6.0);
+        assert_eq!(w.last, 9.0);
+        assert_eq!(w.min, 6.0);
+        assert_eq!(w.max, 9.0);
+        assert!((w.mean - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_window_quantiles_are_delta_exact() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat_us", "", &[]);
+        let store = TimeSeriesStore::new(16);
+        // First sweep: 100 small observations.
+        for _ in 0..100 {
+            h.record(10);
+        }
+        store.observe(0, 0, &registry.gather());
+        // Second sweep: 100 large observations arrive in the window.
+        for _ in 0..100 {
+            h.record(10_000);
+        }
+        store.observe(250, 250, &registry.gather());
+        // Whole-history quantile would be pulled down by the first 100;
+        // the windowed delta between the two sweeps sees only the large
+        // observations... but our 2-point window includes sweep 0, so the
+        // delta is exactly the second burst.
+        let w = store.window("lat_us", &[], 250).unwrap();
+        assert_eq!(w.delta_count, 100);
+        assert!(w.p50 >= 10_000 && w.p99 >= 10_000, "{w:?}");
+        assert!((w.mean - 10_000.0).abs() < 1500.0, "{w:?}");
+        // Rate: 100 observations over 0.25 s.
+        assert!((w.rate_per_sec - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scrape_ingest_matches_direct_observation() {
+        let registry = Registry::new();
+        registry.counter("c_total", "", &[("shard", "0")]).add(42);
+        registry.gauge("g", "", &[]).set(-5);
+        let h = registry.histogram("lat_us", "", &[("stage", "parse")]);
+        for v in [1u64, 5, 5, 100, 4000] {
+            h.record(v);
+        }
+
+        let direct = TimeSeriesStore::new(8);
+        direct.observe(100, 7, &registry.gather());
+
+        let scraped = TimeSeriesStore::new(8);
+        scraped.ingest_scrape(&parse_exposition(&registry.render_prometheus()), 100, 7);
+
+        assert_eq!(
+            direct.latest("c_total", &[("shard", "0")]).unwrap().value,
+            scraped.latest("c_total", &[("shard", "0")]).unwrap().value,
+        );
+        assert_eq!(scraped.latest("g", &[]).unwrap().value, -5.0);
+        let dh = direct.latest("lat_us", &[("stage", "parse")]).unwrap();
+        let sh = scraped.latest("lat_us", &[("stage", "parse")]).unwrap();
+        // Bucket reconstruction is exact: the renderer emits bucket upper
+        // bounds, and bucket_index(upper) is the original bucket.
+        assert_eq!(dh.hist.unwrap(), sh.hist.unwrap());
+    }
+
+    #[test]
+    fn window_ending_now_sees_staleness() {
+        let store = TimeSeriesStore::new(8);
+        store.observe(0, 0, &[snap("c_total", "counter", 5)]);
+        // Series exists but nothing landed in the last 1s by t=5000.
+        assert!(store
+            .window_ending_now("c_total", &[], 1_000, 5_000)
+            .is_none());
+        assert!(store
+            .window_ending_now("c_total", &[], 6_000, 5_000)
+            .is_some());
+    }
+
+    #[test]
+    fn sampler_thread_collects_points_and_stops() {
+        let registry = Arc::new(Registry::new());
+        let c = registry.counter("ticks_total", "", &[]);
+        let mut sampler = Sampler::start(
+            registry.clone(),
+            SamplerConfig {
+                interval: Duration::from_millis(5),
+                capacity: 64,
+            },
+            None,
+        );
+        let store = sampler.store();
+        for _ in 0..50 {
+            c.inc();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Wait until at least 3 points accumulated.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Some(w) = store.window("ticks_total", &[], u64::MAX) {
+                if w.points >= 3 {
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "sampler never collected");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sampler.stop();
+        let w = store.window("ticks_total", &[], u64::MAX).unwrap();
+        assert!(w.last >= w.first);
+        assert!(w.last <= 50.0);
+    }
+
+    #[test]
+    fn export_json_dumps_the_timeline() {
+        let store = TimeSeriesStore::new(8);
+        store.observe(0, 1000, &[snap("c_total", "counter", 1)]);
+        store.observe(250, 1250, &[snap("c_total", "counter", 3)]);
+        let json = store.export_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let series = v.get("series").and_then(|s| s.as_array()).unwrap();
+        assert_eq!(series.len(), 1);
+        let s0 = &series[0];
+        assert_eq!(s0.get("name").and_then(|v| v.as_str()), Some("c_total"));
+        assert_eq!(s0.get("kind").and_then(|v| v.as_str()), Some("counter"));
+        let points = s0.get("points").and_then(|p| p.as_array()).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].get("value").and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(points[1].get("at_ms").and_then(|v| v.as_u64()), Some(250));
+    }
+}

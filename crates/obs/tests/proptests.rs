@@ -1,10 +1,11 @@
 //! Property tests for the telemetry primitives (issue satellite):
 //! histogram merge is associative and commutative, quantile estimates
-//! bracket the true order statistics to within bucket error, and
-//! concurrent counter increments sum exactly.
+//! bracket the true order statistics to within bucket error, concurrent
+//! counter increments sum exactly, and label values — control characters
+//! included — round-trip through the exposition renderer and parser.
 
 use obs::metrics::{bucket_lower, bucket_upper};
-use obs::{Counter, Histogram, HistogramSnapshot};
+use obs::{parse_exposition, Counter, Histogram, HistogramSnapshot, Registry};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -108,6 +109,29 @@ proptest! {
             h.join().unwrap();
         }
         prop_assert_eq!(counter.get(), threads as u64 * per_thread);
+    }
+
+    /// Label values round-trip exactly through render → parse, including
+    /// the escape-sensitive characters (`\`, `"`, newline, the literal
+    /// two-character `\n`, tabs) and label-syntax lookalikes.
+    #[test]
+    fn label_values_round_trip_through_exposition(
+        value in collection::vec(0usize..14, 0..24).prop_map(|idxs| {
+            // Escape-sensitive characters, label-syntax lookalikes, and
+            // plain filler, weighted equally.
+            const CHARS: [char; 14] = [
+                '\\', '"', '\n', '\t', 'n', ',', '=', '{', '}', ' ',
+                'a', 'z', '0', '9',
+            ];
+            idxs.into_iter().map(|i| CHARS[i]).collect::<String>()
+        }),
+    ) {
+        let reg = Registry::new();
+        reg.counter("m_total", "", &[("k", &value)]).add(3);
+        let scrape = parse_exposition(&reg.render_prometheus());
+        prop_assert_eq!(scrape.samples.len(), 1);
+        prop_assert_eq!(scrape.samples[0].label("k"), Some(value.as_str()));
+        prop_assert_eq!(scrape.samples[0].value, 3.0);
     }
 
     /// Weighted recording is equivalent to repeating the plain record.

@@ -231,6 +231,13 @@ pub struct IngestStats {
     pub connections_closed: Arc<Counter>,
     /// Connections closed for exceeding the idle timeout.
     pub idle_closed: Arc<Counter>,
+    /// Datagrams received on the UDP socket.
+    pub udp_datagrams: Arc<Counter>,
+    /// Raw bytes received on the UDP socket (also folded into `bytes`).
+    pub udp_bytes: Arc<Counter>,
+    /// Datagrams that filled the receive buffer exactly — almost always a
+    /// sender whose payload was silently truncated by the kernel.
+    pub udp_truncated: Arc<Counter>,
     /// Wall time spent in `FrameDecoder::push` per read(2).
     decode_us: Arc<Histogram>,
     /// Frames sitting in the bounded ingest queue (sampled by workers).
@@ -250,6 +257,9 @@ impl Default for IngestStats {
             connections_opened: Arc::new(Counter::new()),
             connections_closed: Arc::new(Counter::new()),
             idle_closed: Arc::new(Counter::new()),
+            udp_datagrams: Arc::new(Counter::new()),
+            udp_bytes: Arc::new(Counter::new()),
+            udp_truncated: Arc::new(Counter::new()),
             decode_us: Arc::new(Histogram::new()),
             queue_depth: Arc::new(Gauge::new()),
             per_source: Mutex::new(HashMap::new()),
@@ -305,6 +315,22 @@ impl IngestStats {
             idle_closed: registry.counter(
                 "hetsyslog_ingest_connections_idle_closed_total",
                 "TCP connections closed for exceeding the idle timeout",
+                &[],
+            ),
+            udp_datagrams: registry.counter(
+                "hetsyslog_udp_datagrams_total",
+                "Datagrams received on the UDP socket",
+                &[],
+            ),
+            udp_bytes: registry.counter(
+                "hetsyslog_udp_bytes_total",
+                "Raw bytes received on the UDP socket",
+                &[],
+            ),
+            udp_truncated: registry.counter(
+                "hetsyslog_udp_truncated_total",
+                "Datagrams that filled the receive buffer exactly (likely \
+                 truncated by the kernel)",
                 &[],
             ),
             decode_us: registry.histogram(
@@ -403,8 +429,23 @@ pub struct ListenerConfig {
     pub telemetry: Option<Arc<Telemetry>>,
     /// Serve `GET /metrics` (Prometheus text), `GET /health` (JSON), and
     /// `GET /spans` (JSON) on an ephemeral loopback port. Requires
-    /// `telemetry`; see [`SyslogListener::metrics_addr`].
+    /// `telemetry`; see [`SyslogListener::metrics_addr`]. With the flight
+    /// recorder on, `GET /alerts` and `GET /flight` ride along.
     pub serve_metrics: bool,
+    /// Flight recorder: run a background sampler that scrapes the
+    /// telemetry registry into per-series ring buffers and evaluates
+    /// [`ListenerConfig::alert_rules`] on every sweep. On by default;
+    /// requires `telemetry` (a listener without a registry has nothing to
+    /// sample).
+    pub record_flight: bool,
+    /// Flight-recorder scrape cadence.
+    pub flight_interval: Duration,
+    /// Flight-recorder per-series ring capacity, in samples.
+    pub flight_capacity: usize,
+    /// Alert rules evaluated by the flight recorder after every sweep.
+    /// Firing/resolved state is served at `GET /alerts` and rendered by
+    /// `hetsyslog top`.
+    pub alert_rules: Vec<obs::Rule>,
     /// Post-classification delivery: every stored batch is also fanned
     /// out to these sinks (see [`crate::sink::FanOut`]). Graceful drain
     /// extends to the sinks — `shutdown` waits for their acks or spills
@@ -428,6 +469,10 @@ impl Default for ListenerConfig {
             max_delay: Duration::from_millis(2),
             telemetry: None,
             serve_metrics: false,
+            record_flight: true,
+            flight_interval: obs::timeseries::DEFAULT_SAMPLE_INTERVAL,
+            flight_capacity: obs::timeseries::DEFAULT_RING_CAPACITY,
+            alert_rules: Vec::new(),
             fan_out: None,
         }
     }
@@ -574,6 +619,8 @@ pub struct SyslogListener {
     worker_threads: Vec<JoinHandle<()>>,
     router: Option<Arc<ShardRouter<WireFrame>>>,
     metrics_server: Option<obs::MetricsServer>,
+    sampler: Option<obs::Sampler>,
+    alert_engine: Option<Arc<obs::AlertEngine>>,
     fan_out: Option<Arc<crate::sink::FanOut>>,
 }
 
@@ -891,6 +938,15 @@ impl SyslogListener {
                     match udp.recv_from(&mut buf) {
                         Ok((n, _peer)) => {
                             sink.stats.bytes.add(n as u64);
+                            sink.stats.udp_datagrams.inc();
+                            sink.stats.udp_bytes.add(n as u64);
+                            // recv_from silently truncates oversized
+                            // datagrams to the buffer; a read that fills
+                            // the buffer exactly is indistinguishable
+                            // from one, so it's counted as such.
+                            if n == buf.len() {
+                                sink.stats.udp_truncated.inc();
+                            }
                             sink.stats.add_source(UDP_SOURCE, 1, n as u64);
                             let frame = String::from_utf8_lossy(&buf[..n])
                                 .trim_end_matches(['\r', '\n'])
@@ -916,16 +972,15 @@ impl SyslogListener {
         // feed the exact same FrameSink, so everything downstream of the
         // socket — shard routing, overload policy, dead letters, the
         // drain — is front-end agnostic.
-        let reactor_stats: Arc<Vec<Arc<crate::reactor::ReactorStats>>> = Arc::new(
-            match &telemetry {
+        let reactor_stats: Arc<Vec<Arc<crate::reactor::ReactorStats>>> =
+            Arc::new(match &telemetry {
                 Some(t) => (0..config.frontend.reactor_threads())
                     .map(|k| Arc::new(crate::reactor::ReactorStats::registered(k, &t.registry)))
                     .collect(),
                 None => (0..config.frontend.reactor_threads())
                     .map(|_| Arc::new(crate::reactor::ReactorStats::detached()))
                     .collect(),
-            },
-        );
+            });
         let (accept_thread, reactor) = match config.frontend {
             Frontend::Reactor { .. } => {
                 let frontend = crate::reactor::ReactorFrontend::start(
@@ -998,9 +1053,31 @@ impl SyslogListener {
             }
         };
 
+        // The flight recorder: a background sampler scraping the shared
+        // registry into per-series rings, with the alert engine evaluated
+        // against the fresh window after every sweep. Purely a reader of
+        // the registry — it adds no instruments and no work to the hot
+        // path beyond one periodic gather().
+        let (sampler, alert_engine) = match (&telemetry, config.record_flight) {
+            (Some(t), true) => {
+                let engine = Arc::new(obs::AlertEngine::new(config.alert_rules.clone()));
+                let sampler = obs::Sampler::start(
+                    t.registry.clone(),
+                    obs::SamplerConfig {
+                        interval: config.flight_interval,
+                        capacity: config.flight_capacity,
+                    },
+                    Some(engine.clone()),
+                );
+                (Some(sampler), Some(engine))
+            }
+            _ => (None, None),
+        };
+
         // The scrape endpoint rides on the same runtime: `/metrics` is the
         // registry's Prometheus rendering; `/health` serializes the same
-        // HealthSnapshot the API returns; `/spans` dumps recent slow spans.
+        // HealthSnapshot the API returns; `/spans` dumps recent slow
+        // spans; `/alerts` and `/flight` expose the flight recorder.
         let metrics_server = match (&telemetry, config.serve_metrics) {
             (Some(t), true) => {
                 let health_stats = stats.clone();
@@ -1022,10 +1099,20 @@ impl SyslogListener {
                 let span_log = t.spans.clone();
                 let spans_route =
                     obs::Route::new("/spans", "application/json", move || span_log.render_json());
-                Some(obs::MetricsServer::start(
-                    t.registry.clone(),
-                    vec![health, spans_route],
-                )?)
+                let mut routes = vec![health, spans_route];
+                if let Some(engine) = &alert_engine {
+                    let engine = engine.clone();
+                    routes.push(obs::Route::new("/alerts", "application/json", move || {
+                        engine.render_json()
+                    }));
+                }
+                if let Some(sampler) = &sampler {
+                    let flight = sampler.store();
+                    routes.push(obs::Route::new("/flight", "application/json", move || {
+                        flight.export_json()
+                    }));
+                }
+                Some(obs::MetricsServer::start(t.registry.clone(), routes)?)
             }
             _ => None,
         };
@@ -1047,6 +1134,8 @@ impl SyslogListener {
             worker_threads,
             router: Some(router),
             metrics_server,
+            sampler,
+            alert_engine,
             fan_out: config.fan_out,
         })
     }
@@ -1070,6 +1159,18 @@ impl SyslogListener {
     /// Live ingest counters.
     pub fn stats(&self) -> &IngestStats {
         &self.stats
+    }
+
+    /// The flight recorder's ring store, when the sampler is running.
+    /// The handle stays valid across [`SyslogListener::shutdown`] for
+    /// post-drain timeline export.
+    pub fn flight_store(&self) -> Option<Arc<obs::TimeSeriesStore>> {
+        self.sampler.as_ref().map(|s| s.store())
+    }
+
+    /// The alert engine evaluated by the flight recorder, when running.
+    pub fn alert_engine(&self) -> Option<Arc<obs::AlertEngine>> {
+        self.alert_engine.clone()
     }
 
     /// The dead-letter ring.
@@ -1179,6 +1280,11 @@ impl SyslogListener {
         // shut down).
         if let Some(fan_out) = &self.fan_out {
             fan_out.shutdown(Duration::from_secs(5));
+        }
+        // Sampler last among the data paths so the final drained counter
+        // values land in the flight ring before the timeline freezes.
+        if let Some(sampler) = &mut self.sampler {
+            sampler.stop();
         }
         if let Some(server) = &mut self.metrics_server {
             server.stop();

@@ -236,8 +236,8 @@ impl Reactor {
         // Sweep cadence: a fraction of the idle timeout, bounded so the
         // short timeouts tests use still sweep promptly and long
         // production ones don't spin.
-        let tick = (self.idle_timeout / 4)
-            .clamp(Duration::from_millis(5), Duration::from_millis(500));
+        let tick =
+            (self.idle_timeout / 4).clamp(Duration::from_millis(5), Duration::from_millis(500));
         let tick_ms = tick.as_millis() as i32;
         let mut last_sweep = Instant::now();
 
@@ -250,8 +250,8 @@ impl Reactor {
             if self.shutdown.load(Ordering::Relaxed) {
                 break;
             }
-            for k in 0..events.len() {
-                match events[k].token {
+            for event in &events {
+                match event.token {
                     WAKE_TOKEN => {
                         own.wake.drain();
                         let injected: Vec<(u64, TcpStream)> =

@@ -127,12 +127,8 @@ fn reactor_scales_over_thread_per_connection_at_256_conns() {
     const CONNECTIONS: usize = 256;
     let (rate_threads, cats_threads, nthreads) =
         run_once(&frames, clf.clone(), Frontend::Threads, CONNECTIONS);
-    let (rate_reactor, cats_reactor, nreactors) = run_once(
-        &frames,
-        clf,
-        Frontend::Reactor { threads: 2 },
-        CONNECTIONS,
-    );
+    let (rate_reactor, cats_reactor, nreactors) =
+        run_once(&frames, clf, Frontend::Reactor { threads: 2 }, CONNECTIONS);
 
     // The front end must not change classification results.
     assert_eq!(

@@ -7,9 +7,7 @@
 //! keep socket-heavy tests from contending for the accept backlog.
 
 use hetsyslog_core::{Category, MonitorService, Prediction, TextClassifier};
-use logpipeline::{
-    DropReason, Frontend, ListenerConfig, LogStore, OverloadPolicy, SyslogListener,
-};
+use logpipeline::{DropReason, Frontend, ListenerConfig, LogStore, OverloadPolicy, SyslogListener};
 use std::io::Write;
 use std::net::{TcpStream, UdpSocket};
 use std::sync::Arc;

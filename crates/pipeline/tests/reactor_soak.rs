@@ -102,7 +102,10 @@ fn reactor_soak_512_connections_conserves_ledger() {
         report.ingested + report.shed + report.parse_errors,
         "frame ledger must balance: {report:?}"
     );
-    assert_eq!(report.frames, EXPECTED, "every frame decoded, tails included");
+    assert_eq!(
+        report.frames, EXPECTED,
+        "every frame decoded, tails included"
+    );
     assert_eq!(report.ingested, EXPECTED, "lossless under Block");
     assert_eq!(report.connections, CONNECTIONS);
     assert_eq!(store.len() as u64, EXPECTED);
@@ -149,9 +152,7 @@ fn reactor_balances_opened_and_closed_across_abrupt_disconnects() {
         })
         .collect();
     assert!(
-        wait_until(10_000, || {
-            listener.stats().snapshot().connections == 64
-        }),
+        wait_until(10_000, || { listener.stats().snapshot().connections == 64 }),
         "connects never landed: {:?}",
         listener.stats().snapshot()
     );

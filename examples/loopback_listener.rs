@@ -7,11 +7,15 @@
 //! drains gracefully and prints the combined transport + classification
 //! health snapshot and the dead-letter ring.
 //!
-//! The listener serves `GET /metrics` (Prometheus text), `/health` (JSON)
-//! and `/spans` (JSON) on an ephemeral loopback port; the example scrapes
-//! its own endpoint over real HTTP and prints the exposition. Pass
-//! `--hold` to keep the listener up for 60 s after the traffic so you can
-//! `curl` it yourself (the URL is printed at startup).
+//! The listener serves `GET /metrics` (Prometheus text), `/health` (JSON),
+//! `/spans` (JSON), `/alerts` (JSON) and `/flight` (JSON) on an ephemeral
+//! loopback port; the example scrapes its own endpoint over real HTTP and
+//! prints the exposition. A seeded threshold rule on the ingest rate fires
+//! while the burst is inside the alert window and resolves once traffic
+//! goes quiet — both `/alerts` documents are printed, so CI can assert the
+//! full firing → resolved lifecycle over the wire. Pass `--hold` to keep
+//! the listener up for 60 s after the traffic so you can `curl` it
+//! yourself (the URL is printed at startup).
 //!
 //! Run: `cargo run --release --example loopback_listener [-- --hold]`
 
@@ -34,7 +38,14 @@ fn main() {
         Box::new(ComplementNaiveBayes::new(Default::default())),
         &corpus,
     ));
-    let service = Arc::new(MonitorService::new(clf).with_prefilter(NoiseFilter::train(3, &corpus)));
+    // Model-quality drift telemetry: a 64-prediction frozen baseline is
+    // small enough that this example's ~100 frames freeze it and export a
+    // live PSI gauge alongside the per-category prediction shares.
+    let service = Arc::new(
+        MonitorService::new(clf)
+            .with_prefilter(NoiseFilter::train(3, &corpus))
+            .with_model_quality(ModelQuality::with_config(64, 64)),
+    );
 
     let store = Arc::new(LogStore::new());
     let telemetry = Telemetry::new_arc();
@@ -48,6 +59,19 @@ fn main() {
             idle_timeout: Duration::from_secs(5),
             telemetry: Some(telemetry.clone()),
             serve_metrics: true,
+            // Flight recorder at a CI-friendly cadence, plus one seeded
+            // threshold rule: "ingest is moving" — fires during the burst,
+            // resolves ~2 s after the senders go quiet.
+            flight_interval: Duration::from_millis(50),
+            alert_rules: vec![Rule::threshold(
+                "ingest_active",
+                "hetsyslog_ingest_frames_total",
+                RuleInput::Rate,
+                Cmp::Gt,
+                5.0,
+            )
+            .over_ms(2_000)
+            .for_ms(100)],
             ..ListenerConfig::default()
         },
     )
@@ -102,8 +126,25 @@ fn main() {
     }
     drop(tcp1);
 
+    // Node 4: the same UDP sender, now paced slower than the 50 ms flight
+    // sampler, so the recorder sees the frame counter actually rising. (The
+    // bursts above land entirely between two samples and read as zero
+    // delta — a paced phase is what arms the seeded rate rule.)
+    for i in 0..30 {
+        udp.send_to(
+            format!(
+                "<9>Oct 11 22:15:{:02} cn0303 ipmid: fan RPM below minimum\n",
+                i % 60
+            )
+            .as_bytes(),
+            listener.udp_addr(),
+        )
+        .expect("send");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
     // Wait for the traffic to drain, then shut down gracefully.
-    let expect = 40 + 40 + 2 + 20; // node2: 40 LF + gibberish + flushed tail
+    let expect = 40 + 40 + 2 + 20 + 30; // node2: 40 LF + gibberish + flushed tail
     let deadline = Instant::now() + Duration::from_secs(10);
     while listener.stats().snapshot().ingested < expect && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(20));
@@ -112,6 +153,33 @@ fn main() {
     // Prometheus server (or `hetsyslog top --addr`) would.
     let exposition =
         hetsyslog::obs::http_get(&metrics_addr.to_string(), "/metrics").expect("scrape /metrics");
+
+    // The seeded rule's full lifecycle over the wire: the burst pushes the
+    // windowed ingest rate over threshold (pending → firing), then the
+    // quiet tail slides the burst out of the 2 s window and the rule
+    // resolves. Poll `/alerts` for each transition in the event log.
+    let poll_alerts = |want: &str| -> String {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let body = hetsyslog::obs::http_get(&metrics_addr.to_string(), "/alerts")
+                .expect("scrape /alerts");
+            if body.contains(want) || Instant::now() >= deadline {
+                return body;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    };
+    let alerts_firing = poll_alerts("\"transition\":\"firing\"");
+    assert!(
+        alerts_firing.contains("\"name\":\"ingest_active\"")
+            && alerts_firing.contains("\"transition\":\"firing\""),
+        "seeded threshold rule never fired: {alerts_firing}"
+    );
+    let alerts_resolved = poll_alerts("\"transition\":\"resolved\"");
+    assert!(
+        alerts_resolved.contains("\"transition\":\"resolved\""),
+        "seeded threshold rule never resolved: {alerts_resolved}"
+    );
 
     if std::env::args().any(|a| a == "--hold") {
         println!("holding for 60s — try: curl http://{metrics_addr}/metrics");
@@ -153,5 +221,7 @@ fn main() {
         );
     }
     println!("\nstore holds {} records", store.len());
+    println!("\n--- /alerts (burst inside the rate window) ---\n{alerts_firing}");
+    println!("\n--- /alerts (after calm) ---\n{alerts_resolved}");
     println!("\n--- /metrics scrape ---\n{exposition}");
 }

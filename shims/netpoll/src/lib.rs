@@ -168,8 +168,9 @@ impl Poller {
     /// EINTR is retried internally.
     pub fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: Option<i32>) -> io::Result<usize> {
         events.clear();
-        let cap = events.capacity().max(1).min(1024) as i32;
-        self.raw.resize(cap as usize, RawEvent { events: 0, data: 0 });
+        let cap = events.capacity().clamp(1, 1024) as i32;
+        self.raw
+            .resize(cap as usize, RawEvent { events: 0, data: 0 });
         let timeout = timeout_ms.unwrap_or(-1);
         loop {
             // SAFETY: `self.raw` holds `cap` writable events for the kernel.

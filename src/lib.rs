@@ -67,8 +67,8 @@ pub mod prelude {
     pub use editdist::{levenshtein, BucketStore, BucketingConfig};
     pub use hetsyslog_core::{
         BatchSnapshot, BucketBaseline, Category, Explanation, FeatureConfig, FeaturePipeline,
-        FrameOutcome, MonitorService, NoiseFilter, Prediction, SavedModel, SavedPipeline,
-        TextClassifier, TraditionalPipeline,
+        FrameOutcome, ModelQuality, MonitorService, NoiseFilter, Prediction, SavedModel,
+        SavedPipeline, TextClassifier, TraditionalPipeline,
     };
     pub use hetsyslog_ml::{
         paper_suite, BatchClassifier, Classifier, ComplementNaiveBayes, ConfusionMatrix, Dataset,
@@ -85,7 +85,7 @@ pub mod prelude {
         OverloadPolicy, Query, SensorVerdict, Sink, SinkLaneConfig, SinkSpec, SpillConfig,
         SyslogListener,
     };
-    pub use obs::{Registry, Telemetry};
+    pub use obs::{AlertEngine, Cmp, Registry, Rule, RuleInput, Telemetry};
     pub use syslog_model::{parse, split_stream, FrameDecoder, Severity, SyslogMessage};
 }
 

@@ -6,6 +6,8 @@
 //! hetsyslog classify --model model.json [--explain]   (messages on stdin)
 //! hetsyslog eval     --scale 0.02 [--drop-unimportant]
 //! hetsyslog monitor  --frames 20000 --workers 4 [--frontend reactor:threads=2]
+//! hetsyslog top      --addr 127.0.0.1:9100 [--watch]
+//! hetsyslog flight   export --addr 127.0.0.1:9100 --out flight.json
 //! hetsyslog summarize --scale 0.01 --window 60
 //! ```
 //!
@@ -32,6 +34,7 @@ fn main() {
         "eval" => cmd_eval(&opts),
         "monitor" => cmd_monitor(&opts),
         "top" => cmd_top(&opts),
+        "flight" => cmd_flight(&args[1..]),
         "templates" => cmd_templates(&opts),
         "summarize" => cmd_summarize(&opts),
         "--help" | "-h" | "help" => {
@@ -57,6 +60,8 @@ fn usage_and_exit() -> ! {
          \x20 monitor    --frames N --workers N [--sink SPEC]... [--spill DIR]  simulate real-time monitoring\n\
          \x20            [--frontend threads|reactor[:threads=N] [--conns N]]   replay over a live TCP listener\n\
          \x20 top        --addr HOST:PORT [--interval-ms N] one-shot dashboard from a /metrics scrape\n\
+         \x20            [--watch [--iterations N]]         live refresh + /alerts panel (time-series ring)\n\
+         \x20 flight     export --addr HOST:PORT [--out FILE]  dump the /flight time-series ring as JSON\n\
          \x20 templates  --frames N [--top K] [--histogram PATTERN --slot N]  mine the stream into a columnar store\n\
          \x20 summarize  --scale F --window MIN             LLM status summary (future-work demo)\n\n\
          SINKS (repeatable --sink SPEC; --spill DIR adds durable spill-then-replay per sink):\n\
@@ -497,7 +502,9 @@ fn run_monitor_listener(
         })
         .collect();
     for sender in senders {
-        sender.join().map_err(|_| "sender thread panicked".to_string())??;
+        sender
+            .join()
+            .map_err(|_| "sender thread panicked".to_string())??;
     }
     let expected = stream.len() as u64;
     let deadline = Instant::now() + Duration::from_secs(300);
@@ -515,138 +522,245 @@ fn run_monitor_listener(
     Ok((report.ingested, seconds))
 }
 
-/// `hetsyslog top` — a one-shot terminal dashboard rendered from two
-/// Prometheus scrapes of a live listener's `/metrics` endpoint (see
-/// [`ListenerConfig::serve_metrics`]). Counter deltas over the interval
-/// become rates; latency quantiles come from the second scrape's
-/// cumulative histograms.
+/// `hetsyslog top` — a terminal dashboard over a live listener's scrape
+/// endpoints (see [`ListenerConfig::serve_metrics`]). Every refresh
+/// ingests the `/metrics` body into a client-side [`obs::TimeSeriesStore`]
+/// ring — the same delta-aware windowed aggregates the in-process flight
+/// recorder uses — so counter rates and histogram quantiles cover exactly
+/// the observations inside the window. One-shot by default; `--watch`
+/// keeps refreshing (and renders the `/alerts` state machine alongside).
 fn cmd_top(opts: &Opts) -> Result<(), String> {
     let addr = opts
         .get("addr")
         .ok_or("--addr HOST:PORT of a /metrics endpoint is required")?;
     let interval_ms = opts.get_u64("interval-ms", 1000)?.max(10);
-    let scrape = || -> Result<obs::Scrape, String> {
+    let watch = opts.has("watch");
+    let iterations = opts.get_u64("iterations", 0)?;
+    let store = obs::TimeSeriesStore::new(obs::timeseries::DEFAULT_RING_CAPACITY);
+    let ingest = || -> Result<(), String> {
         let body = obs::http_get(addr, "/metrics").map_err(|e| format!("{addr}: {e}"))?;
-        Ok(obs::parse_exposition(&body))
+        store.ingest_scrape(&obs::parse_exposition(&body), store.now_ms(), unix_ms());
+        Ok(())
     };
-    let first = scrape()?;
-    std::thread::sleep(std::time::Duration::from_millis(interval_ms));
-    let second = scrape()?;
-    let dt = interval_ms as f64 / 1000.0;
+    // The aggregate window spans the newest few points, so the very first
+    // render already has a counter delta to turn into a rate.
+    let window_ms = interval_ms
+        .saturating_mul(2)
+        .saturating_add(interval_ms / 2);
+    ingest()?;
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        ingest()?;
+        let alerts = obs::http_get(addr, "/alerts").ok();
+        let frame = render_dashboard(&store, addr, window_ms, alerts.as_deref());
+        if watch {
+            // Repaint in place; build the frame first so the clear and the
+            // redraw land in one write (no visible flicker).
+            print!("\x1b[2J\x1b[H{frame}");
+            let _ = std::io::stdout().flush();
+        } else {
+            print!("{frame}");
+        }
+        if !watch || (iterations > 0 && round >= iterations) {
+            return Ok(());
+        }
+    }
+}
 
-    let rate = |name: &str| (second.total(name) - first.total(name)) / dt;
-    let count = |name: &str| second.total(name);
-    println!("hetsyslog top — {addr} (Δ {dt:.2}s)\n");
-    println!(
+/// Wall-clock milliseconds since the Unix epoch (for flight timelines).
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Render one dashboard frame from the client-side flight ring.
+fn render_dashboard(
+    store: &obs::TimeSeriesStore,
+    addr: &str,
+    window_ms: u64,
+    alerts_json: Option<&str>,
+) -> String {
+    let mut out = String::new();
+    let _ = write_dashboard(&mut out, store, addr, window_ms, alerts_json);
+    out
+}
+
+fn write_dashboard(
+    out: &mut String,
+    store: &obs::TimeSeriesStore,
+    addr: &str,
+    window_ms: u64,
+    alerts_json: Option<&str>,
+) -> std::fmt::Result {
+    use std::fmt::Write;
+    let latest =
+        |name: &str, labels: &[(&str, &str)]| store.latest(name, labels).map_or(0.0, |p| p.value);
+    let rate = |name: &str| {
+        store
+            .window(name, &[], window_ms)
+            .map_or(0.0, |w| w.rate_per_sec)
+    };
+    writeln!(out, "hetsyslog top — {addr} (window {window_ms}ms)\n")?;
+    writeln!(
+        out,
         "ingest   frames {:>10}  ({:>8.0}/s)   bytes {:>12}  ({:>10.0}/s)",
-        count("hetsyslog_ingest_frames_total"),
+        latest("hetsyslog_ingest_frames_total", &[]) as u64,
         rate("hetsyslog_ingest_frames_total"),
-        count("hetsyslog_ingest_bytes_total"),
+        latest("hetsyslog_ingest_bytes_total", &[]) as u64,
         rate("hetsyslog_ingest_bytes_total"),
-    );
-    println!(
+    )?;
+    let udp = latest("hetsyslog_udp_datagrams_total", &[]);
+    if udp > 0.0 {
+        writeln!(
+            out,
+            "udp      datagrams {:>7}  ({:>8.0}/s)   bytes {:>12}   truncated {:>6}",
+            udp as u64,
+            rate("hetsyslog_udp_datagrams_total"),
+            latest("hetsyslog_udp_bytes_total", &[]) as u64,
+            latest("hetsyslog_udp_truncated_total", &[]) as u64,
+        )?;
+    }
+    writeln!(
+        out,
         "store    stored {:>10}  ({:>8.0}/s)   records {:>10}   shards {:>3}",
-        count("hetsyslog_ingest_stored_total"),
+        latest("hetsyslog_ingest_stored_total", &[]) as u64,
         rate("hetsyslog_ingest_stored_total"),
-        count("hetsyslog_store_records_total"),
-        count("hetsyslog_store_shards"),
-    );
-    println!(
+        latest("hetsyslog_store_records_total", &[]) as u64,
+        latest("hetsyslog_store_shards", &[]) as u64,
+    )?;
+    writeln!(
+        out,
         "queue    depth {:>6}    dead letters {:>6}    dropped: queue_full={} parse_error={}",
-        count("hetsyslog_ingest_queue_depth"),
-        count("hetsyslog_dead_letters_total"),
-        second
-            .value(
-                "hetsyslog_ingest_dropped_total",
-                &[("reason", "queue_full")]
-            )
-            .unwrap_or(0.0),
-        second
-            .value(
-                "hetsyslog_ingest_dropped_total",
-                &[("reason", "parse_error")]
-            )
-            .unwrap_or(0.0),
-    );
-    println!(
+        latest("hetsyslog_ingest_queue_depth", &[]) as u64,
+        latest("hetsyslog_dead_letters_total", &[]) as u64,
+        latest(
+            "hetsyslog_ingest_dropped_total",
+            &[("reason", "queue_full")]
+        ),
+        latest(
+            "hetsyslog_ingest_dropped_total",
+            &[("reason", "parse_error")]
+        ),
+    )?;
+    writeln!(
+        out,
         "batch    batches {:>9}  ({:>8.0}/s)   classified {:>10}  ({:>8.0}/s)\n",
-        count("hetsyslog_batch_batches_total"),
+        latest("hetsyslog_batch_batches_total", &[]) as u64,
         rate("hetsyslog_batch_batches_total"),
-        count("hetsyslog_batch_classified_total"),
+        latest("hetsyslog_batch_classified_total", &[]) as u64,
         rate("hetsyslog_batch_classified_total"),
-    );
+    )?;
 
     // Per-pipeline-shard fabric view: one row per `shard=N` label seen on
     // the routed-frames family (absent on pre-sharding or detached runs).
-    let mut shard_ids: Vec<String> = second
-        .samples
+    let keys = store.series_keys();
+    let mut shard_ids: Vec<String> = keys
         .iter()
-        .filter(|s| s.name == "hetsyslog_shard_frames_total")
-        .filter_map(|s| s.label("shard").map(str::to_string))
+        .filter(|(name, _)| name == "hetsyslog_shard_frames_total")
+        .filter_map(|(_, labels)| {
+            labels
+                .iter()
+                .find(|(k, _)| k == "shard")
+                .map(|(_, v)| v.clone())
+        })
         .collect();
     shard_ids.sort_by_key(|s| s.parse::<u64>().unwrap_or(u64::MAX));
     shard_ids.dedup();
     if !shard_ids.is_empty() {
-        println!(
+        writeln!(
+            out,
             "{:<8} {:>10} {:>10} {:>8} {:>8} {:>14}",
             "shard", "routed/s", "done/s", "depth", "steals", "stolen frames"
-        );
+        )?;
         for id in &shard_ids {
             let labels: &[(&str, &str)] = &[("shard", id.as_str())];
-            let svalue = |name: &str| second.value(name, labels).unwrap_or(0.0);
-            let srate = |name: &str| (svalue(name) - first.value(name, labels).unwrap_or(0.0)) / dt;
-            println!(
+            let srate = |name: &str| {
+                store
+                    .window(name, labels, window_ms)
+                    .map_or(0.0, |w| w.rate_per_sec)
+            };
+            writeln!(
+                out,
                 "{:<8} {:>10.0} {:>10.0} {:>8} {:>8} {:>14}",
                 id,
                 srate("hetsyslog_shard_frames_total"),
                 srate("hetsyslog_shard_processed_total"),
-                svalue("hetsyslog_shard_queue_depth"),
-                svalue("hetsyslog_shard_steals_total"),
-                svalue("hetsyslog_shard_stolen_frames_total"),
-            );
+                latest("hetsyslog_shard_queue_depth", labels) as u64,
+                latest("hetsyslog_shard_steals_total", labels) as u64,
+                latest("hetsyslog_shard_stolen_frames_total", labels) as u64,
+            )?;
         }
-        println!();
+        writeln!(out)?;
     }
 
     // Per-sink delivery ledger: one row per `sink=` label on the sink
     // stage's instruments (absent when no fan-out is attached).
-    let sink_names = second.label_values("hetsyslog_sink_submitted_total", "sink");
+    let mut sink_names: Vec<String> = keys
+        .iter()
+        .filter(|(name, _)| name == "hetsyslog_sink_submitted_total")
+        .filter_map(|(_, labels)| {
+            labels
+                .iter()
+                .find(|(k, _)| k == "sink")
+                .map(|(_, v)| v.clone())
+        })
+        .collect();
+    sink_names.sort();
+    sink_names.dedup();
     if !sink_names.is_empty() {
-        println!(
+        writeln!(
+            out,
             "{:<12} {:>12} {:>12} {:>9} {:>9} {:>9} {:>8}",
             "sink", "submitted/s", "delivered/s", "dropped", "inflight", "pending", "nacks"
-        );
+        )?;
         for name in &sink_names {
             let labels: &[(&str, &str)] = &[("sink", name.as_str())];
-            let svalue = |n: &str| second.value(n, labels).unwrap_or(0.0);
-            let srate = |n: &str| (svalue(n) - first.value(n, labels).unwrap_or(0.0)) / dt;
+            let srate = |n: &str| {
+                store
+                    .window(n, labels, window_ms)
+                    .map_or(0.0, |w| w.rate_per_sec)
+            };
             // Dropped is further split by `reason`; fold it per sink.
-            let dropped: f64 = second
-                .samples
+            let dropped: f64 = keys
                 .iter()
-                .filter(|s| {
-                    s.name == "hetsyslog_sink_dropped_total" && s.label("sink") == Some(name)
+                .filter(|(n, ls)| {
+                    n == "hetsyslog_sink_dropped_total"
+                        && ls.iter().any(|(k, v)| k == "sink" && v == name)
                 })
-                .map(|s| s.value)
+                .map(|(n, ls)| {
+                    let refs: Vec<(&str, &str)> =
+                        ls.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                    latest(n, &refs)
+                })
                 .sum();
-            println!(
+            writeln!(
+                out,
                 "{:<12} {:>12.0} {:>12.0} {:>9} {:>9} {:>9} {:>8}",
                 name,
                 srate("hetsyslog_sink_submitted_total"),
                 srate("hetsyslog_sink_delivered_total"),
                 dropped,
-                svalue("hetsyslog_sink_inflight"),
-                svalue("hetsyslog_spill_pending"),
-                svalue("hetsyslog_sink_nacks_total"),
-            );
+                latest("hetsyslog_sink_inflight", labels) as u64,
+                latest("hetsyslog_spill_pending", labels) as u64,
+                latest("hetsyslog_sink_nacks_total", labels) as u64,
+            )?;
         }
-        println!();
+        writeln!(out)?;
     }
 
-    println!(
+    // Stage latency: quantiles over exactly the observations inside the
+    // window (delta of cumulative snapshots); when the window saw nothing,
+    // fall back to the lifetime distribution so an idle or drained
+    // pipeline still shows meaningful figures.
+    writeln!(
+        out,
         "{:<20} {:>10} {:>10} {:>10} {:>12}",
-        "stage", "p50(µs)", "p90(µs)", "p99(µs)", "samples"
-    );
+        "stage", "p50(µs)", "p99(µs)", "obs/s", "samples"
+    )?;
     for stage in [
         "decode",
         "parse",
@@ -654,50 +768,208 @@ fn cmd_top(opts: &Opts) -> Result<(), String> {
         "predict",
         "store_insert",
     ] {
-        let buckets = second.histogram_buckets("hetsyslog_stage_duration_us", &[("stage", stage)]);
-        let samples: u64 = buckets.iter().map(|(_, c)| c).sum();
-        println!(
-            "{:<20} {:>10} {:>10} {:>10} {:>12}",
-            stage,
-            bucket_quantile(&buckets, 50.0),
-            bucket_quantile(&buckets, 90.0),
-            bucket_quantile(&buckets, 99.0),
-            samples,
-        );
+        let labels: &[(&str, &str)] = &[("stage", stage)];
+        let (p50, p99, obs_rate) =
+            windowed_quantiles(store, "hetsyslog_stage_duration_us", labels, window_ms);
+        let samples = store
+            .latest("hetsyslog_stage_duration_us", labels)
+            .and_then(|p| p.hist)
+            .map_or(0, |h| h.count);
+        writeln!(
+            out,
+            "{:<20} {:>10} {:>10} {:>10.0} {:>12}",
+            stage, p50, p99, obs_rate, samples,
+        )?;
     }
 
-    let mut by_category: Vec<(String, f64)> = second
-        .samples
+    write_model_panel(out, store, &keys, window_ms)?;
+    if let Some(body) = alerts_json {
+        write_alerts_panel(out, body)?;
+    }
+    Ok(())
+}
+
+/// Windowed `(p50, p99, observations/sec)` of a histogram series; falls
+/// back to lifetime quantiles (rate 0) when nothing landed in the window.
+fn windowed_quantiles(
+    store: &obs::TimeSeriesStore,
+    name: &str,
+    labels: &[(&str, &str)],
+    window_ms: u64,
+) -> (u64, u64, f64) {
+    match store.window(name, labels, window_ms) {
+        Some(w) if w.delta_count > 0 => (w.p50, w.p99, w.rate_per_sec),
+        _ => store
+            .latest(name, labels)
+            .and_then(|p| p.hist)
+            .map_or((0, 0, 0.0), |h| (h.quantile(50.0), h.quantile(99.0), 0.0)),
+    }
+}
+
+/// Model-quality panel: PSI drift score, per-model confidence margins,
+/// and the prediction share by category (absent until the classify stage
+/// exports `hetsyslog_model_*`).
+fn write_model_panel(
+    out: &mut String,
+    store: &obs::TimeSeriesStore,
+    keys: &[(String, obs::Labels)],
+    window_ms: u64,
+) -> std::fmt::Result {
+    use std::fmt::Write;
+    if let Some(psi) = store.latest("hetsyslog_model_drift_psi_milli", &[]) {
+        writeln!(
+            out,
+            "\nmodel    drift PSI {:>5} milli   (0.25 = investigate, so alert at 250)",
+            psi.value as i64
+        )?;
+        for (name, labels) in keys {
+            if name != "hetsyslog_model_confidence_margin_milli" {
+                continue;
+            }
+            let model = labels
+                .iter()
+                .find(|(k, _)| k == "model")
+                .map_or("?", |(_, v)| v.as_str());
+            let refs: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            let (p50, p99, _) = windowed_quantiles(store, name, &refs, window_ms);
+            writeln!(
+                out,
+                "         margin[{model}]  p50 {:>6}m  p99 {:>6}m",
+                p50, p99
+            )?;
+        }
+    }
+    // Prediction share per category (preferred); classified counts as the
+    // fallback for pre-quality builds.
+    let share_family = if keys
         .iter()
-        .filter(|s| s.name == "hetsyslog_monitor_classified_total" && s.value > 0.0)
-        .filter_map(|s| s.label("category").map(|c| (c.to_string(), s.value)))
+        .any(|(n, _)| n == "hetsyslog_model_predictions_total")
+    {
+        ("hetsyslog_model_predictions_total", "category")
+    } else {
+        ("hetsyslog_monitor_classified_total", "category")
+    };
+    let mut by_category: Vec<(String, f64)> = keys
+        .iter()
+        .filter(|(n, _)| n == share_family.0)
+        .filter_map(|(n, labels)| {
+            let category = labels.iter().find(|(k, _)| k == share_family.1)?;
+            let refs: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            let value = store.latest(n, &refs).map_or(0.0, |p| p.value);
+            (value > 0.0).then(|| (category.1.clone(), value))
+        })
         .collect();
-    by_category.sort_by(|a, b| b.1.total_cmp(&a.1));
+    by_category.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let total: f64 = by_category.iter().map(|(_, v)| v).sum();
     if !by_category.is_empty() {
-        println!("\nclassified by category:");
+        writeln!(out, "\npredictions by category:")?;
         for (category, n) in by_category {
-            println!("  {category:<28} {n}");
+            writeln!(
+                out,
+                "  {category:<28} {n:>10.0}  ({:>5.1}%)",
+                100.0 * n / total.max(1.0)
+            )?;
         }
     }
     Ok(())
 }
 
-/// Upper bound of the bucket holding the `q`-th percentile sample of a
-/// `(upper_bound, count)` histogram; `0` when the histogram is empty.
-fn bucket_quantile(buckets: &[(u64, u64)], q: f64) -> u64 {
-    let total: u64 = buckets.iter().map(|(_, c)| c).sum();
-    if total == 0 {
-        return 0;
-    }
-    let rank = ((q / 100.0) * total as f64).ceil().max(1.0) as u64;
-    let mut seen = 0u64;
-    for (upper, c) in buckets {
-        seen += c;
-        if seen >= rank {
-            return *upper;
+/// Render the `/alerts` JSON document (rule statuses + recent
+/// transitions) as the dashboard's alert panel.
+fn write_alerts_panel(out: &mut String, body: &str) -> std::fmt::Result {
+    use std::fmt::Write;
+    let Ok(doc) = serde_json::from_str::<serde_json::Value>(body) else {
+        return Ok(());
+    };
+    if let Some(alerts) = doc.get("alerts").and_then(|a| a.as_array()) {
+        if !alerts.is_empty() {
+            writeln!(
+                out,
+                "\n{:<9} {:<22} {:>5} {:>10}  condition",
+                "state", "alert", "fired", "value"
+            )?;
+            for alert in alerts {
+                let text = |key: &str| {
+                    alert
+                        .get(key)
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("?")
+                        .to_string()
+                };
+                let value = alert
+                    .get("value")
+                    .and_then(|v| v.as_f64())
+                    .map_or_else(|| "-".to_string(), |v| format!("{v:.1}"));
+                writeln!(
+                    out,
+                    "{:<9} {:<22} {:>5} {:>10}  {}",
+                    text("state"),
+                    text("name"),
+                    alert
+                        .get("fired_count")
+                        .and_then(|v| v.as_u64())
+                        .unwrap_or(0),
+                    value,
+                    text("condition"),
+                )?;
+            }
         }
     }
-    buckets.last().map(|(u, _)| *u).unwrap_or(0)
+    if let Some(events) = doc.get("events").and_then(|e| e.as_array()) {
+        let recent: Vec<String> = events
+            .iter()
+            .rev()
+            .take(5)
+            .filter_map(|e| {
+                Some(format!(
+                    "[{}ms] {} → {}",
+                    e.get("at_ms").and_then(|v| v.as_u64())?,
+                    e.get("rule").and_then(|v| v.as_str())?,
+                    e.get("transition").and_then(|v| v.as_str())?,
+                ))
+            })
+            .collect();
+        if !recent.is_empty() {
+            writeln!(out, "recent:   {}", recent.join("   "))?;
+        }
+    }
+    Ok(())
+}
+
+/// `hetsyslog flight export` — dump a live listener's flight-recorder
+/// ring (`GET /flight`) as a JSON timeline for post-mortem analysis.
+fn cmd_flight(args: &[String]) -> Result<(), String> {
+    if args.first().map(String::as_str) != Some("export") {
+        return Err("usage: hetsyslog flight export --addr HOST:PORT [--out FILE]".to_string());
+    }
+    let opts = Opts::parse(&args[1..]);
+    let addr = opts
+        .get("addr")
+        .ok_or("--addr HOST:PORT of a listener with the flight recorder enabled is required")?;
+    let body = obs::http_get(addr, "/flight").map_err(|e| {
+        format!("{addr}: {e} (flight recorder off? see ListenerConfig::record_flight)")
+    })?;
+    let series = serde_json::from_str::<serde_json::Value>(&body)
+        .ok()
+        .and_then(|v| v.get("series").and_then(|s| s.as_array()).map(|a| a.len()))
+        .unwrap_or(0);
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &body).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {} bytes ({series} series) → {path}", body.len());
+        }
+        None => {
+            println!("{body}");
+            eprintln!("({series} series)");
+        }
+    }
+    Ok(())
 }
 
 /// `hetsyslog templates` — run the synthetic stream into the log store,
